@@ -1,0 +1,21 @@
+"""Bench: design-choice ablations (DESIGN.md decisions).
+
+Covers the four ablation axes: drain-estimation policy, simulator commit
+width (post-barrier catch-up), accelerator contexts, and the paper's
+§VIII partial-speculation policy.
+"""
+
+
+def test_ablations(regenerate):
+    result = regenerate("ablations")
+    kinds = {row["ablation"] for row in result.rows}
+    assert kinds == {"drain", "commit", "tca-units", "partial-spec", "prefetch"}
+    # the prefetcher lifts the memory-bound baseline's IPC substantially
+    pf = {row["prefetcher"]: row["ipc"] for row in result.rows if row["ablation"] == "prefetch"}
+    assert pf["on"] > pf["off"] * 1.3
+    # partial speculation sits between NL_T and L_T
+    ps = {row["policy"]: row["cycles"] for row in result.rows if row["ablation"] == "partial-spec"}
+    assert ps["L_T"] <= ps["NL_T+confident"] <= ps["NL_T"]
+    # extra TCA contexts speed up back-to-back bursts
+    units = {row["units"]: row["cycles"] for row in result.rows if row["ablation"] == "tca-units"}
+    assert units[4] < units[1]

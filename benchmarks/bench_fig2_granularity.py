@@ -1,0 +1,18 @@
+"""Bench: regenerate paper Fig. 2 (speedup vs accelerator granularity).
+
+Reproduction criteria: the integration-mode spread grows as granularity
+shrinks; NL_NT predicts slowdown for fine-grained accelerators; all modes
+converge at coarse granularity.
+"""
+
+from repro.core.modes import TCAMode
+
+
+def test_fig2_granularity(regenerate):
+    result = regenerate("fig2")
+    sweep_rows = [r for r in result.rows if "marker" not in r]
+    fine, coarse = sweep_rows[0], sweep_rows[-1]
+    assert fine[TCAMode.NL_NT.value] < 1.0
+    spread_fine = fine[TCAMode.L_T.value] - fine[TCAMode.NL_NT.value]
+    spread_coarse = coarse[TCAMode.L_T.value] - coarse[TCAMode.NL_NT.value]
+    assert spread_fine > spread_coarse

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 3 (interval ILP timelines, four modes).
+
+Reproduction criteria: L_T shows the least core-stall time and NL_NT the
+most; interval totals follow the model's equations.
+"""
+
+
+def test_fig3_timeline(regenerate):
+    result = regenerate("fig3")
+    stalls = {row["mode"]: row["core_stalled_cycles"] for row in result.rows}
+    assert stalls["L_T"] == min(stalls.values())
+    assert stalls["NL_NT"] == max(stalls.values())
+    totals = {row["mode"]: row["interval_cycles"] for row in result.rows}
+    assert totals["L_T"] <= totals["NL_T"] <= totals["NL_NT"]

@@ -1,0 +1,24 @@
+"""Bench: regenerate paper Fig. 5 (heap-manager TCA, model/sim/error).
+
+Reproduction criteria: simulated speedup rises with malloc/free frequency;
+NL_T tracks L_T closely; errors are small at low frequency and worst at
+the highest frequencies (paper band: up to 8.5%).
+"""
+
+from repro.core.modes import TCAMode
+
+
+def test_fig5_heap(regenerate):
+    result = regenerate("fig5")
+    rows = result.rows
+    lt = [row[f"sim_{TCAMode.L_T.value}"] for row in rows]
+    assert lt[-1] > lt[0]
+    for row in rows:
+        close = abs(
+            row[f"sim_{TCAMode.NL_T.value}"] - row[f"sim_{TCAMode.L_T.value}"]
+        ) / row[f"sim_{TCAMode.L_T.value}"]
+        assert close < 0.30  # "NL_T closely follows L_T"
+    # low-frequency half validates tightly
+    for row in rows[: max(1, len(rows) // 2)]:
+        for mode in TCAMode.all_modes():
+            assert abs(row[f"err%_{mode.value}"]) < 12.0

@@ -1,0 +1,24 @@
+"""Bench: regenerate paper Fig. 6 (blocked DGEMM, measured vs estimated).
+
+Reproduction criteria: simulated speedup ordering 8x8 > 4x4 > 2x2; within
+each accelerator L_T >= NL_T >= L_NT >= NL_NT; the 2x2 accelerator is the
+most mode-sensitive; model errors below the paper's 44% worst case with
+matching trend ordering.
+"""
+
+from repro.core.modes import TCAMode
+
+
+def test_fig6_matmul(regenerate):
+    result = regenerate("fig6")
+    sim_rows = [row for row in result.rows if "tile" in row]
+    assert len(sim_rows) == 3
+    lt = [row[f"meas_{TCAMode.L_T.value}"] for row in sim_rows]
+    assert lt[0] < lt[1] < lt[2]
+    for row in sim_rows:
+        meas = [row[f"meas_{m.value}"] for m in TCAMode.all_modes()]
+        assert meas == sorted(meas)  # NL_NT .. L_T ascending
+        assert row["max|err|%"] < 44.0
+        assert row["trend"]
+    paper_rows = [row for row in result.rows if "paper_scale_tile" in row]
+    assert len(paper_rows) == 3

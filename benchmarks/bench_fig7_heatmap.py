@@ -1,0 +1,29 @@
+"""Bench: regenerate paper Fig. 7 (HP/LP × four-mode speedup heatmaps).
+
+Reproduction criteria: the high-performance core is more sensitive to the
+integration mode than the low-performance core; NT-mode panels contain
+slowdown regions; the heap curve crosses into slowdown on the HP core at
+A=1.5 while the GreenDroid curve never does.
+"""
+
+from repro.core.modes import TCAMode
+
+
+def test_fig7_heatmap(regenerate):
+    result = regenerate("fig7")
+    by_panel = {(row["core"], row["mode"]): row for row in result.rows}
+    assert len(by_panel) == 8
+    for core in ("high-perf", "low-perf"):
+        assert (
+            by_panel[(core, TCAMode.NL_NT.value)]["slowdown_cell_fraction"]
+            >= by_panel[(core, TCAMode.L_T.value)]["slowdown_cell_fraction"]
+        )
+    hp_spread = (
+        by_panel[("high-perf", "NL_NT")]["slowdown_cell_fraction"]
+        - by_panel[("high-perf", "L_T")]["slowdown_cell_fraction"]
+    )
+    lp_spread = (
+        by_panel[("low-perf", "NL_NT")]["slowdown_cell_fraction"]
+        - by_panel[("low-perf", "L_T")]["slowdown_cell_fraction"]
+    )
+    assert hp_spread > lp_spread

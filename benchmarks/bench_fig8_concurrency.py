@@ -1,0 +1,22 @@
+"""Bench: regenerate paper Fig. 8 (the A+1 concurrency result).
+
+Reproduction criteria: L_T peaks near speedup 3 at ~67% acceleratable code
+for an A=2 accelerator (not at 100%), and all modes converge near A at
+full coverage.
+"""
+
+import math
+
+from repro.core.modes import TCAMode
+
+
+def test_fig8_concurrency(regenerate):
+    result = regenerate("fig8")
+    rows = result.rows
+    lt = [row[TCAMode.L_T.value] for row in rows]
+    peak_idx = max(range(len(lt)), key=lambda i: lt[i])
+    assert math.isclose(lt[peak_idx], 3.0, rel_tol=0.06)
+    assert math.isclose(rows[peak_idx]["fraction"], 2 / 3, abs_tol=0.06)
+    assert peak_idx < len(rows) - 1  # not at 100% coverage
+    final = rows[-1]
+    assert math.isclose(final[TCAMode.L_T.value], 2.0, rel_tol=0.02)

@@ -1,0 +1,73 @@
+"""Bench: raw throughput of the cycle-level simulator and the model.
+
+Not a paper figure — these benchmarks track the performance of the
+reproduction's own machinery: simulated instructions per second on
+characteristic workloads, and analytical-model evaluations per second
+(the model's entire selling point is being orders of magnitude cheaper
+than detailed simulation, which these numbers demonstrate).
+"""
+
+import pytest
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import ARM_A72, AcceleratorParameters, WorkloadParameters
+from repro.isa.trace import TraceBuilder
+from repro.sim.config import HIGH_PERF_SIM
+from repro.sim.simulator import simulate
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+
+
+@pytest.fixture(scope="module")
+def alu_heavy_trace():
+    builder = TraceBuilder("alu-heavy")
+    builder.independent_block(30_000, list(range(8)))
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def heap_traces():
+    program = generate_heap_program(HeapWorkloadSpec(slots=400, call_probability=0.3))
+    return (
+        program.baseline,
+        program.accelerated(),
+        program.baseline.metadata["warm_ranges"],
+    )
+
+
+def test_sim_throughput_alu(benchmark, alu_heavy_trace):
+    result = benchmark.pedantic(
+        simulate, args=(alu_heavy_trace, HIGH_PERF_SIM), rounds=3, iterations=1
+    )
+    benchmark.extra_info["instructions"] = result.stats.instructions
+    assert result.stats.instructions == len(alu_heavy_trace)
+
+
+def test_sim_throughput_heap_tca(benchmark, heap_traces):
+    _baseline, accelerated, warm = heap_traces
+    config = HIGH_PERF_SIM.with_mode(TCAMode.NL_NT)
+    result = benchmark.pedantic(
+        simulate,
+        args=(accelerated, config),
+        kwargs={"warm_ranges": warm},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.stats.tca_invocations > 0
+
+
+def test_model_evaluation_rate(benchmark):
+    accelerator = AcceleratorParameters(name="bench", acceleration=3.0)
+
+    def evaluate_thousand():
+        total = 0.0
+        for i in range(1000):
+            workload = WorkloadParameters.from_granularity(
+                10 + i, 0.3 + (i % 50) / 100.0
+            )
+            model = TCAModel(ARM_A72, accelerator, workload)
+            total += sum(model.speedups().values())
+        return total
+
+    total = benchmark.pedantic(evaluate_thousand, rounds=3, iterations=1)
+    assert total > 0

@@ -1,0 +1,9 @@
+"""Bench: regenerate paper Table I (model parameters + core presets)."""
+
+
+def test_table1_parameters(regenerate):
+    result = regenerate("table1")
+    variables = {row.get("variable") for row in result.rows if "variable" in row}
+    assert variables == {"a", "v", "IPC", "A", "s_ROB", "w_issue", "t_commit"}
+    presets = {row["preset"] for row in result.rows if "preset" in row}
+    assert presets == {"arm-a72", "high-perf", "low-perf"}

@@ -1,0 +1,17 @@
+"""Bench: workload-zoo robustness sweep (paper §IX claim).
+
+Validates the model on all six workload families — hash map, strings,
+regex, heap, memory-bound synthetic, and blocked DGEMM — in one run.
+"""
+
+
+def test_workload_zoo(regenerate):
+    result = regenerate("zoo")
+    assert len(result.rows) == 6
+    names = {row["workload"] for row in result.rows}
+    assert {"hashmap", "strings", "regex", "heap", "dgemm 4x4"} <= names
+    trends = [row["trend"] for row in result.rows]
+    assert sum(trends) >= 5  # robustness: trends hold on ≥5/6 families
+    for row in result.rows:
+        # L_T — the mode naive estimates assume — stays within ~20%.
+        assert abs(row["model_L_T"] - row["sim_L_T"]) / row["sim_L_T"] < 0.2

@@ -1,0 +1,46 @@
+"""Shared machinery for the figure/table regeneration benchmarks.
+
+Every ``bench_figN`` module regenerates one paper artifact under
+pytest-benchmark timing (a single measured round — the regeneration *is*
+the workload) and writes the rendered figure plus its JSON rows under
+``results/`` so the numbers in EXPERIMENTS.md can be reproduced by
+running ``pytest benchmarks/ --benchmark-only``.
+
+Scale follows ``REPRO_SCALE`` (default: the ``default`` scale documented
+in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run one experiment under benchmark timing and persist its output."""
+
+    def _run(name: str) -> ExperimentResult:
+        scale = os.environ.get("REPRO_SCALE", "default")
+        result = benchmark.pedantic(
+            run_experiment, args=(name, scale), rounds=1, iterations=1
+        )
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        result.save_json(RESULTS_DIR)
+        with open(
+            os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(result.render() + "\n")
+        benchmark.extra_info["scale"] = result.scale
+        for i, note in enumerate(result.notes):
+            benchmark.extra_info[f"note_{i}"] = note
+        assert "UNEXPECTED" not in result.render()
+        return result
+
+    return _run

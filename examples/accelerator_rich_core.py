@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Accelerator-rich core: several different TCAs in one program.
+
+The paper models one accelerator at a time, but cites accelerator-rich
+CMPs [4] as the trend.  This example goes one step beyond the paper:
+
+1. build a program mixing three accelerator families — heap management
+   (single-cycle malloc/free), hash-map probes, and string compares —
+   over their real substrates;
+2. simulate the software baseline and the TCA-ified program under all
+   four integration modes (the simulator handles mixed TCAs natively);
+3. compare against the composite interval-analysis model
+   (:class:`repro.core.composite.CompositeTCAModel`), which extends the
+   paper's equations to multiple accelerators by partitioning execution
+   into per-accelerator interval streams.
+"""
+
+from repro.core.composite import mean_latency_by_name, validate_composite
+from repro.core.modes import TCAMode
+from repro.sim.config import HIGH_PERF_SIM
+from repro.workloads.hashmap import HashMapWorkloadSpec, generate_hashmap_program
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+from repro.workloads.strings import StringWorkloadSpec, generate_string_program
+
+
+def main() -> None:
+    heap = generate_heap_program(HeapWorkloadSpec(slots=200, call_probability=0.2))
+    hashmap = generate_hashmap_program(HashMapWorkloadSpec(operations=120))
+    strings = generate_string_program(StringWorkloadSpec(comparisons=100))
+    mixed = heap.concat(hashmap).concat(strings, name="accelerator-rich")
+
+    accelerated = mixed.accelerated()
+    stats = accelerated.stats()
+    print(
+        f"mixed program: {stats.baseline_instructions} baseline instructions, "
+        f"{stats.tca_invocations} TCA invocations across "
+        f"{len({i.tca.name for i in accelerated if i.is_tca})} accelerator types, "
+        f"total coverage a={stats.acceleratable_fraction:.3f}"
+    )
+
+    latencies = mean_latency_by_name(accelerated, HIGH_PERF_SIM)
+    print("per-accelerator mean invocation latency (estimated):")
+    for name, latency in sorted(latencies.items()):
+        print(f"  {name:<14} {latency:5.1f} cycles")
+    print()
+
+    records = validate_composite(
+        mixed.baseline,
+        accelerated,
+        HIGH_PERF_SIM,
+        latencies,
+        warm_ranges=mixed.baseline.metadata.get("warm_ranges"),
+    )
+    print(f"{'mode':<7} {'composite model':>16} {'simulated':>10} {'error%':>8}")
+    for record in records:
+        print(
+            f"{record.mode.value:<7} {record.model_speedup:>15.3f}x "
+            f"{record.sim_speedup:>9.3f}x {record.error * 100:>8.1f}"
+        )
+
+    by_mode = {r.mode: r for r in records}
+    print(
+        f"\nThe fine-grained accelerator mix "
+        f"{'slows the program down' if by_mode[TCAMode.NL_NT].sim_speedup < 1 else 'still helps'} "
+        f"without OoO support (NL_NT {by_mode[TCAMode.NL_NT].sim_speedup:.2f}x) "
+        f"but wins {by_mode[TCAMode.L_T].sim_speedup:.2f}x with full L_T "
+        "integration — the paper's conclusion compounds across an "
+        "accelerator-rich core."
+    )
+
+
+if __name__ == "__main__":
+    main()

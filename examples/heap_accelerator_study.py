@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""End-to-end heap-accelerator study (paper §V-B).
+
+Walks the full reproduction pipeline for the heap-manager TCA:
+
+1. exercise the TCMalloc-style size-class allocator to build a
+   microbenchmark whose malloc/free calls use real free-list addresses;
+2. emit the software baseline trace and the TCA-ified trace;
+3. simulate both on the cycle-level OoO core under all four integration
+   modes;
+4. compare against the analytical model's predictions.
+
+Run with ``--fast`` for a single sweep point.
+"""
+
+import argparse
+
+from repro.core.modes import TCAMode
+from repro.core.validation import validate_workload
+from repro.sim.config import HIGH_PERF_SIM
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+from repro.workloads.tcmalloc import SizeClassAllocator
+
+
+def demonstrate_allocator() -> None:
+    """Show the allocator substrate doing real allocation work."""
+    allocator = SizeClassAllocator()
+    pointers = [allocator.malloc(size) for size in (16, 48, 80, 120, 16, 48)]
+    print("allocator hands out real, distinct addresses:")
+    for ptr, size in zip(pointers, (16, 48, 80, 120, 16, 48)):
+        print(f"  malloc({size:3d}) -> {ptr:#010x}")
+    for ptr in pointers[:3]:
+        allocator.free(ptr)
+    reused = allocator.malloc(16)
+    print(f"  freed three, malloc(16) reuses  {reused:#010x} (LIFO free list)")
+    allocator.check_invariants()
+    print(f"  invariants hold; stats: {allocator.stats.mallocs} mallocs, "
+          f"{allocator.stats.frees} frees, {allocator.stats.refills} span refills\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="single sweep point")
+    args = parser.parse_args()
+
+    demonstrate_allocator()
+
+    probabilities = (0.1,) if args.fast else (0.02, 0.1, 0.35)
+    print("heap TCA validation: model vs cycle-level simulation "
+          "(high-performance core)\n")
+    for prob in probabilities:
+        program = generate_heap_program(
+            HeapWorkloadSpec(slots=600, call_probability=prob)
+        )
+        report = validate_workload(
+            program.baseline,
+            program.accelerated(),
+            HIGH_PERF_SIM,
+            warm_ranges=program.baseline.metadata["warm_ranges"],
+        )
+        print(report.render_table())
+        nt_worst = min(
+            report.record(TCAMode.NL_NT).sim_speedup,
+            report.record(TCAMode.L_NT).sim_speedup,
+        )
+        print(
+            f"  -> at call probability {prob}: single-cycle malloc/free wins "
+            f"{report.record(TCAMode.L_T).sim_speedup:.2f}x with full OoO "
+            f"support but only {nt_worst:.2f}x when dispatch barriers are "
+            "required (the paper's core argument).\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

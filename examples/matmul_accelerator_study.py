@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""End-to-end matrix-multiply accelerator study (paper §V-C).
+
+1. verifies the blocked-DGEMM algorithm the traces model is numerically
+   correct (against a straightforward triple loop);
+2. generates the element-wise baseline kernel and the 2×2/4×4/8×8 MMA
+   accelerated traces;
+3. simulates all of them in the four TCA integration modes and compares
+   with the analytical model — reproducing the Fig. 6 trends at reduced
+   scale.
+
+Run with ``--fast`` for the smallest matrices.
+"""
+
+import argparse
+import random
+
+from repro.core.modes import TCAMode
+from repro.core.validation import validate_workload
+from repro.sim.config import HIGH_PERF_SIM
+from repro.workloads.matmul import (
+    MatmulSpec,
+    blocked_matmul,
+    generate_accelerated_trace,
+    generate_baseline_trace,
+    matmul_tca_descriptor_stats,
+)
+
+
+def verify_blocking() -> None:
+    """Check the blocked algorithm against the naive triple loop."""
+    rng = random.Random(1)
+    n, block = 8, 4
+    a = [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)]
+    b = [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)]
+    blocked = blocked_matmul(a, b, block)
+    naive = [
+        [sum(a[i][k] * b[k][j] for k in range(n)) for j in range(n)]
+        for i in range(n)
+    ]
+    worst = max(
+        abs(blocked[i][j] - naive[i][j]) for i in range(n) for j in range(n)
+    )
+    print(f"blocked matmul verified against naive triple loop "
+          f"(max |diff| = {worst:.2e})\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smallest matrices")
+    args = parser.parse_args()
+
+    verify_blocking()
+
+    spec = MatmulSpec(n=16, block=8) if args.fast else MatmulSpec(n=32, block=16)
+    print(f"simulating {spec.n}x{spec.n} DGEMM with {spec.block}x{spec.block} "
+          f"blocking (paper: 512x512 with 32x32 blocks — reduced for the "
+          "cycle-level simulator; structure preserved)\n")
+
+    baseline = generate_baseline_trace(spec)
+    print(f"baseline element-wise kernel: {len(baseline)} dynamic instructions")
+    for m in spec.accel_sizes:
+        stats = matmul_tca_descriptor_stats(spec, m)
+        print(
+            f"  {m}x{m} MMA TCA: {stats['reads_per_invocation']:.0f} reads / "
+            f"{stats['writes_per_invocation']:.0f} writes per invocation "
+            f"({stats['read_bytes']:.0f}B in, {stats['write_bytes']:.0f}B out), "
+            f"compute {stats['compute_latency']:.0f} cycles, replaces "
+            f"~{stats['mean_replaced_instructions']:.0f} instructions"
+        )
+    print()
+
+    for m in spec.accel_sizes:
+        accelerated = generate_accelerated_trace(spec, m)
+        report = validate_workload(
+            baseline, accelerated, HIGH_PERF_SIM, warm_ranges=spec.warm_ranges()
+        )
+        print(f"--- {m}x{m} accelerator ---")
+        print(report.render_table())
+        spread = (
+            report.record(TCAMode.L_T).sim_speedup
+            - report.record(TCAMode.NL_NT).sim_speedup
+        )
+        print(f"  mode spread (L_T - NL_NT, simulated): {spread:.2f}x\n")
+
+    print(
+        "Trend (paper Fig. 6): larger tiles amortize drain/fill penalties — "
+        "the 2x2 accelerator is the most sensitive to the integration mode, "
+        "the 8x8 the least."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Partial (confidence-gated) TCA speculation — paper §VIII future work.
+
+The paper suggests a middle ground between the L and NL modes: let the
+accelerator start speculatively only when every outstanding leading
+branch is high-confidence.  This example evaluates that design twice:
+
+1. **analytically**, with the interpolated model
+   (:class:`repro.core.partial.PartialSpeculationModel`);
+2. **in simulation**, on a branch-bound workload where branch conditions
+   come from slow loads, comparing NL_T, NL_T + confidence gating, and
+   full L_T.
+"""
+
+from dataclasses import replace
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import HIGH_PERF, AcceleratorParameters, WorkloadParameters
+from repro.core.partial import PartialSpeculationModel
+from repro.experiments.ablations import ablate_partial_speculation
+from repro.sim.config import HIGH_PERF_SIM
+
+
+def analytical_view() -> None:
+    # High coverage makes the accelerator path dominate NL_T, so the
+    # drain the NL modes suffer is visible in the model.
+    model = TCAModel(
+        HIGH_PERF,
+        AcceleratorParameters(name="tca", acceleration=3.0),
+        WorkloadParameters.from_granularity(80, 0.70),
+    )
+    partial = PartialSpeculationModel(model)
+    print("analytical: speedup vs fraction of high-confidence invocations")
+    print(f"  NL_T reference: {model.speedup(TCAMode.NL_T):.3f}x")
+    for p in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0):
+        result = partial.evaluate(p, trailing=True)
+        print(
+            f"  p={p:4.2f}: {result.speedup:.3f}x "
+            f"(recovers {result.recovered_fraction:.0%} of the L/NL gap)"
+        )
+    print(f"  L_T reference:  {model.speedup(TCAMode.L_T):.3f}x")
+    needed = partial.break_even_fraction(target_recovery=0.9)
+    print(
+        f"  -> a confidence predictor that clears {needed:.0%} of "
+        "invocations captures 90% of full speculation's benefit\n"
+    )
+
+
+def simulated_view() -> None:
+    print("simulation: branch-bound workload (branch conditions from slow loads,")
+    print("1/4 of branches low-confidence), high-performance core\n")
+    rows, notes = ablate_partial_speculation("default")
+    print(f"  {'policy':<16} {'cycles':>8} {'TCA drain-wait cycles':>22}")
+    for policy, cycles, wait in rows:
+        print(f"  {policy:<16} {cycles:>8} {wait:>22}")
+    for note in notes:
+        print(f"  -> {note}")
+
+
+def main() -> None:
+    analytical_view()
+    simulated_view()
+
+
+if __name__ == "__main__":
+    main()

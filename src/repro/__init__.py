@@ -1,0 +1,91 @@
+"""Reproduction of *Modeling Architectural Support for Tightly-Coupled
+Accelerators* (Schlais, Zhuo, Lipasti — ISPASS 2020).
+
+The package provides:
+
+- :mod:`repro.core` — the paper's analytical TCA performance model
+  (four leading/trailing concurrency modes, drain/fill/barrier penalties,
+  sweeps, heatmaps, concurrency limits, design-space tools);
+- :mod:`repro.sim` — a cycle-level trace-driven out-of-order core
+  simulator (the gem5 substitute used for validation);
+- :mod:`repro.isa` — the instruction/trace substrate;
+- :mod:`repro.workloads` — the paper's workloads: synthetic adaptive
+  microbenchmarks, a TCMalloc-style heap benchmark, blocked DGEMM with
+  MMA TCAs, and accelerator catalogs;
+- :mod:`repro.baselines` — LogCA, Gables, and Amdahl comparators;
+- :mod:`repro.experiments` — regenerators for every figure/table in the
+  paper's evaluation.
+
+Quick start::
+
+    import repro
+
+    model = repro.TCAModel(
+        repro.ARM_A72,
+        repro.AcceleratorParameters(name="heap", acceleration=3.0),
+        repro.WorkloadParameters.from_granularity(50, acceleratable_fraction=0.3),
+    )
+    for mode, speedup in model.speedups().items():
+        print(mode.value, round(speedup, 3))
+"""
+
+# NOTE: repro.core must be imported before repro.sim — repro.sim.config
+# depends on repro.core.modes, while repro.core.validation lazily imports
+# repro.sim at call time.  Importing core first keeps every entry point
+# (``import repro.sim``, ``import repro.core.modes``, ...) cycle-free.
+from repro import core as core  # noqa: F401  (import-order anchor)
+from repro.core import (
+    ARM_A72,
+    HIGH_PERF,
+    LOW_PERF,
+    AcceleratorParameters,
+    CoreParameters,
+    ExplicitDrain,
+    PowerLawDrain,
+    TCAModel,
+    TCAMode,
+    ValidationReport,
+    WorkloadParameters,
+    predict_speedups,
+    validate_workload,
+)
+from repro.isa import Instruction, OpClass, TCADescriptor, Trace, TraceBuilder
+from repro.sim import (
+    ARM_A72_SIM,
+    HIGH_PERF_SIM,
+    LOW_PERF_SIM,
+    SimConfig,
+    SimulationResult,
+    simulate,
+    simulate_modes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARM_A72",
+    "ARM_A72_SIM",
+    "HIGH_PERF",
+    "HIGH_PERF_SIM",
+    "LOW_PERF",
+    "LOW_PERF_SIM",
+    "AcceleratorParameters",
+    "CoreParameters",
+    "ExplicitDrain",
+    "Instruction",
+    "OpClass",
+    "PowerLawDrain",
+    "SimConfig",
+    "SimulationResult",
+    "TCADescriptor",
+    "TCAModel",
+    "TCAMode",
+    "Trace",
+    "TraceBuilder",
+    "ValidationReport",
+    "WorkloadParameters",
+    "predict_speedups",
+    "simulate",
+    "simulate_modes",
+    "validate_workload",
+]

@@ -1,0 +1,27 @@
+"""Prior accelerator performance models the paper positions against.
+
+- :mod:`repro.baselines.logca` — LogCA [11], a latency/overhead model for
+  loosely-coupled accelerators that assumes an idle host during
+  accelerator execution and ignores pipeline drain/fill effects;
+- :mod:`repro.baselines.gables` — Gables [12], a roofline model for SoC
+  accelerator throughput under shared memory bandwidth;
+- :mod:`repro.baselines.amdahl` — the naive replace-the-region speedup
+  most TCA proposals quote (full OoO assumed, no penalties).
+
+They exist so the paper's motivating comparisons ("LogCA targets
+coarse-grained accelerators"; "naive estimates assume L_T behaviour") can
+be reproduced quantitatively.
+"""
+
+from repro.baselines.amdahl import amdahl_speedup, naive_tca_speedup
+from repro.baselines.gables import GablesModel, GablesOperatingPoint
+from repro.baselines.logca import LogCAModel, LogCAParameters
+
+__all__ = [
+    "GablesModel",
+    "GablesOperatingPoint",
+    "LogCAModel",
+    "LogCAParameters",
+    "amdahl_speedup",
+    "naive_tca_speedup",
+]

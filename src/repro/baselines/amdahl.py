@@ -1,0 +1,44 @@
+"""Naive accelerator speedup estimates (the assumption the paper corrects).
+
+TCA proposals commonly estimate speedup "by replacing the time spent
+within an acceleratable region with the accelerator execution time"
+(paper §III) — an Amdahl-style computation that implicitly assumes full
+out-of-order concurrency (L_T) *and* no drain/fill/barrier penalties.
+These helpers make that assumption explicit so it can be compared against
+the four-mode model.
+"""
+
+from __future__ import annotations
+
+
+def amdahl_speedup(acceleratable_fraction: float, acceleration: float) -> float:
+    """Classic Amdahl speedup: serial replacement of the region's time.
+
+    ``S = 1 / ((1 − a) + a / A)`` — the accelerated region's time shrinks
+    by ``A`` and nothing overlaps.
+    """
+    a = acceleratable_fraction
+    if not 0.0 <= a <= 1.0:
+        raise ValueError(f"acceleratable_fraction must be in [0,1], got {a}")
+    if acceleration <= 0:
+        raise ValueError(f"acceleration must be positive, got {acceleration}")
+    denominator = (1.0 - a) + a / acceleration
+    if denominator == 0.0:
+        return float("inf")
+    return 1.0 / denominator
+
+
+def naive_tca_speedup(acceleratable_fraction: float, acceleration: float) -> float:
+    """The "assume the core keeps its OoO rate around the accelerator"
+    estimate (paper §III): equivalent to the ideal L_T bound
+    ``1 / max(1 − a, a / A)``, which can exceed Amdahl's bound because
+    core and accelerator overlap."""
+    a = acceleratable_fraction
+    if not 0.0 <= a <= 1.0:
+        raise ValueError(f"acceleratable_fraction must be in [0,1], got {a}")
+    if acceleration <= 0:
+        raise ValueError(f"acceleration must be positive, got {acceleration}")
+    bottleneck = max(1.0 - a, a / acceleration)
+    if bottleneck == 0.0:
+        return float("inf")
+    return 1.0 / bottleneck

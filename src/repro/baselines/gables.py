@@ -1,0 +1,104 @@
+"""Gables: a roofline model for mobile-SoC accelerators.
+
+Hill & Reddi's Gables [12] extends the roofline model to SoCs where a CPU
+and accelerator IPs share DRAM bandwidth.  Each IP ``i`` has peak
+performance ``P_i`` (ops/s) and a bandwidth share; running a kernel with
+operational intensity ``I_i`` (ops/byte), its attainable throughput is
+``min(P_i, B_i · I_i)``.  For one CPU plus one accelerator executing
+fractions ``1−f`` and ``f`` of the work (sequentially, as Gables'
+baseline formulation assumes), the SoC-level attainable performance is::
+
+    P_soc = 1 / ( (1−f) / min(P_cpu, B·I_cpu) + f / min(P_acc, B·I_acc) )
+
+The paper cites Gables as complementary: it captures bandwidth-driven
+accelerator limits, while the TCA model captures core-integration
+effects; both can be composed in early design (paper §II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GablesOperatingPoint:
+    """One IP executing a kernel phase.
+
+    Attributes:
+        peak_performance: ``P`` — peak ops per cycle (or per second; any
+            consistent unit).
+        bandwidth: ``B`` — memory bandwidth available to the IP, bytes per
+            the same time unit.
+        operational_intensity: ``I`` — ops per byte of the kernel phase.
+    """
+
+    peak_performance: float
+    bandwidth: float
+    operational_intensity: float
+
+    def __post_init__(self) -> None:
+        if self.peak_performance <= 0 or self.bandwidth <= 0:
+            raise ValueError("peak_performance and bandwidth must be positive")
+        if self.operational_intensity <= 0:
+            raise ValueError("operational_intensity must be positive")
+
+    @property
+    def attainable(self) -> float:
+        """Roofline-attainable throughput ``min(P, B·I)``."""
+        return min(
+            self.peak_performance, self.bandwidth * self.operational_intensity
+        )
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether the bandwidth roof binds at this operating point."""
+        return self.bandwidth * self.operational_intensity < self.peak_performance
+
+
+class GablesModel:
+    """Two-IP (CPU + accelerator) Gables evaluation.
+
+    Args:
+        cpu: the CPU's operating point.
+        accelerator: the accelerator's operating point.
+    """
+
+    def __init__(
+        self, cpu: GablesOperatingPoint, accelerator: GablesOperatingPoint
+    ) -> None:
+        self.cpu = cpu
+        self.accelerator = accelerator
+
+    def soc_performance(self, offload_fraction: float) -> float:
+        """SoC attainable throughput with fraction ``f`` offloaded.
+
+        Work is executed phase-by-phase (Gables' sequential formulation):
+        total time per op is a weighted harmonic mean of the two
+        attainable throughputs.
+        """
+        f = offload_fraction
+        if not 0.0 <= f <= 1.0:
+            raise ValueError(f"offload_fraction must be in [0,1], got {f}")
+        cpu_rate = self.cpu.attainable
+        acc_rate = self.accelerator.attainable
+        if f == 0.0:
+            return cpu_rate
+        if f == 1.0:
+            return acc_rate
+        return 1.0 / ((1.0 - f) / cpu_rate + f / acc_rate)
+
+    def speedup(self, offload_fraction: float) -> float:
+        """Speedup over running everything on the CPU."""
+        return self.soc_performance(offload_fraction) / self.cpu.attainable
+
+    def best_offload_fraction(self, samples: int = 1001) -> float:
+        """Offload fraction maximizing SoC throughput (grid search)."""
+        best_f = 0.0
+        best_perf = self.soc_performance(0.0)
+        for i in range(1, samples):
+            f = i / (samples - 1)
+            perf = self.soc_performance(f)
+            if perf > best_perf:
+                best_perf = perf
+                best_f = f
+        return best_f

@@ -1,0 +1,123 @@
+"""LogCA: a performance model for (loosely-coupled) hardware accelerators.
+
+Altaf & Wood's LogCA [11] predicts accelerator speedup from five
+parameters — Latency ``L``, overhead ``o``, granularity ``g``,
+Computational index ``C``, and Acceleration ``A`` — for offloads where the
+host is idle during accelerator execution:
+
+- host time:        ``T_0(g) = C · g^β``
+- accelerated time: ``T_1(g) = o + L·g + C · g^β / A``
+- speedup:          ``T_0(g) / T_1(g)``
+
+with ``β`` the complexity exponent of the kernel (1 for linear work per
+byte).  LogCA's break-even metrics ``g_1`` (granularity where speedup
+reaches 1) and ``g_{A/2}`` (where it reaches half of ``A``) characterise
+how coarse an offload must be to pay off.
+
+The paper's motivation section contrasts this with tightly-coupled
+accelerators: LogCA has no notion of ROB drain/fill or dispatch barriers
+and assumes no host/accelerator concurrency, which is accurate for
+coarse-grained offloads but misses exactly the effects that dominate at
+fine granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogCAParameters:
+    """The five LogCA parameters (plus the complexity exponent).
+
+    Attributes:
+        latency: ``L`` — cycles per byte to move data to/from the
+            accelerator (interface latency).
+        overhead: ``o`` — fixed setup/dispatch cycles per invocation
+            (driver call, descriptor setup, doorbell).
+        compute_index: ``C`` — host cycles of computation per byte.
+        acceleration: ``A`` — accelerator's peak speedup over the host on
+            the kernel itself.
+        beta: granularity exponent of the kernel's work (``T_0 ∝ g^β``).
+    """
+
+    latency: float
+    overhead: float
+    compute_index: float
+    acceleration: float
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.overhead < 0:
+            raise ValueError("latency and overhead must be non-negative")
+        if self.compute_index <= 0:
+            raise ValueError("compute_index must be positive")
+        if self.acceleration <= 0:
+            raise ValueError("acceleration must be positive")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+
+
+class LogCAModel:
+    """Evaluate the LogCA equations for one parameter set.
+
+    Args:
+        params: the LogCA parameters.
+    """
+
+    def __init__(self, params: LogCAParameters) -> None:
+        self.params = params
+
+    def host_time(self, granularity: float) -> float:
+        """Unaccelerated execution time ``C · g^β``."""
+        self._check_g(granularity)
+        p = self.params
+        return p.compute_index * granularity**p.beta
+
+    def accelerated_time(self, granularity: float) -> float:
+        """Offloaded execution time ``o + L·g + C·g^β / A``."""
+        self._check_g(granularity)
+        p = self.params
+        return (
+            p.overhead
+            + p.latency * granularity
+            + p.compute_index * granularity**p.beta / p.acceleration
+        )
+
+    def speedup(self, granularity: float) -> float:
+        """Offload speedup at granularity ``g`` (bytes of offloaded data)."""
+        return self.host_time(granularity) / self.accelerated_time(granularity)
+
+    def g1(self) -> float:
+        """Break-even granularity ``g_1`` where speedup reaches 1.
+
+        Returns ``inf`` when the offload never breaks even (e.g. the
+        interface latency eats the entire computational advantage for
+        linear kernels).
+        """
+        return self._solve_speedup(1.0)
+
+    def g_half_a(self) -> float:
+        """Granularity ``g_{A/2}`` where speedup reaches ``A / 2``."""
+        return self._solve_speedup(self.params.acceleration / 2.0)
+
+    def _solve_speedup(self, target: float) -> float:
+        """Smallest granularity with ``speedup >= target`` (bisection)."""
+        lo, hi = 1e-6, 1e18
+        if self.speedup(hi) < target:
+            return math.inf
+        if self.speedup(lo) >= target:
+            return lo
+        for _ in range(200):
+            mid = math.sqrt(lo * hi)
+            if self.speedup(mid) >= target:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    @staticmethod
+    def _check_g(granularity: float) -> None:
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")

@@ -1,0 +1,137 @@
+"""``repro-model``: quick analytical-model queries from the shell.
+
+Early design exploration is the model's whole point; this CLI answers the
+"what would mode X buy me?" question without writing a script::
+
+    repro-model --core hp --granularity 53 --fraction 0.3 --acceleration 3
+    repro-model --core a72 --granularity 100 --fraction 0.67 -A 2 --breakdown
+    repro-model --ipc 2.5 --rob 192 --width 4 --commit 5 -g 400 -a 0.4 -A 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.design_space import recommend_mode
+from repro.core.interval import interval_timeline, render_timeline
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    ARM_A72,
+    HIGH_PERF,
+    LOW_PERF,
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+_PRESETS = {
+    "a72": ARM_A72,
+    "hp": HIGH_PERF,
+    "high-perf": HIGH_PERF,
+    "lp": LOW_PERF,
+    "low-perf": LOW_PERF,
+}
+
+
+def _build_core(args: argparse.Namespace) -> CoreParameters:
+    if args.core:
+        core = _PRESETS[args.core]
+        if args.ipc is not None:
+            core = core.with_ipc(args.ipc)
+        return core
+    if None in (args.ipc, args.rob, args.width, args.commit):
+        raise SystemExit(
+            "either --core PRESET or all of --ipc/--rob/--width/--commit required"
+        )
+    return CoreParameters(
+        ipc=args.ipc,
+        rob_size=args.rob,
+        issue_width=args.width,
+        commit_stall=args.commit,
+        name="custom",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-model",
+        description="Evaluate the TCA analytical model at one operating point.",
+    )
+    parser.add_argument(
+        "--core", choices=sorted(_PRESETS), help="core preset (a72, hp, lp)"
+    )
+    parser.add_argument("--ipc", type=float, help="baseline IPC (overrides preset)")
+    parser.add_argument("--rob", type=int, help="ROB entries (custom core)")
+    parser.add_argument("--width", type=int, help="issue width (custom core)")
+    parser.add_argument("--commit", type=float, help="t_commit (custom core)")
+    parser.add_argument(
+        "-g", "--granularity", type=float, required=True,
+        help="baseline instructions per invocation",
+    )
+    parser.add_argument(
+        "-a", "--fraction", type=float, required=True,
+        help="acceleratable fraction of dynamic instructions",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "-A", "--acceleration", type=float, help="acceleration factor"
+    )
+    group.add_argument(
+        "--latency", type=float, help="explicit accelerator latency (cycles)"
+    )
+    parser.add_argument(
+        "--drain", type=float, help="explicit window-drain time (cycles)"
+    )
+    parser.add_argument(
+        "--breakdown", action="store_true", help="print per-term breakdowns"
+    )
+    parser.add_argument(
+        "--timeline", action="store_true", help="print Fig.3-style timelines"
+    )
+    args = parser.parse_args(argv)
+
+    core = _build_core(args)
+    accelerator = AcceleratorParameters(
+        name="cli", acceleration=args.acceleration, latency=args.latency
+    )
+    workload = WorkloadParameters.from_granularity(
+        args.granularity, args.fraction, drain_time=args.drain
+    )
+    model = TCAModel(core, accelerator, workload)
+
+    print(
+        f"core={core.name} (IPC {core.ipc}, ROB {core.rob_size}, "
+        f"{core.issue_width}-wide, t_commit {core.commit_stall})  "
+        f"a={args.fraction}  v={workload.invocation_frequency:.6f}"
+    )
+    for mode in TCAMode.all_modes():
+        speedup = model.speedup(mode)
+        marker = "  <-- slowdown" if speedup < 1.0 else ""
+        print(f"  {mode.value:<6} {speedup:7.3f}x{marker}")
+    recommendation = recommend_mode(model)
+    print(f"recommended mode: {recommendation.mode.value}")
+    print(f"  {recommendation.rationale}")
+
+    if args.breakdown:
+        print()
+        for mode in TCAMode.all_modes():
+            b = model.breakdown(mode)
+            print(
+                f"  {mode.value:<6} interval={b.time:9.1f}  "
+                f"non_accel={b.non_accel:8.1f}  accel={b.accel:7.1f}  "
+                f"drain={b.drain:6.1f}  commit={b.commit:5.1f}  "
+                f"rob_full={b.rob_full_stall:7.1f}"
+            )
+    if args.timeline:
+        print()
+        for mode in TCAMode.all_modes():
+            print(render_timeline(interval_timeline(model, mode)))
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""The paper's contribution: the TCA analytical performance model.
+
+Quick start::
+
+    from repro.core import (
+        ARM_A72, AcceleratorParameters, TCAModel, TCAMode, WorkloadParameters,
+    )
+
+    model = TCAModel(
+        ARM_A72,
+        AcceleratorParameters(name="heap", acceleration=3.0),
+        WorkloadParameters.from_granularity(granularity=50, acceleratable_fraction=0.3),
+    )
+    print(model.speedups())   # {NL_NT: ..., L_NT: ..., NL_T: ..., L_T: ...}
+"""
+
+from repro.core.composite import (
+    CompositeTCAModel,
+    CompositeValidationRecord,
+    TCAComponent,
+    composite_from_trace,
+    validate_composite,
+)
+from repro.core.concurrency import (
+    SpeedupPeak,
+    concurrency_curve,
+    find_peaks,
+    ideal_lt_speedup,
+    max_speedup_limit,
+    optimal_fraction,
+)
+from repro.core.design_space import (
+    DesignPoint,
+    ModeRecommendation,
+    design_points,
+    pareto_frontier,
+    recommend_mode,
+)
+from repro.core.energy import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.core.explain import (
+    PenaltyComparison,
+    PenaltyExplanation,
+    explain_all_modes,
+    explain_mode,
+)
+from repro.core.drain import (
+    BalancedWindowDrain,
+    DrainEstimator,
+    ExplicitDrain,
+    PowerLawDrain,
+    resolve_drain,
+)
+from repro.core.interval import (
+    IntervalTimeline,
+    Segment,
+    interval_timeline,
+    render_timeline,
+)
+from repro.core.model import ModeBreakdown, TCAModel, predict_speedups
+from repro.core.modes import MODE_COSTS, ModeHardwareCost, TCAMode
+from repro.core.partial import PartialSpeculationModel, PartialSpeculationResult
+from repro.core.parameters import (
+    ARM_A72,
+    HIGH_PERF,
+    LOW_PERF,
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+from repro.core.sweep import (
+    HeatmapResult,
+    SweepResult,
+    accelerator_curve,
+    fraction_sweep,
+    frequency_sweep,
+    granularity_sweep,
+    speedup_heatmap,
+)
+from repro.core.validation import (
+    ValidationRecord,
+    ValidationReport,
+    core_parameters_from_sim,
+    estimate_tca_latency,
+    validate_workload,
+)
+
+__all__ = [
+    "ARM_A72",
+    "HIGH_PERF",
+    "LOW_PERF",
+    "MODE_COSTS",
+    "AcceleratorParameters",
+    "BalancedWindowDrain",
+    "CompositeTCAModel",
+    "CompositeValidationRecord",
+    "CoreParameters",
+    "DesignPoint",
+    "DrainEstimator",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParameters",
+    "ExplicitDrain",
+    "HeatmapResult",
+    "IntervalTimeline",
+    "ModeBreakdown",
+    "ModeHardwareCost",
+    "ModeRecommendation",
+    "PenaltyComparison",
+    "PenaltyExplanation",
+    "PartialSpeculationModel",
+    "PartialSpeculationResult",
+    "PowerLawDrain",
+    "Segment",
+    "SpeedupPeak",
+    "SweepResult",
+    "TCAComponent",
+    "TCAModel",
+    "TCAMode",
+    "ValidationRecord",
+    "ValidationReport",
+    "WorkloadParameters",
+    "accelerator_curve",
+    "composite_from_trace",
+    "concurrency_curve",
+    "core_parameters_from_sim",
+    "design_points",
+    "estimate_tca_latency",
+    "explain_all_modes",
+    "explain_mode",
+    "find_peaks",
+    "fraction_sweep",
+    "frequency_sweep",
+    "granularity_sweep",
+    "ideal_lt_speedup",
+    "interval_timeline",
+    "max_speedup_limit",
+    "optimal_fraction",
+    "pareto_frontier",
+    "predict_speedups",
+    "recommend_mode",
+    "render_timeline",
+    "resolve_drain",
+    "speedup_heatmap",
+    "validate_composite",
+    "validate_workload",
+]

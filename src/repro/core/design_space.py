@@ -1,0 +1,169 @@
+"""Design-space exploration: mode ranking, pareto frontier, guidance.
+
+The paper's future-work section sketches a pareto analysis of TCA
+implementations: each integration mode buys performance with hardware
+(rollback checkpointing for L modes, dependency-resolution logic for T
+modes).  This module combines the analytical model's speedups with the
+relative hardware-cost annotations in :mod:`repro.core.modes` to rank
+implementations, find the pareto-optimal subset, and articulate the
+paper's qualitative design guidance (§VI observations) as code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import TCAModel
+from repro.core.modes import MODE_COSTS, ModeHardwareCost, TCAMode
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate TCA implementation.
+
+    Attributes:
+        mode: integration mode.
+        speedup: predicted program speedup.
+        hardware_cost: relative hardware cost (see
+            :data:`repro.core.modes.MODE_COSTS`).
+    """
+
+    mode: TCAMode
+    speedup: float
+    hardware_cost: float
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per unit of hardware cost."""
+        return self.speedup / self.hardware_cost
+
+
+def design_points(
+    model: TCAModel,
+    costs: dict[TCAMode, ModeHardwareCost] | None = None,
+) -> tuple[DesignPoint, ...]:
+    """All four implementations as (speedup, cost) points."""
+    costs = costs or MODE_COSTS
+    return tuple(
+        DesignPoint(
+            mode=mode,
+            speedup=model.speedup(mode),
+            hardware_cost=costs[mode].total,
+        )
+        for mode in TCAMode.all_modes()
+    )
+
+
+def pareto_frontier(points: tuple[DesignPoint, ...]) -> tuple[DesignPoint, ...]:
+    """The pareto-optimal subset: no other point is both cheaper-or-equal
+    and faster-or-equal (with at least one strict improvement).
+
+    Returned in ascending hardware-cost order.
+    """
+    frontier = [
+        p
+        for p in points
+        if not any(
+            (q.hardware_cost <= p.hardware_cost and q.speedup >= p.speedup)
+            and (q.hardware_cost < p.hardware_cost or q.speedup > p.speedup)
+            for q in points
+        )
+    ]
+    return tuple(sorted(frontier, key=lambda p: (p.hardware_cost, -p.speedup)))
+
+
+@dataclass(frozen=True)
+class ModeRecommendation:
+    """Outcome of :func:`recommend_mode`.
+
+    Attributes:
+        mode: the recommended implementation.
+        speedup: its predicted speedup.
+        rationale: one-paragraph justification referencing the paper's
+            observations.
+        slowdown_modes: modes the model predicts to *slow the program down*
+            — implementations the designer must avoid (paper §VII).
+        frontier: the pareto-optimal implementations.
+    """
+
+    mode: TCAMode
+    speedup: float
+    rationale: str
+    slowdown_modes: tuple[TCAMode, ...]
+    frontier: tuple[DesignPoint, ...]
+
+
+def recommend_mode(
+    model: TCAModel,
+    min_speedup_gain: float = 0.03,
+    costs: dict[TCAMode, ModeHardwareCost] | None = None,
+) -> ModeRecommendation:
+    """Recommend an integration mode for a TCA/core/workload combination.
+
+    Walks the pareto frontier from cheapest to most expensive and stops
+    when the next step up buys less than ``min_speedup_gain`` relative
+    speedup — encoding the paper's guidance that on low-performance cores
+    (or coarse accelerators) the complexity of full L_T support is often
+    not worth it, while fine-grained accelerators on high-performance
+    cores need it to avoid slowdown.
+
+    Args:
+        model: the analytical model instance to consult.
+        min_speedup_gain: minimum relative speedup improvement that
+            justifies the next hardware step (default 3%).
+        costs: optional hardware-cost override.
+    """
+    points = design_points(model, costs)
+    frontier = pareto_frontier(points)
+    slowdowns = tuple(p.mode for p in points if p.speedup < 1.0)
+
+    per_mode = {p.mode: p.speedup for p in points}
+    spread = max(per_mode.values()) - min(per_mode.values())
+    barely_matters = spread < 0.05 * max(per_mode.values())
+
+    if barely_matters:
+        # Paper §VII: when the operating point is insensitive to the mode,
+        # the simplest hardware on the frontier wins outright.
+        chosen = frontier[0]
+    else:
+        chosen = frontier[0]
+        for candidate in frontier[1:]:
+            gain = candidate.speedup / chosen.speedup - 1.0
+            if gain >= min_speedup_gain:
+                chosen = candidate
+    if chosen.speedup < 1.0:
+        # Nothing on the frontier helps: recommend the fastest mode anyway
+        # but the rationale flags the accelerator as harmful here.
+        chosen = max(points, key=lambda p: p.speedup)
+
+    rationale_parts = [
+        f"{chosen.mode.value} predicts {chosen.speedup:.2f}x at relative "
+        f"hardware cost {chosen.hardware_cost:.1f}."
+    ]
+    if slowdowns:
+        rationale_parts.append(
+            "Modes "
+            + ", ".join(m.value for m in slowdowns)
+            + " predict program slowdown and must be avoided — fine-grained "
+            "TCAs without sufficient OoO support can hurt performance "
+            "(paper Fig. 2/7)."
+        )
+    if barely_matters:
+        rationale_parts.append(
+            "Mode choice barely matters for this operating point (coarse "
+            "granularity or low invocation frequency); prefer the simplest "
+            "hardware (paper §VII)."
+        )
+    else:
+        rationale_parts.append(
+            f"Mode spread is {spread:.2f}x across implementations, so the "
+            "integration choice materially affects performance at this "
+            "granularity and frequency."
+        )
+    return ModeRecommendation(
+        mode=chosen.mode,
+        speedup=chosen.speedup,
+        rationale=" ".join(rationale_parts),
+        slowdown_modes=slowdowns,
+        frontier=frontier,
+    )

@@ -1,0 +1,155 @@
+"""Energy analysis of TCA integration modes (paper §VII).
+
+The paper's discussion section makes an energy argument the model can
+quantify: even for accelerators motivated purely by *energy efficiency*
+(GreenDroid-style), the integration mode matters, because **program
+slowdown makes the core run longer and burn static energy**, eroding the
+accelerator's dynamic-energy win.  This module implements that analysis:
+
+- a simple but explicit energy model: core static power × execution time,
+  plus per-instruction core dynamic energy, plus per-invocation
+  accelerator energy (and optional accelerator static power);
+- per-mode energy totals and ratios against the software baseline;
+- the break-even query the paper implies: at which operating points does
+  a mode stop saving energy?
+
+Units are arbitrary but consistent: power in energy-units per cycle,
+energy in energy-units.  Defaults are normalized to a core dynamic energy
+of 1.0 per instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Energy model inputs.
+
+    Attributes:
+        core_static_power: core leakage + clock energy per cycle while the
+            program runs (the term slowdown multiplies).
+        core_dynamic_energy: energy per executed core instruction.
+        accelerator_invocation_energy: dynamic energy per TCA invocation.
+        accelerator_static_power: accelerator leakage per cycle (charged
+            for the whole execution — a TCA is always powered with the
+            core unless power-gated).
+    """
+
+    core_static_power: float = 0.5
+    core_dynamic_energy: float = 1.0
+    accelerator_invocation_energy: float = 10.0
+    accelerator_static_power: float = 0.02
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "core_static_power",
+            "core_dynamic_energy",
+            "accelerator_invocation_energy",
+            "accelerator_static_power",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-interval energy of one configuration.
+
+    Attributes:
+        total: total energy per interval.
+        core_static: static energy (power × interval time).
+        core_dynamic: dynamic energy of instructions the core executes.
+        accelerator: accelerator dynamic + static energy.
+    """
+
+    total: float
+    core_static: float
+    core_dynamic: float
+    accelerator: float
+
+
+class EnergyModel:
+    """Energy evaluation of a TCA integration on top of a performance model.
+
+    Args:
+        model: the analytical performance model (provides interval times
+            and workload composition).
+        params: energy parameters.
+    """
+
+    def __init__(self, model: TCAModel, params: EnergyParameters | None = None) -> None:
+        self.model = model
+        self.params = params or EnergyParameters()
+
+    def _instructions_per_interval(self) -> float:
+        """Baseline instructions per interval = 1 / v."""
+        return 1.0 / self.model.workload.invocation_frequency
+
+    def baseline_energy(self) -> EnergyBreakdown:
+        """Energy of the software-only baseline, per interval."""
+        instructions = self._instructions_per_interval()
+        time = self.model.baseline_time()
+        static = self.params.core_static_power * time
+        dynamic = self.params.core_dynamic_energy * instructions
+        return EnergyBreakdown(
+            total=static + dynamic,
+            core_static=static,
+            core_dynamic=dynamic,
+            accelerator=0.0,
+        )
+
+    def mode_energy(self, mode: TCAMode) -> EnergyBreakdown:
+        """Energy of one integration mode, per interval.
+
+        The core executes only the non-accelerated instructions; the
+        accelerator pays its per-invocation energy plus static power over
+        the (mode-dependent) interval time.
+        """
+        workload = self.model.workload
+        instructions = self._instructions_per_interval()
+        core_instructions = instructions * (1.0 - workload.acceleratable_fraction)
+        time = self.model.execution_time(mode)
+        static = self.params.core_static_power * time
+        dynamic = self.params.core_dynamic_energy * core_instructions
+        accelerator = (
+            self.params.accelerator_invocation_energy
+            + self.params.accelerator_static_power * time
+        )
+        return EnergyBreakdown(
+            total=static + dynamic + accelerator,
+            core_static=static,
+            core_dynamic=dynamic,
+            accelerator=accelerator,
+        )
+
+    def energy_ratio(self, mode: TCAMode) -> float:
+        """Mode energy relative to baseline (< 1.0 means the TCA saves energy)."""
+        return self.mode_energy(mode).total / self.baseline_energy().total
+
+    def energy_ratios(self) -> dict[TCAMode, float]:
+        """Ratios for all four modes."""
+        return {mode: self.energy_ratio(mode) for mode in TCAMode.all_modes()}
+
+    def energy_losing_modes(self) -> tuple[TCAMode, ...]:
+        """Modes that *increase* total energy despite the accelerator.
+
+        The paper's §VII point: slowdown-prone modes can erase the energy
+        win — "program slowdown requires the core to run longer,
+        increasing the amount of static energy consumed".
+        """
+        return tuple(
+            mode for mode, ratio in self.energy_ratios().items() if ratio > 1.0
+        )
+
+    def static_energy_penalty(self, mode: TCAMode) -> float:
+        """Extra core static energy vs baseline caused by the mode's
+        execution-time change (positive for slowdowns)."""
+        return (
+            self.mode_energy(mode).core_static
+            - self.baseline_energy().core_static
+        )

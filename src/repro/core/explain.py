@@ -1,0 +1,173 @@
+"""Penalty attribution: model terms vs simulator stall accounting.
+
+The validation harness (:mod:`repro.core.validation`) compares end-to-end
+*speedups*; this module goes one level deeper and compares the model's
+per-invocation penalty terms against what the simulator actually charged:
+
+===========================  =================================================
+model term                   simulator counterpart
+===========================  =================================================
+``t_drain`` (NL modes)       TCA ready-to-start wait cycles / invocation
+NT barrier (``t_accl+tc``)   `TCA_BARRIER` dispatch-stall cycles / invocation
+ROB-full stall (T modes)     `ROB_FULL` dispatch-stall delta vs baseline
+===========================  =================================================
+
+This is the tool an architect uses when a validation point disagrees: it
+says *which* penalty term the first-order model mis-estimated, turning a
+speedup discrepancy into an actionable modelling insight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.isa.trace import Trace
+from repro.sim.stats import StallReason
+
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> sim import cycle
+    from repro.sim.config import SimConfig
+
+
+@dataclass(frozen=True)
+class PenaltyComparison:
+    """One penalty term, model vs simulation (cycles per invocation).
+
+    Attributes:
+        term: penalty name.
+        modeled: the model's per-invocation charge.
+        simulated: the simulator's measured per-invocation cost.
+    """
+
+    term: str
+    modeled: float
+    simulated: float
+
+    @property
+    def delta(self) -> float:
+        """Model minus simulation (positive = model pessimistic)."""
+        return self.modeled - self.simulated
+
+
+@dataclass(frozen=True)
+class PenaltyExplanation:
+    """Per-mode penalty attribution for one workload.
+
+    Attributes:
+        mode: integration mode analysed.
+        comparisons: per-term model-vs-simulated charges.
+        model_speedup / sim_speedup: end-to-end context.
+    """
+
+    mode: TCAMode
+    comparisons: tuple[PenaltyComparison, ...]
+    model_speedup: float
+    sim_speedup: float
+
+    def dominant_discrepancy(self) -> PenaltyComparison | None:
+        """The term with the largest absolute model-vs-sim delta."""
+        if not self.comparisons:
+            return None
+        return max(self.comparisons, key=lambda c: abs(c.delta))
+
+    def render(self) -> str:
+        """Fixed-width per-term table."""
+        lines = [
+            f"{self.mode.value}: model {self.model_speedup:.3f}x vs "
+            f"sim {self.sim_speedup:.3f}x",
+            f"  {'term':<22} {'model cyc/inv':>14} {'sim cyc/inv':>12} {'delta':>8}",
+        ]
+        for comp in self.comparisons:
+            lines.append(
+                f"  {comp.term:<22} {comp.modeled:>14.1f} "
+                f"{comp.simulated:>12.1f} {comp.delta:>+8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def explain_mode(
+    model: TCAModel,
+    mode: TCAMode,
+    baseline: Trace,
+    accelerated: Trace,
+    config: "SimConfig",
+    warm_ranges: list[tuple[int, int]] | None = None,
+) -> PenaltyExplanation:
+    """Attribute the model's penalty terms against simulation for a mode.
+
+    Runs the baseline and the accelerated trace (in ``mode``) and lines up
+    each model term with its microarchitectural counterpart, normalised
+    per invocation.
+    """
+    from repro.sim.simulator import simulate
+
+    base_result = simulate(baseline, config, warm_ranges=warm_ranges)
+    accel_result = simulate(
+        accelerated, config.with_mode(mode), warm_ranges=warm_ranges
+    )
+    invocations = max(accel_result.stats.tca_invocations, 1)
+    breakdown = model.breakdown(mode)
+
+    comparisons: list[PenaltyComparison] = []
+    if not mode.leading:
+        comparisons.append(
+            PenaltyComparison(
+                term="window drain (t_drain)",
+                modeled=breakdown.drain,
+                simulated=accel_result.stats.tca_wait_drain_cycles / invocations,
+            )
+        )
+    if not mode.trailing:
+        barrier_cycles = accel_result.stats.stall_cycles.get(
+            StallReason.TCA_BARRIER, 0
+        )
+        comparisons.append(
+            PenaltyComparison(
+                term="dispatch barrier",
+                modeled=breakdown.accel + breakdown.commit,
+                simulated=barrier_cycles / invocations,
+            )
+        )
+    else:
+        base_rob = base_result.stats.stall_cycles.get(StallReason.ROB_FULL, 0)
+        accel_rob = accel_result.stats.stall_cycles.get(StallReason.ROB_FULL, 0)
+        comparisons.append(
+            PenaltyComparison(
+                term="ROB-full stall",
+                modeled=breakdown.rob_full_stall,
+                simulated=max(0.0, accel_rob - base_rob) / invocations,
+            )
+        )
+    comparisons.append(
+        PenaltyComparison(
+            term="accelerator execution",
+            modeled=breakdown.accel,
+            simulated=accel_result.stats.tca_exec_cycles / invocations,
+        )
+    )
+
+    sim_speedup = (
+        base_result.cycles / accel_result.cycles if accel_result.cycles else 0.0
+    )
+    return PenaltyExplanation(
+        mode=mode,
+        comparisons=tuple(comparisons),
+        model_speedup=model.speedup(mode),
+        sim_speedup=sim_speedup,
+    )
+
+
+def explain_all_modes(
+    model: TCAModel,
+    baseline: Trace,
+    accelerated: Trace,
+    config: "SimConfig",
+    warm_ranges: list[tuple[int, int]] | None = None,
+) -> dict[TCAMode, PenaltyExplanation]:
+    """Penalty attribution for all four modes."""
+    return {
+        mode: explain_mode(model, mode, baseline, accelerated, config, warm_ranges)
+        for mode in TCAMode.all_modes()
+    }

@@ -1,0 +1,156 @@
+"""Interval timelines: the model's view of one invocation (paper Fig. 3).
+
+Fig. 3 illustrates effective ILP in the execute stage across one interval
+— leading (L) instructions, the accelerator (A), and trailing (T)
+instructions — for each integration mode.  :func:`interval_timeline`
+reconstructs that picture from the model's terms as two lanes (core and
+accelerator) of :class:`Segment` spans, and :func:`render_timeline` draws
+it as ASCII art for reports and the Fig. 3 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One span of an interval timeline lane.
+
+    Attributes:
+        label: what the lane is doing (e.g. ``"L dispatch"``, ``"drain"``).
+        start: start time in cycles from interval begin.
+        duration: span length in cycles.
+        utilization: effective throughput during the span, as a fraction of
+            the core's steady-state rate (0 = stalled, 1 = full rate).
+    """
+
+    label: str
+    start: float
+    duration: float
+    utilization: float
+
+    @property
+    def end(self) -> float:
+        """Span end time."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class IntervalTimeline:
+    """Two-lane timeline of one interval under one mode.
+
+    Attributes:
+        mode: integration mode.
+        total: interval execution time in cycles.
+        core_lane: spans of core dispatch/execution activity.
+        tca_lane: spans of accelerator activity.
+    """
+
+    mode: TCAMode
+    total: float
+    core_lane: tuple[Segment, ...]
+    tca_lane: tuple[Segment, ...]
+
+    def stalled_time(self) -> float:
+        """Core-lane time at zero utilization."""
+        return sum(s.duration for s in self.core_lane if s.utilization == 0.0)
+
+
+def interval_timeline(model: TCAModel, mode: TCAMode) -> IntervalTimeline:
+    """Build the Fig. 3-style timeline of one interval under ``mode``.
+
+    The construction follows the model's penalty accounting: leading work
+    dispatches at full rate, drains/barriers pin dispatch to zero, and in T
+    modes trailing work overlaps the accelerator until (potentially) the
+    ROB fills.
+    """
+    b = model.breakdown(mode)
+    t_non = b.non_accel
+    t_accl = b.accel
+    t_commit = model.core.commit_stall
+    core: list[Segment] = []
+    tca: list[Segment] = []
+
+    if mode is TCAMode.NL_NT:
+        # Serial: L work, drain+commit, accelerator, commit, then T work
+        # begins the next interval (its time is part of t_non here).
+        core.append(Segment("L+T dispatch", 0.0, t_non, 1.0))
+        drain_start = max(0.0, t_non - b.drain)
+        core.append(Segment("drain stall", t_non, b.drain, 0.0))
+        core.append(Segment("commit", t_non + b.drain, t_commit, 0.0))
+        tca_start = t_non + b.drain + t_commit
+        tca.append(Segment("TCA execute", tca_start, t_accl, 1.0))
+        core.append(Segment("TCA barrier", tca_start, t_accl, 0.0))
+        core.append(Segment("commit", tca_start + t_accl, t_commit, 0.0))
+        del drain_start
+    elif mode is TCAMode.L_NT:
+        core.append(Segment("L+T dispatch", 0.0, t_non, 1.0))
+        tca.append(Segment("TCA execute", t_non, t_accl, 1.0))
+        core.append(Segment("TCA barrier", t_non, t_accl, 0.0))
+        core.append(Segment("commit", t_non + t_accl, t_commit, 0.0))
+    elif mode is TCAMode.NL_T:
+        tca.append(Segment("drain wait", 0.0, b.drain, 0.0))
+        tca.append(Segment("TCA execute", b.drain, t_accl, 1.0))
+        tca.append(Segment("commit", b.drain + t_accl, t_commit, 0.0))
+        core.append(Segment("L+T dispatch", 0.0, t_non, 1.0))
+        if b.rob_full_stall > 0:
+            core.append(Segment("ROB-full stall", t_non, b.rob_full_stall, 0.0))
+        idle = b.time - t_non - b.rob_full_stall
+        if idle > 1e-12:
+            core.append(Segment("idle (TCA bound)", t_non + b.rob_full_stall, idle, 0.0))
+    elif mode is TCAMode.L_T:
+        tca.append(Segment("TCA execute", 0.0, t_accl, 1.0))
+        core.append(Segment("L+T dispatch", 0.0, t_non, 1.0))
+        if b.rob_full_stall > 0:
+            core.append(Segment("ROB-full stall", t_non, b.rob_full_stall, 0.0))
+        idle = b.time - t_non - b.rob_full_stall
+        if idle > 1e-12:
+            core.append(Segment("idle (TCA bound)", t_non + b.rob_full_stall, idle, 0.0))
+    else:  # pragma: no cover - exhaustive over enum
+        raise ValueError(f"unknown mode {mode!r}")
+
+    core = [s for s in core if s.duration > 1e-12]
+    tca = [s for s in tca if s.duration > 1e-12]
+    return IntervalTimeline(mode=mode, total=b.time, core_lane=tuple(core), tca_lane=tuple(tca))
+
+
+def render_timeline(timeline: IntervalTimeline, width: int = 72) -> str:
+    """ASCII rendering of a timeline (Fig. 3 reproduction).
+
+    Core-lane spans at full rate render as ``=``, stalled spans as ``.``;
+    accelerator activity renders as ``A`` (and its stalls as ``.``).
+    """
+    if timeline.total <= 0:
+        return f"{timeline.mode.value}: empty interval"
+    scale = width / timeline.total
+
+    def lane_chars(segments: tuple[Segment, ...], active: str) -> str:
+        chars = [" "] * width
+        for seg in segments:
+            lo = int(seg.start * scale)
+            hi = max(lo + 1, int(seg.end * scale))
+            fill = active if seg.utilization > 0 else "."
+            for i in range(lo, min(hi, width)):
+                chars[i] = fill
+        return "".join(chars)
+
+    lines = [
+        f"{timeline.mode.value}  (interval = {timeline.total:.1f} cycles)",
+        f"  core |{lane_chars(timeline.core_lane, '=')}|",
+        f"  TCA  |{lane_chars(timeline.tca_lane, 'A')}|",
+    ]
+    for seg in timeline.core_lane:
+        lines.append(
+            f"    core {seg.label:<18} {seg.start:9.1f} .. {seg.end:9.1f}"
+            f"  (util {seg.utilization:.0%})"
+        )
+    for seg in timeline.tca_lane:
+        lines.append(
+            f"    TCA  {seg.label:<18} {seg.start:9.1f} .. {seg.end:9.1f}"
+            f"  (util {seg.utilization:.0%})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""The TCA analytical model (paper §III, equations (1)–(9)).
+
+The model applies interval analysis: execution is divided into intervals
+of ``1/v`` baseline instructions, each containing one accelerator
+invocation, and per-interval front-end penalties are added according to
+the TCA integration mode.  The per-interval quantities are:
+
+========================  ====================================================
+``t_baseline``            ``1 / (v · IPC)`` — software-only interval time (1)
+``t_accl``                ``a / (v · A · IPC)`` or the explicit latency    (2)
+``t_non_accl``            ``(1 − a) / (v · IPC)``                          (3)
+``t_drain``               effective window-drain time (estimated/explicit,
+                          capped at ``t_non_accl``)
+``t_ROB_fill``            ``s_ROB / w_issue`` — cycles to fill the ROB
+========================  ====================================================
+
+and the per-mode interval times:
+
+========  ====================================================================
+NL_NT     ``t_non_accl + t_accl + t_drain + 2·t_commit``                   (4)
+L_NT      ``t_non_accl + t_accl + t_commit``                               (5)
+NL_T      ``max(t_non_accl + max(0, t_drain + t_accl + t_commit −
+          t_ROB_fill), t_accl + t_drain + t_commit)``                  (6)(7)
+L_T       ``max(t_non_accl + max(0, t_accl − t_ROB_fill), t_accl)``    (8)(9)
+========  ====================================================================
+
+Speedup for a mode is ``t_baseline / t_mode``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.drain import DrainEstimator, PowerLawDrain, resolve_drain
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+
+@dataclass(frozen=True)
+class ModeBreakdown:
+    """Decomposition of one mode's interval time into model terms.
+
+    All values are cycles per interval.  For the MAX-based T modes,
+    ``core_path`` and ``accelerator_path`` are the two arms of the MAX and
+    ``time`` is the larger; ``accelerator_bound`` says which arm won.
+
+    Attributes:
+        mode: the TCA integration mode.
+        time: total interval execution time.
+        non_accel: non-accelerated core execution time.
+        accel: accelerator execution time.
+        drain: effective window-drain penalty charged (0 in L modes).
+        commit: total commit-barrier penalty charged.
+        rob_full_stall: front-end stall from a full ROB (T modes).
+        core_path: core-side arm of the MAX (equals ``time`` in NT modes).
+        accelerator_path: accelerator-side arm of the MAX (NT modes: the
+            serial sum, equal to ``core_path``).
+        accelerator_bound: whether the accelerator path determines ``time``.
+    """
+
+    mode: TCAMode
+    time: float
+    non_accel: float
+    accel: float
+    drain: float
+    commit: float
+    rob_full_stall: float
+    core_path: float
+    accelerator_path: float
+    accelerator_bound: bool
+
+
+class TCAModel:
+    """Analytical performance model of one TCA/core/workload combination.
+
+    Args:
+        core: processor parameters.
+        accelerator: TCA parameters.
+        workload: program parameters.
+        drain_estimator: strategy for the NL-mode window-drain estimate;
+            defaults to the power-law estimator.  Ignored when the workload
+            carries an explicit ``drain_time``.
+
+    All per-interval times are cycles; :meth:`speedup` is dimensionless.
+    """
+
+    def __init__(
+        self,
+        core: CoreParameters,
+        accelerator: AcceleratorParameters,
+        workload: WorkloadParameters,
+        drain_estimator: DrainEstimator | None = None,
+    ) -> None:
+        self.core = core
+        self.accelerator = accelerator
+        self.workload = workload
+        self.drain_estimator = drain_estimator or PowerLawDrain()
+
+    # ----------------------------------------------------- interval terms
+
+    def baseline_time(self) -> float:
+        """Eq. (1): software-only interval time ``1 / (v · IPC)``."""
+        self._require_invocations()
+        return 1.0 / (self.workload.invocation_frequency * self.core.ipc)
+
+    def accel_time(self) -> float:
+        """Eq. (2): accelerator execution time per invocation.
+
+        Uses the explicit latency when provided, otherwise
+        ``a / (v · A · IPC)``.
+        """
+        self._require_invocations()
+        if self.accelerator.latency is not None:
+            return float(self.accelerator.latency)
+        assert self.accelerator.acceleration is not None
+        return self.workload.acceleratable_fraction / (
+            self.workload.invocation_frequency
+            * self.accelerator.acceleration
+            * self.core.ipc
+        )
+
+    def non_accel_time(self) -> float:
+        """Eq. (3): non-accelerated core time ``(1 − a) / (v · IPC)``."""
+        self._require_invocations()
+        return (1.0 - self.workload.acceleratable_fraction) / (
+            self.workload.invocation_frequency * self.core.ipc
+        )
+
+    def drain_time(self) -> float:
+        """Effective window-drain time (estimate capped at ``t_non_accl``)."""
+        self._require_invocations()
+        return resolve_drain(
+            self.core, self.workload, self.drain_estimator, self.non_accel_time()
+        )
+
+    def rob_fill_time(self) -> float:
+        """``t_ROB_fill = s_ROB / w_issue``."""
+        return self.core.rob_fill_time
+
+    def _require_invocations(self) -> None:
+        if not self.workload.has_invocations:
+            raise ValueError(
+                "workload has no accelerator invocations; per-interval times "
+                "are undefined (speedup() returns 1.0 for such workloads)"
+            )
+
+    # -------------------------------------------------------- mode times
+
+    def execution_time(self, mode: TCAMode) -> float:
+        """Interval execution time for ``mode`` (eqs. (4)–(9))."""
+        return self.breakdown(mode).time
+
+    def breakdown(self, mode: TCAMode) -> ModeBreakdown:
+        """Full term-by-term decomposition of ``mode``'s interval time."""
+        self._require_invocations()
+        t_non = self.non_accel_time()
+        t_accl = self.accel_time()
+        t_commit = self.core.commit_stall
+        t_fill = self.rob_fill_time()
+
+        if mode is TCAMode.NL_NT:
+            t_drain = self.drain_time()
+            time = t_non + t_accl + t_drain + 2.0 * t_commit
+            return ModeBreakdown(
+                mode=mode,
+                time=time,
+                non_accel=t_non,
+                accel=t_accl,
+                drain=t_drain,
+                commit=2.0 * t_commit,
+                rob_full_stall=0.0,
+                core_path=time,
+                accelerator_path=time,
+                accelerator_bound=False,
+            )
+        if mode is TCAMode.L_NT:
+            time = t_non + t_accl + t_commit
+            return ModeBreakdown(
+                mode=mode,
+                time=time,
+                non_accel=t_non,
+                accel=t_accl,
+                drain=0.0,
+                commit=t_commit,
+                rob_full_stall=0.0,
+                core_path=time,
+                accelerator_path=time,
+                accelerator_bound=False,
+            )
+        if mode is TCAMode.NL_T:
+            t_drain = self.drain_time()
+            rob_full = max(0.0, t_drain + t_accl + t_commit - t_fill)  # eq. (6)
+            core_path = t_non + rob_full
+            accel_path = t_accl + t_drain + t_commit
+            time = max(core_path, accel_path)  # eq. (7)
+            return ModeBreakdown(
+                mode=mode,
+                time=time,
+                non_accel=t_non,
+                accel=t_accl,
+                drain=t_drain,
+                commit=t_commit,
+                rob_full_stall=rob_full,
+                core_path=core_path,
+                accelerator_path=accel_path,
+                accelerator_bound=accel_path >= core_path,
+            )
+        if mode is TCAMode.L_T:
+            rob_full = max(0.0, t_accl - t_fill)  # eq. (8)
+            core_path = t_non + rob_full
+            time = max(core_path, t_accl)  # eq. (9)
+            return ModeBreakdown(
+                mode=mode,
+                time=time,
+                non_accel=t_non,
+                accel=t_accl,
+                drain=0.0,
+                commit=0.0,
+                rob_full_stall=rob_full,
+                core_path=core_path,
+                accelerator_path=t_accl,
+                accelerator_bound=t_accl >= core_path,
+            )
+        raise ValueError(f"unknown mode {mode!r}")
+
+    # ----------------------------------------------------------- speedups
+
+    def speedup(self, mode: TCAMode) -> float:
+        """Program speedup of ``mode`` over the software baseline.
+
+        Returns 1.0 for workloads that never invoke the accelerator.
+        Values below 1.0 are slowdowns (the paper's blue heatmap regions).
+        """
+        if not self.workload.has_invocations:
+            return 1.0
+        time = self.execution_time(mode)
+        if time == 0.0:
+            return math.inf
+        return self.baseline_time() / time
+
+    def speedups(self) -> dict[TCAMode, float]:
+        """Speedups of all four modes in canonical order."""
+        return {mode: self.speedup(mode) for mode in TCAMode.all_modes()}
+
+    def slowdown_modes(self) -> tuple[TCAMode, ...]:
+        """Modes whose predicted speedup falls below 1.0."""
+        return tuple(
+            mode for mode, s in self.speedups().items() if s < 1.0
+        )
+
+    def best_mode(self) -> TCAMode:
+        """The mode with the highest predicted speedup (L_T ties win)."""
+        speedups = self.speedups()
+        return max(
+            TCAMode.all_modes(),
+            key=lambda mode: (speedups[mode], mode is TCAMode.L_T),
+        )
+
+    # ----------------------------------------------------- program scale
+
+    def program_time(self, mode: TCAMode, instructions: int) -> float:
+        """Absolute accelerated execution time of an ``instructions``-long
+        program region in cycles."""
+        if instructions < 0:
+            raise ValueError(f"instructions must be non-negative, got {instructions}")
+        if not self.workload.has_invocations:
+            return instructions / self.core.ipc
+        intervals = instructions * self.workload.invocation_frequency
+        return self.execution_time(mode) * intervals
+
+    def baseline_program_time(self, instructions: int) -> float:
+        """Absolute baseline execution time of ``instructions`` in cycles."""
+        if instructions < 0:
+            raise ValueError(f"instructions must be non-negative, got {instructions}")
+        return instructions / self.core.ipc
+
+
+def predict_speedups(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    workload: WorkloadParameters,
+    drain_estimator: DrainEstimator | None = None,
+) -> dict[TCAMode, float]:
+    """One-call convenience wrapper: speedups of all four modes."""
+    return TCAModel(core, accelerator, workload, drain_estimator).speedups()

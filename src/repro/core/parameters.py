@@ -1,0 +1,196 @@
+"""Analytical-model input parameters (paper Table I).
+
+Three parameter groups feed the model:
+
+- :class:`CoreParameters` — the processor: average baseline ``IPC``, ROB
+  size ``s_ROB``, front-end issue width ``w_issue``, and the backend commit
+  penalty ``t_commit``.
+- :class:`AcceleratorParameters` — the TCA: acceleration factor ``A``
+  and/or an explicit per-invocation latency.
+- :class:`WorkloadParameters` — the program: acceleratable fraction ``a``,
+  invocation frequency ``v``, and an optional explicit window-drain time.
+
+Presets mirror the cores the paper evaluates: an ARM Cortex-A72-class core
+(Fig. 2), and the high-/low-performance cores of Fig. 7 (1.8 IPC, 256-entry
+ROB, 4-issue vs 0.5 IPC, 64-entry ROB, 2-issue).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CoreParameters:
+    """Processor characteristics used by the model.
+
+    Attributes:
+        ipc: average program instructions per cycle before acceleration
+            (the model assumes non-accelerated code sustains this rate when
+            not stalled).
+        rob_size: reorder-buffer entries (``s_ROB``).
+        issue_width: front-end dispatch width (``w_issue``), which bounds
+            the ROB fill rate ``t_ROB_fill = s_ROB / w_issue``.
+        commit_stall: backend commit penalty ``t_commit`` in cycles —
+            the pipeline time to commit after a barrier.
+        name: preset label for reports.
+    """
+
+    ipc: float
+    rob_size: int
+    issue_width: int
+    commit_stall: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.ipc) or self.ipc <= 0:
+            raise ValueError(f"ipc must be positive and finite, got {self.ipc}")
+        if self.rob_size <= 0:
+            raise ValueError(f"rob_size must be positive, got {self.rob_size}")
+        if self.issue_width <= 0:
+            raise ValueError(f"issue_width must be positive, got {self.issue_width}")
+        if self.commit_stall < 0:
+            raise ValueError(
+                f"commit_stall must be non-negative, got {self.commit_stall}"
+            )
+
+    @property
+    def rob_fill_time(self) -> float:
+        """Cycles to fill the ROB at full dispatch rate (``s_ROB / w_issue``)."""
+        return self.rob_size / self.issue_width
+
+    def with_ipc(self, ipc: float) -> "CoreParameters":
+        """Copy with a different measured baseline IPC."""
+        return replace(self, ipc=ipc)
+
+
+#: ARM Cortex-A72-class core used for the Fig. 2 granularity study.
+ARM_A72 = CoreParameters(ipc=1.1, rob_size=128, issue_width=3, commit_stall=4.0, name="arm-a72")
+
+#: Mid/high-performance OoO core of Fig. 7 ("HP": 1.8 IPC, 256-entry ROB, 4-issue).
+HIGH_PERF = CoreParameters(ipc=1.8, rob_size=256, issue_width=4, commit_stall=4.0, name="high-perf")
+
+#: Low-performance OoO core of Fig. 7 ("LP": 0.5 IPC, 64-entry ROB, 2-issue).
+LOW_PERF = CoreParameters(ipc=0.5, rob_size=64, issue_width=2, commit_stall=3.0, name="low-perf")
+
+
+@dataclass(frozen=True)
+class AcceleratorParameters:
+    """Tightly-coupled accelerator characteristics.
+
+    Exactly one timing source must be usable: either the acceleration
+    factor ``A`` (the TCA executes the replaced work at ``A × IPC``
+    effective rate, paper eq. (2)) or an explicit per-invocation latency in
+    cycles (an architect-provided estimate, paper §III-E).  When both are
+    given the explicit latency wins and ``A`` is reported for reference.
+
+    Attributes:
+        name: accelerator label.
+        acceleration: acceleration factor ``A`` (> 0).
+        latency: explicit per-invocation execution latency in cycles.
+    """
+
+    name: str = "tca"
+    acceleration: float | None = None
+    latency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.acceleration is None and self.latency is None:
+            raise ValueError(
+                "AcceleratorParameters requires acceleration and/or latency"
+            )
+        if self.acceleration is not None and self.acceleration <= 0:
+            raise ValueError(
+                f"acceleration must be positive, got {self.acceleration}"
+            )
+        if self.latency is not None and self.latency < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency}")
+
+    def effective_acceleration(
+        self, workload: "WorkloadParameters", core: CoreParameters
+    ) -> float:
+        """The acceleration factor implied by this accelerator on a workload.
+
+        With an explicit latency, ``A = t_software / t_accl`` where
+        ``t_software = a / (v · IPC)`` is the baseline time of the replaced
+        region.
+        """
+        if self.latency is not None:
+            if self.latency == 0:
+                return math.inf
+            software = workload.acceleratable_fraction / (
+                workload.invocation_frequency * core.ipc
+            )
+            return software / self.latency
+        assert self.acceleration is not None
+        return self.acceleration
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """Program characteristics used by the model.
+
+    Attributes:
+        acceleratable_fraction: ``a`` — fraction of dynamic baseline
+            instructions replaced by TCA invocations (0..1).
+        invocation_frequency: ``v`` — TCA invocations per baseline
+            instruction (0..1).
+        drain_time: optional explicit window-drain time in cycles; when
+            ``None`` the model estimates it from the power-law critical-path
+            relation (paper §III-A, citing Eyerman et al.).
+    """
+
+    acceleratable_fraction: float
+    invocation_frequency: float
+    drain_time: float | None = None
+
+    def __post_init__(self) -> None:
+        a = self.acceleratable_fraction
+        v = self.invocation_frequency
+        if not 0.0 <= a <= 1.0:
+            raise ValueError(f"acceleratable_fraction must be in [0,1], got {a}")
+        if v < 0.0:
+            raise ValueError(f"invocation_frequency must be >= 0, got {v}")
+        if v > 1.0:
+            raise ValueError(
+                f"invocation_frequency is per-instruction and must be <= 1, got {v}"
+            )
+        if v > 0 and a > 0 and a < v:
+            raise ValueError(
+                f"each invocation must replace >= 1 instruction (a={a} < v={v})"
+            )
+        if self.drain_time is not None and self.drain_time < 0:
+            raise ValueError(f"drain_time must be >= 0, got {self.drain_time}")
+
+    @classmethod
+    def from_granularity(
+        cls,
+        granularity: float,
+        acceleratable_fraction: float,
+        drain_time: float | None = None,
+    ) -> "WorkloadParameters":
+        """Build from accelerator granularity.
+
+        Granularity is the paper's x-axis in Fig. 2: baseline instructions
+        replaced per invocation.  ``v = a / granularity``.
+        """
+        if granularity <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity}")
+        return cls(
+            acceleratable_fraction=acceleratable_fraction,
+            invocation_frequency=acceleratable_fraction / granularity,
+            drain_time=drain_time,
+        )
+
+    @property
+    def granularity(self) -> float:
+        """Baseline instructions replaced per invocation (``a / v``)."""
+        if self.invocation_frequency == 0:
+            return 0.0
+        return self.acceleratable_fraction / self.invocation_frequency
+
+    @property
+    def has_invocations(self) -> bool:
+        """Whether the workload invokes the accelerator at all."""
+        return self.invocation_frequency > 0 and self.acceleratable_fraction > 0

@@ -1,0 +1,125 @@
+"""Partial (confidence-gated) TCA speculation — paper §VIII future work.
+
+The paper suggests a design "somewhere between the L and NL modes":
+speculate the accelerator only when every outstanding leading branch has
+*high* prediction confidence.  Under that policy, an invocation behaves
+like an L-mode invocation when its leading window is high-confidence, and
+like an NL-mode invocation (full drain) otherwise.
+
+The analytical extension is a convex combination over invocations: with a
+fraction ``p`` of invocations finding only high-confidence leading
+branches, the average interval time interpolates the L- and NL-variant
+times of the same trailing policy:
+
+``t_partial(T?) = p · t(L_x) + (1 − p) · t(NL_x)``
+
+This module provides that model plus the break-even confidence fraction
+that justifies the rollback hardware partial speculation still requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+
+
+def _mode_pair(trailing: bool) -> tuple[TCAMode, TCAMode]:
+    """(L-variant, NL-variant) for a trailing policy."""
+    if trailing:
+        return TCAMode.L_T, TCAMode.NL_T
+    return TCAMode.L_NT, TCAMode.NL_NT
+
+
+@dataclass(frozen=True)
+class PartialSpeculationResult:
+    """Evaluation of confidence-gated speculation at one operating point.
+
+    Attributes:
+        confident_fraction: fraction of invocations whose leading window
+            is entirely high-confidence (``p``).
+        trailing: whether trailing concurrency is supported.
+        time: average interval execution time.
+        speedup: program speedup over the software baseline.
+        l_mode_speedup: full-speculation (L) reference.
+        nl_mode_speedup: no-speculation (NL) reference.
+    """
+
+    confident_fraction: float
+    trailing: bool
+    time: float
+    speedup: float
+    l_mode_speedup: float
+    nl_mode_speedup: float
+
+    @property
+    def recovered_fraction(self) -> float:
+        """How much of the L-vs-NL speedup gap partial speculation
+        recovers (0 = none, 1 = all of it)."""
+        gap = self.l_mode_speedup - self.nl_mode_speedup
+        if gap <= 0:
+            return 1.0
+        return (self.speedup - self.nl_mode_speedup) / gap
+
+
+class PartialSpeculationModel:
+    """Confidence-gated speculation on top of a :class:`TCAModel`.
+
+    Args:
+        model: the base analytical model.
+    """
+
+    def __init__(self, model: TCAModel) -> None:
+        self.model = model
+
+    def execution_time(self, confident_fraction: float, trailing: bool = True) -> float:
+        """Average interval time under confidence-gated speculation."""
+        if not 0.0 <= confident_fraction <= 1.0:
+            raise ValueError(
+                f"confident_fraction must be in [0,1], got {confident_fraction}"
+            )
+        l_mode, nl_mode = _mode_pair(trailing)
+        return (
+            confident_fraction * self.model.execution_time(l_mode)
+            + (1.0 - confident_fraction) * self.model.execution_time(nl_mode)
+        )
+
+    def evaluate(
+        self, confident_fraction: float, trailing: bool = True
+    ) -> PartialSpeculationResult:
+        """Full evaluation at one confidence fraction."""
+        l_mode, nl_mode = _mode_pair(trailing)
+        time = self.execution_time(confident_fraction, trailing)
+        return PartialSpeculationResult(
+            confident_fraction=confident_fraction,
+            trailing=trailing,
+            time=time,
+            speedup=self.model.baseline_time() / time,
+            l_mode_speedup=self.model.speedup(l_mode),
+            nl_mode_speedup=self.model.speedup(nl_mode),
+        )
+
+    def break_even_fraction(
+        self, target_recovery: float = 0.9, trailing: bool = True
+    ) -> float:
+        """Smallest confidence fraction recovering ``target_recovery`` of
+        the L-vs-NL gap.
+
+        Because the interpolation is linear in *time* (not speedup), the
+        answer is found by bisection on the evaluated recovery.
+        """
+        if not 0.0 < target_recovery <= 1.0:
+            raise ValueError(
+                f"target_recovery must be in (0,1], got {target_recovery}"
+            )
+        lo, hi = 0.0, 1.0
+        if self.evaluate(0.0, trailing).recovered_fraction >= target_recovery:
+            return 0.0
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if self.evaluate(mid, trailing).recovered_fraction >= target_recovery:
+                hi = mid
+            else:
+                lo = mid
+        return hi

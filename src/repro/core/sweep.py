@@ -1,0 +1,235 @@
+"""Parameter sweeps and heatmaps over the analytical model.
+
+These utilities generate the paper's design-space figures:
+
+- :func:`granularity_sweep` — speedup vs instructions-per-invocation for
+  all four modes at fixed coverage (Fig. 2);
+- :func:`fraction_sweep` — speedup vs acceleratable fraction at fixed
+  granularity (Fig. 8);
+- :func:`frequency_sweep` — speedup vs invocation frequency at fixed
+  granularity (Fig. 5's x-axis);
+- :func:`speedup_heatmap` — 2-D sweep over (fraction, frequency) for one
+  mode/core (one panel of Fig. 7), plus :func:`accelerator_curve` for the
+  fixed-function accelerator overlays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.drain import DrainEstimator
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A 1-D sweep of per-mode speedups.
+
+    Attributes:
+        x_label: meaning of the sweep axis.
+        x: sweep axis values.
+        speedups: per-mode speedup arrays, aligned with ``x``.
+        core: processor parameters used.
+        accelerator: TCA parameters used.
+    """
+
+    x_label: str
+    x: np.ndarray
+    speedups: dict[TCAMode, np.ndarray]
+    core: CoreParameters
+    accelerator: AcceleratorParameters
+
+    def rows(self) -> list[dict[str, float]]:
+        """The sweep as a list of row dicts (x + one column per mode)."""
+        out = []
+        for i, x in enumerate(self.x):
+            row: dict[str, float] = {self.x_label: float(x)}
+            for mode, values in self.speedups.items():
+                row[mode.value] = float(values[i])
+            out.append(row)
+        return out
+
+    def crossover_below_one(self, mode: TCAMode) -> float | None:
+        """Largest x at which ``mode`` predicts slowdown, if any."""
+        values = self.speedups[mode]
+        below = np.nonzero(values < 1.0)[0]
+        if below.size == 0:
+            return None
+        return float(self.x[below[-1]])
+
+
+def _sweep(
+    x_label: str,
+    xs: np.ndarray,
+    make_workload,
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    drain_estimator: DrainEstimator | None,
+    modes: tuple[TCAMode, ...],
+) -> SweepResult:
+    speedups: dict[TCAMode, list[float]] = {mode: [] for mode in modes}
+    for x in xs:
+        model = TCAModel(core, accelerator, make_workload(float(x)), drain_estimator)
+        for mode in modes:
+            speedups[mode].append(model.speedup(mode))
+    return SweepResult(
+        x_label=x_label,
+        x=np.asarray(xs, dtype=float),
+        speedups={mode: np.array(vals) for mode, vals in speedups.items()},
+        core=core,
+        accelerator=accelerator,
+    )
+
+
+def granularity_sweep(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    acceleratable_fraction: float,
+    granularities: np.ndarray,
+    drain_estimator: DrainEstimator | None = None,
+    modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
+) -> SweepResult:
+    """Speedup vs accelerator granularity at fixed coverage (Fig. 2)."""
+    return _sweep(
+        "granularity",
+        granularities,
+        lambda g: WorkloadParameters.from_granularity(g, acceleratable_fraction),
+        core,
+        accelerator,
+        drain_estimator,
+        modes,
+    )
+
+
+def fraction_sweep(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    granularity: float,
+    fractions: np.ndarray,
+    drain_estimator: DrainEstimator | None = None,
+    modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
+) -> SweepResult:
+    """Speedup vs acceleratable fraction at fixed granularity (Fig. 8)."""
+    return _sweep(
+        "acceleratable_fraction",
+        fractions,
+        lambda a: WorkloadParameters.from_granularity(granularity, a),
+        core,
+        accelerator,
+        drain_estimator,
+        modes,
+    )
+
+
+def frequency_sweep(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    granularity: float,
+    frequencies: np.ndarray,
+    drain_estimator: DrainEstimator | None = None,
+    modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
+) -> SweepResult:
+    """Speedup vs invocation frequency at fixed granularity.
+
+    Coverage follows the frequency: ``a = v · granularity`` (a
+    fixed-function accelerator invoked more often covers more code).
+    """
+    def make(v: float) -> WorkloadParameters:
+        return WorkloadParameters(
+            acceleratable_fraction=min(1.0, v * granularity),
+            invocation_frequency=v,
+        )
+
+    return _sweep(
+        "invocation_frequency",
+        frequencies,
+        make,
+        core,
+        accelerator,
+        drain_estimator,
+        modes,
+    )
+
+
+@dataclass(frozen=True)
+class HeatmapResult:
+    """A 2-D speedup map over (acceleratable fraction, invocation frequency).
+
+    Attributes:
+        mode: integration mode of this panel.
+        core: processor parameters of this panel.
+        fractions: y axis (acceleratable fraction).
+        frequencies: x axis (invocations per instruction, log-scaled in the
+            paper's figure).
+        speedup: array of shape ``(len(fractions), len(frequencies))``;
+            entries are NaN where the combination is infeasible
+            (``a < v``, i.e. less than one instruction per invocation).
+    """
+
+    mode: TCAMode
+    core: CoreParameters
+    fractions: np.ndarray
+    frequencies: np.ndarray
+    speedup: np.ndarray
+
+    def slowdown_fraction(self) -> float:
+        """Fraction of feasible cells predicting slowdown (< 1.0)."""
+        valid = ~np.isnan(self.speedup)
+        if not valid.any():
+            return 0.0
+        return float((self.speedup[valid] < 1.0).mean())
+
+    def max_speedup(self) -> float:
+        """Largest speedup over feasible cells."""
+        valid = ~np.isnan(self.speedup)
+        if not valid.any():
+            return float("nan")
+        return float(np.nanmax(self.speedup))
+
+
+def speedup_heatmap(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    mode: TCAMode,
+    fractions: np.ndarray,
+    frequencies: np.ndarray,
+    drain_estimator: DrainEstimator | None = None,
+) -> HeatmapResult:
+    """One Fig. 7 panel: speedup over the (a, v) plane for a mode/core."""
+    grid = np.full((len(fractions), len(frequencies)), np.nan)
+    for i, a in enumerate(fractions):
+        for j, v in enumerate(frequencies):
+            if v <= 0 or a <= 0 or a < v:
+                continue
+            model = TCAModel(
+                core,
+                accelerator,
+                WorkloadParameters(float(a), float(v)),
+                drain_estimator,
+            )
+            grid[i, j] = model.speedup(mode)
+    return HeatmapResult(
+        mode=mode,
+        core=core,
+        fractions=np.asarray(fractions, dtype=float),
+        frequencies=np.asarray(frequencies, dtype=float),
+        speedup=grid,
+    )
+
+
+def accelerator_curve(
+    granularity: float, fractions: np.ndarray
+) -> np.ndarray:
+    """Invocation frequencies a fixed-function accelerator needs for given
+    coverages: ``v = a / granularity`` (the Fig. 7 overlay curves)."""
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    return np.asarray(fractions, dtype=float) / granularity

@@ -1,0 +1,27 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+Each ``figN_*``/``tableN_*`` module exposes ``run(scale=None)`` returning an
+:class:`~repro.experiments.report.ExperimentResult` and is runnable as a
+script (``python -m repro.experiments.fig5_heap``).  The ``repro-experiments``
+console script (see :mod:`repro.experiments.runner`) runs any subset.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable:
+
+========  ==================================================================
+smoke     seconds — CI-sized workloads
+default   a few minutes — the scale EXPERIMENTS.md records
+full      tens of minutes — larger simulated workloads
+paper     analytical parts at exact paper scale; simulations at ``full``
+========  ==================================================================
+"""
+
+from repro.experiments.report import ExperimentResult, ascii_table, render_heatmap
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ascii_table",
+    "render_heatmap",
+    "run_experiment",
+]

@@ -1,0 +1,298 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four ablations, each isolating one modelling/microarchitecture decision:
+
+- **drain**: the window-drain estimator (SPEC-fit power law vs
+  balanced-window vs measured-occupancy) against simulation on the heap
+  workload — quantifying why the validation harness uses the measured
+  drain;
+- **commit-width**: the post-barrier commit catch-up effect — narrower
+  commit makes the simulator match the first-order model's (catch-up-
+  free) penalty accounting more closely;
+- **tca-units**: single vs multi-context accelerator occupancy on
+  back-to-back invocations (the model assumes invocations serialize);
+- **partial-speculation**: the §VIII confidence-gated policy between L
+  and NL, on a branch-heavy workload, model vs simulation.
+
+Run via ``python -m repro.experiments.ablations`` or the
+``bench_ablations`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.modes import TCAMode
+from repro.core.partial import PartialSpeculationModel
+from repro.core.validation import validate_workload
+from repro.experiments.report import ExperimentResult, ascii_table, resolve_scale
+from repro.isa.instructions import TCADescriptor
+from repro.isa.program import AcceleratableRegion, Program
+from repro.isa.trace import TraceBuilder
+from repro.sim.config import HIGH_PERF_SIM
+from repro.sim.simulator import simulate
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+
+_SLOTS = {"smoke": 150, "default": 500, "full": 1500, "paper": 1500}
+
+
+def _heap_program(scale: str):
+    return generate_heap_program(
+        HeapWorkloadSpec(slots=_SLOTS[scale], call_probability=0.25, seed=13)
+    )
+
+
+def ablate_drain_estimator(scale: str) -> tuple[list[list], list[str]]:
+    """Model error per drain-estimation policy, heap workload, NL modes."""
+    program = _heap_program(scale)
+    warm = program.baseline.metadata["warm_ranges"]
+    rows = []
+    for policy in ("measured", "powerlaw", 0.0):
+        report = validate_workload(
+            program.baseline,
+            program.accelerated(),
+            HIGH_PERF_SIM,
+            warm_ranges=warm,
+            drain=policy,
+        )
+        rows.append(
+            [
+                str(policy),
+                report.record(TCAMode.NL_NT).error * 100,
+                report.record(TCAMode.NL_T).error * 100,
+                report.max_abs_error_pct,
+            ]
+        )
+    best = min(rows, key=lambda r: r[3])
+    notes = [
+        f"drain ablation: best policy on this workload is {best[0]!r} "
+        f"(worst-mode error {best[3]:.1f}%)"
+    ]
+    return rows, notes
+
+
+def ablate_commit_width(scale: str) -> tuple[list[list], list[str]]:
+    """Model error vs simulator commit width (catch-up effect)."""
+    program = _heap_program(scale)
+    warm = program.baseline.metadata["warm_ranges"]
+    rows = []
+    for width in (2, 4, 8):
+        config = replace(HIGH_PERF_SIM, commit_width=width)
+        report = validate_workload(
+            program.baseline, program.accelerated(), config, warm_ranges=warm
+        )
+        rows.append(
+            [
+                width,
+                report.baseline_ipc,
+                report.record(TCAMode.L_NT).sim_speedup,
+                report.max_abs_error_pct,
+            ]
+        )
+    notes = [
+        "commit-width ablation: wider commit lets barrier modes catch up "
+        "after the drain, moving the simulator toward the model's "
+        "penalty accounting"
+    ]
+    return rows, notes
+
+
+def _tca_burst_trace(invocations: int, latency: int) -> "TraceBuilder":
+    builder = TraceBuilder(f"burst-{invocations}x{latency}")
+    descriptor = TCADescriptor(
+        name="burst", compute_latency=latency, replaced_instructions=latency
+    )
+    for _ in range(invocations):
+        builder.tca(descriptor)
+    return builder
+
+
+def ablate_tca_units(scale: str) -> tuple[list[list], list[str]]:
+    """Back-to-back invocation throughput vs accelerator contexts."""
+    invocations = {"smoke": 20, "default": 60, "full": 200, "paper": 200}[scale]
+    trace = _tca_burst_trace(invocations, latency=20).build()
+    rows = []
+    for units in (1, 2, 4):
+        config = replace(HIGH_PERF_SIM, tca_units=units)
+        result = simulate(trace, config)
+        rows.append(
+            [units, result.cycles, invocations * 20 / max(result.cycles, 1)]
+        )
+    speedup = rows[0][1] / rows[-1][1]
+    notes = [
+        f"tca-units ablation: 4 contexts run the burst {speedup:.2f}x faster "
+        "than 1 — the model's serialized-invocation assumption matches a "
+        "single-context accelerator"
+    ]
+    return rows, notes
+
+
+def _branchy_program(scale: str) -> Program:
+    """A workload whose NL drains are dominated by slow-resolving branches.
+
+    Every region is preceded by a branch whose condition depends on a
+    long-latency load; a quarter of those branches are low-confidence.
+    """
+    slots = {"smoke": 12, "default": 40, "full": 120, "paper": 120}[scale]
+    builder = TraceBuilder("branchy")
+    descriptor = TCADescriptor(
+        name="t", compute_latency=10, replaced_instructions=40
+    )
+    regions = []
+    for slot in range(slots):
+        builder.load(0, 0x7000_0000 + slot * 64)  # misses: slow condition
+        builder.branch(srcs=(0,), low_confidence=(slot % 4 == 0))
+        builder.independent_block(20, [1, 2, 3])
+        start = len(builder)
+        builder.independent_block(40, [4, 5, 6])
+        regions.append(AcceleratableRegion(start, 40, descriptor))
+        builder.independent_block(20, [1, 2, 3])
+    return Program(builder.build(), regions)
+
+
+def ablate_partial_speculation(scale: str) -> tuple[list[list], list[str]]:
+    """§VIII confidence-gated speculation: sim cycles and model interpolation."""
+    program = _branchy_program(scale)
+    accelerated = program.accelerated()
+    rows = []
+    cycles = {}
+    for label, config in (
+        ("NL_T", HIGH_PERF_SIM.with_mode(TCAMode.NL_T)),
+        (
+            "NL_T+confident",
+            replace(
+                HIGH_PERF_SIM.with_mode(TCAMode.NL_T), partial_speculation=True
+            ),
+        ),
+        ("L_T", HIGH_PERF_SIM.with_mode(TCAMode.L_T)),
+    ):
+        result = simulate(accelerated, config)
+        cycles[label] = result.cycles
+        rows.append([label, result.cycles, result.stats.tca_wait_drain_cycles])
+    recovered = (cycles["NL_T"] - cycles["NL_T+confident"]) / max(
+        cycles["NL_T"] - cycles["L_T"], 1
+    )
+    notes = [
+        f"partial speculation recovers {recovered:.0%} of the NL_T-to-L_T "
+        "gap on this branch-bound workload (3/4 of branches are "
+        "high-confidence)"
+    ]
+    return rows, notes
+
+
+def ablate_prefetcher(scale: str) -> tuple[list[list], list[str]]:
+    """Next-line prefetching on the memory-bound synthetic baseline.
+
+    The Fig. 4 synthetic workload derives its IPC from window-level MLP
+    over streaming misses; an ideal next-line prefetcher removes most of
+    them, changing the baseline from window-limited to dispatch-limited —
+    which is precisely the regime distinction that decides which drain
+    estimator fits (see the drain ablation).
+    """
+    from repro.workloads.synthetic import SyntheticSpec, generate_synthetic_program
+
+    total = {"smoke": 6000, "default": 20000, "full": 60000, "paper": 60000}[scale]
+    program = generate_synthetic_program(
+        SyntheticSpec(total_instructions=total, num_invocations=0)
+    )
+    rows = []
+    for prefetch in (False, True):
+        config = replace(HIGH_PERF_SIM, prefetch_next_line=prefetch)
+        result = simulate(program.baseline, config)
+        rows.append(
+            [
+                "on" if prefetch else "off",
+                result.ipc,
+                result.stats.mean_rob_occupancy,
+            ]
+        )
+    notes = [
+        f"prefetcher ablation: baseline IPC {rows[0][1]:.2f} -> {rows[1][1]:.2f} "
+        f"with next-line prefetching; mean ROB occupancy "
+        f"{rows[0][2]:.0f} -> {rows[1][2]:.0f} (window-limited -> "
+        "dispatch-limited, flipping which drain estimator applies)"
+    ]
+    return rows, notes
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    """Run all five ablations."""
+    scale = resolve_scale(scale)
+    sections = []
+    all_rows = []
+    all_notes = []
+
+    rows, notes = ablate_drain_estimator(scale)
+    sections.append(
+        "drain estimator (heap workload):\n"
+        + ascii_table(["policy", "err%_NL_NT", "err%_NL_T", "max|err|%"], rows)
+    )
+    all_rows += [dict(zip(["ablation", "policy", "max_err"], ["drain", r[0], r[3]])) for r in rows]
+    all_notes += notes
+
+    rows, notes = ablate_commit_width(scale)
+    sections.append(
+        "commit width (heap workload):\n"
+        + ascii_table(
+            ["commit_width", "baseline_ipc", "sim_L_NT", "max|err|%"], rows
+        )
+    )
+    all_rows += [
+        dict(zip(["ablation", "width", "max_err"], ["commit", r[0], r[3]]))
+        for r in rows
+    ]
+    all_notes += notes
+
+    rows, notes = ablate_tca_units(scale)
+    sections.append(
+        "TCA unit contexts (back-to-back invocations):\n"
+        + ascii_table(["units", "cycles", "busy_fraction"], rows)
+    )
+    all_rows += [
+        dict(zip(["ablation", "units", "cycles"], ["tca-units", r[0], r[1]]))
+        for r in rows
+    ]
+    all_notes += notes
+
+    rows, notes = ablate_prefetcher(scale)
+    sections.append(
+        "next-line prefetcher (memory-bound synthetic baseline):\n"
+        + ascii_table(["prefetcher", "baseline_ipc", "mean_rob_occupancy"], rows)
+    )
+    all_rows += [
+        dict(zip(["ablation", "prefetcher", "ipc"], ["prefetch", r[0], r[1]]))
+        for r in rows
+    ]
+    all_notes += notes
+
+    rows, notes = ablate_partial_speculation(scale)
+    sections.append(
+        "partial speculation (branch-bound workload):\n"
+        + ascii_table(["policy", "cycles", "tca_drain_wait"], rows)
+    )
+    all_rows += [
+        dict(zip(["ablation", "policy", "cycles"], ["partial-spec", r[0], r[1]]))
+        for r in rows
+    ]
+    all_notes += notes
+
+    result = ExperimentResult(
+        name="ablations",
+        title="design-choice ablations (drain, commit width, TCA units, partial speculation)",
+        scale=scale,
+        rows=all_rows,
+        notes=all_notes,
+        text="\n\n".join(sections),
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Run at the ambient scale, print, and save JSON."""
+    result = run()
+    print(result.render())
+    result.save_json()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,123 @@
+"""Fig. 2 — program speedup vs accelerator granularity, four TCA modes.
+
+Reproduces the paper's motivating figure: an ARM-A72-class core, 30% of
+code acceleratable, accelerator speedup 3×, sweeping the granularity
+(baseline instructions per invocation) across eight orders of magnitude,
+with reference markers for published accelerators (H.264, TPU, GreenDroid,
+STTNI, heap management, regex, string functions, hash maps).
+
+Shape checks: the mode choice matters most at *fine* granularity; NL_NT
+drops below 1.0 (slowdown) at fine granularity; all modes approach their
+asymptotes at coarse granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.modes import TCAMode
+from repro.core.parameters import ARM_A72, AcceleratorParameters
+from repro.core.sweep import granularity_sweep
+from repro.experiments.report import (
+    ExperimentResult,
+    ascii_table,
+    render_linechart,
+    resolve_scale,
+)
+from repro.workloads.catalog import ACCELERATOR_CATALOG
+
+#: Paper's Fig. 2 parameters.
+ACCELERATABLE_FRACTION = 0.30
+ACCELERATION = 3.0
+
+_POINTS_PER_DECADE = {"smoke": 2, "default": 4, "full": 8, "paper": 8}
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    """Regenerate Fig. 2 at the requested scale."""
+    scale = resolve_scale(scale)
+    points = _POINTS_PER_DECADE[scale]
+    granularities = np.logspace(0.5, 8, int(7.5 * points) + 1)
+    accelerator = AcceleratorParameters(name="fig2-tca", acceleration=ACCELERATION)
+    sweep = granularity_sweep(
+        ARM_A72, accelerator, ACCELERATABLE_FRACTION, granularities
+    )
+
+    headers = ["granularity", *(m.value for m in TCAMode.all_modes())]
+    rows = [
+        [g, *(float(sweep.speedups[m][i]) for m in TCAMode.all_modes())]
+        for i, g in enumerate(granularities)
+    ]
+    marker_rows = []
+    for entry in ACCELERATOR_CATALOG:
+        from repro.core.model import TCAModel
+        from repro.core.parameters import WorkloadParameters
+
+        model = TCAModel(
+            ARM_A72,
+            accelerator,
+            WorkloadParameters.from_granularity(
+                entry.granularity, ACCELERATABLE_FRACTION
+            ),
+        )
+        marker_rows.append(
+            [entry.name, entry.granularity, *(model.speedup(m) for m in TCAMode.all_modes())]
+        )
+
+    result = ExperimentResult(
+        name="fig2",
+        title="speedup vs accelerator granularity (a=0.30, A=3, ARM A72)",
+        scale=scale,
+        rows=[dict(zip(headers, row)) for row in rows]
+        + [
+            dict(zip(["marker", *headers], row))
+            for row in marker_rows
+        ],
+    )
+    chart = render_linechart(
+        list(granularities),
+        {m.value: sweep.speedups[m] for m in TCAMode.all_modes()},
+        log_x=True,
+        x_label="granularity (instructions/invocation)",
+        y_label="program speedup",
+    )
+    result.text = (
+        chart
+        + "\n\n"
+        + ascii_table(headers, rows)
+        + "\n\nreference markers (estimated granularities):\n"
+        + ascii_table(["accelerator", *headers], marker_rows)
+    )
+
+    # Shape checks against the paper's qualitative claims.
+    fine = sweep.speedups[TCAMode.NL_NT][0]
+    coarse = {m: sweep.speedups[m][-1] for m in TCAMode.all_modes()}
+    spread_fine = max(sweep.speedups[m][0] for m in TCAMode.all_modes()) - min(
+        sweep.speedups[m][0] for m in TCAMode.all_modes()
+    )
+    spread_coarse = max(coarse.values()) - min(coarse.values())
+    result.notes.append(
+        f"NL_NT at finest granularity = {fine:.3f} "
+        f"({'slowdown, as in the paper' if fine < 1 else 'NO slowdown (unexpected)'})"
+    )
+    result.notes.append(
+        f"mode spread fine={spread_fine:.3f} vs coarse={spread_coarse:.3f} "
+        f"({'fine-grained spread larger, as in the paper' if spread_fine > spread_coarse else 'UNEXPECTED'})"
+    )
+    crossover = sweep.crossover_below_one(TCAMode.NL_NT)
+    if crossover is not None:
+        result.notes.append(
+            f"NL_NT breaks even near granularity {crossover:.0f} instructions"
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Run at the ambient scale, print, and save JSON."""
+    result = run()
+    print(result.render())
+    result.save_json()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,165 @@
+"""Fig. 7 — speedup/slowdown heatmaps over (a, v) for HP and LP cores.
+
+Eight panels: {high-performance, low-performance core} × {L_T, NL_T,
+L_NT, NL_NT}, sweeping acceleratable fraction (linear) against invocation
+frequency (log), with an energy-motivated acceleration factor of 1.5 and
+overlay curves showing where the heap-manager accelerator and the
+GreenDroid functions would operate (``v = a / granularity``).
+
+Paper observations checked: the HP core is more mode-sensitive than the
+LP core; fine-grained accelerators (heap) cross into slowdown in the NT
+modes on the HP core; GreenDroid's coarser functions never do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    HIGH_PERF,
+    LOW_PERF,
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+from repro.core.sweep import accelerator_curve, speedup_heatmap
+from repro.experiments.report import (
+    ExperimentResult,
+    ascii_table,
+    render_heatmap,
+    resolve_scale,
+)
+from repro.workloads.greendroid import GREENDROID_ACCELERATION, greendroid_catalog
+from repro.workloads.heap import heap_granularity
+
+_GRID = {
+    "smoke": (9, 25),
+    "default": (20, 49),
+    "full": (40, 97),
+    "paper": (40, 97),
+}
+
+#: Paper assumption for these energy-motivated accelerators.
+ACCELERATION = GREENDROID_ACCELERATION  # 1.5x
+
+#: Column order of the paper's figure.
+_MODE_ORDER = (TCAMode.L_T, TCAMode.NL_T, TCAMode.L_NT, TCAMode.NL_NT)
+
+
+def _curve_speedups(
+    core: CoreParameters, granularity: float, fractions: np.ndarray
+) -> dict[TCAMode, np.ndarray]:
+    accelerator = AcceleratorParameters(name="fig7", acceleration=ACCELERATION)
+    out: dict[TCAMode, np.ndarray] = {}
+    for mode in _MODE_ORDER:
+        out[mode] = np.array(
+            [
+                TCAModel(
+                    core,
+                    accelerator,
+                    WorkloadParameters.from_granularity(granularity, float(a)),
+                ).speedup(mode)
+                for a in fractions
+            ]
+        )
+    return out
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 7 heatmaps at the requested scale."""
+    scale = resolve_scale(scale)
+    n_frac, n_freq = _GRID[scale]
+    fractions = np.linspace(0.02, 1.0, n_frac)
+    frequencies = np.logspace(-5, -0.5, n_freq)
+    accelerator = AcceleratorParameters(name="fig7", acceleration=ACCELERATION)
+
+    heap_g = heap_granularity()
+    greendroid_g = float(
+        np.median([f.static_instructions for f in greendroid_catalog()])
+    )
+    overlay_fracs = np.linspace(0.05, 1.0, 12)
+    overlays = {
+        "H": list(zip(overlay_fracs, accelerator_curve(heap_g, overlay_fracs))),
+        "G": list(zip(overlay_fracs, accelerator_curve(greendroid_g, overlay_fracs))),
+    }
+
+    panels = []
+    summary_rows = []
+    slowdown_by_core: dict[str, float] = {}
+    for core in (HIGH_PERF, LOW_PERF):
+        spreads = []
+        for mode in _MODE_ORDER:
+            heat = speedup_heatmap(
+                core, accelerator, mode, fractions, frequencies
+            )
+            panels.append(render_heatmap(heat, overlays))
+            summary_rows.append(
+                [
+                    core.name,
+                    mode.value,
+                    heat.max_speedup(),
+                    heat.slowdown_fraction(),
+                ]
+            )
+            spreads.append(heat.slowdown_fraction())
+        slowdown_by_core[core.name] = max(spreads) - min(spreads)
+
+    result = ExperimentResult(
+        name="fig7",
+        title="speedup/slowdown heatmaps, HP and LP cores x 4 modes (A=1.5)",
+        scale=scale,
+        rows=[
+            dict(
+                zip(
+                    ["core", "mode", "max_speedup", "slowdown_cell_fraction"], row
+                )
+            )
+            for row in summary_rows
+        ],
+        text="\n\n".join(panels)
+        + "\n\npanel summary:\n"
+        + ascii_table(
+            ["core", "mode", "max_speedup", "slowdown_cells"], summary_rows
+        ),
+    )
+
+    # Paper observation 1: HP more mode-sensitive than LP.
+    result.notes.append(
+        f"mode sensitivity (slowdown-area spread across modes): "
+        f"HP={slowdown_by_core[HIGH_PERF.name]:.3f} vs "
+        f"LP={slowdown_by_core[LOW_PERF.name]:.3f} "
+        + (
+            "(HP more sensitive, as in the paper)"
+            if slowdown_by_core[HIGH_PERF.name] > slowdown_by_core[LOW_PERF.name]
+            else "(UNEXPECTED)"
+        )
+    )
+    # Paper observation 2: heap slows down in NT modes on HP; GreenDroid never.
+    heap_nt = _curve_speedups(HIGH_PERF, heap_g, overlay_fracs)
+    gd_all = _curve_speedups(HIGH_PERF, greendroid_g, overlay_fracs)
+    heap_slow = min(
+        float(heap_nt[TCAMode.L_NT].min()), float(heap_nt[TCAMode.NL_NT].min())
+    )
+    gd_slow = min(float(curve.min()) for curve in gd_all.values())
+    result.notes.append(
+        f"heap curve on HP: min NT-mode speedup {heap_slow:.3f} "
+        + ("(slowdown, as in the paper)" if heap_slow < 1.0 else "(UNEXPECTED)")
+    )
+    result.notes.append(
+        f"GreenDroid curve on HP: min speedup across modes {gd_slow:.3f} "
+        + ("(never slows down, as in the paper)" if gd_slow >= 1.0 else "(UNEXPECTED)")
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Run at the ambient scale, print, and save JSON."""
+    result = run()
+    print(result.render())
+    result.save_json()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,105 @@
+"""Fig. 8 — the A+1 concurrency result.
+
+A TCA of 100 instructions with acceleration factor A=2, swept over the
+acceleratable fraction on the four modes.  The paper's observations:
+
+- peak L_T speedup is **A + 1 = 3**, at 67% acceleratable code (work
+  balanced 2:1 between accelerator and core), *not* at 100%;
+- NL_T shows a local maximum below the global one (concurrency maximized
+  where core time equals delayed accelerator time), recovering near 100%
+  as the drain vanishes;
+- the NT modes cannot reach the concurrency bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.concurrency import (
+    concurrency_curve,
+    find_peaks,
+    max_speedup_limit,
+    optimal_fraction,
+)
+from repro.core.modes import TCAMode
+from repro.core.parameters import HIGH_PERF, AcceleratorParameters
+from repro.experiments.report import (
+    ExperimentResult,
+    ascii_table,
+    render_linechart,
+    resolve_scale,
+)
+
+GRANULARITY = 100
+ACCELERATION = 2.0
+
+_SAMPLES = {"smoke": 41, "default": 201, "full": 801, "paper": 801}
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    """Regenerate Fig. 8 at the requested scale."""
+    scale = resolve_scale(scale)
+    fractions = np.linspace(0.01, 1.0, _SAMPLES[scale])
+    accelerator = AcceleratorParameters(name="fig8-tca", acceleration=ACCELERATION)
+    curves = concurrency_curve(HIGH_PERF, accelerator, GRANULARITY, fractions)
+
+    headers = ["fraction", *(m.value for m in TCAMode.all_modes())]
+    rows = [
+        [float(a), *(float(curves[m][i]) for m in TCAMode.all_modes())]
+        for i, a in enumerate(fractions)
+    ]
+    result = ExperimentResult(
+        name="fig8",
+        title="speedup vs %% acceleratable (100-inst TCA, A=2)",
+        scale=scale,
+        rows=[dict(zip(headers, row)) for row in rows],
+        text=render_linechart(
+            [float(a) for a in fractions],
+            {m.value: curves[m] for m in TCAMode.all_modes()},
+            x_label="acceleratable fraction",
+            y_label="program speedup",
+        )
+        + "\n\n"
+        + ascii_table(headers, rows),
+    )
+
+    lt = curves[TCAMode.L_T]
+    peak_idx = int(np.argmax(lt))
+    peak_a, peak_s = float(fractions[peak_idx]), float(lt[peak_idx])
+    bound = max_speedup_limit(ACCELERATION)
+    a_star = optimal_fraction(ACCELERATION)
+    result.notes.append(
+        f"L_T peak speedup {peak_s:.3f} at a={peak_a:.3f} "
+        f"(theory: {bound:.1f} at a*={a_star:.3f}); "
+        f"{'matches A+1 concurrency result' if abs(peak_s - bound) < 0.15 and abs(peak_a - a_star) < 0.05 else 'DEVIATES from A+1'}"
+    )
+    nl_t_peaks = find_peaks(
+        HIGH_PERF, accelerator, GRANULARITY, TCAMode.NL_T, fractions
+    )
+    locals_only = [p for p in nl_t_peaks if not p.is_global]
+    result.notes.append(
+        f"NL_T has {len(nl_t_peaks)} peak(s); "
+        + (
+            f"local maximum at a={locals_only[0].fraction:.2f} below the global "
+            f"one, as discussed in the paper"
+            if locals_only
+            else "no separate local maximum at this sampling"
+        )
+    )
+    at_full = {m: float(curves[m][-1]) for m in TCAMode.all_modes()}
+    result.notes.append(
+        f"at a=1.0 all modes converge near A={ACCELERATION:.0f}: "
+        + ", ".join(f"{m.value}={s:.2f}" for m, s in at_full.items())
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Run at the ambient scale, print, and save JSON."""
+    result = run()
+    print(result.render())
+    result.save_json()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

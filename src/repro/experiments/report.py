@@ -1,0 +1,261 @@
+"""Experiment result containers and text rendering.
+
+The paper's figures are line charts and heatmaps; this reproduction
+renders them as fixed-width tables and character heatmaps so every
+experiment's output is diffable text, and records the underlying rows as
+JSON for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.sweep import HeatmapResult
+
+#: Where experiment JSON records land (created on demand).
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+DEFAULT_RESULTS_DIR = "results"
+
+#: Recognised scales, smallest first.
+SCALES = ("smoke", "default", "full", "paper")
+
+
+def resolve_scale(scale: str | None) -> str:
+    """Pick the experiment scale: explicit arg > ``REPRO_SCALE`` > default."""
+    chosen = scale or os.environ.get("REPRO_SCALE", "default")
+    if chosen not in SCALES:
+        raise ValueError(f"unknown scale {chosen!r}; expected one of {SCALES}")
+    return chosen
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one figure/table regeneration.
+
+    Attributes:
+        name: experiment id (``fig5``, ``table1``, ...).
+        title: one-line description (matches DESIGN.md's index).
+        scale: the scale it ran at.
+        rows: the regenerated data series as row dicts.
+        notes: paper-vs-measured observations (shape checks).
+        text: the rendered figure/table.
+    """
+
+    name: str
+    title: str
+    scale: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    text: str = ""
+
+    def render(self) -> str:
+        """Full printable report for this experiment."""
+        lines = [f"=== {self.name}: {self.title} (scale={self.scale}) ==="]
+        if self.text:
+            lines.append(self.text)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save_json(self, directory: str | None = None) -> str:
+        """Persist rows+notes as JSON; returns the file path."""
+        directory = directory or os.environ.get(
+            RESULTS_DIR_ENV, DEFAULT_RESULTS_DIR
+        )
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.name}.json")
+        payload = {
+            "name": self.name,
+            "title": self.title,
+            "scale": self.scale,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        return path
+
+
+def _format_cell(value: Any, width: int) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:>{width}.2e}"
+        return f"{value:>{width}.3f}"
+    return f"{value!s:>{width}}"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table with a header separator."""
+    widths = [max(len(str(h)), 9) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_format_cell(cell, 0).strip()))
+    header_line = "  ".join(f"{h!s:>{w}}" for h, w in zip(headers, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(_format_cell(cell, w) for cell, w in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join([header_line, sep, *body])
+
+
+def render_linechart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 68,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    reference_y: float | None = 1.0,
+) -> str:
+    """Character line chart of one or more series (the paper's curve figures).
+
+    Each series gets a distinct plot glyph; a horizontal reference line
+    (default y = 1.0, the speedup break-even) renders as ``-``.
+
+    Args:
+        x: shared x values (ascending).
+        series: label → y values, aligned with ``x``.
+        width / height: plot area size in characters.
+        log_x / log_y: logarithmic axes (values must be positive).
+        x_label / y_label: axis captions.
+        reference_y: horizontal rule value, or ``None`` to omit.
+    """
+    if not series or len(x) == 0:
+        return "(empty chart)"
+    glyphs = "*o+x#@%&"
+
+    def tx(value: float) -> float:
+        return math.log10(value) if log_x else value
+
+    def ty(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    xs = [tx(v) for v in x]
+    all_y = [ty(v) for values in series.values() for v in values if not math.isnan(v)]
+    if reference_y is not None:
+        all_y.append(ty(reference_y))
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def col(value: float) -> int:
+        return min(width - 1, int((value - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(value: float) -> int:
+        return min(
+            height - 1,
+            int((y_hi - value) / (y_hi - y_lo) * (height - 1)),
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    if reference_y is not None and y_lo <= ty(reference_y) <= y_hi:
+        ref_row = row(ty(reference_y))
+        for c in range(width):
+            grid[ref_row][c] = "-"
+    for index, (label, values) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for xv, yv in zip(xs, values):
+            if math.isnan(yv):
+                continue
+            grid[row(ty(yv))][col(xv)] = glyph
+
+    def fmt(value: float) -> str:
+        shown = 10**value if (log_y or log_x) and False else value
+        return f"{shown:.3g}"
+
+    y_top = 10**y_hi if log_y else y_hi
+    y_bot = 10**y_lo if log_y else y_lo
+    lines = [f"{y_label} (top={y_top:.3g}, bottom={y_bot:.3g})"]
+    for r in range(height):
+        lines.append("|" + "".join(grid[r]) + "|")
+    x_left = 10**x_lo if log_x else x_lo
+    x_right = 10**x_hi if log_x else x_hi
+    lines.append(
+        f"{x_label}: {x_left:.3g} .. {x_right:.3g}"
+        + ("  (log)" if log_x else "")
+    )
+    lines.append(
+        "legend: "
+        + "  ".join(
+            f"{glyphs[i % len(glyphs)]}={label}"
+            for i, label in enumerate(series)
+        )
+        + ("  -=break-even" if reference_y is not None else "")
+    )
+    return "\n".join(lines)
+
+
+#: Heatmap glyph ramp for slowdowns (<1) and speedups (>=1).
+_SLOWDOWN_RAMP = "@%*:."  # deep slowdown .. mild slowdown
+_SPEEDUP_RAMP = "-=+oO#"  # ~1x .. large speedup
+
+
+def heatmap_glyph(speedup: float) -> str:
+    """Map a speedup to a glyph (slowdowns render as the paper's 'blue')."""
+    if math.isnan(speedup):
+        return " "
+    if speedup < 1.0:
+        # 1.0 .. <=0.3 maps mild..deep
+        idx = min(
+            len(_SLOWDOWN_RAMP) - 1,
+            int((1.0 - max(speedup, 0.0)) / 0.175),
+        )
+        return _SLOWDOWN_RAMP[len(_SLOWDOWN_RAMP) - 1 - idx]
+    log_s = math.log10(speedup)
+    idx = min(len(_SPEEDUP_RAMP) - 1, int(log_s / 0.25))
+    return _SPEEDUP_RAMP[idx]
+
+
+def render_heatmap(
+    result: HeatmapResult,
+    overlays: dict[str, Sequence[tuple[float, float]]] | None = None,
+) -> str:
+    """Character rendering of one Fig. 7 panel.
+
+    Rows are acceleratable fractions (top = 1.0), columns invocation
+    frequencies (left = lowest).  ``overlays`` maps a single-character
+    label to (fraction, frequency) curve points drawn on top.
+
+    Glyph legend: ``@ % * : .`` slowdown (deep→mild), ``- = + o O #``
+    speedup (1×→1000×), blank = infeasible (a < v).
+    """
+    fractions = result.fractions
+    frequencies = result.frequencies
+    grid = [
+        [heatmap_glyph(float(result.speedup[i, j])) for j in range(len(frequencies))]
+        for i in range(len(fractions))
+    ]
+    if overlays:
+        for label, points in overlays.items():
+            glyph = label[0]
+            for a, v in points:
+                i = int(min(range(len(fractions)), key=lambda k: abs(fractions[k] - a)))
+                j = int(
+                    min(
+                        range(len(frequencies)),
+                        key=lambda k: abs(
+                            math.log10(max(frequencies[k], 1e-12))
+                            - math.log10(max(v, 1e-12))
+                        ),
+                    )
+                )
+                grid[i][j] = glyph
+    lines = [
+        f"{result.core.name} / {result.mode.value}   "
+        f"(rows: a from {fractions[-1]:.2f} down to {fractions[0]:.2f}; "
+        f"cols: v from {frequencies[0]:.1e} to {frequencies[-1]:.1e}, log)"
+    ]
+    for i in range(len(fractions) - 1, -1, -1):
+        lines.append(f"a={fractions[i]:4.2f} |" + "".join(grid[i]) + "|")
+    lines.append("legend: @%*:. slowdown(deep..mild)  -=+oO# speedup(1x..1000x)")
+    return "\n".join(lines)

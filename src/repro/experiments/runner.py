@@ -1,0 +1,99 @@
+"""Experiment registry and CLI.
+
+``repro-experiments`` (or ``python -m repro.experiments.runner``) runs any
+subset of the paper's figures/tables::
+
+    repro-experiments fig2 fig8            # two quick model figures
+    repro-experiments all --scale smoke    # everything, CI-sized
+    REPRO_SCALE=full repro-experiments all --save
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig2_granularity,
+    fig3_timeline,
+    fig4_synthetic,
+    fig5_heap,
+    fig6_matmul,
+    fig7_heatmap,
+    fig8_concurrency,
+    table1_parameters,
+    zoo,
+)
+from repro.experiments.report import ExperimentResult
+
+#: All regenerable paper artifacts, in paper order.
+EXPERIMENTS: dict[str, Callable[[str | None], ExperimentResult]] = {
+    "fig2": fig2_granularity.run,
+    "fig3": fig3_timeline.run,
+    "table1": table1_parameters.run,
+    "fig4": fig4_synthetic.run,
+    "fig5": fig5_heap.run,
+    "fig6": fig6_matmul.run,
+    "fig7": fig7_heatmap.run,
+    "fig8": fig8_concurrency.run,
+    "ablations": ablations.run,
+    "zoo": zoo.run,
+}
+
+
+def run_experiment(name: str, scale: str | None = None) -> ExperimentResult:
+    """Run one experiment by id (``fig2`` .. ``fig8``, ``table1``)."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "default", "full", "paper"),
+        default=None,
+        help="workload scale (default: REPRO_SCALE env or 'default')",
+    )
+    parser.add_argument(
+        "--save",
+        action="store_true",
+        help="write JSON records under results/",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}")
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, args.scale)
+        print(result.render())
+        print(f"[{name} completed in {time.time() - started:.1f}s]")
+        print()
+        if args.save:
+            path = result.save_json()
+            print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Program/region abstraction: rewriting acceleratable code into TCAs.
+
+The paper's methodology (§IV) starts from a baseline binary, marks
+acceleratable regions, and replaces each region with a single accelerator
+instruction.  :class:`Program` reproduces that flow for traces: it pairs a
+baseline :class:`~repro.isa.trace.Trace` with a set of
+:class:`AcceleratableRegion` spans and can emit either the software-only
+baseline or the TCA-ified variant, while also deriving the analytical-model
+workload parameters (``a`` and ``v``) that describe it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.isa.instructions import Instruction, OpClass, TCADescriptor
+from repro.isa.trace import Trace
+
+
+@dataclass(frozen=True)
+class AcceleratableRegion:
+    """A contiguous span of baseline instructions replaceable by one TCA.
+
+    Attributes:
+        start: index of the first baseline instruction in the region.
+        length: number of baseline instructions in the region.
+        descriptor: the accelerator invocation that replaces the region.
+        srcs: architectural registers the replacement TCA reads.
+        dsts: architectural registers the replacement TCA writes.
+    """
+
+    start: int
+    length: int
+    descriptor: TCADescriptor
+    srcs: tuple[int, ...] = ()
+    dsts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"region start must be non-negative, got {self.start}")
+        if self.length <= 0:
+            raise ValueError(f"region length must be positive, got {self.length}")
+
+    @property
+    def end(self) -> int:
+        """One past the last baseline instruction index."""
+        return self.start + self.length
+
+    def overlaps(self, other: "AcceleratableRegion") -> bool:
+        """Whether two regions share any baseline instruction."""
+        return self.start < other.end and other.start < self.end
+
+
+class Program:
+    """A baseline trace plus its acceleratable regions.
+
+    Args:
+        baseline: the software-only dynamic instruction stream.
+        regions: non-overlapping acceleratable spans within ``baseline``.
+        name: program name for reports.
+
+    Raises:
+        ValueError: if regions overlap or fall outside the baseline.
+    """
+
+    def __init__(
+        self,
+        baseline: Trace,
+        regions: Sequence[AcceleratableRegion],
+        name: str | None = None,
+    ) -> None:
+        self.baseline = baseline
+        self.regions = tuple(sorted(regions, key=lambda r: r.start))
+        self.name = name or baseline.name
+        self._check_regions()
+
+    def _check_regions(self) -> None:
+        n = len(self.baseline)
+        prev_end = 0
+        for region in self.regions:
+            if region.end > n:
+                raise ValueError(
+                    f"region [{region.start}, {region.end}) exceeds baseline "
+                    f"length {n}"
+                )
+            if region.start < prev_end:
+                raise ValueError(
+                    f"region starting at {region.start} overlaps previous region"
+                )
+            prev_end = region.end
+
+    @property
+    def num_invocations(self) -> int:
+        """Number of TCA invocations after acceleration."""
+        return len(self.regions)
+
+    @property
+    def acceleratable_instructions(self) -> int:
+        """Total baseline instructions inside regions."""
+        return sum(r.length for r in self.regions)
+
+    @property
+    def acceleratable_fraction(self) -> float:
+        """Paper parameter ``a``."""
+        if len(self.baseline) == 0:
+            return 0.0
+        return self.acceleratable_instructions / len(self.baseline)
+
+    @property
+    def invocation_frequency(self) -> float:
+        """Paper parameter ``v`` (invocations per baseline instruction)."""
+        if len(self.baseline) == 0:
+            return 0.0
+        return self.num_invocations / len(self.baseline)
+
+    @property
+    def mean_granularity(self) -> float:
+        """Average baseline instructions replaced per invocation."""
+        if not self.regions:
+            return 0.0
+        return self.acceleratable_instructions / len(self.regions)
+
+    def accelerated(self, name: str | None = None) -> Trace:
+        """Emit the TCA-ified trace: each region collapses to one TCA.
+
+        The emitted TCA instruction carries the region's descriptor with
+        ``replaced_instructions`` forced to the region length so trace
+        statistics reconstruct the baseline exactly.
+        """
+        out: list[Instruction] = []
+        cursor = 0
+        insts = self.baseline.instructions
+        for region in self.regions:
+            out.extend(insts[cursor : region.start])
+            descriptor = region.descriptor
+            if descriptor.replaced_instructions != region.length:
+                descriptor = TCADescriptor(
+                    name=descriptor.name,
+                    compute_latency=descriptor.compute_latency,
+                    reads=descriptor.reads,
+                    writes=descriptor.writes,
+                    replaced_instructions=region.length,
+                    replaced_cycles=descriptor.replaced_cycles,
+                )
+            out.append(
+                Instruction(
+                    op=OpClass.TCA,
+                    srcs=region.srcs,
+                    dsts=region.dsts,
+                    tca=descriptor,
+                )
+            )
+            cursor = region.end
+        out.extend(insts[cursor:])
+        return Trace(
+            out,
+            name=name or f"{self.name}-accel",
+            metadata={
+                **self.baseline.metadata,
+                "accelerated": True,
+                "invocations": self.num_invocations,
+            },
+        )
+
+    def region_instructions(self, region: AcceleratableRegion) -> tuple[Instruction, ...]:
+        """The baseline instructions a region covers."""
+        return self.baseline.instructions[region.start : region.end]
+
+    def concat(self, other: "Program", name: str | None = None) -> "Program":
+        """Concatenate two programs into one (accelerator-rich scenarios).
+
+        The second program's regions are re-offset past the first
+        baseline; metadata ``warm_ranges`` lists are merged.
+        """
+        offset = len(self.baseline)
+        shifted = [
+            AcceleratableRegion(
+                start=region.start + offset,
+                length=region.length,
+                descriptor=region.descriptor,
+                srcs=region.srcs,
+                dsts=region.dsts,
+            )
+            for region in other.regions
+        ]
+        merged_trace = self.baseline.concat(other.baseline, name=name)
+        warm = list(self.baseline.metadata.get("warm_ranges", [])) + list(
+            other.baseline.metadata.get("warm_ranges", [])
+        )
+        if warm:
+            merged_trace.metadata["warm_ranges"] = warm
+        return Program(
+            merged_trace,
+            list(self.regions) + shifted,
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    @staticmethod
+    def from_region_finder(
+        baseline: Trace,
+        finder: Callable[[Trace], Sequence[AcceleratableRegion]],
+        name: str | None = None,
+    ) -> "Program":
+        """Build a program by running a region-finding pass over a trace."""
+        return Program(baseline, finder(baseline), name=name)

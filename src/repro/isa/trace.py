@@ -1,0 +1,331 @@
+"""Trace containers, builders, and integrity checks.
+
+A :class:`Trace` is the unit of work the simulator executes: a named,
+immutable-by-convention sequence of :class:`~repro.isa.instructions.Instruction`
+records plus light metadata.  :class:`TraceBuilder` gives workload generators
+a compact vocabulary for emitting common uop idioms (dependency chains,
+streaming loads, call-like register pressure) without hand-rolling tuples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.isa.instructions import Instruction, OpClass, TCADescriptor, chunk_memory_range
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace.
+
+    Attributes:
+        total: total instruction count.
+        by_class: counts per :class:`OpClass`.
+        tca_invocations: number of TCA instructions.
+        replaced_instructions: total baseline instructions the TCA
+            invocations replace (sum over descriptors).
+        mispredicted_branches: number of mispredict-marked branches.
+    """
+
+    total: int
+    by_class: dict[OpClass, int]
+    tca_invocations: int
+    replaced_instructions: int
+    mispredicted_branches: int
+
+    @property
+    def non_tca_instructions(self) -> int:
+        """Instructions other than TCA invocations."""
+        return self.total - self.tca_invocations
+
+    @property
+    def invocation_frequency(self) -> float:
+        """Paper parameter ``v``: TCA invocations per *baseline* instruction.
+
+        The baseline instruction count reconstructs each TCA back into the
+        software instructions it replaced.
+        """
+        baseline = self.baseline_instructions
+        if baseline == 0:
+            return 0.0
+        return self.tca_invocations / baseline
+
+    @property
+    def baseline_instructions(self) -> int:
+        """Instruction count of the equivalent software-only baseline."""
+        return self.non_tca_instructions + self.replaced_instructions
+
+    @property
+    def acceleratable_fraction(self) -> float:
+        """Paper parameter ``a``: fraction of baseline instructions accelerated."""
+        baseline = self.baseline_instructions
+        if baseline == 0:
+            return 0.0
+        return self.replaced_instructions / baseline
+
+
+class Trace:
+    """A named dynamic instruction stream.
+
+    Args:
+        instructions: the dynamic instruction sequence.
+        name: human-readable trace name for reports.
+        metadata: free-form workload parameters recorded by generators.
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        name: str = "trace",
+        metadata: dict | None = None,
+    ) -> None:
+        self._instructions: tuple[Instruction, ...] = tuple(instructions)
+        self.name = name
+        self.metadata: dict = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __repr__(self) -> str:
+        return f"Trace(name={self.name!r}, n={len(self)})"
+
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        """The underlying instruction tuple."""
+        return self._instructions
+
+    def stats(self) -> TraceStats:
+        """Compute summary statistics."""
+        by_class: Counter[OpClass] = Counter()
+        tca = 0
+        replaced = 0
+        mispredicted = 0
+        for inst in self._instructions:
+            by_class[inst.op] += 1
+            if inst.is_tca:
+                tca += 1
+                assert inst.tca is not None
+                replaced += inst.tca.replaced_instructions
+            if inst.mispredicted:
+                mispredicted += 1
+        return TraceStats(
+            total=len(self._instructions),
+            by_class=dict(by_class),
+            tca_invocations=tca,
+            replaced_instructions=replaced,
+            mispredicted_branches=mispredicted,
+        )
+
+    def validate(self, num_registers: int | None = None) -> None:
+        """Raise :class:`ValueError` on malformed traces.
+
+        Checks register ids against ``num_registers`` when given, and the
+        per-instruction invariants enforced by :class:`Instruction` on
+        construction (re-verified here for traces assembled manually).
+        """
+        for i, inst in enumerate(self._instructions):
+            if num_registers is not None:
+                for reg in (*inst.srcs, *inst.dsts):
+                    if not 0 <= reg < num_registers:
+                        raise ValueError(
+                            f"instruction {i}: register {reg} outside "
+                            f"0..{num_registers - 1}"
+                        )
+            if inst.op.is_memory and inst.addr is None:
+                raise ValueError(f"instruction {i}: memory op without address")
+            if inst.is_tca and inst.tca is None:
+                raise ValueError(f"instruction {i}: TCA op without descriptor")
+
+    def concat(self, other: "Trace", name: str | None = None) -> "Trace":
+        """Concatenate two traces into a new one."""
+        return Trace(
+            self._instructions + other.instructions,
+            name=name or f"{self.name}+{other.name}",
+            metadata={**self.metadata, **other.metadata},
+        )
+
+
+class TraceBuilder:
+    """Incremental trace construction with uop-idiom helpers.
+
+    The builder tracks nothing beyond the instruction list — register and
+    address management is the caller's job — but the helpers encode the
+    idioms the paper's microbenchmarks need: independent ALU work,
+    serial dependency chains, block loads, and TCA invocations with
+    automatically chunked memory requests.
+
+    Args:
+        name: trace name.
+        metadata: free-form generator parameters to attach.
+    """
+
+    def __init__(self, name: str = "trace", metadata: dict | None = None) -> None:
+        self.name = name
+        self.metadata: dict = dict(metadata or {})
+        self._instructions: list[Instruction] = []
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def emit(self, instruction: Instruction) -> Instruction:
+        """Append one instruction and return it."""
+        self._instructions.append(instruction)
+        return instruction
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append a sequence of instructions."""
+        self._instructions.extend(instructions)
+
+    def alu(
+        self,
+        dst: int,
+        srcs: Sequence[int] = (),
+        op: OpClass = OpClass.INT_ALU,
+        latency: int | None = None,
+    ) -> Instruction:
+        """Emit a compute op writing ``dst`` from ``srcs``."""
+        return self.emit(
+            Instruction(op=op, srcs=tuple(srcs), dsts=(dst,), latency=latency)
+        )
+
+    def load(self, dst: int, addr: int, size: int = 8, srcs: Sequence[int] = ()) -> Instruction:
+        """Emit a load of ``size`` bytes at ``addr`` into ``dst``."""
+        return self.emit(
+            Instruction(op=OpClass.LOAD, srcs=tuple(srcs), dsts=(dst,), addr=addr, size=size)
+        )
+
+    def store(self, src: int, addr: int, size: int = 8) -> Instruction:
+        """Emit a store of ``size`` bytes from ``src`` to ``addr``."""
+        return self.emit(
+            Instruction(op=OpClass.STORE, srcs=(src,), addr=addr, size=size)
+        )
+
+    def branch(
+        self,
+        srcs: Sequence[int] = (),
+        mispredicted: bool = False,
+        low_confidence: bool = False,
+    ) -> Instruction:
+        """Emit a (conditional) branch."""
+        return self.emit(
+            Instruction(
+                op=OpClass.BRANCH,
+                srcs=tuple(srcs),
+                mispredicted=mispredicted,
+                low_confidence=low_confidence,
+            )
+        )
+
+    def nop(self) -> Instruction:
+        """Emit a NOP."""
+        return self.emit(Instruction(op=OpClass.NOP))
+
+    def tca(
+        self,
+        descriptor: TCADescriptor,
+        srcs: Sequence[int] = (),
+        dsts: Sequence[int] = (),
+    ) -> Instruction:
+        """Emit a TCA invocation carrying ``descriptor``."""
+        return self.emit(
+            Instruction(
+                op=OpClass.TCA,
+                srcs=tuple(srcs),
+                dsts=tuple(dsts),
+                tca=descriptor,
+            )
+        )
+
+    def tca_over_range(
+        self,
+        name: str,
+        compute_latency: int,
+        read_ranges: Sequence[tuple[int, int]] = (),
+        write_ranges: Sequence[tuple[int, int]] = (),
+        replaced_instructions: int = 0,
+        replaced_cycles: int = 0,
+        srcs: Sequence[int] = (),
+        dsts: Sequence[int] = (),
+    ) -> Instruction:
+        """Emit a TCA whose memory ranges are auto-chunked to ≤64 B requests.
+
+        Args:
+            name: accelerator name.
+            compute_latency: accelerator compute cycles.
+            read_ranges: ``(addr, size)`` byte ranges the TCA reads.
+            write_ranges: ``(addr, size)`` byte ranges the TCA writes.
+            replaced_instructions: baseline instructions replaced.
+            replaced_cycles: baseline cycles replaced (for reports).
+            srcs: architectural registers the TCA consumes.
+            dsts: architectural registers the TCA produces.
+        """
+        reads: list = []
+        for addr, size in read_ranges:
+            reads.extend(chunk_memory_range(addr, size, is_write=False))
+        writes: list = []
+        for addr, size in write_ranges:
+            writes.extend(chunk_memory_range(addr, size, is_write=True))
+        descriptor = TCADescriptor(
+            name=name,
+            compute_latency=compute_latency,
+            reads=tuple(reads),
+            writes=tuple(writes),
+            replaced_instructions=replaced_instructions,
+            replaced_cycles=replaced_cycles,
+        )
+        return self.tca(descriptor, srcs=srcs, dsts=dsts)
+
+    def chain(
+        self,
+        length: int,
+        start_reg: int,
+        op: OpClass = OpClass.INT_ALU,
+        latency: int | None = None,
+    ) -> None:
+        """Emit a serial dependency chain of ``length`` ops through one register.
+
+        Each op reads and writes ``start_reg``, producing a critical path of
+        ``length × latency`` cycles — the knob workload generators use to
+        control baseline IPC.
+        """
+        for _ in range(length):
+            self.alu(start_reg, (start_reg,), op=op, latency=latency)
+
+    def independent_block(
+        self,
+        count: int,
+        registers: Sequence[int],
+        op: OpClass = OpClass.INT_ALU,
+    ) -> None:
+        """Emit ``count`` mutually independent ALU ops cycling over ``registers``."""
+        if not registers:
+            raise ValueError("independent_block requires at least one register")
+        for i in range(count):
+            reg = registers[i % len(registers)]
+            self.alu(reg, ())
+
+    def streaming_loads(
+        self,
+        count: int,
+        base_addr: int,
+        stride: int,
+        dst_registers: Sequence[int],
+        size: int = 8,
+    ) -> None:
+        """Emit ``count`` independent strided loads starting at ``base_addr``."""
+        if not dst_registers:
+            raise ValueError("streaming_loads requires at least one register")
+        for i in range(count):
+            self.load(dst_registers[i % len(dst_registers)], base_addr + i * stride, size)
+
+    def build(self) -> Trace:
+        """Freeze the builder into a :class:`Trace`."""
+        return Trace(self._instructions, name=self.name, metadata=self.metadata)

@@ -1,0 +1,52 @@
+"""Branch-redirect model.
+
+The simulator is trace-driven and never executes wrong-path work, so a
+mispredicted branch is modelled as a front-end redirect: instructions
+younger than the branch cannot dispatch until the branch resolves
+(completes execution) plus a fixed redirect/refill penalty.  This is the
+same abstraction interval analysis uses for branch penalties.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import DynInst
+
+
+class RedirectUnit:
+    """Tracks the oldest unresolved mispredicted branch blocking dispatch.
+
+    Args:
+        penalty: front-end refill cycles charged after the branch resolves.
+    """
+
+    def __init__(self, penalty: int) -> None:
+        self.penalty = penalty
+        self._blocking: Optional["DynInst"] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether dispatch is currently blocked on a redirect."""
+        return self._blocking is not None
+
+    def block_on(self, branch: "DynInst") -> None:
+        """Begin blocking dispatch behind ``branch``."""
+        self._blocking = branch
+
+    def resume_cycle(self) -> int | None:
+        """Cycle at which dispatch may resume, if the branch has resolved."""
+        if self._blocking is None:
+            return None
+        if self._blocking.complete_cycle is None:
+            return None
+        return self._blocking.complete_cycle + self.penalty
+
+    def try_release(self, cycle: int) -> bool:
+        """Release the block if the redirect has fully resolved by ``cycle``."""
+        resume = self.resume_cycle()
+        if resume is not None and cycle >= resume:
+            self._blocking = None
+            return True
+        return False

@@ -1,0 +1,73 @@
+"""Functional-unit pools with per-cycle port accounting.
+
+Each :class:`~repro.isa.instructions.OpClass` maps to a pool with a number
+of issue ports and a fixed latency.  Pipelined pools accept ``ports`` new
+operations every cycle; non-pipelined pools (dividers) occupy a port for
+the full latency.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import OpClass
+from repro.sim.config import FunctionalUnitConfig, SimConfig
+
+
+class FUPool:
+    """Tracks functional-unit availability cycle by cycle.
+
+    Args:
+        config: simulator configuration providing per-class FU setups.
+
+    Call :meth:`new_cycle` once per simulated cycle, then :meth:`try_issue`
+    for each candidate instruction.
+    """
+
+    def __init__(self, config: SimConfig) -> None:
+        self._configs: dict[OpClass, FunctionalUnitConfig] = {}
+        for op in OpClass:
+            if op in (OpClass.LOAD, OpClass.STORE, OpClass.TCA):
+                continue
+            self._configs[op] = config.fu_for(op)
+        self._ports_left: dict[OpClass, int] = {}
+        # For non-pipelined units: cycle at which each port frees up.
+        self._busy_until: dict[OpClass, list[int]] = {
+            op: [0] * cfg.ports
+            for op, cfg in self._configs.items()
+            if not cfg.pipelined
+        }
+        self.new_cycle(0)
+
+    def new_cycle(self, cycle: int) -> None:
+        """Reset per-cycle port budgets for ``cycle``."""
+        self._cycle = cycle
+        for op, cfg in self._configs.items():
+            if cfg.pipelined:
+                self._ports_left[op] = cfg.ports
+            else:
+                self._ports_left[op] = sum(
+                    1 for busy in self._busy_until[op] if busy <= cycle
+                )
+
+    def latency_of(self, op: OpClass) -> int:
+        """The execution latency of an op class."""
+        return self._configs[op].latency
+
+    def try_issue(self, op: OpClass, latency_override: int | None = None) -> int | None:
+        """Attempt to claim a port for ``op`` this cycle.
+
+        Returns:
+            The execution latency on success, ``None`` if no port is free.
+        """
+        cfg = self._configs[op]
+        if self._ports_left[op] <= 0:
+            return None
+        self._ports_left[op] -= 1
+        latency = latency_override if latency_override is not None else cfg.latency
+        latency = max(1, latency)
+        if not cfg.pipelined:
+            busy = self._busy_until[op]
+            for i, until in enumerate(busy):
+                if until <= self._cycle:
+                    busy[i] = self._cycle + latency
+                    break
+        return latency

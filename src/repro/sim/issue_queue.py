@@ -1,0 +1,83 @@
+"""Issue queue: capacity tracking plus an age-ordered ready scheduler.
+
+Dispatched instructions occupy an issue-queue slot until they issue to a
+functional unit.  Instructions whose operands are all available sit in a
+ready heap keyed by ``(ready_cycle, seq)`` so the scheduler can pull
+candidates oldest-first — the age-based priority the paper assumes for
+LSQ/issue arbitration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import DynInst
+
+
+class IssueQueue:
+    """Bounded issue queue with an age-priority ready heap.
+
+    Args:
+        capacity: issue-queue entries.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"IQ capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._occupied = 0
+        self._ready: list[tuple[int, int, "DynInst"]] = []
+
+    @property
+    def full(self) -> bool:
+        """Whether dispatch must stall for IQ space."""
+        return self._occupied >= self.capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently held by dispatched, un-issued instructions."""
+        return self._occupied
+
+    def allocate(self) -> None:
+        """Claim an entry at dispatch."""
+        if self.full:
+            raise RuntimeError("allocate on full issue queue")
+        self._occupied += 1
+
+    def release(self) -> None:
+        """Free an entry at issue."""
+        if self._occupied <= 0:
+            raise RuntimeError("release on empty issue queue")
+        self._occupied -= 1
+
+    def mark_ready(self, inst: "DynInst", ready_cycle: int) -> None:
+        """Enqueue a ready instruction for the scheduler."""
+        heapq.heappush(self._ready, (ready_cycle, inst.seq, inst))
+
+    def next_ready_cycle(self) -> int | None:
+        """Earliest ready cycle among queued candidates (for fast-forward)."""
+        if not self._ready:
+            return None
+        return self._ready[0][0]
+
+    def pop_ready(self, cycle: int) -> Optional["DynInst"]:
+        """Pop the oldest candidate whose ready cycle has arrived."""
+        while self._ready:
+            ready_cycle, _seq, inst = self._ready[0]
+            if ready_cycle > cycle:
+                return None
+            heapq.heappop(self._ready)
+            return inst
+        return None
+
+    def peek_ready_seq(self, cycle: int) -> int | None:
+        """Sequence number of the oldest issueable candidate, if any."""
+        if self._ready and self._ready[0][0] <= cycle:
+            return self._ready[0][1]
+        return None
+
+    def has_ready(self, cycle: int) -> bool:
+        """Whether any candidate can issue at ``cycle``."""
+        return bool(self._ready) and self._ready[0][0] <= cycle

@@ -1,0 +1,108 @@
+"""Load/store queue: capacity, memory disambiguation, and forwarding.
+
+The LSQ provides two things the TCA experiments rely on (paper §IV):
+
+1. **Shared, age-arbitrated memory access** — TCA memory requests pass
+   through the same load/store ports as core requests, with priority by
+   program order (the arbitration itself happens in the issue stage).
+2. **Memory dependency resolution for T modes** — trailing loads that
+   overlap an in-flight TCA's output ranges must wait for the TCA, and a
+   TCA's input requests must wait for older overlapping stores.
+
+Disambiguation is conservative on overlap: any byte intersection creates a
+dependence, and forwarded data costs ``forward_latency`` cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import DynInst
+
+
+class LoadStoreQueue:
+    """Bounded LQ/SQ with an in-flight writer window for disambiguation.
+
+    Args:
+        lq_size: load-queue entries.
+        sq_size: store-queue entries.
+    """
+
+    def __init__(self, lq_size: int, sq_size: int) -> None:
+        if lq_size <= 0 or sq_size <= 0:
+            raise ValueError("LQ/SQ sizes must be positive")
+        self.lq_size = lq_size
+        self.sq_size = sq_size
+        self._loads = 0
+        self._stores = 0
+        # In-flight memory writers (stores and TCAs with output ranges) in
+        # program order: (seq, ranges, inst).
+        self._writers: list[tuple[int, tuple[tuple[int, int], ...], "DynInst"]] = []
+
+    @property
+    def lq_full(self) -> bool:
+        """Whether a load must stall at dispatch."""
+        return self._loads >= self.lq_size
+
+    @property
+    def sq_full(self) -> bool:
+        """Whether a store must stall at dispatch."""
+        return self._stores >= self.sq_size
+
+    def allocate_load(self) -> None:
+        """Claim a load-queue entry at dispatch."""
+        if self.lq_full:
+            raise RuntimeError("allocate on full load queue")
+        self._loads += 1
+
+    def allocate_store(self) -> None:
+        """Claim a store-queue entry at dispatch."""
+        if self.sq_full:
+            raise RuntimeError("allocate on full store queue")
+        self._stores += 1
+
+    def release_load(self) -> None:
+        """Free a load-queue entry at commit."""
+        if self._loads <= 0:
+            raise RuntimeError("release on empty load queue")
+        self._loads -= 1
+
+    def release_store(self) -> None:
+        """Free a store-queue entry at commit."""
+        if self._stores <= 0:
+            raise RuntimeError("release on empty store queue")
+        self._stores -= 1
+
+    def register_writer(
+        self, inst: "DynInst", ranges: tuple[tuple[int, int], ...]
+    ) -> None:
+        """Add an in-flight memory writer (store or writing TCA) at dispatch."""
+        self._writers.append((inst.seq, ranges, inst))
+
+    def deregister_writer(self, inst: "DynInst") -> None:
+        """Remove a writer at commit."""
+        for i in range(len(self._writers) - 1, -1, -1):
+            if self._writers[i][2] is inst:
+                del self._writers[i]
+                return
+
+    def youngest_conflicting_writer(
+        self, seq: int, addr: int, size: int
+    ) -> Optional["DynInst"]:
+        """Youngest incomplete writer older than ``seq`` overlapping the range.
+
+        Used at load/TCA dispatch to create the memory dependence edge.
+        Returns ``None`` when the range is disambiguated (no older in-flight
+        writer touches it or all such writers already completed).
+        """
+        end = addr + size
+        for writer_seq, ranges, inst in reversed(self._writers):
+            if writer_seq >= seq:
+                continue
+            if inst.completed:
+                continue
+            for w_addr, w_size in ranges:
+                if w_addr < end and addr < w_addr + w_size:
+                    return inst
+        return None

@@ -1,0 +1,43 @@
+"""Register renaming as producer tracking.
+
+A full physical-register rename stage is unnecessary for timing: what
+matters is *which in-flight instruction produces each architectural
+register*.  The table maps architectural register ids to their youngest
+in-flight producer; consumers dispatched later depend on that producer's
+completion (wakeup), exactly as a rename + wakeup network behaves, with
+false dependencies eliminated by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import DynInst
+
+
+class RenameTable:
+    """Maps architectural registers to their youngest in-flight producer."""
+
+    def __init__(self) -> None:
+        self._producers: dict[int, "DynInst"] = {}
+
+    def producer_of(self, reg: int) -> Optional["DynInst"]:
+        """The in-flight producer of ``reg``, or ``None`` if the value is
+        architecturally ready."""
+        producer = self._producers.get(reg)
+        if producer is not None and producer.completed:
+            # Lazily clear completed producers so lookups stay O(1).
+            del self._producers[reg]
+            return None
+        return producer
+
+    def set_producer(self, reg: int, producer: "DynInst") -> None:
+        """Record ``producer`` as the youngest writer of ``reg``."""
+        self._producers[reg] = producer
+
+    def clear_if_producer(self, reg: int, producer: "DynInst") -> None:
+        """Remove the mapping if ``producer`` is still the youngest writer
+        (called at commit)."""
+        if self._producers.get(reg) is producer:
+            del self._producers[reg]

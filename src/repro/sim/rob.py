@@ -1,0 +1,57 @@
+"""Reorder buffer: in-order window bookkeeping.
+
+The ROB holds every dispatched, uncommitted instruction in program order.
+The paper's model parameters map directly onto it: ``s_ROB`` is
+:attr:`ReorderBuffer.capacity`, the NL drain waits for
+:meth:`ReorderBuffer.head` to reach the TCA, and ROB-full dispatch stalls
+produce the model's fill penalties.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import DynInst
+
+
+class ReorderBuffer:
+    """Bounded in-order instruction window.
+
+    Args:
+        capacity: maximum in-flight instructions (paper's ``s_ROB``).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ROB capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque["DynInst"] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """Whether dispatch must stall for ROB space."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """Whether the window is drained."""
+        return not self._entries
+
+    def head(self) -> Optional["DynInst"]:
+        """The oldest in-flight instruction, or ``None`` when empty."""
+        return self._entries[0] if self._entries else None
+
+    def push(self, inst: "DynInst") -> None:
+        """Dispatch an instruction into the window."""
+        if self.full:
+            raise RuntimeError("push into full ROB")
+        self._entries.append(inst)
+
+    def pop_head(self) -> "DynInst":
+        """Commit (retire) the oldest instruction."""
+        return self._entries.popleft()

@@ -1,0 +1,112 @@
+"""Top-level simulation API.
+
+:func:`simulate` runs one trace on one configuration;
+:func:`simulate_modes` runs a baseline trace plus an accelerated trace
+under all four TCA integration modes and reports per-mode speedups — the
+exact experiment shape of the paper's validation figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.modes import TCAMode
+from repro.isa.trace import Trace
+from repro.sim.config import SimConfig
+from repro.sim.core import CoreSim
+from repro.sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one :func:`simulate` call.
+
+    Attributes:
+        trace_name: name of the executed trace.
+        config_name: name of the core configuration.
+        mode: TCA integration mode in effect.
+        stats: full simulation statistics.
+    """
+
+    trace_name: str
+    config_name: str
+    mode: TCAMode
+    stats: SimStats
+
+    @property
+    def cycles(self) -> int:
+        """Total execution cycles."""
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.stats.ipc
+
+
+def simulate(
+    trace: Trace,
+    config: SimConfig,
+    warm_ranges: list[tuple[int, int]] | None = None,
+) -> SimulationResult:
+    """Execute ``trace`` on ``config`` and return the result.
+
+    Args:
+        trace: dynamic instruction stream.
+        config: core configuration (its ``tca_mode`` governs TCA semantics).
+        warm_ranges: byte ranges pre-loaded into the caches.
+    """
+    sim = CoreSim(config, trace, warm_ranges=warm_ranges)
+    stats = sim.run()
+    return SimulationResult(
+        trace_name=trace.name,
+        config_name=config.name,
+        mode=config.tca_mode,
+        stats=stats,
+    )
+
+
+@dataclass(frozen=True)
+class ModeComparison:
+    """Baseline-vs-accelerated comparison across the four TCA modes.
+
+    Attributes:
+        baseline: result of the software-only trace.
+        per_mode: accelerated-trace result for each TCA mode.
+    """
+
+    baseline: SimulationResult
+    per_mode: dict[TCAMode, SimulationResult] = field(default_factory=dict)
+
+    def speedup(self, mode: TCAMode) -> float:
+        """Program speedup of ``mode`` over the software baseline."""
+        accel = self.per_mode[mode]
+        if accel.cycles == 0:
+            return float("inf")
+        return self.baseline.cycles / accel.cycles
+
+    def speedups(self) -> dict[TCAMode, float]:
+        """Speedups for every simulated mode."""
+        return {mode: self.speedup(mode) for mode in self.per_mode}
+
+
+def simulate_modes(
+    baseline: Trace,
+    accelerated: Trace,
+    config: SimConfig,
+    modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
+    warm_ranges: list[tuple[int, int]] | None = None,
+) -> ModeComparison:
+    """Run the paper's validation experiment shape.
+
+    Simulates ``baseline`` once, then ``accelerated`` under each mode in
+    ``modes`` (same core otherwise), returning a :class:`ModeComparison`
+    with per-mode speedups.
+    """
+    base_result = simulate(baseline, config, warm_ranges=warm_ranges)
+    per_mode: dict[TCAMode, SimulationResult] = {}
+    for mode in modes:
+        per_mode[mode] = simulate(
+            accelerated, config.with_mode(mode), warm_ranges=warm_ranges
+        )
+    return ModeComparison(baseline=base_result, per_mode=per_mode)

@@ -1,0 +1,114 @@
+"""Simulation statistics: cycles, IPC, and dispatch-stall accounting.
+
+The analytical model reasons about the core front end — cycles where zero
+useful instructions dispatch.  The simulator therefore attributes every
+zero-dispatch cycle to a cause, which both validates the model's penalty
+terms and makes simulator behaviour debuggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+
+@unique
+class StallReason(Enum):
+    """Why the dispatch stage made no progress in a cycle."""
+
+    NONE = "none"
+    FRONTEND_FILL = "frontend_fill"
+    TCA_BARRIER = "tca_barrier"
+    BRANCH_REDIRECT = "branch_redirect"
+    ROB_FULL = "rob_full"
+    IQ_FULL = "iq_full"
+    LQ_FULL = "lq_full"
+    SQ_FULL = "sq_full"
+    TRACE_DRAINED = "trace_drained"
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over one simulation.
+
+    Attributes:
+        cycles: total execution cycles (first dispatch attempt to last commit).
+        instructions: committed instruction count (TCA counts as one).
+        dispatched: total instructions dispatched.
+        stall_cycles: zero-dispatch cycles attributed per :class:`StallReason`.
+        tca_invocations: committed TCA instructions.
+        tca_read_requests: memory read requests issued by TCAs.
+        tca_write_requests: memory write requests drained by TCAs at commit.
+        tca_wait_drain_cycles: cycles TCAs spent waiting for ROB-head
+            (the NL drain delay observed in simulation).
+        tca_exec_cycles: cycles TCAs spent from start to completion.
+        loads / stores: committed memory ops (excluding TCA internal requests).
+        branches / mispredicts: committed branch counts.
+        rob_occupancy_sum / rob_samples: for mean ROB occupancy.
+        max_rob_occupancy: high-water mark of ROB entries.
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    dispatched: int = 0
+    stall_cycles: dict[StallReason, int] = field(default_factory=dict)
+    tca_invocations: int = 0
+    tca_read_requests: int = 0
+    tca_write_requests: int = 0
+    tca_wait_drain_cycles: int = 0
+    tca_exec_cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    rob_occupancy_sum: int = 0
+    rob_samples: int = 0
+    max_rob_occupancy: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def mean_rob_occupancy(self) -> float:
+        """Average ROB entries in use over sampled cycles."""
+        if self.rob_samples == 0:
+            return 0.0
+        return self.rob_occupancy_sum / self.rob_samples
+
+    def add_stall(self, reason: StallReason, cycles: int = 1) -> None:
+        """Attribute ``cycles`` zero-dispatch cycles to ``reason``."""
+        self.stall_cycles[reason] = self.stall_cycles.get(reason, 0) + cycles
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """All zero-dispatch cycles (excluding post-trace drain)."""
+        return sum(
+            count
+            for reason, count in self.stall_cycles.items()
+            if reason is not StallReason.TRACE_DRAINED
+        )
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"cycles              {self.cycles}",
+            f"instructions        {self.instructions}",
+            f"IPC                 {self.ipc:.3f}",
+            f"loads/stores        {self.loads}/{self.stores}",
+            f"branches (mispred)  {self.branches} ({self.mispredicts})",
+            f"TCA invocations     {self.tca_invocations}",
+            f"TCA reads/writes    {self.tca_read_requests}/{self.tca_write_requests}",
+            f"TCA drain-wait cyc  {self.tca_wait_drain_cycles}",
+            f"mean/max ROB occ    {self.mean_rob_occupancy:.1f}/{self.max_rob_occupancy}",
+        ]
+        if self.stall_cycles:
+            lines.append("dispatch stalls:")
+            for reason, count in sorted(
+                self.stall_cycles.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {reason.value:<16} {count}")
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""The tightly-coupled accelerator functional unit.
+
+The paper's TCA (Fig. 1) is a hardware block invoked via a dedicated
+instruction: it reserves a ROB entry, commits in order, and has its own
+compute resources but shares the core's LSQ and memory hierarchy.  By
+default one invocation executes at a time — a younger TCA instruction
+waits for the unit to free, which is how back-to-back invocations
+serialise in both the simulator and the analytical model.  A multi-unit
+(or multi-context) accelerator can be modelled by raising ``capacity``,
+one of the ablation axes in :mod:`repro.experiments.ablations`.
+
+Leading/trailing concurrency (the mode) is enforced in the pipeline:
+:class:`TCAUnit` only tracks unit occupancy and exposes the active
+invocations so the issue stage can arbitrate their memory requests by age.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.modes import TCAMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import DynInst
+
+
+class TCAUnit:
+    """Occupancy tracking for the accelerator block(s).
+
+    Args:
+        mode: integration mode, kept for introspection/reporting.
+        capacity: concurrent invocations supported (default 1).
+    """
+
+    def __init__(self, mode: TCAMode, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"TCA unit capacity must be positive, got {capacity}")
+        self.mode = mode
+        self.capacity = capacity
+        self._active: list["DynInst"] = []
+        self.started = 0
+        self.finished = 0
+
+    @property
+    def current(self) -> Optional["DynInst"]:
+        """The oldest invocation currently executing, if any."""
+        return self._active[0] if self._active else None
+
+    @property
+    def busy(self) -> bool:
+        """Whether the unit has no free invocation slot."""
+        return len(self._active) >= self.capacity
+
+    @property
+    def active(self) -> tuple["DynInst", ...]:
+        """All in-flight invocations, oldest first."""
+        return tuple(self._active)
+
+    def oldest_with_pending_reads(self) -> Optional["DynInst"]:
+        """The oldest active invocation that still has reads to issue."""
+        for dyn in self._active:
+            descriptor = dyn.inst.tca
+            assert descriptor is not None
+            if dyn.tca_read_index < len(descriptor.reads):
+                return dyn
+        return None
+
+    def try_start(self, dyn: "DynInst") -> bool:
+        """Claim an invocation slot for ``dyn``; fails when at capacity."""
+        if len(self._active) >= self.capacity:
+            return False
+        self._active.append(dyn)
+        self._active.sort(key=lambda d: d.seq)
+        self.started += 1
+        return True
+
+    def finish(self, dyn: "DynInst") -> None:
+        """Release ``dyn``'s slot when it completes."""
+        try:
+            self._active.remove(dyn)
+        except ValueError:
+            raise RuntimeError(
+                "TCA completion for an invocation that is not active"
+            ) from None
+        self.finished += 1

@@ -1,0 +1,98 @@
+"""Workload generators and accelerator catalogs.
+
+Each generator reproduces one of the paper's evaluation workloads as
+instruction traces for the simulator plus model parameters:
+
+- :mod:`repro.workloads.synthetic` — the adaptive microbenchmark swept in
+  Fig. 4;
+- :mod:`repro.workloads.tcmalloc` / :mod:`repro.workloads.heap` — the
+  TCMalloc-style allocator substrate and heap-manager TCA of Fig. 5;
+- :mod:`repro.workloads.matmul` — blocked dense matrix multiplication with
+  2×2/4×4/8×8 MMA TCAs (Fig. 6);
+- :mod:`repro.workloads.greendroid` — GreenDroid function estimates
+  (Fig. 7 overlays);
+- :mod:`repro.workloads.catalog` — granularity estimates for the published
+  accelerators marked on Fig. 2.
+"""
+
+from repro.workloads.catalog import ACCELERATOR_CATALOG, CatalogEntry
+from repro.workloads.greendroid import (
+    GREENDROID_ACCELERATION,
+    GreenDroidFunction,
+    greendroid_catalog,
+)
+from repro.workloads.hashmap import (
+    HashMapWorkloadSpec,
+    OpenAddressingHashMap,
+    generate_hashmap_program,
+)
+from repro.workloads.regex import (
+    CompiledRegex,
+    RegexSyntaxError,
+    RegexWorkloadSpec,
+    generate_regex_program,
+)
+from repro.workloads.strings import (
+    StringTable,
+    StringWorkloadSpec,
+    generate_string_program,
+)
+from repro.workloads.heap import (
+    HEAP_TCA_LATENCY,
+    HeapWorkloadSpec,
+    generate_heap_program,
+    heap_granularity,
+)
+from repro.workloads.matmul import (
+    MatmulSpec,
+    blocked_matmul,
+    generate_matmul_traces,
+    matmul_tca_descriptor_stats,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic_program
+from repro.workloads.tcmalloc import (
+    FREE_SOFTWARE_CYCLES,
+    FREE_SOFTWARE_UOPS,
+    MALLOC_SOFTWARE_CYCLES,
+    MALLOC_SOFTWARE_UOPS,
+    SIZE_CLASSES,
+    AllocatorStats,
+    HeapCorruptionError,
+    SizeClassAllocator,
+)
+
+__all__ = [
+    "ACCELERATOR_CATALOG",
+    "AllocatorStats",
+    "CatalogEntry",
+    "FREE_SOFTWARE_CYCLES",
+    "FREE_SOFTWARE_UOPS",
+    "GREENDROID_ACCELERATION",
+    "GreenDroidFunction",
+    "HEAP_TCA_LATENCY",
+    "HeapCorruptionError",
+    "HashMapWorkloadSpec",
+    "HeapWorkloadSpec",
+    "MALLOC_SOFTWARE_CYCLES",
+    "MALLOC_SOFTWARE_UOPS",
+    "MatmulSpec",
+    "SIZE_CLASSES",
+    "CompiledRegex",
+    "OpenAddressingHashMap",
+    "RegexSyntaxError",
+    "RegexWorkloadSpec",
+    "SizeClassAllocator",
+    "StringTable",
+    "StringWorkloadSpec",
+    "SyntheticSpec",
+    "blocked_matmul",
+    "generate_hashmap_program",
+    "generate_heap_program",
+    "generate_regex_program",
+    "generate_string_program",
+    "generate_matmul_traces",
+    "generate_synthetic_program",
+    "greendroid_catalog",
+    "heap_granularity",
+    "matmul_tca_descriptor_stats",
+]

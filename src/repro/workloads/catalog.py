@@ -1,0 +1,96 @@
+"""Accelerator granularity catalog (paper Fig. 2 markers).
+
+Fig. 2 annotates the granularity axis with published accelerators, from
+very coarse (H.264 encoding, Google's TPU) down to very fine (hash-map and
+heap-management TCAs).  The paper states these markers are *estimated*
+points of reference; this catalog records our corresponding estimates —
+the order of magnitude of baseline instructions replaced per invocation —
+with the citation each estimate derives from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One published accelerator's granularity estimate.
+
+    Attributes:
+        name: accelerator/task name as labelled in Fig. 2.
+        granularity: estimated baseline instructions per invocation.
+        citation: the paper's reference for the accelerator.
+        note: how the estimate was formed.
+    """
+
+    name: str
+    granularity: float
+    citation: str
+    note: str
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise ValueError("granularity must be positive")
+
+
+#: Fig. 2 reference markers, fine to coarse.
+ACCELERATOR_CATALOG: tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        name="hash map",
+        granularity=3e1,
+        citation="[6] Gope et al., ISCA 2017",
+        note="hash-map probe/insert helpers are tens of instructions",
+    ),
+    CatalogEntry(
+        name="heap management",
+        granularity=5.3e1,
+        citation="[5] Kanev et al. (Mallacc), [6]",
+        note="mean of TCMalloc fast paths: malloc 69 uops, free 37 uops",
+    ),
+    CatalogEntry(
+        name="string functions",
+        granularity=2e2,
+        citation="[6] Gope et al., ISCA 2017",
+        note="string compare/copy loops over short PHP strings",
+    ),
+    CatalogEntry(
+        name="GreenDroid functions",
+        granularity=4e2,
+        citation="[9] Goulding-Hotta et al., IEEE Micro 2011",
+        note="hot mobile functions, hundreds of instructions straight-through",
+    ),
+    CatalogEntry(
+        name="regular expression",
+        granularity=2e3,
+        citation="[6] Gope et al., ISCA 2017",
+        note="regex match over a short subject string",
+    ),
+    CatalogEntry(
+        name="speech recognition (STTNI)",
+        granularity=1e4,
+        citation="[10] Shi et al., ISPASS 2011",
+        note="SSE4.2 string/text kernels per recognition step",
+    ),
+    CatalogEntry(
+        name="TPU",
+        granularity=5e5,
+        citation="[8] Jouppi et al., ISCA 2017",
+        note="one neural-network layer invocation",
+    ),
+    CatalogEntry(
+        name="H.264 encode",
+        granularity=1e7,
+        citation="[3] Huang et al., TCSVT 2005",
+        note="one frame/macroblock pipeline invocation",
+    ),
+)
+
+
+def entry(name: str) -> CatalogEntry:
+    """Look up a catalog entry by (case-insensitive) name."""
+    wanted = name.lower()
+    for item in ACCELERATOR_CATALOG:
+        if item.name.lower() == wanted:
+            return item
+    raise KeyError(f"no catalog entry named {name!r}")

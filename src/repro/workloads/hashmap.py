@@ -1,0 +1,310 @@
+"""Hash-map TCA workload (one of the paper's motivating fine-grained TCAs).
+
+The PHP-server acceleration work the paper builds on ([6] Gope et al.)
+accelerates hash-map probes — the dominant primitive of PHP arrays — with
+a tightly-coupled unit.  This module provides the equivalent workload:
+
+- a real **open-addressing hash table** substrate (linear probing,
+  power-of-two buckets, tombstone-free deletion by rebuild) that the
+  generator actually exercises, so probe sequences and memory addresses
+  reflect genuine occupancy and clustering;
+- software uop sequences for ``get``/``put`` fast paths (hash, bucket
+  load, key compare, optional probe steps) whose lengths scale with the
+  *measured* probe distance of each operation;
+- a hash-map TCA descriptor: the accelerator hashes and probes in
+  hardware, issuing one ≤64 B bucket read per probe step with a
+  small pipelined compute latency.
+
+Granularity lands in the tens of instructions — the finest-grained marker
+on the paper's Fig. 2 — which is exactly why this accelerator is the most
+sensitive to the integration mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.instructions import TCADescriptor, chunk_memory_range
+from repro.isa.program import AcceleratableRegion, Program
+from repro.isa.trace import TraceBuilder
+
+#: Memory layout: bucket array and key storage.
+BUCKETS_BASE = 0x0800_0000
+BUCKET_BYTES = 16  # key hash + value pointer
+
+#: Software fast-path budget: base cost plus per-probe-step cost,
+#: estimated from the hash/probe/compare loop of a scripting-language
+#: hash map ([6] reports hash-map helpers of tens of instructions).
+GET_BASE_UOPS = 18
+PUT_BASE_UOPS = 24
+PROBE_STEP_UOPS = 7
+
+#: Hardware TCA timing: hash + compare pipeline.
+TCA_BASE_LATENCY = 2
+TCA_PROBE_LATENCY = 1
+
+_SCRATCH = (0, 1, 2, 3)
+_FILLER_REGS = (4, 5, 6, 7)
+
+
+class OpenAddressingHashMap:
+    """Linear-probing hash table over integer keys (the substrate).
+
+    Args:
+        capacity: bucket count; must be a power of two.
+
+    The table stores key → value and reports the probe distance of every
+    operation, which the trace generators use to size software sequences
+    and TCA requests.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two, got {capacity}")
+        self.capacity = capacity
+        self._keys: list[int | None] = [None] * capacity
+        self._values: list[int] = [0] * capacity
+        self.size = 0
+
+    @staticmethod
+    def _hash(key: int) -> int:
+        # Fibonacci hashing: cheap and well-distributed for dense keys.
+        return (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+
+    def _probe(self, key: int) -> tuple[int, int]:
+        """Return (bucket index, probe distance) for ``key``.
+
+        The returned bucket either holds ``key`` or is the first empty
+        slot on its probe path.
+        """
+        mask = self.capacity - 1
+        index = (self._hash(key) >> 32) & mask
+        distance = 0
+        while self._keys[index] is not None and self._keys[index] != key:
+            index = (index + 1) & mask
+            distance += 1
+            if distance > self.capacity:
+                raise RuntimeError("hash map full during probe")
+        return index, distance
+
+    def put(self, key: int, value: int) -> int:
+        """Insert or update; returns the probe distance used."""
+        if self.size >= self.capacity * 7 // 8:
+            raise RuntimeError("hash map over load-factor limit")
+        index, distance = self._probe(key)
+        if self._keys[index] is None:
+            self.size += 1
+        self._keys[index] = key
+        self._values[index] = value
+        return distance
+
+    def get(self, key: int) -> tuple[int | None, int]:
+        """Lookup; returns (value or None, probe distance)."""
+        index, distance = self._probe(key)
+        if self._keys[index] == key:
+            return self._values[index], distance
+        return None, distance
+
+    def bucket_addr(self, key: int) -> int:
+        """Memory address of the first bucket on ``key``'s probe path."""
+        mask = self.capacity - 1
+        index = (self._hash(key) >> 32) & mask
+        return BUCKETS_BASE + index * BUCKET_BYTES
+
+    def load_factor(self) -> float:
+        """Occupied fraction of the table."""
+        return self.size / self.capacity
+
+    def check_invariants(self) -> None:
+        """Every stored key must be reachable by its probe path."""
+        for index, key in enumerate(self._keys):
+            if key is None:
+                continue
+            found, _distance = self.get(key)
+            if found != self._values[index]:
+                raise RuntimeError(f"key {key} unreachable by probing")
+
+
+def _emit_get_software(
+    builder: TraceBuilder, table: OpenAddressingHashMap, key: int
+) -> int:
+    """Emit the hash-map ``get`` fast path; returns uops emitted."""
+    r_key, r_hash, r_bucket, r_cmp = _SCRATCH
+    start = len(builder)
+    _value, distance = table.get(key)
+    builder.alu(r_key, ())
+    builder.alu(r_hash, (r_key,))  # multiply-hash
+    builder.alu(r_hash, (r_hash,))  # shift/mask
+    addr = table.bucket_addr(key)
+    builder.load(r_bucket, addr, 8, srcs=(r_hash,))
+    builder.alu(r_cmp, (r_bucket, r_key))  # key compare
+    for step in range(distance):
+        probe_addr = BUCKETS_BASE + (
+            (addr - BUCKETS_BASE + (step + 1) * BUCKET_BYTES)
+            % (table.capacity * BUCKET_BYTES)
+        )
+        builder.branch(srcs=(r_cmp,))
+        builder.load(r_bucket, probe_addr, 8, srcs=(r_bucket,))
+        builder.alu(r_cmp, (r_bucket, r_key))
+        for _ in range(PROBE_STEP_UOPS - 3):
+            builder.alu(_SCRATCH[(step + 2) % 4], ())
+    builder.load(r_cmp, addr + 8, 8, srcs=(r_cmp,))  # value load
+    emitted = len(builder) - start
+    target = GET_BASE_UOPS + distance * PROBE_STEP_UOPS
+    while emitted < target:
+        builder.alu(_SCRATCH[emitted % 4], ())
+        emitted += 1
+    return len(builder) - start
+
+
+def _emit_put_software(
+    builder: TraceBuilder, table: OpenAddressingHashMap, key: int, value: int
+) -> int:
+    """Emit the hash-map ``put`` fast path; returns uops emitted."""
+    r_key, r_hash, r_bucket, r_cmp = _SCRATCH
+    start = len(builder)
+    distance = table.put(key, value)
+    addr = table.bucket_addr(key)
+    builder.alu(r_key, ())
+    builder.alu(r_hash, (r_key,))
+    builder.alu(r_hash, (r_hash,))
+    builder.load(r_bucket, addr, 8, srcs=(r_hash,))
+    builder.alu(r_cmp, (r_bucket, r_key))
+    for step in range(distance):
+        builder.branch(srcs=(r_cmp,))
+        builder.load(
+            r_bucket,
+            BUCKETS_BASE
+            + ((addr - BUCKETS_BASE + (step + 1) * BUCKET_BYTES)
+               % (table.capacity * BUCKET_BYTES)),
+            8,
+            srcs=(r_bucket,),
+        )
+        builder.alu(r_cmp, (r_bucket, r_key))
+        for _ in range(PROBE_STEP_UOPS - 3):
+            builder.alu(_SCRATCH[(step + 2) % 4], ())
+    builder.store(r_key, addr, 8)
+    builder.store(r_cmp, addr + 8, 8)
+    emitted = len(builder) - start
+    target = PUT_BASE_UOPS + distance * PROBE_STEP_UOPS
+    while emitted < target:
+        builder.alu(_SCRATCH[emitted % 4], ())
+        emitted += 1
+    return len(builder) - start
+
+
+def _tca_descriptor(
+    table: OpenAddressingHashMap, key: int, distance: int, is_put: bool, replaced: int
+) -> TCADescriptor:
+    """Hash-map TCA: one bucket read per probe step, pipelined compare."""
+    addr = table.bucket_addr(key)
+    reads = []
+    for step in range(distance + 1):
+        probe_addr = BUCKETS_BASE + (
+            (addr - BUCKETS_BASE + step * BUCKET_BYTES)
+            % (table.capacity * BUCKET_BYTES)
+        )
+        reads.extend(chunk_memory_range(probe_addr, BUCKET_BYTES))
+    writes = tuple(
+        chunk_memory_range(addr, BUCKET_BYTES, is_write=True)
+    ) if is_put else ()
+    return TCADescriptor(
+        name="hashmap-put" if is_put else "hashmap-get",
+        compute_latency=TCA_BASE_LATENCY + distance * TCA_PROBE_LATENCY,
+        reads=tuple(reads),
+        writes=writes,
+        replaced_instructions=replaced,
+    )
+
+
+@dataclass(frozen=True)
+class HashMapWorkloadSpec:
+    """Parameters of one hash-map microbenchmark instance.
+
+    Attributes:
+        operations: number of get/put operations.
+        put_fraction: fraction of operations that are puts.
+        key_space: keys are drawn from [0, key_space).
+        capacity: table buckets (power of two).
+        filler_block: independent instructions between operations.
+        seed: RNG seed.
+    """
+
+    operations: int = 300
+    put_fraction: float = 0.35
+    key_space: int = 160
+    capacity: int = 256
+    filler_block: int = 30
+    seed: int = 2
+
+    def __post_init__(self) -> None:
+        if self.operations <= 0:
+            raise ValueError("operations must be positive")
+        if not 0.0 <= self.put_fraction <= 1.0:
+            raise ValueError("put_fraction must be in [0,1]")
+        if self.key_space <= 0:
+            raise ValueError("key_space must be positive")
+        if self.filler_block < 0:
+            raise ValueError("filler_block must be non-negative")
+        if self.key_space >= self.capacity * 7 // 8:
+            raise ValueError(
+                "key_space must stay below the table's load-factor limit"
+            )
+
+
+def generate_hashmap_program(spec: HashMapWorkloadSpec) -> Program:
+    """Generate the hash-map microbenchmark as a :class:`Program`.
+
+    Gets and puts interleave with filler compute; every operation's
+    software sequence and TCA descriptor reflect the *actual* probe
+    distance at that point in the key stream, so clustering effects are
+    real.  Gets always target previously-inserted keys.
+    """
+    rng = random.Random(spec.seed)
+    table = OpenAddressingHashMap(spec.capacity)
+    builder = TraceBuilder(
+        name=f"hashmap-n{spec.operations}",
+        metadata={"workload": "hashmap", "operations": spec.operations},
+    )
+    regions: list[AcceleratableRegion] = []
+    inserted: list[int] = []
+
+    for op in range(spec.operations):
+        do_put = not inserted or rng.random() < spec.put_fraction
+        start = len(builder)
+        if do_put:
+            key = rng.randrange(spec.key_space)
+            _index, distance = table._probe(key)
+            emitted = _emit_put_software(builder, table, key, value=op)
+            if key not in inserted:
+                inserted.append(key)
+            descriptor = _tca_descriptor(
+                table, key, distance, is_put=True, replaced=emitted
+            )
+        else:
+            key = rng.choice(inserted)
+            _value, distance = table.get(key)
+            emitted = _emit_get_software(builder, table, key)
+            descriptor = _tca_descriptor(
+                table, key, distance, is_put=False, replaced=emitted
+            )
+        regions.append(
+            AcceleratableRegion(start, len(builder) - start, descriptor, dsts=(8,))
+        )
+        for i in range(spec.filler_block):
+            builder.alu(_FILLER_REGS[i % len(_FILLER_REGS)], ())
+
+    table.check_invariants()
+    baseline = builder.build()
+    baseline.metadata["warm_ranges"] = [
+        (BUCKETS_BASE, spec.capacity * BUCKET_BYTES)
+    ]
+    baseline.metadata["final_load_factor"] = table.load_factor()
+    return Program(baseline, regions, name=baseline.name)
+
+
+def mean_granularity(spec: HashMapWorkloadSpec) -> float:
+    """Mean software instructions per operation for this spec."""
+    program = generate_hashmap_program(spec)
+    return program.mean_granularity

@@ -1,0 +1,180 @@
+"""Adaptive synthetic microbenchmark (paper §V-A, Fig. 4).
+
+The paper validates the model over "a sweep of microbenchmarks which
+varies over many different invocation frequencies and percentage of
+acceleratable code": increasing the number of accelerator instructions
+raises both ``v`` and ``a`` simultaneously, and the accelerator
+instructions are placed *randomly* to deliberately violate the model's
+even-distribution assumption.
+
+:func:`generate_synthetic_program` reproduces that: a baseline trace of
+configurable instruction mix with ``num_invocations`` equally-sized
+acceleratable regions scattered at random offsets.
+
+The default mix is deliberately *window-limited* in the Eyerman sense the
+model builds on: long-latency loads (streaming over a far-larger-than-L2
+region, one fresh cache line each) are spread through the instruction
+stream so that the core's sustained IPC comes from the memory-level
+parallelism the reorder buffer can expose.  In that regime the ROB runs
+full, the drain time of a full window matches the power-law/balanced
+estimate ``s_ROB / IPC``, and dispatch meters execution — exactly the
+assumptions of the interval model.  The knobs (``load_every``,
+``chain_every``, ``mispredict_every``) let tests explore workloads that
+*violate* those assumptions too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.instructions import OpClass, TCADescriptor
+from repro.isa.program import AcceleratableRegion, Program
+from repro.isa.trace import TraceBuilder
+
+#: Streaming data region for the synthetic loads.
+DATA_BASE = 0x3000_0000
+
+_REGS = tuple(range(16))
+_CHAIN_REG = 15
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic microbenchmark instance.
+
+    Attributes:
+        total_instructions: baseline trace length.
+        num_invocations: acceleratable regions to scatter (each becomes
+            one TCA).
+        region_size: baseline instructions per region.
+        tca_latency: explicit accelerator latency per invocation in
+            cycles (architect-provided, paper §III-E).
+        load_every: one long-latency load per this many instructions.
+            Each load touches a fresh cache line of a streaming region far
+            larger than the L2, so the loads always miss and the core's
+            IPC is set by how many the ROB can overlap (window-limited
+            memory-level parallelism).
+        chain_every: one instruction per this many extends a serial
+            dependency chain (a light serial spine; not the IPC limiter
+            at the default setting).
+        mispredict_every: one mispredicted branch per this many
+            instructions (0 disables mispredictions).
+        working_set: bytes of the load-streaming region (wraps around;
+            keep it far above the L2 capacity so reuse never warms up).
+        seed: RNG seed for region placement.
+    """
+
+    total_instructions: int = 20_000
+    num_invocations: int = 20
+    region_size: int = 300
+    tca_latency: int = 200
+    load_every: int = 40
+    chain_every: int = 7
+    mispredict_every: int = 0
+    working_set: int = 1 << 25
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.total_instructions <= 0:
+            raise ValueError("total_instructions must be positive")
+        if self.num_invocations < 0:
+            raise ValueError("num_invocations must be non-negative")
+        if self.region_size <= 0:
+            raise ValueError("region_size must be positive")
+        if self.num_invocations * self.region_size > self.total_instructions:
+            raise ValueError(
+                "acceleratable regions exceed the trace: "
+                f"{self.num_invocations} x {self.region_size} > "
+                f"{self.total_instructions}"
+            )
+        if self.tca_latency < 1:
+            raise ValueError("tca_latency must be >= 1")
+        if self.load_every <= 0 or self.chain_every <= 0:
+            raise ValueError("load_every and chain_every must be positive")
+        if self.mispredict_every < 0:
+            raise ValueError("mispredict_every must be non-negative")
+
+    @property
+    def acceleratable_fraction(self) -> float:
+        """The ``a`` this spec produces."""
+        return self.num_invocations * self.region_size / self.total_instructions
+
+    @property
+    def invocation_frequency(self) -> float:
+        """The ``v`` this spec produces."""
+        return self.num_invocations / self.total_instructions
+
+
+def _emit_mixed(
+    builder: TraceBuilder, spec: SyntheticSpec, index: int, load_counter: list[int]
+) -> None:
+    """Emit one instruction of the baseline mix at global position ``index``.
+
+    ``load_counter`` is a one-element list tracking how many streaming
+    loads have been emitted so far (each takes a fresh 64 B line).
+    """
+    if spec.mispredict_every and index % spec.mispredict_every == spec.mispredict_every - 1:
+        builder.branch(srcs=(_REGS[index % 8],), mispredicted=True)
+    elif index % spec.load_every == 0:
+        addr = DATA_BASE + (load_counter[0] * 64) % spec.working_set
+        load_counter[0] += 1
+        builder.load(_REGS[index % 8], addr, 8)
+    elif index % spec.chain_every == 0:
+        builder.alu(_CHAIN_REG, (_CHAIN_REG,))
+    elif index % 17 == 0:
+        builder.branch(srcs=(_REGS[index % 8],))
+    else:
+        builder.alu(_REGS[index % 8], ())
+
+
+def _region_offsets(spec: SyntheticSpec, rng: random.Random) -> list[int]:
+    """Random non-overlapping region start offsets.
+
+    Chosen by sampling gaps: place ``num_invocations`` regions into the
+    trace by drawing the leftover slack and splitting it uniformly, which
+    guarantees non-overlap without rejection sampling.
+    """
+    slack = spec.total_instructions - spec.num_invocations * spec.region_size
+    cuts = sorted(rng.randint(0, slack) for _ in range(spec.num_invocations))
+    offsets = []
+    for i, cut in enumerate(cuts):
+        offsets.append(cut + i * spec.region_size)
+    return offsets
+
+
+def generate_synthetic_program(spec: SyntheticSpec) -> Program:
+    """Generate the adaptive microbenchmark as a :class:`Program`.
+
+    The baseline trace carries the full instruction mix; each scattered
+    region is marked acceleratable with an explicit-latency TCA
+    descriptor.  Returns a program whose measured ``a``/``v`` equal
+    :attr:`SyntheticSpec.acceleratable_fraction` and
+    :attr:`SyntheticSpec.invocation_frequency`.
+    """
+    rng = random.Random(spec.seed)
+    builder = TraceBuilder(
+        name=f"synthetic-n{spec.num_invocations}-g{spec.region_size}",
+        metadata={
+            "workload": "synthetic",
+            "num_invocations": spec.num_invocations,
+            "region_size": spec.region_size,
+            "tca_latency": spec.tca_latency,
+            "seed": spec.seed,
+        },
+    )
+    load_counter = [0]
+    for index in range(spec.total_instructions):
+        _emit_mixed(builder, spec, index, load_counter)
+    baseline = builder.build()
+
+    descriptor = TCADescriptor(
+        name="synthetic-tca",
+        compute_latency=spec.tca_latency,
+        replaced_instructions=spec.region_size,
+    )
+    regions = [
+        AcceleratableRegion(start=offset, length=spec.region_size, descriptor=descriptor)
+        for offset in _region_offsets(spec, rng)
+    ]
+    return Program(baseline, regions, name=baseline.name)

@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+from repro.isa.instructions import Instruction, OpClass, TCADescriptor
+from repro.isa.trace import Trace, TraceBuilder
+from repro.sim.config import FunctionalUnitConfig, SimConfig
+
+
+@pytest.fixture
+def small_core() -> CoreParameters:
+    """A small, easy-to-hand-compute core for model tests."""
+    return CoreParameters(
+        ipc=2.0, rob_size=64, issue_width=4, commit_stall=4.0, name="test-core"
+    )
+
+
+@pytest.fixture
+def simple_accelerator() -> AcceleratorParameters:
+    """A=4 accelerator with no explicit latency."""
+    return AcceleratorParameters(name="test-tca", acceleration=4.0)
+
+
+@pytest.fixture
+def simple_workload() -> WorkloadParameters:
+    """a=0.5, one invocation per 1000 instructions, explicit drain 20."""
+    return WorkloadParameters(
+        acceleratable_fraction=0.5, invocation_frequency=0.0005, drain_time=20.0
+    )
+
+
+@pytest.fixture
+def tiny_sim_config() -> SimConfig:
+    """A fast little core for simulator unit tests."""
+    return SimConfig(
+        name="tiny",
+        dispatch_width=2,
+        issue_width=4,
+        commit_width=4,
+        rob_size=32,
+        iq_size=16,
+        lq_size=8,
+        sq_size=8,
+        frontend_depth=2,
+        commit_latency=2,
+        redirect_penalty=6,
+        load_ports=2,
+        store_ports=1,
+        forward_latency=2,
+        l1d_size=4096,
+        l1d_assoc=4,
+        l1d_latency=2,
+        l2_size=65536,
+        l2_assoc=8,
+        l2_latency=8,
+        mem_latency=40,
+        mshrs=4,
+    )
+
+
+@pytest.fixture
+def alu_trace() -> Trace:
+    """200 independent single-cycle ALU ops."""
+    builder = TraceBuilder("alu")
+    builder.independent_block(200, list(range(8)))
+    return builder.build()
+
+
+def make_tca_descriptor(
+    latency: int = 5,
+    reads: tuple = (),
+    writes: tuple = (),
+    replaced: int = 10,
+) -> TCADescriptor:
+    """Convenience TCA descriptor for tests."""
+    return TCADescriptor(
+        name="test-tca",
+        compute_latency=latency,
+        reads=reads,
+        writes=writes,
+        replaced_instructions=replaced,
+    )
+
+
+@pytest.fixture
+def all_modes() -> tuple[TCAMode, ...]:
+    """The four modes in canonical order."""
+    return TCAMode.all_modes()

@@ -1,0 +1,90 @@
+"""API-quality meta-tests: documentation and export hygiene.
+
+A reproduction aimed at adoption needs a documented public surface; these
+tests enforce it mechanically — every public module, class, function, and
+method under ``repro`` carries a docstring, and every ``__all__`` export
+resolves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_SKIP_METHODS = {
+    # dataclass/enum machinery and dunders are exempt
+    "__init__",
+    "__repr__",
+    "__post_init__",
+    "__eq__",
+    "__lt__",
+    "__hash__",
+    "__len__",
+    "__iter__",
+    "__getitem__",
+}
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        defined_here = getattr(member, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, member in _public_members(module):
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(f"{module.__name__}.{name}")
+        if inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_") and method_name not in ():
+                    continue
+                if not (inspect.isfunction(method) or isinstance(method, property)):
+                    continue
+                target = method.fget if isinstance(method, property) else method
+                if target is None or method_name in _SKIP_METHODS:
+                    continue
+                if not (target.__doc__ and target.__doc__.strip()):
+                    undocumented.append(
+                        f"{module.__name__}.{name}.{method_name}"
+                    )
+    assert not undocumented, f"undocumented public API: {undocumented}"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [m for m in ALL_MODULES if hasattr(m, "__all__")],
+    ids=lambda m: m.__name__,
+)
+def test_all_exports_resolve(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.__all__ lists {name}"
+
+
+def test_version_exported():
+    assert repro.__version__

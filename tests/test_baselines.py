@@ -1,0 +1,176 @@
+"""Unit tests for the LogCA, Gables, and Amdahl comparator models."""
+
+import math
+
+import pytest
+
+from repro.baselines.amdahl import amdahl_speedup, naive_tca_speedup
+from repro.baselines.gables import GablesModel, GablesOperatingPoint
+from repro.baselines.logca import LogCAModel, LogCAParameters
+
+
+class TestAmdahl:
+    def test_classic_formula(self):
+        assert amdahl_speedup(0.5, 2.0) == pytest.approx(1 / 0.75)
+
+    def test_zero_fraction(self):
+        assert amdahl_speedup(0.0, 10.0) == 1.0
+
+    def test_full_fraction(self):
+        assert amdahl_speedup(1.0, 4.0) == pytest.approx(4.0)
+
+    def test_naive_exceeds_amdahl_with_concurrency(self):
+        # The naive full-OoO assumption allows core/TCA overlap, so it can
+        # exceed Amdahl (paper §III).
+        assert naive_tca_speedup(0.5, 2.0) > amdahl_speedup(0.5, 2.0)
+
+    def test_naive_peak_a_plus_one(self):
+        a_factor = 3.0
+        peak = max(
+            naive_tca_speedup(a / 100, a_factor) for a in range(1, 100)
+        )
+        assert peak == pytest.approx(a_factor + 1.0, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0.0)
+        with pytest.raises(ValueError):
+            naive_tca_speedup(-0.1, 2.0)
+        with pytest.raises(ValueError):
+            naive_tca_speedup(0.5, -2.0)
+
+    def test_infinite_acceleration_full_coverage(self):
+        assert math.isinf(naive_tca_speedup(1.0, 1e308)) or naive_tca_speedup(
+            1.0, 1e308
+        ) > 1e300
+
+
+class TestLogCA:
+    @pytest.fixture
+    def params(self):
+        return LogCAParameters(
+            latency=0.5, overhead=200.0, compute_index=4.0, acceleration=8.0
+        )
+
+    def test_host_time_linear_kernel(self, params):
+        model = LogCAModel(params)
+        assert model.host_time(100) == pytest.approx(400.0)
+
+    def test_accelerated_time_components(self, params):
+        model = LogCAModel(params)
+        # o + L*g + C*g/A = 200 + 50 + 50
+        assert model.accelerated_time(100) == pytest.approx(300.0)
+
+    def test_speedup_grows_with_granularity(self, params):
+        model = LogCAModel(params)
+        assert model.speedup(10_000) > model.speedup(100) > model.speedup(10)
+
+    def test_speedup_asymptote(self, params):
+        # As g -> inf with L > 0, speedup -> C/(L + C/A) = 4/1 = 4.
+        model = LogCAModel(params)
+        assert model.speedup(1e12) == pytest.approx(4.0, rel=1e-3)
+
+    def test_g1_break_even(self, params):
+        model = LogCAModel(params)
+        g1 = model.g1()
+        assert model.speedup(g1) == pytest.approx(1.0, abs=1e-3)
+        assert model.speedup(g1 * 0.5) < 1.0
+
+    def test_g_half_a(self):
+        params = LogCAParameters(
+            latency=0.0, overhead=200.0, compute_index=4.0, acceleration=8.0
+        )
+        model = LogCAModel(params)
+        g = model.g_half_a()
+        assert model.speedup(g) == pytest.approx(4.0, rel=1e-3)
+
+    def test_never_breaks_even(self):
+        # Interface latency swamps the computational advantage.
+        params = LogCAParameters(
+            latency=10.0, overhead=100.0, compute_index=1.0, acceleration=4.0
+        )
+        assert math.isinf(LogCAModel(params).g1())
+
+    def test_superlinear_kernel(self):
+        params = LogCAParameters(
+            latency=1.0, overhead=100.0, compute_index=0.01,
+            acceleration=4.0, beta=2.0,
+        )
+        model = LogCAModel(params)
+        # Superlinear kernels eventually amortize any interface latency.
+        assert model.speedup(1e6) == pytest.approx(4.0, rel=0.01)
+        assert math.isfinite(model.g1())
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            LogCAParameters(latency=-1, overhead=0, compute_index=1, acceleration=2)
+        with pytest.raises(ValueError):
+            LogCAParameters(latency=0, overhead=0, compute_index=0, acceleration=2)
+        with pytest.raises(ValueError):
+            LogCAParameters(latency=0, overhead=0, compute_index=1, acceleration=0)
+        with pytest.raises(ValueError):
+            LogCAModel(
+                LogCAParameters(latency=0, overhead=0, compute_index=1, acceleration=2)
+            ).speedup(0)
+
+
+class TestGables:
+    @pytest.fixture
+    def cpu(self):
+        return GablesOperatingPoint(
+            peak_performance=8.0, bandwidth=16.0, operational_intensity=1.0
+        )
+
+    @pytest.fixture
+    def accelerator(self):
+        return GablesOperatingPoint(
+            peak_performance=64.0, bandwidth=16.0, operational_intensity=2.0
+        )
+
+    def test_attainable_compute_bound(self, cpu):
+        assert cpu.attainable == 8.0
+        assert not cpu.memory_bound
+
+    def test_attainable_memory_bound(self):
+        point = GablesOperatingPoint(
+            peak_performance=64.0, bandwidth=8.0, operational_intensity=2.0
+        )
+        assert point.attainable == 16.0
+        assert point.memory_bound
+
+    def test_endpoints(self, cpu, accelerator):
+        model = GablesModel(cpu, accelerator)
+        assert model.soc_performance(0.0) == cpu.attainable
+        assert model.soc_performance(1.0) == accelerator.attainable
+
+    def test_harmonic_mean_between(self, cpu, accelerator):
+        model = GablesModel(cpu, accelerator)
+        perf = model.soc_performance(0.5)
+        expected = 1.0 / (0.5 / 8.0 + 0.5 / 32.0)
+        assert perf == pytest.approx(expected)
+
+    def test_speedup_relative_to_cpu(self, cpu, accelerator):
+        model = GablesModel(cpu, accelerator)
+        assert model.speedup(0.0) == 1.0
+        assert model.speedup(1.0) == pytest.approx(4.0)
+
+    def test_best_offload_all_when_accelerator_faster(self, cpu, accelerator):
+        model = GablesModel(cpu, accelerator)
+        assert model.best_offload_fraction() == pytest.approx(1.0)
+
+    def test_best_offload_none_when_accelerator_slower(self, cpu):
+        slow = GablesOperatingPoint(
+            peak_performance=1.0, bandwidth=16.0, operational_intensity=2.0
+        )
+        model = GablesModel(cpu, slow)
+        assert model.best_offload_fraction() == 0.0
+
+    def test_rejects_invalid(self, cpu, accelerator):
+        with pytest.raises(ValueError):
+            GablesOperatingPoint(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            GablesOperatingPoint(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            GablesModel(cpu, accelerator).soc_performance(1.5)

@@ -1,0 +1,63 @@
+"""Unit tests for the ``repro-model`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPresets:
+    def test_preset_core(self, capsys):
+        assert main(["--core", "hp", "-g", "53", "-a", "0.3", "-A", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "high-perf" in out
+        assert "NL_NT" in out and "L_T" in out
+        assert "recommended mode" in out
+
+    def test_preset_with_ipc_override(self, capsys):
+        main(["--core", "a72", "--ipc", "2.0", "-g", "100", "-a", "0.5", "-A", "2"])
+        assert "IPC 2.0" in capsys.readouterr().out
+
+    def test_custom_core(self, capsys):
+        main(
+            [
+                "--ipc", "2.5", "--rob", "192", "--width", "4", "--commit", "5",
+                "-g", "400", "-a", "0.4", "-A", "1.5",
+            ]
+        )
+        assert "ROB 192" in capsys.readouterr().out
+
+    def test_missing_core_spec_errors(self):
+        with pytest.raises(SystemExit):
+            main(["-g", "100", "-a", "0.5", "-A", "2"])
+
+
+class TestOutputs:
+    def test_slowdown_marker(self, capsys):
+        main(["--core", "hp", "-g", "10", "-a", "0.3", "-A", "3"])
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_explicit_latency(self, capsys):
+        main(["--core", "hp", "-g", "100", "-a", "0.5", "--latency", "30"])
+        assert "L_T" in capsys.readouterr().out
+
+    def test_breakdown_flag(self, capsys):
+        main(["--core", "hp", "-g", "100", "-a", "0.5", "-A", "2", "--breakdown"])
+        out = capsys.readouterr().out
+        assert "interval=" in out
+        assert "rob_full=" in out
+
+    def test_timeline_flag(self, capsys):
+        main(["--core", "hp", "-g", "100", "-a", "0.5", "-A", "2", "--timeline"])
+        out = capsys.readouterr().out
+        assert "core |" in out
+        assert "TCA  |" in out
+
+    def test_explicit_drain(self, capsys):
+        main(["--core", "hp", "-g", "100", "-a", "0.5", "-A", "2", "--drain", "0"])
+        assert "recommended" in capsys.readouterr().out
+
+    def test_acceleration_and_latency_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["--core", "hp", "-g", "10", "-a", "0.3", "-A", "2", "--latency", "5"]
+            )

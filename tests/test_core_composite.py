@@ -1,0 +1,185 @@
+"""Unit and integration tests for the composite (multi-TCA) model."""
+
+import pytest
+
+from repro.core.composite import (
+    CompositeTCAModel,
+    TCAComponent,
+    composite_from_trace,
+    validate_composite,
+)
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+from repro.isa.instructions import TCADescriptor
+from repro.isa.program import AcceleratableRegion, Program
+from repro.isa.trace import TraceBuilder
+
+
+@pytest.fixture
+def core():
+    return CoreParameters(ipc=2.0, rob_size=64, issue_width=4, commit_stall=4)
+
+
+def component(name, latency, a, v):
+    return TCAComponent(
+        accelerator=AcceleratorParameters(name=name, latency=latency),
+        acceleratable_fraction=a,
+        invocation_frequency=v,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self, core):
+        with pytest.raises(ValueError, match="at least one"):
+            CompositeTCAModel(core, ())
+
+    def test_rejects_overcoverage(self, core):
+        with pytest.raises(ValueError, match="exceeds 1"):
+            CompositeTCAModel(
+                core,
+                (
+                    component("a", 5, 0.6, 0.001),
+                    component("b", 5, 0.6, 0.001),
+                ),
+            )
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            component("a", 5, 1.5, 0.001)
+        with pytest.raises(ValueError):
+            component("a", 5, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            component("a", 5, 0.0001, 0.001)
+
+
+class TestSingleComponentEquivalence:
+    def test_reduces_to_single_tca_model(self, core):
+        # One component must reproduce the plain TCAModel exactly.
+        accel = AcceleratorParameters(name="only", latency=30.0)
+        workload = WorkloadParameters(0.4, 0.002)
+        single = TCAModel(core, accel, workload)
+        composite = CompositeTCAModel(core, (component("only", 30.0, 0.4, 0.002),))
+        for mode in TCAMode.all_modes():
+            assert composite.speedup(mode) == pytest.approx(single.speedup(mode))
+
+
+class TestCompositeBehaviour:
+    @pytest.fixture
+    def two_tca(self, core):
+        return CompositeTCAModel(
+            core,
+            (
+                component("fine", 2.0, 0.2, 0.004),   # heap-like
+                component("coarse", 80.0, 0.3, 0.001),  # matmul-like
+            ),
+        )
+
+    def test_mode_ordering_preserved(self, two_tca):
+        speedups = two_tca.speedups()
+        assert speedups[TCAMode.L_T] >= speedups[TCAMode.NL_T]
+        assert speedups[TCAMode.L_T] >= speedups[TCAMode.L_NT]
+        assert speedups[TCAMode.L_NT] >= speedups[TCAMode.NL_NT]
+
+    def test_component_speedups_exposed(self, two_tca):
+        per = two_tca.component_speedups(TCAMode.L_T)
+        assert set(per) == {"fine", "coarse"}
+        assert all(value > 0 for value in per.values())
+
+    def test_time_is_sum_of_component_intervals(self, two_tca):
+        time = two_tca.execution_time_per_instruction(TCAMode.L_T)
+        parts = sum(
+            comp.invocation_frequency * model.execution_time(TCAMode.L_T)
+            for comp, model in two_tca._models
+        )
+        assert time == pytest.approx(parts)
+
+    def test_baseline_time(self, two_tca, core):
+        assert two_tca.baseline_time_per_instruction() == pytest.approx(
+            1.0 / core.ipc
+        )
+
+
+def _mixed_program():
+    """A trace mixing two TCA types (fine ALU-block and coarse ones)."""
+    builder = TraceBuilder("mixed")
+    fine = TCADescriptor(name="fine", compute_latency=3)
+    coarse = TCADescriptor(name="coarse", compute_latency=40)
+    regions = []
+    cursor = 0
+    for block in range(12):
+        builder.independent_block(60, [0, 1, 2, 3])
+        cursor += 60
+        if block % 3 == 2:
+            builder.independent_block(120, [4, 5, 6])
+            regions.append(AcceleratableRegion(cursor, 120, coarse))
+            cursor += 120
+        else:
+            builder.independent_block(20, [4, 5, 6])
+            regions.append(AcceleratableRegion(cursor, 20, fine))
+            cursor += 20
+    return Program(builder.build(), regions)
+
+
+class TestFromTrace:
+    def test_composite_from_trace_statistics(self, core):
+        program = _mixed_program()
+        model = composite_from_trace(
+            core, program.accelerated(), {"fine": 3.0, "coarse": 40.0}
+        )
+        assert len(model.components) == 2
+        names = {c.accelerator.name for c in model.components}
+        assert names == {"coarse", "fine"}
+        total_a = sum(c.acceleratable_fraction for c in model.components)
+        assert total_a == pytest.approx(program.acceleratable_fraction)
+
+    def test_requires_tcas(self, core):
+        builder = TraceBuilder("plain")
+        builder.independent_block(10, [0])
+        with pytest.raises(ValueError, match="no TCA"):
+            composite_from_trace(core, builder.build(), {})
+
+
+class TestValidateComposite:
+    def test_against_simulation(self, tiny_sim_config):
+        program = _mixed_program()
+        records = validate_composite(
+            program.baseline,
+            program.accelerated(),
+            tiny_sim_config,
+            {"fine": 3.0, "coarse": 40.0},
+        )
+        assert len(records) == 4
+        for record in records:
+            assert record.sim_speedup > 0
+            assert record.model_speedup > 0
+            # first-order composite stays in the same ballpark
+            assert abs(record.error) < 0.5
+        by_mode = {r.mode: r for r in records}
+        assert (
+            by_mode[TCAMode.L_T].sim_speedup
+            >= by_mode[TCAMode.NL_NT].sim_speedup
+        )
+
+
+class TestMeanLatencyByName:
+    def test_per_name_means(self, tiny_sim_config):
+        from repro.core.composite import mean_latency_by_name
+
+        program = _mixed_program()
+        latencies = mean_latency_by_name(program.accelerated(), tiny_sim_config)
+        assert set(latencies) == {"fine", "coarse"}
+        assert latencies["fine"] == pytest.approx(3.0)
+        assert latencies["coarse"] == pytest.approx(40.0)
+
+    def test_requires_tcas(self, tiny_sim_config):
+        from repro.core.composite import mean_latency_by_name
+
+        builder = TraceBuilder("plain")
+        builder.independent_block(5, [0])
+        with pytest.raises(ValueError, match="no TCA"):
+            mean_latency_by_name(builder.build(), tiny_sim_config)

@@ -1,0 +1,110 @@
+"""Unit tests for the concurrency limit analysis (paper §VII / Fig. 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.concurrency import (
+    concurrency_curve,
+    find_peaks,
+    ideal_lt_speedup,
+    max_speedup_limit,
+    optimal_fraction,
+)
+from repro.core.modes import TCAMode
+from repro.core.parameters import HIGH_PERF, AcceleratorParameters
+
+
+class TestClosedForms:
+    def test_ideal_lt_at_optimum(self):
+        # A=2: a*=2/3 gives speedup 3.
+        assert ideal_lt_speedup(2 / 3, 2.0) == pytest.approx(3.0)
+
+    def test_ideal_lt_core_bound(self):
+        assert ideal_lt_speedup(0.3, 2.0) == pytest.approx(1 / 0.7)
+
+    def test_ideal_lt_accelerator_bound(self):
+        assert ideal_lt_speedup(0.9, 2.0) == pytest.approx(1 / 0.45)
+
+    def test_ideal_lt_full_coverage_is_a(self):
+        assert ideal_lt_speedup(1.0, 5.0) == pytest.approx(5.0)
+
+    def test_max_speedup_limit(self):
+        assert max_speedup_limit(2.0) == 3.0
+        assert max_speedup_limit(5.0) == 6.0
+
+    def test_optimal_fraction(self):
+        assert optimal_fraction(2.0) == pytest.approx(2 / 3)
+        assert optimal_fraction(5.0) == pytest.approx(5 / 6)
+
+    def test_optimal_fraction_attains_limit(self):
+        for a_factor in (1.5, 2.0, 4.0, 10.0):
+            assert ideal_lt_speedup(
+                optimal_fraction(a_factor), a_factor
+            ) == pytest.approx(max_speedup_limit(a_factor))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            ideal_lt_speedup(-0.1, 2.0)
+        with pytest.raises(ValueError):
+            ideal_lt_speedup(0.5, 0.0)
+        with pytest.raises(ValueError):
+            max_speedup_limit(-1.0)
+        with pytest.raises(ValueError):
+            optimal_fraction(0.0)
+
+    def test_degenerate_infinite(self):
+        # a=1 with infinite acceleration: bottleneck vanishes.
+        assert ideal_lt_speedup(1.0, 1e308) > 1e300 or math.isinf(
+            ideal_lt_speedup(1.0, 1e308)
+        )
+
+
+class TestCurvesAndPeaks:
+    @pytest.fixture
+    def accelerator(self):
+        return AcceleratorParameters(name="a2", acceleration=2.0)
+
+    def test_curves_cover_all_modes(self, accelerator):
+        fractions = np.linspace(0.05, 1.0, 30)
+        curves = concurrency_curve(HIGH_PERF, accelerator, 100, fractions)
+        assert set(curves) == set(TCAMode.all_modes())
+        for values in curves.values():
+            assert len(values) == 30
+
+    def test_lt_peak_near_theory(self, accelerator):
+        fractions = np.linspace(0.01, 1.0, 400)
+        curves = concurrency_curve(HIGH_PERF, accelerator, 100, fractions)
+        lt = curves[TCAMode.L_T]
+        peak_idx = int(np.argmax(lt))
+        assert lt[peak_idx] == pytest.approx(3.0, rel=0.05)
+        assert fractions[peak_idx] == pytest.approx(2 / 3, abs=0.05)
+
+    def test_peak_not_at_full_coverage(self, accelerator):
+        # Paper Fig. 8: the max does NOT occur at 100% acceleratable code.
+        fractions = np.linspace(0.01, 1.0, 400)
+        curves = concurrency_curve(HIGH_PERF, accelerator, 100, fractions)
+        lt = curves[TCAMode.L_T]
+        assert np.argmax(lt) < len(fractions) - 1
+        assert lt[-1] == pytest.approx(2.0, rel=0.02)  # = A at a=1
+
+    def test_find_peaks_flags_global(self, accelerator):
+        peaks = find_peaks(HIGH_PERF, accelerator, 100, TCAMode.L_T)
+        assert sum(p.is_global for p in peaks) == 1
+        global_peak = next(p for p in peaks if p.is_global)
+        assert global_peak.speedup == pytest.approx(3.0, rel=0.05)
+
+    def test_nl_t_local_maximum_exists(self, accelerator):
+        # Paper §VII: NL_T shows a local max below its global max.
+        peaks = find_peaks(HIGH_PERF, accelerator, 100, TCAMode.NL_T)
+        assert len(peaks) >= 2
+        non_global = [p for p in peaks if not p.is_global]
+        global_peak = next(p for p in peaks if p.is_global)
+        assert any(p.fraction < global_peak.fraction for p in non_global)
+
+    def test_nt_modes_never_reach_bound(self, accelerator):
+        fractions = np.linspace(0.01, 1.0, 200)
+        curves = concurrency_curve(HIGH_PERF, accelerator, 100, fractions)
+        for mode in (TCAMode.NL_NT, TCAMode.L_NT):
+            assert curves[mode].max() < 3.0 - 0.2

@@ -1,0 +1,105 @@
+"""Unit tests for design-space exploration."""
+
+import pytest
+
+from repro.core.design_space import (
+    DesignPoint,
+    design_points,
+    pareto_frontier,
+    recommend_mode,
+)
+from repro.core.model import TCAModel
+from repro.core.modes import MODE_COSTS, TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+
+@pytest.fixture
+def model(small_core, simple_accelerator, simple_workload):
+    return TCAModel(small_core, simple_accelerator, simple_workload)
+
+
+class TestDesignPoints:
+    def test_one_point_per_mode(self, model):
+        points = design_points(model)
+        assert [p.mode for p in points] == list(TCAMode.all_modes())
+
+    def test_costs_from_annotations(self, model):
+        for point in design_points(model):
+            assert point.hardware_cost == MODE_COSTS[point.mode].total
+
+    def test_efficiency(self):
+        point = DesignPoint(TCAMode.L_T, speedup=2.6, hardware_cost=2.6)
+        assert point.efficiency == pytest.approx(1.0)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        points = (
+            DesignPoint(TCAMode.NL_NT, speedup=1.0, hardware_cost=1.0),
+            DesignPoint(TCAMode.L_NT, speedup=0.9, hardware_cost=1.6),  # dominated
+            DesignPoint(TCAMode.L_T, speedup=2.0, hardware_cost=2.6),
+        )
+        frontier = pareto_frontier(points)
+        assert [p.mode for p in frontier] == [TCAMode.NL_NT, TCAMode.L_T]
+
+    def test_frontier_sorted_by_cost(self, model):
+        frontier = pareto_frontier(design_points(model))
+        costs = [p.hardware_cost for p in frontier]
+        assert costs == sorted(costs)
+
+    def test_equal_points_both_kept(self):
+        points = (
+            DesignPoint(TCAMode.NL_NT, speedup=1.5, hardware_cost=1.0),
+            DesignPoint(TCAMode.L_NT, speedup=1.5, hardware_cost=1.0),
+        )
+        assert len(pareto_frontier(points)) == 2
+
+    def test_strictly_better_dominates(self):
+        points = (
+            DesignPoint(TCAMode.NL_NT, speedup=1.0, hardware_cost=1.0),
+            DesignPoint(TCAMode.L_T, speedup=1.0, hardware_cost=2.0),
+        )
+        frontier = pareto_frontier(points)
+        assert [p.mode for p in frontier] == [TCAMode.NL_NT]
+
+
+class TestRecommendMode:
+    def test_recommends_l_t_for_fine_grained_on_hp(self):
+        # Fine-grained accelerator where mode choice matters a lot.
+        core = CoreParameters(ipc=2.0, rob_size=256, issue_width=4, commit_stall=6)
+        accel = AcceleratorParameters(acceleration=4.0)
+        workload = WorkloadParameters.from_granularity(60, 0.4, drain_time=40.0)
+        rec = recommend_mode(TCAModel(core, accel, workload))
+        assert rec.mode in (TCAMode.L_T, TCAMode.NL_T)
+        assert rec.speedup > 1.0
+
+    def test_recommends_simple_mode_when_modes_tie(self):
+        # Very coarse accelerator: penalties negligible, cheap mode wins.
+        core = CoreParameters(ipc=2.0, rob_size=256, issue_width=4, commit_stall=4)
+        accel = AcceleratorParameters(acceleration=10.0)
+        workload = WorkloadParameters.from_granularity(1e7, 0.3, drain_time=50.0)
+        rec = recommend_mode(TCAModel(core, accel, workload))
+        assert rec.mode is TCAMode.NL_NT
+        assert "simplest" in rec.rationale
+
+    def test_slowdown_modes_reported(self):
+        core = CoreParameters(ipc=2.0, rob_size=256, issue_width=4, commit_stall=10)
+        accel = AcceleratorParameters(acceleration=1.5)
+        workload = WorkloadParameters.from_granularity(30, 0.3, drain_time=45.0)
+        rec = recommend_mode(TCAModel(core, accel, workload))
+        assert TCAMode.NL_NT in rec.slowdown_modes
+        assert "avoid" in rec.rationale
+
+    def test_min_gain_threshold(self, model):
+        # With a colossal gain threshold, the cheapest frontier point wins.
+        rec = recommend_mode(model, min_speedup_gain=10.0)
+        assert rec.mode is rec.frontier[0].mode
+
+    def test_frontier_included(self, model):
+        rec = recommend_mode(model)
+        assert len(rec.frontier) >= 1
+        assert all(isinstance(p, DesignPoint) for p in rec.frontier)

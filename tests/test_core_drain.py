@@ -1,0 +1,102 @@
+"""Unit tests for the window-drain estimators."""
+
+import pytest
+
+from repro.core.drain import (
+    BalancedWindowDrain,
+    ExplicitDrain,
+    PowerLawDrain,
+    resolve_drain,
+)
+from repro.core.parameters import CoreParameters, WorkloadParameters
+
+
+@pytest.fixture
+def core():
+    return CoreParameters(ipc=2.0, rob_size=256, issue_width=4, commit_stall=4)
+
+
+@pytest.fixture
+def workload():
+    return WorkloadParameters(0.3, 0.001)
+
+
+class TestExplicitDrain:
+    def test_returns_value(self, core, workload):
+        assert ExplicitDrain(42.0).estimate(core, workload) == 42.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExplicitDrain(-1.0)
+
+
+class TestPowerLawDrain:
+    def test_default_calibration_range(self, core, workload):
+        # Default fit: a 256-entry window drains in tens of cycles (the
+        # calibration that reproduces the paper's Fig. 7 conclusions).
+        drain = PowerLawDrain().estimate(core, workload)
+        assert 30 < drain < 60
+
+    def test_sublinear_growth(self):
+        est = PowerLawDrain()
+        l64 = est.critical_path_length(64)
+        l256 = est.critical_path_length(256)
+        assert l256 > l64
+        assert l256 / l64 < 256 / 64  # sublinear
+
+    def test_power_law_exponent(self):
+        est = PowerLawDrain(beta=2.0, scale=1.0)
+        assert est.critical_path_length(100) == pytest.approx(10.0)
+
+    def test_zero_window(self):
+        assert PowerLawDrain().critical_path_length(0) == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PowerLawDrain(beta=0)
+        with pytest.raises(ValueError):
+            PowerLawDrain(scale=0)
+
+
+class TestBalancedWindowDrain:
+    def test_full_window_is_rob_over_ipc(self, core, workload):
+        drain = BalancedWindowDrain().estimate(core, workload)
+        assert drain == pytest.approx(core.rob_size / core.ipc)
+
+    def test_partial_window_interpolation(self, core):
+        est = BalancedWindowDrain(beta=2.0)
+        full = est.critical_path_length(core, 256)
+        half = est.critical_path_length(core, 64)
+        assert half == pytest.approx(full * 0.5)  # (64/256)^(1/2)
+
+    def test_window_clamped_to_rob(self, core):
+        est = BalancedWindowDrain()
+        assert est.critical_path_length(core, 10_000) == est.critical_path_length(
+            core, core.rob_size
+        )
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            BalancedWindowDrain(beta=-1)
+
+
+class TestResolveDrain:
+    def test_explicit_workload_drain_wins(self, core):
+        workload = WorkloadParameters(0.3, 0.001, drain_time=7.0)
+        drain = resolve_drain(core, workload, ExplicitDrain(99.0), non_accel_time=1000)
+        assert drain == 7.0
+
+    def test_estimator_used_without_explicit(self, core, workload):
+        assert resolve_drain(core, workload, ExplicitDrain(99.0), 1000) == 99.0
+
+    def test_default_estimator_is_power_law(self, core, workload):
+        expected = PowerLawDrain().estimate(core, workload)
+        assert resolve_drain(core, workload, None, 1e9) == pytest.approx(expected)
+
+    def test_capped_at_non_accel_time(self, core, workload):
+        # Paper §III-A: the drain cannot exceed the interval's core work.
+        assert resolve_drain(core, workload, ExplicitDrain(500.0), 12.0) == 12.0
+
+    def test_cap_applies_to_explicit_workload_drain(self, core):
+        workload = WorkloadParameters(0.99, 0.001, drain_time=500.0)
+        assert resolve_drain(core, workload, None, 3.0) == 3.0

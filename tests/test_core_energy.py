@@ -1,0 +1,103 @@
+"""Unit tests for the energy analysis (paper §VII)."""
+
+import pytest
+
+from repro.core.energy import EnergyModel, EnergyParameters
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+
+@pytest.fixture
+def model(small_core, simple_accelerator, simple_workload):
+    return TCAModel(small_core, simple_accelerator, simple_workload)
+
+
+class TestEnergyParameters:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(core_static_power=-1.0)
+        with pytest.raises(ValueError):
+            EnergyParameters(accelerator_invocation_energy=-1.0)
+
+
+class TestEnergyModel:
+    def test_baseline_breakdown(self, model):
+        energy = EnergyModel(model, EnergyParameters(core_static_power=0.5))
+        baseline = energy.baseline_energy()
+        # interval = 1000 cycles, 2000 instructions (v = 0.0005).
+        assert baseline.core_static == pytest.approx(0.5 * 1000)
+        assert baseline.core_dynamic == pytest.approx(2000.0)
+        assert baseline.accelerator == 0.0
+        assert baseline.total == pytest.approx(2500.0)
+
+    def test_mode_energy_components(self, model):
+        params = EnergyParameters(
+            core_static_power=0.5,
+            accelerator_invocation_energy=100.0,
+            accelerator_static_power=0.0,
+        )
+        energy = EnergyModel(model, params)
+        lt = energy.mode_energy(TCAMode.L_T)
+        # core executes only the non-accelerated half: 1000 instructions.
+        assert lt.core_dynamic == pytest.approx(1000.0)
+        assert lt.core_static == pytest.approx(
+            0.5 * model.execution_time(TCAMode.L_T)
+        )
+        assert lt.accelerator == pytest.approx(100.0)
+
+    def test_fast_modes_save_energy(self, model):
+        # With a cheap accelerator, removing half the instructions wins.
+        params = EnergyParameters(accelerator_invocation_energy=10.0)
+        energy = EnergyModel(model, params)
+        assert energy.energy_ratio(TCAMode.L_T) < 1.0
+
+    def test_slowdown_erodes_energy_win(self):
+        # Paper §VII: a slow mode burns static energy.  Build a config
+        # where NL_NT slows the program down.
+        core = CoreParameters(ipc=2.0, rob_size=256, issue_width=4, commit_stall=10)
+        accel = AcceleratorParameters(acceleration=1.5)
+        workload = WorkloadParameters.from_granularity(30, 0.3, drain_time=45.0)
+        model = TCAModel(core, accel, workload)
+        assert model.speedup(TCAMode.NL_NT) < 1.0
+        energy = EnergyModel(
+            model,
+            EnergyParameters(
+                core_static_power=2.0, accelerator_invocation_energy=1.0
+            ),
+        )
+        assert energy.static_energy_penalty(TCAMode.NL_NT) > 0
+        ratios = energy.energy_ratios()
+        assert ratios[TCAMode.NL_NT] > ratios[TCAMode.L_T]
+
+    def test_energy_losing_modes_detected(self):
+        core = CoreParameters(ipc=2.0, rob_size=256, issue_width=4, commit_stall=10)
+        accel = AcceleratorParameters(acceleration=1.5)
+        workload = WorkloadParameters.from_granularity(30, 0.3, drain_time=45.0)
+        model = TCAModel(core, accel, workload)
+        # Heavy static power + pricey accelerator: slow modes lose energy.
+        energy = EnergyModel(
+            model,
+            EnergyParameters(
+                core_static_power=3.0, accelerator_invocation_energy=30.0
+            ),
+        )
+        losing = energy.energy_losing_modes()
+        assert TCAMode.NL_NT in losing
+
+    def test_mode_ordering_tracks_time_with_pure_static(self, model):
+        # With only static power, energy ordering equals time ordering.
+        params = EnergyParameters(
+            core_static_power=1.0,
+            core_dynamic_energy=0.0,
+            accelerator_invocation_energy=0.0,
+            accelerator_static_power=0.0,
+        )
+        energy = EnergyModel(model, params)
+        ratios = energy.energy_ratios()
+        times = {m: model.execution_time(m) for m in TCAMode.all_modes()}
+        assert sorted(ratios, key=ratios.get) == sorted(times, key=times.get)

@@ -1,0 +1,97 @@
+"""Unit tests for the penalty-attribution explain module."""
+
+import pytest
+
+from repro.core.explain import explain_all_modes, explain_mode
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import AcceleratorParameters, WorkloadParameters
+from repro.core.validation import core_parameters_from_sim
+from repro.isa.instructions import TCADescriptor
+from repro.isa.program import AcceleratableRegion, Program
+from repro.isa.trace import TraceBuilder
+from repro.sim.simulator import simulate
+
+
+@pytest.fixture
+def setup(tiny_sim_config):
+    builder = TraceBuilder("base")
+    builder.independent_block(400, [0, 1, 2, 3])
+    baseline = builder.build()
+    descriptor = TCADescriptor(name="t", compute_latency=12)
+    regions = [AcceleratableRegion(80 + 120 * i, 30, descriptor) for i in range(3)]
+    program = Program(baseline, regions)
+    base_result = simulate(baseline, tiny_sim_config)
+    core = core_parameters_from_sim(tiny_sim_config, base_result.ipc)
+    model = TCAModel(
+        core,
+        AcceleratorParameters(name="t", latency=12.0),
+        WorkloadParameters(
+            acceleratable_fraction=program.acceleratable_fraction,
+            invocation_frequency=program.invocation_frequency,
+            drain_time=5.0,
+        ),
+    )
+    return model, baseline, program.accelerated(), tiny_sim_config
+
+
+class TestExplainMode:
+    def test_nl_modes_include_drain_term(self, setup):
+        model, baseline, accelerated, config = setup
+        explanation = explain_mode(model, TCAMode.NL_T, baseline, accelerated, config)
+        terms = [c.term for c in explanation.comparisons]
+        assert any("drain" in t for t in terms)
+
+    def test_nt_modes_include_barrier_term(self, setup):
+        model, baseline, accelerated, config = setup
+        explanation = explain_mode(model, TCAMode.L_NT, baseline, accelerated, config)
+        terms = [c.term for c in explanation.comparisons]
+        assert any("barrier" in t for t in terms)
+        assert not any("ROB-full" in t for t in terms)
+
+    def test_t_modes_include_rob_full_term(self, setup):
+        model, baseline, accelerated, config = setup
+        explanation = explain_mode(model, TCAMode.L_T, baseline, accelerated, config)
+        terms = [c.term for c in explanation.comparisons]
+        assert any("ROB-full" in t for t in terms)
+
+    def test_accelerator_exec_measured(self, setup):
+        model, baseline, accelerated, config = setup
+        explanation = explain_mode(model, TCAMode.L_T, baseline, accelerated, config)
+        exec_term = next(
+            c for c in explanation.comparisons if "execution" in c.term
+        )
+        assert exec_term.simulated == pytest.approx(12.0, abs=1.0)
+        assert exec_term.modeled == pytest.approx(12.0)
+
+    def test_barrier_comparison_magnitudes(self, setup):
+        model, baseline, accelerated, config = setup
+        explanation = explain_mode(
+            model, TCAMode.NL_NT, baseline, accelerated, config
+        )
+        barrier = next(c for c in explanation.comparisons if "barrier" in c.term)
+        # The barrier really stalls dispatch for at least the TCA latency;
+        # NL_NT's model charge includes both commit penalties (eq. (4)).
+        assert barrier.simulated >= 12.0
+        assert barrier.modeled == pytest.approx(12.0 + 2 * config.commit_latency)
+
+    def test_render_and_dominant(self, setup):
+        model, baseline, accelerated, config = setup
+        explanation = explain_mode(model, TCAMode.NL_NT, baseline, accelerated, config)
+        text = explanation.render()
+        assert "NL_NT" in text and "delta" in text
+        dominant = explanation.dominant_discrepancy()
+        assert dominant is not None
+        assert abs(dominant.delta) == max(
+            abs(c.delta) for c in explanation.comparisons
+        )
+
+
+class TestExplainAllModes:
+    def test_covers_four_modes(self, setup):
+        model, baseline, accelerated, config = setup
+        explanations = explain_all_modes(model, baseline, accelerated, config)
+        assert set(explanations) == set(TCAMode.all_modes())
+        for explanation in explanations.values():
+            assert explanation.sim_speedup > 0
+            assert explanation.model_speedup > 0

@@ -1,0 +1,84 @@
+"""Unit tests for the Fig. 3 interval timelines."""
+
+import pytest
+
+from repro.core.interval import interval_timeline, render_timeline
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+
+
+@pytest.fixture
+def model(small_core, simple_accelerator, simple_workload):
+    return TCAModel(small_core, simple_accelerator, simple_workload)
+
+
+class TestIntervalTimeline:
+    def test_total_matches_breakdown(self, model):
+        for mode in TCAMode.all_modes():
+            timeline = interval_timeline(model, mode)
+            assert timeline.total == pytest.approx(model.execution_time(mode))
+
+    def test_segments_within_interval(self, model):
+        for mode in TCAMode.all_modes():
+            timeline = interval_timeline(model, mode)
+            for seg in (*timeline.core_lane, *timeline.tca_lane):
+                assert seg.start >= -1e-9
+                assert seg.end <= timeline.total + 1e-6
+                assert seg.duration > 0
+
+    def test_tca_active_duration_equals_accel_time(self, model):
+        for mode in TCAMode.all_modes():
+            timeline = interval_timeline(model, mode)
+            active = sum(
+                s.duration for s in timeline.tca_lane if s.utilization > 0
+            )
+            assert active == pytest.approx(model.accel_time())
+
+    def test_nl_modes_delay_tca_start(self, model):
+        nl = interval_timeline(model, TCAMode.NL_T)
+        l = interval_timeline(model, TCAMode.L_T)
+        nl_start = min(s.start for s in nl.tca_lane if s.utilization > 0)
+        l_start = min(s.start for s in l.tca_lane if s.utilization > 0)
+        assert nl_start > l_start
+
+    def test_l_t_core_lane_fully_utilized_when_core_bound(self, model):
+        timeline = interval_timeline(model, TCAMode.L_T)
+        # core-bound configuration: dispatch covers almost the interval
+        stalled = timeline.stalled_time()
+        assert stalled < timeline.total * 0.25
+
+    def test_nl_nt_has_most_stall(self, model):
+        stalls = {
+            mode: interval_timeline(model, mode).stalled_time()
+            for mode in TCAMode.all_modes()
+        }
+        assert stalls[TCAMode.NL_NT] == max(stalls.values())
+        assert stalls[TCAMode.L_T] == min(stalls.values())
+
+    def test_barrier_stall_matches_accel_time_in_nt(self, model):
+        timeline = interval_timeline(model, TCAMode.L_NT)
+        barrier = [s for s in timeline.core_lane if s.label == "TCA barrier"]
+        assert len(barrier) == 1
+        assert barrier[0].duration == pytest.approx(model.accel_time())
+
+
+class TestRenderTimeline:
+    def test_render_contains_mode_and_lanes(self, model):
+        text = render_timeline(interval_timeline(model, TCAMode.NL_NT))
+        assert "NL_NT" in text
+        assert "core |" in text
+        assert "TCA  |" in text
+        assert "A" in text
+
+    def test_render_width_respected(self, model):
+        text = render_timeline(interval_timeline(model, TCAMode.L_T), width=40)
+        lane_lines = [l for l in text.splitlines() if "|" in l]
+        for line in lane_lines[:2]:
+            inner = line.split("|")[1]
+            assert len(inner) == 40
+
+    def test_render_stall_glyphs(self, model):
+        text = render_timeline(interval_timeline(model, TCAMode.NL_NT))
+        core_line = next(l for l in text.splitlines() if l.startswith("  core"))
+        assert "." in core_line  # stalled spans render as dots
+        assert "=" in core_line  # dispatching spans render as '='

@@ -1,0 +1,192 @@
+"""Unit tests for the analytical model — equations (1)–(9) pinned by hand.
+
+The reference configuration used throughout:
+
+- core: IPC = 2, s_ROB = 64, w_issue = 4 (t_ROB_fill = 16), t_commit = 4
+- workload: a = 0.5, v = 0.0005, explicit drain = 20
+- accelerator: A = 4
+
+giving per-interval values  t_baseline = 1000, t_accl = 125,
+t_non_accl = 500, and mode times
+
+- NL_NT = 500 + 125 + 20 + 8           = 653
+- L_NT  = 500 + 125 + 4                = 629
+- NL_T  = max(500 + (20+125+4−16), 125+20+4) = 633
+- L_T   = max(500 + (125−16), 125)     = 609
+"""
+
+import math
+
+import pytest
+
+from repro.core.model import TCAModel, predict_speedups
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+
+@pytest.fixture
+def model(small_core, simple_accelerator, simple_workload):
+    return TCAModel(small_core, simple_accelerator, simple_workload)
+
+
+class TestIntervalTerms:
+    def test_baseline_time_eq1(self, model):
+        assert model.baseline_time() == pytest.approx(1000.0)
+
+    def test_accel_time_eq2(self, model):
+        assert model.accel_time() == pytest.approx(125.0)
+
+    def test_non_accel_time_eq3(self, model):
+        assert model.non_accel_time() == pytest.approx(500.0)
+
+    def test_drain_time_explicit(self, model):
+        assert model.drain_time() == pytest.approx(20.0)
+
+    def test_rob_fill_time(self, model):
+        assert model.rob_fill_time() == pytest.approx(16.0)
+
+    def test_explicit_latency_overrides_acceleration(self, small_core, simple_workload):
+        accel = AcceleratorParameters(acceleration=999.0, latency=125.0)
+        model = TCAModel(small_core, accel, simple_workload)
+        assert model.accel_time() == pytest.approx(125.0)
+
+
+class TestModeEquations:
+    def test_nl_nt_eq4(self, model):
+        assert model.execution_time(TCAMode.NL_NT) == pytest.approx(653.0)
+
+    def test_l_nt_eq5(self, model):
+        assert model.execution_time(TCAMode.L_NT) == pytest.approx(629.0)
+
+    def test_nl_t_eq6_eq7(self, model):
+        breakdown = model.breakdown(TCAMode.NL_T)
+        assert breakdown.rob_full_stall == pytest.approx(133.0)
+        assert breakdown.time == pytest.approx(633.0)
+        assert not breakdown.accelerator_bound
+
+    def test_l_t_eq8_eq9(self, model):
+        breakdown = model.breakdown(TCAMode.L_T)
+        assert breakdown.rob_full_stall == pytest.approx(109.0)
+        assert breakdown.time == pytest.approx(609.0)
+
+    def test_speedups(self, model):
+        expected = {
+            TCAMode.NL_NT: 1000 / 653,
+            TCAMode.L_NT: 1000 / 629,
+            TCAMode.NL_T: 1000 / 633,
+            TCAMode.L_T: 1000 / 609,
+        }
+        for mode, value in model.speedups().items():
+            assert value == pytest.approx(expected[mode])
+
+    def test_predict_speedups_convenience(self, small_core, simple_accelerator, simple_workload):
+        direct = TCAModel(small_core, simple_accelerator, simple_workload).speedups()
+        assert predict_speedups(small_core, simple_accelerator, simple_workload) == direct
+
+
+class TestMaxArms:
+    def test_nl_t_accelerator_bound(self, small_core):
+        # The accelerator path dominates in NL_T when the interval's core
+        # work is smaller than the ROB fill time (t_non < t_fill = 16).
+        accel = AcceleratorParameters(latency=5000.0)
+        workload = WorkloadParameters(0.99, 0.0005, drain_time=20.0)
+        model = TCAModel(small_core, accel, workload)
+        b = model.breakdown(TCAMode.NL_T)
+        assert b.non_accel < model.rob_fill_time()
+        assert b.accelerator_bound
+        assert b.accelerator_path == pytest.approx(5000 + 10 + 4)
+
+    def test_l_t_accelerator_bound(self, small_core):
+        # Same condition for L_T: t_non below the ROB fill credit.
+        accel = AcceleratorParameters(latency=5000.0)
+        workload = WorkloadParameters(0.99, 0.0005)
+        model = TCAModel(small_core, accel, workload)
+        b = model.breakdown(TCAMode.L_T)
+        assert b.accelerator_bound
+        assert b.time >= 5000
+
+    def test_rob_full_never_negative(self, small_core):
+        # Short accelerator: fill credit exceeds occupancy -> no stall.
+        accel = AcceleratorParameters(latency=2.0)
+        workload = WorkloadParameters(0.5, 0.0005, drain_time=0.0)
+        model = TCAModel(small_core, accel, workload)
+        assert model.breakdown(TCAMode.L_T).rob_full_stall == 0.0
+        assert model.breakdown(TCAMode.NL_T).rob_full_stall == 0.0
+
+
+class TestDrainCap:
+    def test_drain_capped_by_non_accel_time(self, small_core, simple_accelerator):
+        # a -> 1 shrinks t_non below the explicit drain.
+        workload = WorkloadParameters(0.999, 0.0005, drain_time=500.0)
+        model = TCAModel(small_core, simple_accelerator, workload)
+        assert model.drain_time() == pytest.approx(model.non_accel_time())
+
+    def test_drain_vanishes_at_full_coverage(self, small_core, simple_accelerator):
+        workload = WorkloadParameters(1.0, 0.0005, drain_time=500.0)
+        model = TCAModel(small_core, simple_accelerator, workload)
+        assert model.drain_time() == 0.0
+
+
+class TestDegenerateWorkloads:
+    def test_no_invocations_speedup_one(self, small_core, simple_accelerator):
+        workload = WorkloadParameters(0.0, 0.0)
+        model = TCAModel(small_core, simple_accelerator, workload)
+        for mode in TCAMode.all_modes():
+            assert model.speedup(mode) == 1.0
+
+    def test_no_invocations_times_raise(self, small_core, simple_accelerator):
+        model = TCAModel(small_core, simple_accelerator, WorkloadParameters(0.0, 0.0))
+        with pytest.raises(ValueError, match="no accelerator invocations"):
+            model.baseline_time()
+        with pytest.raises(ValueError):
+            model.execution_time(TCAMode.L_T)
+
+    def test_zero_latency_accelerator(self, small_core):
+        accel = AcceleratorParameters(latency=0.0)
+        workload = WorkloadParameters(0.5, 0.0005, drain_time=0.0)
+        model = TCAModel(small_core, accel, workload)
+        # L_T time = max(t_non, 0) = t_non; finite speedup.
+        assert model.speedup(TCAMode.L_T) == pytest.approx(2.0)
+
+
+class TestModelQueries:
+    def test_best_mode_is_l_t(self, model):
+        assert model.best_mode() is TCAMode.L_T
+
+    def test_slowdown_modes_fine_grained(self):
+        # A very fine-grained accelerator with big commit penalties slows
+        # down in NL_NT (the paper's Fig. 2 fine-granularity result).
+        core = CoreParameters(ipc=2.0, rob_size=256, issue_width=4, commit_stall=10)
+        accel = AcceleratorParameters(acceleration=3.0)
+        workload = WorkloadParameters.from_granularity(10, 0.3, drain_time=40.0)
+        model = TCAModel(core, accel, workload)
+        assert TCAMode.NL_NT in model.slowdown_modes()
+        assert TCAMode.L_T not in model.slowdown_modes()
+
+    def test_program_time_scales_linearly(self, model):
+        t1 = model.program_time(TCAMode.L_T, 1_000_000)
+        t2 = model.program_time(TCAMode.L_T, 2_000_000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_program_time_no_invocations(self, small_core, simple_accelerator):
+        model = TCAModel(small_core, simple_accelerator, WorkloadParameters(0.0, 0.0))
+        assert model.program_time(TCAMode.L_T, 1000) == pytest.approx(500.0)
+
+    def test_baseline_program_time(self, model):
+        assert model.baseline_program_time(2000) == pytest.approx(1000.0)
+
+    def test_program_time_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.program_time(TCAMode.L_T, -1)
+        with pytest.raises(ValueError):
+            model.baseline_program_time(-1)
+
+    def test_speedup_infinite_when_time_zero(self, small_core):
+        accel = AcceleratorParameters(latency=0.0)
+        workload = WorkloadParameters(1.0, 0.001)
+        model = TCAModel(small_core, accel, workload)
+        assert model.speedup(TCAMode.L_T) == math.inf

@@ -1,0 +1,134 @@
+"""Property-based tests of the analytical model (hypothesis).
+
+These pin the model's structural invariants over the whole parameter
+space rather than at hand-picked points: mode ordering, the A+1
+concurrency bound, monotonicity, and penalty positivity.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+cores = st.builds(
+    CoreParameters,
+    ipc=st.floats(0.25, 6.0),
+    rob_size=st.integers(16, 512),
+    issue_width=st.integers(1, 8),
+    commit_stall=st.floats(0.0, 20.0),
+)
+
+accelerators = st.one_of(
+    st.builds(AcceleratorParameters, acceleration=st.floats(1.01, 100.0)),
+    st.builds(AcceleratorParameters, latency=st.floats(1.0, 10_000.0)),
+)
+
+
+@st.composite
+def workloads(draw):
+    granularity = draw(st.floats(5.0, 1e6))
+    fraction = draw(st.floats(0.01, 1.0))
+    drain = draw(st.one_of(st.none(), st.floats(0.0, 500.0)))
+    return WorkloadParameters.from_granularity(granularity, fraction, drain_time=drain)
+
+
+@settings(max_examples=200, deadline=None)
+@given(core=cores, accelerator=accelerators, workload=workloads())
+def test_mode_time_ordering(core, accelerator, workload):
+    """More concurrency never hurts: L_T <= {L_NT, NL_T} <= NL_NT in time."""
+    model = TCAModel(core, accelerator, workload)
+    times = {mode: model.execution_time(mode) for mode in TCAMode.all_modes()}
+    eps = 1e-9 + 1e-12 * abs(times[TCAMode.NL_NT])
+    assert times[TCAMode.L_T] <= times[TCAMode.L_NT] + eps
+    assert times[TCAMode.L_T] <= times[TCAMode.NL_T] + eps
+    assert times[TCAMode.L_NT] <= times[TCAMode.NL_NT] + eps
+    assert times[TCAMode.NL_T] <= times[TCAMode.NL_NT] + eps
+
+
+@settings(max_examples=200, deadline=None)
+@given(core=cores, accelerator=accelerators, workload=workloads())
+def test_times_bounded_below_by_components(core, accelerator, workload):
+    """Every mode takes at least the accelerator time and the core time."""
+    model = TCAModel(core, accelerator, workload)
+    accl = model.accel_time()
+    non_accl = model.non_accel_time()
+    for mode in TCAMode.all_modes():
+        time = model.execution_time(mode)
+        assert time >= accl - 1e-9
+        assert time >= non_accl - 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(core=cores, workload=workloads(), acceleration=st.floats(1.01, 50.0))
+def test_concurrency_bound_a_plus_one(core, workload, acceleration):
+    """Paper §VII: L_T program speedup never exceeds A + 1."""
+    model = TCAModel(
+        core, AcceleratorParameters(acceleration=acceleration), workload
+    )
+    assert model.speedup(TCAMode.L_T) <= acceleration + 1.0 + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(core=cores, workload=workloads(), acceleration=st.floats(1.01, 50.0))
+def test_nt_modes_bounded_by_amdahl(core, workload, acceleration):
+    """Without trailing concurrency, speedup cannot exceed Amdahl's bound."""
+    model = TCAModel(
+        core, AcceleratorParameters(acceleration=acceleration), workload
+    )
+    a = workload.acceleratable_fraction
+    amdahl = 1.0 / ((1 - a) + a / acceleration)
+    for mode in (TCAMode.NL_NT, TCAMode.L_NT):
+        assert model.speedup(mode) <= amdahl + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(core=cores, workload=workloads(), acceleration=st.floats(1.01, 50.0))
+def test_speedup_monotone_in_acceleration(core, workload, acceleration):
+    """A faster accelerator never lowers any mode's speedup."""
+    slow = TCAModel(core, AcceleratorParameters(acceleration=acceleration), workload)
+    fast = TCAModel(
+        core, AcceleratorParameters(acceleration=acceleration * 2), workload
+    )
+    for mode in TCAMode.all_modes():
+        assert fast.speedup(mode) >= slow.speedup(mode) - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(core=cores, accelerator=accelerators, workload=workloads())
+def test_breakdown_consistency(core, accelerator, workload):
+    """Breakdowns are internally consistent and non-negative."""
+    model = TCAModel(core, accelerator, workload)
+    for mode in TCAMode.all_modes():
+        b = model.breakdown(mode)
+        assert b.time == max(b.core_path, b.accelerator_path) or math.isclose(
+            b.time, max(b.core_path, b.accelerator_path)
+        )
+        assert b.drain >= 0
+        assert b.commit >= 0
+        assert b.rob_full_stall >= 0
+        assert b.time > 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(core=cores, accelerator=accelerators, workload=workloads())
+def test_speedups_positive_finite(core, accelerator, workload):
+    model = TCAModel(core, accelerator, workload)
+    for speedup in model.speedups().values():
+        assert speedup > 0
+        assert math.isfinite(speedup)
+
+
+@settings(max_examples=150, deadline=None)
+@given(core=cores, accelerator=accelerators, workload=workloads())
+def test_drain_capped_by_non_accel(core, accelerator, workload):
+    """Paper §III-A: effective drain never exceeds the interval core work."""
+    model = TCAModel(core, accelerator, workload)
+    assert model.drain_time() <= model.non_accel_time() + 1e-9

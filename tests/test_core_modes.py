@@ -1,0 +1,60 @@
+"""Unit tests for the TCA mode vocabulary."""
+
+from repro.core.modes import MODE_COSTS, TCAMode
+
+
+class TestTCAMode:
+    def test_leading_classification(self):
+        assert TCAMode.L_NT.leading
+        assert TCAMode.L_T.leading
+        assert not TCAMode.NL_NT.leading
+        assert not TCAMode.NL_T.leading
+
+    def test_trailing_classification(self):
+        assert TCAMode.NL_T.trailing
+        assert TCAMode.L_T.trailing
+        assert not TCAMode.NL_NT.trailing
+        assert not TCAMode.L_NT.trailing
+
+    def test_hardware_obligations(self):
+        assert TCAMode.L_T.requires_rollback_hardware
+        assert TCAMode.L_T.requires_dependency_hardware
+        assert not TCAMode.NL_NT.requires_rollback_hardware
+        assert not TCAMode.NL_NT.requires_dependency_hardware
+        assert TCAMode.L_NT.requires_rollback_hardware
+        assert not TCAMode.L_NT.requires_dependency_hardware
+
+    def test_all_modes_canonical_order(self):
+        assert TCAMode.all_modes() == (
+            TCAMode.NL_NT,
+            TCAMode.L_NT,
+            TCAMode.NL_T,
+            TCAMode.L_T,
+        )
+
+    def test_descriptions_exist(self):
+        for mode in TCAMode.all_modes():
+            assert mode.value.split("_")[0] in ("NL", "L")
+            assert len(mode.description) > 20
+
+    def test_values_roundtrip(self):
+        for mode in TCAMode.all_modes():
+            assert TCAMode(mode.value) is mode
+
+
+class TestModeCosts:
+    def test_every_mode_has_cost(self):
+        assert set(MODE_COSTS) == set(TCAMode.all_modes())
+
+    def test_simplest_mode_cheapest(self):
+        totals = {mode: cost.total for mode, cost in MODE_COSTS.items()}
+        assert totals[TCAMode.NL_NT] == min(totals.values())
+        assert totals[TCAMode.L_T] == max(totals.values())
+
+    def test_cost_components_align_with_hardware(self):
+        for mode, cost in MODE_COSTS.items():
+            assert (cost.rollback_cost > 0) == mode.requires_rollback_hardware
+            assert (cost.dependency_cost > 0) == mode.requires_dependency_hardware
+
+    def test_total_includes_baseline(self):
+        assert MODE_COSTS[TCAMode.NL_NT].total == 1.0

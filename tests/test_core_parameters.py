@@ -1,0 +1,115 @@
+"""Unit tests for analytical-model parameter types."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    ARM_A72,
+    HIGH_PERF,
+    LOW_PERF,
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+
+class TestCoreParameters:
+    def test_rob_fill_time(self):
+        core = CoreParameters(ipc=2.0, rob_size=128, issue_width=4, commit_stall=4)
+        assert core.rob_fill_time == 32.0
+
+    def test_with_ipc(self):
+        updated = ARM_A72.with_ipc(0.8)
+        assert updated.ipc == 0.8
+        assert updated.rob_size == ARM_A72.rob_size
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ipc": 0.0},
+            {"ipc": -1.0},
+            {"ipc": math.inf},
+            {"rob_size": 0},
+            {"issue_width": 0},
+            {"commit_stall": -1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        base = dict(ipc=1.0, rob_size=64, issue_width=2, commit_stall=2.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            CoreParameters(**base)
+
+    def test_paper_presets(self):
+        # Paper §VI: HP = 1.8 IPC, 256 ROB, 4-issue; LP = 0.5 IPC, 64 ROB, 2-issue.
+        assert (HIGH_PERF.ipc, HIGH_PERF.rob_size, HIGH_PERF.issue_width) == (1.8, 256, 4)
+        assert (LOW_PERF.ipc, LOW_PERF.rob_size, LOW_PERF.issue_width) == (0.5, 64, 2)
+        assert ARM_A72.issue_width == 3
+
+
+class TestAcceleratorParameters:
+    def test_requires_timing_source(self):
+        with pytest.raises(ValueError, match="acceleration and/or latency"):
+            AcceleratorParameters(name="x")
+
+    def test_rejects_nonpositive_acceleration(self):
+        with pytest.raises(ValueError):
+            AcceleratorParameters(acceleration=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            AcceleratorParameters(latency=-1.0)
+
+    def test_effective_acceleration_from_factor(self):
+        acc = AcceleratorParameters(acceleration=3.0)
+        core = CoreParameters(ipc=1.0, rob_size=64, issue_width=2, commit_stall=2)
+        workload = WorkloadParameters(0.3, 0.001)
+        assert acc.effective_acceleration(workload, core) == 3.0
+
+    def test_effective_acceleration_from_latency(self):
+        # Software time of the region: a/(v*IPC) = 0.3/(0.001*1.0) = 300 cycles.
+        acc = AcceleratorParameters(latency=100.0)
+        core = CoreParameters(ipc=1.0, rob_size=64, issue_width=2, commit_stall=2)
+        workload = WorkloadParameters(0.3, 0.001)
+        assert acc.effective_acceleration(workload, core) == pytest.approx(3.0)
+
+    def test_zero_latency_is_infinite_acceleration(self):
+        acc = AcceleratorParameters(latency=0.0)
+        core = CoreParameters(ipc=1.0, rob_size=64, issue_width=2, commit_stall=2)
+        assert acc.effective_acceleration(WorkloadParameters(0.3, 0.001), core) == math.inf
+
+
+class TestWorkloadParameters:
+    def test_from_granularity(self):
+        workload = WorkloadParameters.from_granularity(50, 0.3)
+        assert workload.invocation_frequency == pytest.approx(0.006)
+        assert workload.granularity == pytest.approx(50)
+
+    def test_granularity_zero_frequency(self):
+        assert WorkloadParameters(0.0, 0.0).granularity == 0.0
+
+    @pytest.mark.parametrize(
+        "a,v",
+        [(-0.1, 0.001), (1.1, 0.001), (0.5, -0.001), (0.5, 1.5)],
+    )
+    def test_rejects_out_of_range(self, a, v):
+        with pytest.raises(ValueError):
+            WorkloadParameters(a, v)
+
+    def test_rejects_sub_instruction_granularity(self):
+        # each invocation must replace at least one instruction (a >= v)
+        with pytest.raises(ValueError, match="replace"):
+            WorkloadParameters(acceleratable_fraction=0.001, invocation_frequency=0.01)
+
+    def test_rejects_negative_drain(self):
+        with pytest.raises(ValueError):
+            WorkloadParameters(0.5, 0.001, drain_time=-5.0)
+
+    def test_has_invocations(self):
+        assert WorkloadParameters(0.5, 0.001).has_invocations
+        assert not WorkloadParameters(0.0, 0.0).has_invocations
+
+    def test_from_granularity_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WorkloadParameters.from_granularity(0, 0.3)

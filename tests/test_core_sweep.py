@@ -1,0 +1,147 @@
+"""Unit tests for parameter sweeps and heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.core.parameters import ARM_A72, HIGH_PERF, AcceleratorParameters
+from repro.core.sweep import (
+    accelerator_curve,
+    fraction_sweep,
+    frequency_sweep,
+    granularity_sweep,
+    speedup_heatmap,
+)
+
+
+@pytest.fixture
+def accelerator():
+    return AcceleratorParameters(name="sweep-tca", acceleration=3.0)
+
+
+class TestGranularitySweep:
+    def test_axis_and_shape(self, accelerator):
+        gs = np.logspace(1, 6, 11)
+        sweep = granularity_sweep(ARM_A72, accelerator, 0.3, gs)
+        assert sweep.x_label == "granularity"
+        assert len(sweep.x) == 11
+        for mode in TCAMode.all_modes():
+            assert len(sweep.speedups[mode]) == 11
+
+    def test_coarse_granularity_modes_converge_to_amdahl(self, accelerator):
+        # Fig. 2's left side: at enormous granularity one invocation far
+        # exceeds what the ROB can cover, so every mode degenerates to the
+        # serial Amdahl time 1/((1-a) + a/A) and the mode spread vanishes.
+        gs = np.array([1e8])
+        sweep = granularity_sweep(ARM_A72, accelerator, 0.3, gs)
+        amdahl = 1 / (0.7 + 0.1)
+        for mode in TCAMode.all_modes():
+            assert sweep.speedups[mode][0] == pytest.approx(amdahl, rel=1e-3)
+
+    def test_moderate_granularity_lt_exceeds_amdahl(self, accelerator):
+        # Fig. 2's middle: where the ROB covers the accelerator latency,
+        # L_T concurrency beats the Amdahl bound.
+        gs = np.array([300.0])
+        sweep = granularity_sweep(ARM_A72, accelerator, 0.3, gs)
+        assert sweep.speedups[TCAMode.L_T][0] > 1 / (0.7 + 0.1)
+
+    def test_fine_granularity_nl_nt_slowdown(self, accelerator):
+        gs = np.array([5.0])
+        sweep = granularity_sweep(ARM_A72, accelerator, 0.3, gs)
+        assert sweep.speedups[TCAMode.NL_NT][0] < 1.0
+
+    def test_crossover_detection(self, accelerator):
+        gs = np.logspace(0.5, 8, 40)
+        sweep = granularity_sweep(ARM_A72, accelerator, 0.3, gs)
+        crossover = sweep.crossover_below_one(TCAMode.NL_NT)
+        assert crossover is not None
+        assert crossover < 1000
+        assert sweep.crossover_below_one(TCAMode.L_T) is None
+
+    def test_rows_roundtrip(self, accelerator):
+        gs = np.array([10.0, 100.0])
+        sweep = granularity_sweep(ARM_A72, accelerator, 0.3, gs)
+        rows = sweep.rows()
+        assert len(rows) == 2
+        assert rows[0]["granularity"] == 10.0
+        assert set(rows[0]) == {"granularity", *(m.value for m in TCAMode.all_modes())}
+
+
+class TestFractionSweep:
+    def test_speedups_increase_then_decrease_lt(self, accelerator):
+        fractions = np.linspace(0.05, 1.0, 40)
+        sweep = fraction_sweep(HIGH_PERF, accelerator, 1000, fractions)
+        lt = sweep.speedups[TCAMode.L_T]
+        peak = int(np.argmax(lt))
+        assert 0 < peak < len(fractions) - 1  # interior peak (A+1 effect)
+
+
+class TestFrequencySweep:
+    def test_coverage_follows_frequency(self, accelerator):
+        vs = np.array([1e-4, 1e-3])
+        sweep = frequency_sweep(HIGH_PERF, accelerator, 100, vs)
+        # a = v * g: higher frequency means more coverage means more speedup.
+        assert sweep.speedups[TCAMode.L_T][1] > sweep.speedups[TCAMode.L_T][0]
+
+    def test_coverage_saturates_at_one(self, accelerator):
+        vs = np.array([0.5])
+        sweep = frequency_sweep(HIGH_PERF, accelerator, 100, vs)
+        assert np.isfinite(sweep.speedups[TCAMode.L_T][0])
+
+
+class TestHeatmap:
+    def test_shape_and_feasibility(self, accelerator):
+        fractions = np.linspace(0.1, 1.0, 5)
+        frequencies = np.logspace(-4, -0.3, 7)
+        heat = speedup_heatmap(HIGH_PERF, accelerator, TCAMode.L_T, fractions, frequencies)
+        assert heat.speedup.shape == (5, 7)
+        # infeasible cells (a < v) are NaN
+        for i, a in enumerate(fractions):
+            for j, v in enumerate(frequencies):
+                if a < v:
+                    assert np.isnan(heat.speedup[i, j])
+                else:
+                    assert np.isfinite(heat.speedup[i, j])
+
+    def test_slowdown_fraction_nl_nt_exceeds_l_t(self, accelerator):
+        fractions = np.linspace(0.1, 1.0, 8)
+        frequencies = np.logspace(-4, -0.5, 9)
+        slow = {}
+        for mode in (TCAMode.NL_NT, TCAMode.L_T):
+            heat = speedup_heatmap(
+                HIGH_PERF, accelerator, mode, fractions, frequencies
+            )
+            slow[mode] = heat.slowdown_fraction()
+        assert slow[TCAMode.NL_NT] > slow[TCAMode.L_T]
+
+    def test_max_speedup_positive(self, accelerator):
+        heat = speedup_heatmap(
+            HIGH_PERF,
+            accelerator,
+            TCAMode.L_T,
+            np.linspace(0.2, 0.9, 4),
+            np.logspace(-4, -2, 4),
+        )
+        assert heat.max_speedup() > 1.0
+
+    def test_empty_feasible_region(self, accelerator):
+        heat = speedup_heatmap(
+            HIGH_PERF,
+            accelerator,
+            TCAMode.L_T,
+            np.array([0.001]),
+            np.array([0.5]),
+        )
+        assert np.isnan(heat.max_speedup())
+        assert heat.slowdown_fraction() == 0.0
+
+
+class TestAcceleratorCurve:
+    def test_curve_values(self):
+        fractions = np.array([0.1, 0.5, 1.0])
+        curve = accelerator_curve(50, fractions)
+        assert curve == pytest.approx([0.002, 0.01, 0.02])
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            accelerator_curve(0, np.array([0.5]))

@@ -1,0 +1,182 @@
+"""Unit tests for the model-vs-simulator validation harness."""
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.core.parameters import AcceleratorParameters
+from repro.core.validation import (
+    ValidationRecord,
+    ValidationReport,
+    WorkloadParameters,
+    core_parameters_from_sim,
+    estimate_tca_latency,
+    validate_workload,
+)
+from repro.isa.instructions import MemRequest, TCADescriptor
+from repro.isa.program import AcceleratableRegion, Program
+from repro.isa.trace import TraceBuilder
+
+
+class TestCoreParametersFromSim:
+    def test_mapping(self, tiny_sim_config):
+        core = core_parameters_from_sim(tiny_sim_config, measured_ipc=1.5)
+        assert core.ipc == 1.5
+        assert core.rob_size == tiny_sim_config.rob_size
+        assert core.issue_width == tiny_sim_config.dispatch_width
+        assert core.commit_stall == float(tiny_sim_config.commit_latency)
+        assert core.name == "tiny"
+
+
+class TestEstimateTCALatency:
+    def test_no_reads_is_compute_latency(self, tiny_sim_config):
+        descriptor = TCADescriptor(name="t", compute_latency=7)
+        assert estimate_tca_latency(descriptor, tiny_sim_config) == 7.0
+
+    def test_zero_compute_floor_one(self, tiny_sim_config):
+        descriptor = TCADescriptor(name="t", compute_latency=0)
+        assert estimate_tca_latency(descriptor, tiny_sim_config) == 1.0
+
+    def test_reads_add_port_serialization(self, tiny_sim_config):
+        reads = tuple(MemRequest(64 * i, 64) for i in range(6))
+        descriptor = TCADescriptor(name="t", compute_latency=10, reads=reads)
+        # (6-1)//2 ports + l1 latency (2) + compute (10)
+        assert estimate_tca_latency(descriptor, tiny_sim_config) == 2 + 2 + 10
+
+    def test_custom_read_latency(self, tiny_sim_config):
+        reads = (MemRequest(0, 64),)
+        descriptor = TCADescriptor(name="t", compute_latency=1, reads=reads)
+        assert (
+            estimate_tca_latency(descriptor, tiny_sim_config, avg_read_latency=30.0)
+            == 0 + 30 + 1
+        )
+
+
+class TestRecordsAndReport:
+    def test_error_math(self):
+        record = ValidationRecord(TCAMode.L_T, model_speedup=1.2, sim_speedup=1.0)
+        assert record.error == pytest.approx(0.2)
+        assert record.abs_error_pct == pytest.approx(20.0)
+
+    def test_zero_sim_speedup_infinite_error(self):
+        record = ValidationRecord(TCAMode.L_T, 1.0, 0.0)
+        assert record.error == float("inf")
+
+    def test_report_aggregates(self, tiny_sim_config):
+        core = core_parameters_from_sim(tiny_sim_config, 2.0)
+        records = (
+            ValidationRecord(TCAMode.NL_NT, 0.9, 1.0),
+            ValidationRecord(TCAMode.L_T, 1.3, 1.25),
+        )
+        report = ValidationReport(
+            workload_name="w",
+            records=records,
+            baseline_ipc=2.0,
+            baseline_cycles=1000,
+            workload=WorkloadParameters(0.5, 0.001),
+            accelerator=AcceleratorParameters(latency=10),
+            core=core,
+        )
+        assert report.max_abs_error_pct == pytest.approx(10.0)
+        assert report.mean_abs_error_pct == pytest.approx(7.0)
+        assert report.record(TCAMode.L_T).model_speedup == 1.3
+        with pytest.raises(KeyError):
+            report.record(TCAMode.NL_T)
+        assert report.trend_ordering_matches()
+        table = report.render_table()
+        assert "NL_NT" in table and "error" in table.lower()
+
+    def test_trend_mismatch_detected(self, tiny_sim_config):
+        core = core_parameters_from_sim(tiny_sim_config, 2.0)
+        records = (
+            ValidationRecord(TCAMode.NL_NT, 1.5, 1.0),  # model says fastest
+            ValidationRecord(TCAMode.L_T, 1.2, 1.3),  # sim says fastest
+        )
+        report = ValidationReport(
+            workload_name="w",
+            records=records,
+            baseline_ipc=2.0,
+            baseline_cycles=1000,
+            workload=WorkloadParameters(0.5, 0.001),
+            accelerator=AcceleratorParameters(latency=10),
+            core=core,
+        )
+        assert not report.trend_ordering_matches()
+
+
+class TestValidateWorkload:
+    @pytest.fixture
+    def program(self):
+        builder = TraceBuilder("base")
+        builder.independent_block(600, [0, 1, 2, 3])
+        baseline = builder.build()
+        descriptor = TCADescriptor(name="t", compute_latency=8)
+        regions = [
+            AcceleratableRegion(100 + 150 * i, 40, descriptor) for i in range(3)
+        ]
+        return Program(baseline, regions)
+
+    def test_end_to_end(self, tiny_sim_config, program):
+        report = validate_workload(
+            program.baseline, program.accelerated(), tiny_sim_config
+        )
+        assert len(report.records) == 4
+        assert report.workload.acceleratable_fraction == pytest.approx(0.2)
+        assert report.workload.invocation_frequency == pytest.approx(0.005)
+        assert report.baseline_ipc > 0
+        for record in report.records:
+            assert record.sim_speedup > 0
+            assert record.model_speedup > 0
+
+    def test_accelerator_derived_from_descriptor(self, tiny_sim_config, program):
+        report = validate_workload(
+            program.baseline, program.accelerated(), tiny_sim_config
+        )
+        assert report.accelerator.name == "t"
+        assert report.accelerator.latency == 8.0
+
+    def test_explicit_accelerator_respected(self, tiny_sim_config, program):
+        accel = AcceleratorParameters(name="mine", latency=3.0)
+        report = validate_workload(
+            program.baseline, program.accelerated(), tiny_sim_config, accelerator=accel
+        )
+        assert report.accelerator is accel
+
+    def test_drain_policies(self, tiny_sim_config, program):
+        measured = validate_workload(
+            program.baseline, program.accelerated(), tiny_sim_config, drain="measured"
+        )
+        powerlaw = validate_workload(
+            program.baseline, program.accelerated(), tiny_sim_config, drain="powerlaw"
+        )
+        explicit = validate_workload(
+            program.baseline, program.accelerated(), tiny_sim_config, drain=0.0
+        )
+        # Same simulation results; only the NL-mode model numbers shift.
+        assert (
+            measured.record(TCAMode.L_T).sim_speedup
+            == powerlaw.record(TCAMode.L_T).sim_speedup
+        )
+        assert (
+            explicit.record(TCAMode.NL_NT).model_speedup
+            >= powerlaw.record(TCAMode.NL_NT).model_speedup
+        )
+        with pytest.raises(ValueError, match="drain"):
+            validate_workload(
+                program.baseline,
+                program.accelerated(),
+                tiny_sim_config,
+                drain="bogus",
+            )
+
+    def test_requires_tca_instructions(self, tiny_sim_config, program):
+        with pytest.raises(ValueError, match="no TCA"):
+            validate_workload(program.baseline, program.baseline, tiny_sim_config)
+
+    def test_mode_subset(self, tiny_sim_config, program):
+        report = validate_workload(
+            program.baseline,
+            program.accelerated(),
+            tiny_sim_config,
+            modes=(TCAMode.L_T, TCAMode.NL_NT),
+        )
+        assert len(report.records) == 2

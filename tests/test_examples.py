@@ -1,0 +1,57 @@
+"""Integration guard: every example script runs to completion.
+
+Examples are user-facing documentation; this keeps them from bitrotting.
+Scripts with a ``--fast`` flag run in their reduced configuration.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+_EXAMPLES = [
+    ("quickstart.py", []),
+    ("heap_accelerator_study.py", ["--fast"]),
+    ("matmul_accelerator_study.py", ["--fast"]),
+    ("design_space_exploration.py", []),
+    ("energy_case_study.py", []),
+]
+
+_SLOW_EXAMPLES = [
+    ("partial_speculation_study.py", []),
+    ("regex_accelerator_study.py", []),
+    ("accelerator_rich_core.py", []),
+]
+
+
+def _run(script: str, args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={**os.environ, "REPRO_SCALE": "smoke"},
+    )
+
+
+@pytest.mark.parametrize("script,args", _EXAMPLES, ids=lambda v: str(v))
+def test_example_runs(script, args):
+    result = _run(script, args)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("script,args", _SLOW_EXAMPLES, ids=lambda v: str(v))
+def test_slow_example_runs(script, args):
+    result = _run(script, args)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_shows_slowdown_warning():
+    result = _run("quickstart.py", [])
+    assert "slowdown" in result.stdout
+    assert "L_T" in result.stdout

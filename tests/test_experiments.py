@@ -1,0 +1,164 @@
+"""Smoke-scale tests of every figure/table regenerator.
+
+Each experiment must run, produce its rows, render text, and — crucially —
+report the paper's qualitative observations as holding (the notes should
+not contain 'UNEXPECTED').
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import report as report_mod
+from repro.experiments.report import (
+    ExperimentResult,
+    ascii_table,
+    heatmap_glyph,
+    resolve_scale,
+)
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+@pytest.mark.parametrize("name", list(EXPERIMENTS))
+def test_experiment_runs_at_smoke_scale(name):
+    result = run_experiment(name, scale="smoke")
+    assert result.name == name
+    assert result.rows
+    assert result.render()
+    assert "UNEXPECTED" not in result.render()
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+class TestShapeNotes:
+    def test_fig2_reports_slowdown_at_fine_granularity(self):
+        result = run_experiment("fig2", scale="smoke")
+        assert any("slowdown, as in the paper" in note for note in result.notes)
+
+    def test_fig5_reports_nl_t_follows_l_t(self):
+        result = run_experiment("fig5", scale="smoke")
+        assert any("NL_T follows L_T" in note for note in result.notes)
+
+    def test_fig6_reports_tile_ordering(self):
+        result = run_experiment("fig6", scale="smoke")
+        assert any("8x8 > 4x4 > 2x2" in note for note in result.notes)
+
+    def test_fig7_reports_hp_sensitivity(self):
+        result = run_experiment("fig7", scale="smoke")
+        assert any("HP more sensitive" in note for note in result.notes)
+        assert any("never slows down" in note for note in result.notes)
+
+    def test_fig8_reports_a_plus_one(self):
+        result = run_experiment("fig8", scale="smoke")
+        assert any("matches A+1" in note for note in result.notes)
+
+    def test_fig3_reports_stall_ordering(self):
+        result = run_experiment("fig3", scale="smoke")
+        assert any("L_T least stalled" in note for note in result.notes)
+
+
+class TestReportHelpers:
+    def test_resolve_scale_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert resolve_scale(None) == "full"
+        assert resolve_scale("smoke") == "smoke"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert resolve_scale(None) == "default"
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+    def test_ascii_table(self):
+        table = ascii_table(["x", "speedup"], [[1, 1.5], [100000, 0.0001]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "speedup" in lines[0]
+
+    def test_heatmap_glyphs(self):
+        assert heatmap_glyph(float("nan")) == " "
+        assert heatmap_glyph(0.1) == "@"
+        assert heatmap_glyph(0.95) == "."
+        assert heatmap_glyph(1.0) == "-"
+        assert heatmap_glyph(1000.0) == "#"
+
+    def test_save_json(self, tmp_path):
+        result = ExperimentResult(
+            name="demo", title="t", scale="smoke", rows=[{"x": 1}], notes=["n"]
+        )
+        path = result.save_json(str(tmp_path))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["rows"] == [{"x": 1}]
+        assert payload["notes"] == ["n"]
+
+
+class TestRunnerCLI:
+    def test_cli_runs_and_saves(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(report_mod.RESULTS_DIR_ENV, str(tmp_path))
+        code = main(["table1", "--scale", "smoke", "--save"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert (tmp_path / "table1.json").exists()
+
+    def test_cli_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestLineChart:
+    def test_basic_chart_structure(self):
+        from repro.experiments.report import render_linechart
+
+        chart = render_linechart(
+            [1, 2, 3, 4],
+            {"up": [1.0, 2.0, 3.0, 4.0], "down": [4.0, 3.0, 2.0, 1.0]},
+            width=30,
+            height=8,
+        )
+        lines = chart.splitlines()
+        assert len([l for l in lines if l.startswith("|")]) == 8
+        assert "legend:" in lines[-1]
+        assert "*=up" in lines[-1]
+        assert "o=down" in lines[-1]
+
+    def test_break_even_rule_drawn(self):
+        from repro.experiments.report import render_linechart
+
+        chart = render_linechart(
+            [1, 2], {"s": [0.5, 2.0]}, width=20, height=6, reference_y=1.0
+        )
+        assert any(set(line.strip("|")) == {"-"} or "-" in line
+                   for line in chart.splitlines() if line.startswith("|"))
+
+    def test_log_axes(self):
+        from repro.experiments.report import render_linechart
+
+        chart = render_linechart(
+            [1, 10, 100, 1000],
+            {"s": [1, 2, 4, 8]},
+            log_x=True,
+            log_y=True,
+        )
+        assert "(log)" in chart
+
+    def test_nan_values_skipped(self):
+        from repro.experiments.report import render_linechart
+
+        chart = render_linechart(
+            [1, 2, 3], {"s": [1.0, float("nan"), 3.0]}, width=12, height=4
+        )
+        assert "legend" in chart
+
+    def test_empty_chart(self):
+        from repro.experiments.report import render_linechart
+
+        assert render_linechart([], {}) == "(empty chart)"
+
+    def test_constant_series(self):
+        from repro.experiments.report import render_linechart
+
+        chart = render_linechart([1, 2], {"s": [1.0, 1.0]}, width=10, height=4)
+        assert "legend" in chart

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the full paper pipeline at small scale.
+
+These exercise workload generation → simulation → model validation as one
+flow and pin the paper's headline qualitative results end to end.
+"""
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.core.validation import validate_workload
+from repro.sim.config import HIGH_PERF_SIM, LOW_PERF_SIM
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+from repro.workloads.matmul import (
+    MatmulSpec,
+    generate_accelerated_trace,
+    generate_baseline_trace,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic_program
+
+
+@pytest.fixture(scope="module")
+def heap_report():
+    program = generate_heap_program(
+        HeapWorkloadSpec(slots=250, call_probability=0.25, seed=4)
+    )
+    return validate_workload(
+        program.baseline,
+        program.accelerated(),
+        HIGH_PERF_SIM,
+        warm_ranges=program.baseline.metadata["warm_ranges"],
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic_report():
+    program = generate_synthetic_program(
+        SyntheticSpec(total_instructions=8000, num_invocations=10)
+    )
+    return validate_workload(program.baseline, program.accelerated(), HIGH_PERF_SIM)
+
+
+class TestHeapPipeline:
+    def test_simulated_mode_ordering(self, heap_report):
+        sims = {rec.mode: rec.sim_speedup for rec in heap_report.records}
+        assert sims[TCAMode.L_T] >= sims[TCAMode.NL_T] >= sims[TCAMode.L_NT]
+        assert sims[TCAMode.L_NT] >= sims[TCAMode.NL_NT]
+
+    def test_single_cycle_tca_speeds_up_t_modes(self, heap_report):
+        assert heap_report.record(TCAMode.L_T).sim_speedup > 1.05
+
+    def test_model_matches_trends(self, heap_report):
+        assert heap_report.trend_ordering_matches()
+
+    def test_model_error_moderate(self, heap_report):
+        # Paper Fig. 5 band at comparable frequencies.
+        assert heap_report.max_abs_error_pct < 15.0
+
+
+class TestSyntheticPipeline:
+    def test_errors_within_reproduction_band(self, synthetic_report):
+        assert synthetic_report.max_abs_error_pct < 20.0
+
+    def test_nl_modes_tight(self, synthetic_report):
+        assert synthetic_report.record(TCAMode.NL_NT).abs_error_pct < 10.0
+        assert synthetic_report.record(TCAMode.L_NT).abs_error_pct < 10.0
+
+
+class TestMatmulPipeline:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        spec = MatmulSpec(n=16, block=8, accel_sizes=(2, 8))
+        baseline = generate_baseline_trace(spec)
+        out = {}
+        for m in spec.accel_sizes:
+            out[m] = validate_workload(
+                baseline,
+                generate_accelerated_trace(spec, m),
+                HIGH_PERF_SIM,
+                warm_ranges=spec.warm_ranges(),
+            )
+        return out
+
+    def test_bigger_tiles_win(self, reports):
+        assert (
+            reports[8].record(TCAMode.L_T).sim_speedup
+            > reports[2].record(TCAMode.L_T).sim_speedup * 3
+        )
+
+    def test_2x2_mode_sensitive(self, reports):
+        sims2 = [rec.sim_speedup for rec in reports[2].records]
+        sims8 = [rec.sim_speedup for rec in reports[8].records]
+        rel_spread_2 = (max(sims2) - min(sims2)) / max(sims2)
+        rel_spread_8 = (max(sims8) - min(sims8)) / max(sims8)
+        assert rel_spread_2 > rel_spread_8
+
+    def test_trends_match(self, reports):
+        for report in reports.values():
+            assert report.trend_ordering_matches()
+
+    def test_errors_below_paper_band(self, reports):
+        # Paper Fig. 6 reports errors up to 44%.
+        for report in reports.values():
+            assert report.max_abs_error_pct < 44.0
+
+
+class TestCoreSensitivity:
+    def test_lp_core_less_mode_sensitive_than_hp(self):
+        # Paper §VI observation 1, at the simulation level.
+        program = generate_heap_program(
+            HeapWorkloadSpec(slots=200, call_probability=0.3, seed=6)
+        )
+        warm = program.baseline.metadata["warm_ranges"]
+        spreads = {}
+        for config in (HIGH_PERF_SIM, LOW_PERF_SIM):
+            report = validate_workload(
+                program.baseline, program.accelerated(), config, warm_ranges=warm
+            )
+            sims = [rec.sim_speedup for rec in report.records]
+            spreads[config.name] = (max(sims) - min(sims)) / max(sims)
+        assert spreads["high-perf"] > spreads["low-perf"]

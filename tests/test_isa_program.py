@@ -1,0 +1,157 @@
+"""Unit tests for the program/region abstraction."""
+
+import pytest
+
+from repro.isa.instructions import OpClass, TCADescriptor
+from repro.isa.program import AcceleratableRegion, Program
+from repro.isa.trace import TraceBuilder
+
+
+def _baseline(n: int = 100):
+    builder = TraceBuilder("base")
+    builder.independent_block(n, [0, 1, 2, 3])
+    return builder.build()
+
+
+def _descriptor(latency: int = 2) -> TCADescriptor:
+    return TCADescriptor(name="t", compute_latency=latency)
+
+
+class TestAcceleratableRegion:
+    def test_end_and_overlap(self):
+        a = AcceleratableRegion(0, 10, _descriptor())
+        b = AcceleratableRegion(5, 10, _descriptor())
+        c = AcceleratableRegion(10, 5, _descriptor())
+        assert a.end == 10
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AcceleratableRegion(-1, 5, _descriptor())
+        with pytest.raises(ValueError):
+            AcceleratableRegion(0, 0, _descriptor())
+
+
+class TestProgram:
+    def test_rejects_overlapping_regions(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Program(
+                _baseline(),
+                [
+                    AcceleratableRegion(0, 10, _descriptor()),
+                    AcceleratableRegion(5, 10, _descriptor()),
+                ],
+            )
+
+    def test_rejects_out_of_bounds_region(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Program(_baseline(10), [AcceleratableRegion(5, 10, _descriptor())])
+
+    def test_statistics(self):
+        program = Program(
+            _baseline(100),
+            [
+                AcceleratableRegion(10, 20, _descriptor()),
+                AcceleratableRegion(50, 20, _descriptor()),
+            ],
+        )
+        assert program.num_invocations == 2
+        assert program.acceleratable_instructions == 40
+        assert program.acceleratable_fraction == pytest.approx(0.4)
+        assert program.invocation_frequency == pytest.approx(0.02)
+        assert program.mean_granularity == pytest.approx(20)
+
+    def test_accelerated_trace_shape(self):
+        program = Program(
+            _baseline(100),
+            [
+                AcceleratableRegion(10, 20, _descriptor()),
+                AcceleratableRegion(50, 20, _descriptor()),
+            ],
+        )
+        accel = program.accelerated()
+        # 100 - 40 replaced + 2 TCAs
+        assert len(accel) == 62
+        stats = accel.stats()
+        assert stats.tca_invocations == 2
+        assert stats.replaced_instructions == 40
+        assert stats.baseline_instructions == 100
+
+    def test_accelerated_preserves_order(self):
+        program = Program(
+            _baseline(10), [AcceleratableRegion(4, 3, _descriptor())]
+        )
+        accel = program.accelerated()
+        assert [i.op for i in accel].count(OpClass.TCA) == 1
+        assert accel[4].op is OpClass.TCA
+
+    def test_replaced_instructions_forced_to_region_length(self):
+        descriptor = TCADescriptor(
+            name="t", compute_latency=1, replaced_instructions=999
+        )
+        program = Program(_baseline(20), [AcceleratableRegion(0, 5, descriptor)])
+        accel = program.accelerated()
+        assert accel[0].tca.replaced_instructions == 5
+
+    def test_region_srcs_dsts_carried(self):
+        program = Program(
+            _baseline(20),
+            [AcceleratableRegion(0, 5, _descriptor(), srcs=(1,), dsts=(2,))],
+        )
+        tca = program.accelerated()[0]
+        assert tca.srcs == (1,)
+        assert tca.dsts == (2,)
+
+    def test_region_instructions(self):
+        base = _baseline(20)
+        region = AcceleratableRegion(3, 4, _descriptor())
+        program = Program(base, [region])
+        assert program.region_instructions(region) == base.instructions[3:7]
+
+    def test_from_region_finder(self):
+        base = _baseline(30)
+
+        def finder(trace):
+            return [AcceleratableRegion(0, 10, _descriptor())]
+
+        program = Program.from_region_finder(base, finder)
+        assert program.num_invocations == 1
+
+    def test_empty_regions(self):
+        program = Program(_baseline(10), [])
+        assert program.acceleratable_fraction == 0.0
+        assert program.mean_granularity == 0.0
+        assert len(program.accelerated()) == 10
+
+
+class TestProgramConcat:
+    def test_concat_shifts_regions(self):
+        a = Program(_baseline(50), [AcceleratableRegion(10, 5, _descriptor())])
+        b = Program(_baseline(40), [AcceleratableRegion(0, 4, _descriptor())])
+        merged = a.concat(b)
+        assert len(merged.baseline) == 90
+        assert [r.start for r in merged.regions] == [10, 50]
+        assert merged.num_invocations == 2
+
+    def test_concat_merges_warm_ranges(self):
+        base_a = _baseline(20)
+        base_a.metadata["warm_ranges"] = [(0, 64)]
+        base_b = _baseline(20)
+        base_b.metadata["warm_ranges"] = [(128, 64)]
+        merged = Program(base_a, []).concat(Program(base_b, []))
+        assert merged.baseline.metadata["warm_ranges"] == [(0, 64), (128, 64)]
+
+    def test_concat_preserves_fractions(self):
+        a = Program(_baseline(100), [AcceleratableRegion(0, 20, _descriptor())])
+        b = Program(_baseline(100), [AcceleratableRegion(50, 40, _descriptor())])
+        merged = a.concat(b)
+        assert merged.acceleratable_fraction == pytest.approx(0.3)
+        assert merged.invocation_frequency == pytest.approx(0.01)
+
+    def test_concat_accelerated_trace_valid(self):
+        a = Program(_baseline(60), [AcceleratableRegion(10, 10, _descriptor())])
+        b = Program(_baseline(60), [AcceleratableRegion(30, 10, _descriptor())])
+        accel = a.concat(b).accelerated()
+        assert accel.stats().tca_invocations == 2
+        assert accel.stats().baseline_instructions == 120

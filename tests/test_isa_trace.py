@@ -1,0 +1,128 @@
+"""Unit tests for trace containers and builders."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, OpClass, TCADescriptor
+from repro.isa.trace import Trace, TraceBuilder
+
+
+class TestTrace:
+    def test_len_iter_getitem(self):
+        insts = [Instruction(op=OpClass.NOP) for _ in range(5)]
+        trace = Trace(insts, name="t")
+        assert len(trace) == 5
+        assert list(trace) == list(insts)
+        assert trace[2].op is OpClass.NOP
+
+    def test_repr(self):
+        trace = Trace([], name="empty")
+        assert "empty" in repr(trace)
+        assert "n=0" in repr(trace)
+
+    def test_concat(self):
+        a = Trace([Instruction(op=OpClass.NOP)], name="a", metadata={"x": 1})
+        b = Trace([Instruction(op=OpClass.NOP)] * 2, name="b", metadata={"y": 2})
+        c = a.concat(b)
+        assert len(c) == 3
+        assert c.name == "a+b"
+        assert c.metadata == {"x": 1, "y": 2}
+
+    def test_validate_register_bounds(self):
+        trace = Trace([Instruction(op=OpClass.INT_ALU, dsts=(31,))])
+        trace.validate(num_registers=32)
+        with pytest.raises(ValueError, match="register"):
+            trace.validate(num_registers=16)
+
+
+class TestTraceStats:
+    def test_basic_counts(self):
+        builder = TraceBuilder("t")
+        builder.alu(0)
+        builder.load(1, 0x100)
+        builder.store(1, 0x108)
+        builder.branch(mispredicted=True)
+        builder.nop()
+        stats = builder.build().stats()
+        assert stats.total == 5
+        assert stats.by_class[OpClass.LOAD] == 1
+        assert stats.by_class[OpClass.STORE] == 1
+        assert stats.mispredicted_branches == 1
+        assert stats.tca_invocations == 0
+
+    def test_tca_accounting(self):
+        builder = TraceBuilder("t")
+        builder.independent_block(90, [0, 1])
+        descriptor = TCADescriptor(
+            name="x", compute_latency=3, replaced_instructions=10
+        )
+        builder.tca(descriptor)
+        stats = builder.build().stats()
+        assert stats.tca_invocations == 1
+        assert stats.replaced_instructions == 10
+        assert stats.baseline_instructions == 100
+        assert stats.acceleratable_fraction == pytest.approx(0.1)
+        assert stats.invocation_frequency == pytest.approx(0.01)
+
+    def test_empty_trace_fractions(self):
+        stats = Trace([]).stats()
+        assert stats.invocation_frequency == 0.0
+        assert stats.acceleratable_fraction == 0.0
+
+
+class TestTraceBuilder:
+    def test_chain_is_serial(self):
+        builder = TraceBuilder("t")
+        builder.chain(5, start_reg=3)
+        trace = builder.build()
+        assert len(trace) == 5
+        for inst in trace:
+            assert inst.srcs == (3,)
+            assert inst.dsts == (3,)
+
+    def test_independent_block_has_no_deps(self):
+        builder = TraceBuilder("t")
+        builder.independent_block(6, [0, 1, 2])
+        for inst in builder.build():
+            assert inst.srcs == ()
+
+    def test_independent_block_requires_registers(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("t").independent_block(3, [])
+
+    def test_streaming_loads_addresses(self):
+        builder = TraceBuilder("t")
+        builder.streaming_loads(4, base_addr=0x1000, stride=64, dst_registers=[1])
+        addrs = [inst.addr for inst in builder.build()]
+        assert addrs == [0x1000, 0x1040, 0x1080, 0x10C0]
+
+    def test_streaming_loads_requires_registers(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("t").streaming_loads(2, 0, 8, [])
+
+    def test_tca_over_range_chunks(self):
+        builder = TraceBuilder("t")
+        inst = builder.tca_over_range(
+            "mma", compute_latency=8, read_ranges=[(0, 100)], write_ranges=[(512, 64)]
+        )
+        assert inst.tca is not None
+        assert sum(r.size for r in inst.tca.reads) == 100
+        assert all(r.size <= 64 for r in inst.tca.reads)
+        assert sum(w.size for w in inst.tca.writes) == 64
+        assert all(w.is_write for w in inst.tca.writes)
+
+    def test_builder_length_tracks_emissions(self):
+        builder = TraceBuilder("t")
+        assert len(builder) == 0
+        builder.nop()
+        builder.alu(0)
+        assert len(builder) == 2
+
+    def test_metadata_carried_to_trace(self):
+        builder = TraceBuilder("t", metadata={"k": "v"})
+        trace = builder.build()
+        assert trace.metadata["k"] == "v"
+
+    def test_extend(self):
+        builder = TraceBuilder("t")
+        builder.extend([Instruction(op=OpClass.NOP)] * 3)
+        assert len(builder) == 3

@@ -1,0 +1,102 @@
+"""Unit tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.isa.instructions import MemRequest, TCADescriptor
+from repro.isa.trace import TraceBuilder
+from repro.isa.trace_io import (
+    dump_trace,
+    load_trace,
+    load_trace_stream,
+    save_trace,
+)
+
+
+def sample_trace():
+    builder = TraceBuilder("sample", metadata={"k": 1})
+    builder.alu(0, (1, 2))
+    builder.load(3, 0x1000, 16)
+    builder.store(3, 0x2000)
+    builder.branch(srcs=(0,), mispredicted=True)
+    builder.branch(srcs=(1,), low_confidence=True)
+    builder.alu(4, (), latency=9)
+    builder.tca(
+        TCADescriptor(
+            name="t",
+            compute_latency=7,
+            reads=(MemRequest(0x100, 64),),
+            writes=(MemRequest(0x200, 32, is_write=True),),
+            replaced_instructions=12,
+            replaced_cycles=30,
+        ),
+        srcs=(1,),
+        dsts=(2,),
+    )
+    return builder.build()
+
+
+class TestRoundtrip:
+    def test_stream_roundtrip_preserves_everything(self):
+        trace = sample_trace()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace_stream(buffer)
+        assert loaded.name == trace.name
+        assert loaded.metadata == trace.metadata
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert original == restored
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.instructions == trace.instructions
+
+    def test_simulation_equivalence(self, tmp_path, tiny_sim_config):
+        from repro.sim.simulator import simulate
+
+        trace = sample_trace()
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert (
+            simulate(trace, tiny_sim_config).cycles
+            == simulate(loaded, tiny_sim_config).cycles
+        )
+
+
+class TestErrors:
+    def test_empty_stream(self):
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_stream(io.StringIO(""))
+
+    def test_foreign_header(self):
+        with pytest.raises(ValueError, match="bad header"):
+            load_trace_stream(io.StringIO('{"format": "other"}\n'))
+
+    def test_newer_version_rejected(self):
+        stream = io.StringIO('{"format": "repro-trace", "version": 99}\n')
+        with pytest.raises(ValueError, match="newer"):
+            load_trace_stream(stream)
+
+    def test_length_mismatch(self):
+        stream = io.StringIO(
+            '{"format": "repro-trace", "version": 1, "length": 2}\n'
+            '{"op": "nop"}\n'
+        )
+        with pytest.raises(ValueError, match="declares 2"):
+            load_trace_stream(stream)
+
+    def test_blank_lines_tolerated(self):
+        stream = io.StringIO(
+            '{"format": "repro-trace", "version": 1, "length": 1}\n'
+            "\n"
+            '{"op": "nop"}\n'
+            "\n"
+        )
+        assert len(load_trace_stream(stream)) == 1

@@ -1,0 +1,167 @@
+"""Unit tests for the cache hierarchy."""
+
+import pytest
+
+from repro.sim.cache import CacheConfig, CacheHierarchy
+
+
+def make_hierarchy(
+    l1_size=1024, l1_assoc=2, l1_lat=2, l2_size=8192, l2_assoc=4, l2_lat=8, mem=50
+):
+    return CacheHierarchy(
+        CacheConfig(l1_size, l1_assoc, l1_lat),
+        CacheConfig(l2_size, l2_assoc, l2_lat),
+        mem,
+    )
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size=1024, assoc=2, latency=2)
+        assert config.num_sets == 8  # 1024 / (2 * 64)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, assoc=2, latency=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=0, assoc=1, latency=1)
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, assoc=2, latency=0)
+
+
+class TestHierarchyLatency:
+    def test_cold_miss_goes_to_memory(self):
+        h = make_hierarchy()
+        latency, missed = h.access(0x1000)
+        assert missed
+        assert latency == 2 + 8 + 50
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        h.access(0x1000)
+        latency, missed = h.access(0x1000)
+        assert not missed
+        assert latency == 2
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()  # L1: 8 sets, 2 ways
+        # Three lines mapping to the same L1 set (stride = sets*line = 512B)
+        for addr in (0x0, 0x200, 0x400):
+            h.access(addr)
+        # 0x0 was evicted from L1 (LRU) but still lives in the bigger L2.
+        latency, missed = h.access(0x0)
+        assert missed
+        assert latency == 2 + 8
+
+    def test_lru_preserves_recently_used(self):
+        h = make_hierarchy()
+        h.access(0x0)
+        h.access(0x200)
+        h.access(0x0)  # touch 0x0 -> MRU
+        h.access(0x400)  # evicts 0x200, not 0x0
+        assert h.access(0x0) == (2, False)
+
+    def test_multi_line_access_charges_worst(self):
+        h = make_hierarchy()
+        h.access(0x1000)  # warm first line only
+        latency, missed = h.access(0x1000 + 60, 8)  # spans two lines
+        assert missed
+        assert latency == 60  # second line cold
+
+    def test_access_within_one_line(self):
+        h = make_hierarchy()
+        h.access(0x40)
+        latency, missed = h.access(0x41, 8)
+        assert not missed
+
+
+class TestWriteAndWarm:
+    def test_write_allocates_line(self):
+        h = make_hierarchy()
+        h.write(0x2000, 8)
+        assert h.access(0x2000) == (2, False)
+
+    def test_warm_preloads_without_stats(self):
+        h = make_hierarchy()
+        h.warm(0x0, 512)
+        assert h.l1.stats.accesses == 0
+        assert h.l2.stats.accesses == 0
+        latency, missed = h.access(0x100)
+        assert not missed
+
+    def test_flush_invalidates(self):
+        h = make_hierarchy()
+        h.access(0x0)
+        h.flush()
+        latency, missed = h.access(0x0)
+        assert missed
+
+    def test_stats_accumulate(self):
+        h = make_hierarchy()
+        h.access(0x0)
+        h.access(0x0)
+        h.access(0x40)
+        assert h.l1.stats.accesses == 3
+        assert h.l1.stats.misses == 2
+        assert h.l1.stats.hits == 1
+        assert h.l1.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_miss_rate_empty(self):
+        h = make_hierarchy()
+        assert h.l1.stats.miss_rate == 0.0
+
+    def test_rejects_bad_mem_latency(self):
+        with pytest.raises(ValueError):
+            make_hierarchy(mem=0)
+
+    def test_contains_does_not_touch_lru(self):
+        h = make_hierarchy()
+        h.access(0x0)
+        h.access(0x200)
+        # probing 0x0 must not move it to MRU
+        assert h.l1.contains(0x0)
+        h.access(0x400)  # evicts LRU = 0x0
+        assert not h.l1.contains(0x0)
+
+
+class TestNextLinePrefetcher:
+    def test_prefetch_warms_next_line(self):
+        h = CacheHierarchy(
+            CacheConfig(1024, 2, 2), CacheConfig(8192, 4, 8), 50,
+            prefetch_next_line=True,
+        )
+        h.access(0x1000)  # miss -> prefetches 0x1040
+        assert h.prefetches == 1
+        latency, missed = h.access(0x1040)
+        assert not missed
+        assert latency == 2
+
+    def test_prefetch_off_by_default(self):
+        h = make_hierarchy()
+        h.access(0x1000)
+        latency, missed = h.access(0x1040)
+        assert missed
+        assert h.prefetches == 0
+
+    def test_sequential_stream_mostly_hits(self):
+        h = CacheHierarchy(
+            CacheConfig(1024, 2, 2), CacheConfig(8192, 4, 8), 50,
+            prefetch_next_line=True,
+        )
+        misses = 0
+        for i in range(32):
+            _lat, missed = h.access(i * 64)
+            misses += missed
+        assert misses <= 2  # only the stream head misses
+
+    def test_prefetch_does_not_refetch_resident_lines(self):
+        h = CacheHierarchy(
+            CacheConfig(1024, 2, 2), CacheConfig(8192, 4, 8), 50,
+            prefetch_next_line=True,
+        )
+        h.access(0x1000)  # miss; prefetches 0x1040
+        assert h.prefetches == 1
+        h.access(0x1000)  # hit; next line already resident -> no refetch
+        assert h.prefetches == 1

@@ -1,0 +1,152 @@
+"""Property-based tests of the simulator (hypothesis).
+
+Random small traces across the op vocabulary must always run to
+completion, deterministically, within architectural bounds, regardless of
+mode — the simulator's core liveness and sanity invariants.
+"""
+
+import random as stdlib_random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import TCAMode
+from repro.isa.instructions import Instruction, MemRequest, OpClass, TCADescriptor
+from repro.isa.trace import Trace
+from repro.sim.config import SimConfig
+from repro.sim.simulator import simulate
+
+_CONFIG = SimConfig(
+    name="prop",
+    dispatch_width=2,
+    issue_width=4,
+    commit_width=4,
+    rob_size=24,
+    iq_size=12,
+    lq_size=6,
+    sq_size=6,
+    frontend_depth=2,
+    commit_latency=2,
+    redirect_penalty=5,
+    load_ports=2,
+    store_ports=1,
+    l1d_size=2048,
+    l1d_assoc=2,
+    l1d_latency=2,
+    l2_size=16384,
+    l2_assoc=4,
+    l2_latency=6,
+    mem_latency=25,
+    mshrs=3,
+    max_cycles=2_000_000,
+)
+
+
+def _random_trace(seed: int, length: int, with_tca: bool) -> Trace:
+    rng = stdlib_random.Random(seed)
+    insts = []
+    for i in range(length):
+        roll = rng.random()
+        if with_tca and roll < 0.03:
+            reads = tuple(
+                MemRequest(rng.randrange(64) * 64, 64)
+                for _ in range(rng.randrange(3))
+            )
+            writes = tuple(
+                MemRequest(4096 + rng.randrange(16) * 64, 64, is_write=True)
+                for _ in range(rng.randrange(2))
+            )
+            insts.append(
+                Instruction(
+                    op=OpClass.TCA,
+                    tca=TCADescriptor(
+                        name="rand",
+                        compute_latency=rng.randrange(1, 30),
+                        reads=reads,
+                        writes=writes,
+                        replaced_instructions=rng.randrange(1, 40),
+                    ),
+                )
+            )
+        elif roll < 0.15:
+            insts.append(
+                Instruction(
+                    op=OpClass.LOAD,
+                    dsts=(rng.randrange(8),),
+                    addr=rng.randrange(512) * 8,
+                )
+            )
+        elif roll < 0.22:
+            insts.append(
+                Instruction(
+                    op=OpClass.STORE,
+                    srcs=(rng.randrange(8),),
+                    addr=rng.randrange(512) * 8,
+                )
+            )
+        elif roll < 0.27:
+            insts.append(
+                Instruction(
+                    op=OpClass.BRANCH,
+                    srcs=(rng.randrange(8),),
+                    mispredicted=rng.random() < 0.2,
+                )
+            )
+        elif roll < 0.35:
+            insts.append(
+                Instruction(
+                    op=OpClass.FP_MUL,
+                    srcs=(rng.randrange(8),),
+                    dsts=(rng.randrange(8),),
+                )
+            )
+        else:
+            srcs = tuple(
+                rng.randrange(8) for _ in range(rng.randrange(3))
+            )
+            insts.append(
+                Instruction(op=OpClass.INT_ALU, srcs=srcs, dsts=(rng.randrange(8),))
+            )
+    return Trace(insts, name=f"random-{seed}")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), length=st.integers(1, 250))
+def test_random_traces_complete(seed, length):
+    trace = _random_trace(seed, length, with_tca=False)
+    result = simulate(trace, _CONFIG)
+    assert result.stats.instructions == length
+    assert result.stats.max_rob_occupancy <= _CONFIG.rob_size
+    assert result.cycles >= (length - 1) // _CONFIG.dispatch_width
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), length=st.integers(5, 200))
+def test_random_tca_traces_complete_in_all_modes(seed, length):
+    trace = _random_trace(seed, length, with_tca=True)
+    cycles = {}
+    for mode in TCAMode.all_modes():
+        result = simulate(trace, _CONFIG.with_mode(mode))
+        assert result.stats.instructions == length
+        cycles[mode] = result.cycles
+    # Concurrency never hurts.
+    assert cycles[TCAMode.L_T] <= cycles[TCAMode.NL_NT]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), length=st.integers(5, 150))
+def test_simulation_deterministic(seed, length):
+    trace = _random_trace(seed, length, with_tca=True)
+    a = simulate(trace, _CONFIG)
+    b = simulate(trace, _CONFIG)
+    assert a.cycles == b.cycles
+    assert a.stats.stall_cycles == b.stats.stall_cycles
+    assert a.stats.tca_read_requests == b.stats.tca_read_requests
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), length=st.integers(10, 150))
+def test_ipc_never_exceeds_dispatch_width(seed, length):
+    trace = _random_trace(seed, length, with_tca=True)
+    result = simulate(trace, _CONFIG)
+    assert result.ipc <= _CONFIG.dispatch_width + 1e-9

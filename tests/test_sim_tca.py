@@ -1,0 +1,231 @@
+"""Behavioural tests of TCA integration semantics in the simulator.
+
+These pin the four leading/trailing concurrency modes (paper §III) at the
+microarchitectural level: when the accelerator may start, when dispatch
+stalls, how its memory requests arbitrate, and how memory dependences
+against trailing instructions resolve.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core.modes import TCAMode
+from repro.isa.instructions import MemRequest, TCADescriptor
+from repro.isa.trace import TraceBuilder
+from repro.sim.simulator import simulate, simulate_modes
+from repro.sim.stats import StallReason
+
+
+def tca_descriptor(latency=10, reads=(), writes=(), replaced=50):
+    return TCADescriptor(
+        name="t",
+        compute_latency=latency,
+        reads=reads,
+        writes=writes,
+        replaced_instructions=replaced,
+    )
+
+
+def trace_with_tca(leading=60, trailing=60, latency=10, reads=(), writes=()):
+    """leading ALU block, one TCA, trailing ALU block."""
+    builder = TraceBuilder("tca-sandwich")
+    builder.independent_block(leading, [0, 1, 2, 3])
+    builder.tca(tca_descriptor(latency, reads, writes))
+    builder.independent_block(trailing, [4, 5, 6, 7])
+    return builder.build()
+
+
+class TestModeOrdering:
+    def test_cycle_ordering_matches_concurrency(self, tiny_sim_config):
+        trace = trace_with_tca(latency=40)
+        cycles = {}
+        for mode in TCAMode.all_modes():
+            cycles[mode] = simulate(trace, tiny_sim_config.with_mode(mode)).cycles
+        assert cycles[TCAMode.L_T] <= cycles[TCAMode.NL_T]
+        assert cycles[TCAMode.L_T] <= cycles[TCAMode.L_NT]
+        assert cycles[TCAMode.NL_T] <= cycles[TCAMode.NL_NT]
+        assert cycles[TCAMode.L_NT] <= cycles[TCAMode.NL_NT]
+
+    def test_all_instructions_commit_in_every_mode(self, tiny_sim_config):
+        trace = trace_with_tca()
+        for mode in TCAMode.all_modes():
+            result = simulate(trace, tiny_sim_config.with_mode(mode))
+            assert result.stats.instructions == len(trace)
+            assert result.stats.tca_invocations == 1
+
+
+class TestNonLeadingSemantics:
+    def test_nl_waits_for_rob_head(self, tiny_sim_config):
+        # Give leading instructions a long-latency tail so the drain is
+        # visible: the NL TCA cannot start until they all commit.
+        builder = TraceBuilder("slow-leading")
+        for i in range(20):
+            builder.alu(i % 4, (), latency=30)
+        builder.tca(tca_descriptor(latency=5))
+        trace = builder.build()
+
+        nl = simulate(trace, tiny_sim_config.with_mode(TCAMode.NL_T))
+        l = simulate(trace, tiny_sim_config.with_mode(TCAMode.L_T))
+        assert nl.stats.tca_wait_drain_cycles > 20
+        assert l.stats.tca_wait_drain_cycles <= 2
+        assert nl.cycles > l.cycles
+
+    def test_l_mode_tca_overlaps_leading(self, tiny_sim_config):
+        # In L modes the TCA executes under the shadow of slow leading
+        # work: total time should be close to the leading work alone.
+        builder = TraceBuilder("leading-only")
+        for i in range(20):
+            builder.alu(i % 4, (), latency=30)
+        leading_only = simulate(builder.build(), tiny_sim_config)
+
+        trace = TraceBuilder("with-tca")
+        for i in range(20):
+            trace.alu(i % 4, (), latency=30)
+        trace.tca(tca_descriptor(latency=40))
+        with_tca = simulate(
+            trace.build(), tiny_sim_config.with_mode(TCAMode.L_T)
+        )
+        assert with_tca.cycles < leading_only.cycles + 30
+
+
+class TestNonTrailingSemantics:
+    def test_nt_blocks_dispatch_until_commit(self, tiny_sim_config):
+        trace = trace_with_tca(latency=50)
+        result = simulate(trace, tiny_sim_config.with_mode(TCAMode.L_NT))
+        assert result.stats.stall_cycles.get(StallReason.TCA_BARRIER, 0) >= 50
+
+    def test_t_mode_has_no_barrier_stalls(self, tiny_sim_config):
+        trace = trace_with_tca(latency=50)
+        result = simulate(trace, tiny_sim_config.with_mode(TCAMode.L_T))
+        assert result.stats.stall_cycles.get(StallReason.TCA_BARRIER, 0) == 0
+
+    def test_trailing_overlap_hides_tca_latency(self, tiny_sim_config):
+        # ROB must be large enough to cover the TCA latency (eq. (8):
+        # fill credit = s_ROB / w = 128/2 = 64 > 60), else even L_T stalls.
+        config = replace(tiny_sim_config, rob_size=128, iq_size=64)
+        trace = trace_with_tca(leading=10, trailing=300, latency=60)
+        nt = simulate(trace, config.with_mode(TCAMode.L_NT))
+        t = simulate(trace, config.with_mode(TCAMode.L_T))
+        # Trailing work (300 insts ~ 150 cycles at width 2) covers the
+        # 60-cycle TCA entirely in L_T but serializes after it in L_NT.
+        assert nt.cycles - t.cycles > 40
+
+    def test_small_rob_limits_trailing_overlap(self, tiny_sim_config):
+        # With the tiny 32-entry ROB the same experiment shows eq. (8)'s
+        # ROB-full effect: L_T can only hide ~fill-time of the TCA.
+        trace = trace_with_tca(leading=10, trailing=300, latency=60)
+        nt = simulate(trace, tiny_sim_config.with_mode(TCAMode.L_NT))
+        t = simulate(trace, tiny_sim_config.with_mode(TCAMode.L_T))
+        assert 0 < nt.cycles - t.cycles < 40
+
+
+class TestTCAMemory:
+    def test_reads_issue_through_load_ports(self, tiny_sim_config):
+        reads = tuple(MemRequest(0x1000 + 64 * i, 64) for i in range(8))
+        trace = trace_with_tca(latency=1, reads=reads)
+        result = simulate(
+            trace, tiny_sim_config, warm_ranges=[(0x1000, 512)]
+        )
+        assert result.stats.tca_read_requests == 8
+
+    def test_writes_drain_at_commit(self, tiny_sim_config):
+        writes = (MemRequest(0x2000, 64, is_write=True),)
+        trace = trace_with_tca(latency=1, writes=writes)
+        result = simulate(trace, tiny_sim_config)
+        assert result.stats.tca_write_requests == 1
+
+    def test_more_reads_take_longer(self, tiny_sim_config):
+        few = trace_with_tca(latency=1, reads=tuple(
+            MemRequest(0x1000 + 64 * i, 64) for i in range(2)
+        ))
+        many = trace_with_tca(latency=1, reads=tuple(
+            MemRequest(0x1000 + 64 * i, 64) for i in range(16)
+        ))
+        config = tiny_sim_config.with_mode(TCAMode.L_NT)
+        warm = [(0x1000, 2048)]
+        few_cycles = simulate(few, config, warm_ranges=warm).cycles
+        many_cycles = simulate(many, config, warm_ranges=warm).cycles
+        assert many_cycles > few_cycles + 4  # 14 extra reads / 2 ports
+
+    def test_tca_read_depends_on_older_store(self, tiny_sim_config):
+        # A store to the TCA's input range must complete before the TCA
+        # reads it; give the store's producer a long latency.
+        builder = TraceBuilder("raw")
+        builder.alu(0, (), latency=60)
+        builder.store(0, 0x3000)
+        builder.tca(tca_descriptor(latency=1, reads=(MemRequest(0x3000, 8),)))
+        trace = builder.build()
+        dependent = simulate(
+            trace, tiny_sim_config.with_mode(TCAMode.L_T), warm_ranges=[(0x3000, 64)]
+        )
+
+        builder = TraceBuilder("no-raw")
+        builder.alu(0, (), latency=60)
+        builder.store(0, 0x4000)  # disjoint address: no dependence
+        builder.tca(tca_descriptor(latency=1, reads=(MemRequest(0x3000, 8),)))
+        independent = simulate(
+            builder.build(),
+            tiny_sim_config.with_mode(TCAMode.L_T),
+            warm_ranges=[(0x3000, 64), (0x4000, 64)],
+        )
+        assert dependent.cycles >= independent.cycles
+
+    def test_trailing_load_waits_for_tca_write(self, tiny_sim_config):
+        # A trailing load overlapping the TCA's output range must wait for
+        # the TCA (memory dependency hardware of the T modes).
+        def build(load_addr):
+            builder = TraceBuilder("war")
+            builder.tca(
+                tca_descriptor(
+                    latency=50, writes=(MemRequest(0x5000, 64, is_write=True),)
+                )
+            )
+            builder.load(1, load_addr)
+            builder.chain(30, 1)  # consume the load to make its delay visible
+            return builder.build()
+
+        config = tiny_sim_config.with_mode(TCAMode.L_T)
+        warm = [(0x5000, 64), (0x6000, 64)]
+        overlapping = simulate(build(0x5000), config, warm_ranges=warm)
+        disjoint = simulate(build(0x6000), config, warm_ranges=warm)
+        # The overlapping load is held until the 50-cycle TCA completes.
+        assert overlapping.cycles > disjoint.cycles + 20
+
+
+class TestTCAUnitOccupancy:
+    def test_back_to_back_tcas_serialize(self, tiny_sim_config):
+        builder = TraceBuilder("two-tcas")
+        builder.tca(tca_descriptor(latency=40))
+        builder.tca(tca_descriptor(latency=40))
+        two = simulate(builder.build(), tiny_sim_config.with_mode(TCAMode.L_T))
+
+        builder = TraceBuilder("one-tca")
+        builder.tca(tca_descriptor(latency=40))
+        one = simulate(builder.build(), tiny_sim_config.with_mode(TCAMode.L_T))
+        assert two.cycles >= one.cycles + 40
+
+    def test_tca_exec_cycles_accounted(self, tiny_sim_config):
+        trace = trace_with_tca(latency=25)
+        result = simulate(trace, tiny_sim_config.with_mode(TCAMode.L_T))
+        assert result.stats.tca_exec_cycles == 25
+
+
+class TestSimulateModes:
+    def test_comparison_structure(self, tiny_sim_config):
+        builder = TraceBuilder("base")
+        builder.independent_block(100, [0, 1, 2, 3])
+        baseline = builder.build()
+        accelerated = trace_with_tca(leading=25, trailing=25, latency=5)
+        comparison = simulate_modes(baseline, accelerated, tiny_sim_config)
+        speedups = comparison.speedups()
+        assert set(speedups) == set(TCAMode.all_modes())
+        assert all(s > 0 for s in speedups.values())
+        assert speedups[TCAMode.L_T] == max(speedups.values())
+
+    def test_subset_of_modes(self, tiny_sim_config):
+        baseline = trace_with_tca()
+        comparison = simulate_modes(
+            baseline, baseline, tiny_sim_config, modes=(TCAMode.L_T,)
+        )
+        assert list(comparison.per_mode) == [TCAMode.L_T]

@@ -1,0 +1,147 @@
+"""Property-based tests of the workload substrates (hypothesis).
+
+Each substrate is checked against a trivially-correct reference model
+over random operation sequences: the allocator against a set-based
+tracker, the hash map against a dict, the string table against bytes
+comparison, and request chunking against direct byte-range arithmetic.
+"""
+
+import random as stdlib_random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import chunk_memory_range
+from repro.sim.cache import CacheConfig, CacheHierarchy
+from repro.workloads.hashmap import OpenAddressingHashMap
+from repro.workloads.strings import StringTable
+from repro.workloads.tcmalloc import SIZE_CLASSES, SizeClassAllocator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(1, 128)), min_size=1, max_size=120
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_allocator_against_reference(ops, seed):
+    """Allocator behaves like a set of disjoint live objects."""
+    rng = stdlib_random.Random(seed)
+    allocator = SizeClassAllocator()
+    live: dict[int, int] = {}  # addr -> size class
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            addr = allocator.malloc(size)
+            assert addr not in live
+            live[addr] = SizeClassAllocator.size_class_of(size)
+        else:
+            victim = rng.choice(list(live))
+            allocator.free(victim)
+            del live[victim]
+    assert allocator.live_objects == frozenset(live)
+    assert allocator.stats.live_objects == len(live)
+    allocator.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 40), st.integers(0, 999)),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_hashmap_against_dict(ops):
+    """Hash map agrees with a plain dict on every get/put sequence."""
+    table = OpenAddressingHashMap(128)
+    reference: dict[int, int] = {}
+    for is_put, key, value in ops:
+        if is_put and len(reference) < 100:
+            table.put(key, value)
+            reference[key] = value
+        else:
+            found, _distance = table.get(key)
+            assert found == reference.get(key)
+    table.check_invariants()
+    assert table.size == len(reference)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    left=st.binary(min_size=0, max_size=40).map(lambda b: bytes(1 + x % 250 for x in b) or b"\x01"),
+    right=st.binary(min_size=0, max_size=40).map(lambda b: bytes(1 + x % 250 for x in b) or b"\x01"),
+)
+def test_string_compare_against_python(left, right):
+    """StringTable.compare matches Python bytes ordering semantics."""
+    table = StringTable()
+    a = table.add(left)
+    b = table.add(right)
+    sign, divergence = table.compare(a, b)
+    expected = 0 if left == right else (1 if left > right else -1)
+    assert sign == expected
+    # divergence is the common prefix length (capped at min length)
+    prefix = 0
+    for x, y in zip(left, right):
+        if x != y:
+            break
+        prefix += 1
+    assert divergence == min(prefix, min(len(left), len(right)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(addr=st.integers(0, 1 << 32), size=st.integers(0, 2048))
+def test_chunking_covers_range_exactly(addr, size):
+    """Chunked requests tile the byte range exactly, within line bounds."""
+    chunks = chunk_memory_range(addr, size)
+    assert sum(c.size for c in chunks) == size
+    if chunks:
+        assert chunks[0].addr == addr
+        assert chunks[-1].end == addr + size
+    cursor = addr
+    for chunk in chunks:
+        assert chunk.addr == cursor
+        assert 1 <= chunk.size <= 64
+        assert chunk.addr // 64 == (chunk.end - 1) // 64
+        cursor = chunk.end
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, 255), min_size=1, max_size=200),
+)
+def test_cache_agrees_with_reference_lru(addresses):
+    """The L1 hit/miss sequence matches a reference LRU model."""
+    config = CacheConfig(size=1024, assoc=2, latency=2)  # 8 sets, 2 ways
+    hierarchy = CacheHierarchy(config, CacheConfig(8192, 4, 8), 50)
+    reference: dict[int, list[int]] = {s: [] for s in range(config.num_sets)}
+    for line_index in addresses:
+        addr = line_index * 64
+        tag = addr >> 6
+        cache_set = reference[tag % config.num_sets]
+        expected_hit = tag in cache_set
+        latency, _missed = hierarchy.access(addr)
+        assert (latency == 2) == expected_hit
+        if expected_hit:
+            cache_set.remove(tag)
+        elif len(cache_set) == config.assoc:
+            cache_set.pop()  # evict LRU (tail)
+        cache_set.insert(0, tag)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 60), min_size=1, max_size=60, unique=True)
+)
+def test_hashmap_probe_distance_consistency(keys):
+    """Reported probe distances agree between put and subsequent get."""
+    table = OpenAddressingHashMap(128)
+    put_distance = {}
+    for key in keys:
+        put_distance[key] = table.put(key, key)
+    for key in keys:
+        value, get_distance = table.get(key)
+        assert value == key
+        # the key sits where its insertion probe ended (or earlier is
+        # impossible with pure insertion, no deletions)
+        assert get_distance == put_distance[key]

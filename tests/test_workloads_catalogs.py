@@ -1,0 +1,91 @@
+"""Unit tests for the GreenDroid and accelerator catalogs."""
+
+import pytest
+
+from repro.workloads.catalog import ACCELERATOR_CATALOG, CatalogEntry, entry
+from repro.workloads.greendroid import (
+    GREENDROID_ACCELERATION,
+    GreenDroidFunction,
+    greendroid_catalog,
+)
+from repro.workloads.heap import heap_granularity
+
+
+class TestGreenDroid:
+    def test_nine_functions(self):
+        # Paper §VI: "we consider only the 9 functions described in [9]".
+        assert len(greendroid_catalog()) == 9
+
+    def test_hundreds_of_instructions(self):
+        # Paper §VI: GreenDroid is "relatively fine-grained acceleration
+        # (hundreds of instructions)".
+        for func in greendroid_catalog():
+            assert 100 <= func.static_instructions <= 1000
+
+    def test_coarser_than_heap(self):
+        # Paper: "Greendroid is less fine-grained than the heap manager".
+        heap_g = heap_granularity()
+        for func in greendroid_catalog():
+            assert func.static_instructions > heap_g
+
+    def test_energy_motivated_acceleration(self):
+        assert GREENDROID_ACCELERATION == 1.5
+
+    def test_workload_construction(self):
+        func = greendroid_catalog()[0]
+        workload = func.workload()
+        assert workload.acceleratable_fraction == pytest.approx(
+            func.dynamic_coverage
+        )
+        assert workload.invocation_frequency == pytest.approx(
+            func.max_invocation_frequency
+        )
+
+    def test_partial_coverage(self):
+        func = greendroid_catalog()[0]
+        half = func.workload(0.5)
+        assert half.acceleratable_fraction == pytest.approx(
+            func.dynamic_coverage * 0.5
+        )
+        assert half.granularity == pytest.approx(func.static_instructions)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            GreenDroidFunction("x", 0, 0.1)
+        with pytest.raises(ValueError):
+            GreenDroidFunction("x", 100, 0.0)
+        with pytest.raises(ValueError):
+            greendroid_catalog()[0].workload(0.0)
+
+
+class TestAcceleratorCatalog:
+    def test_all_paper_markers_present(self):
+        names = {e.name.lower() for e in ACCELERATOR_CATALOG}
+        for expected in ("hash map", "heap management", "tpu", "h.264 encode"):
+            assert expected in names
+
+    def test_granularity_ordering_fine_to_coarse(self):
+        granularities = [e.granularity for e in ACCELERATOR_CATALOG]
+        assert granularities == sorted(granularities)
+
+    def test_spans_many_orders_of_magnitude(self):
+        granularities = [e.granularity for e in ACCELERATOR_CATALOG]
+        assert max(granularities) / min(granularities) >= 1e5
+
+    def test_heap_entry_matches_fast_paths(self):
+        heap = entry("heap management")
+        assert heap.granularity == pytest.approx(heap_granularity(), rel=0.01)
+
+    def test_every_entry_cited(self):
+        for item in ACCELERATOR_CATALOG:
+            assert "[" in item.citation
+            assert item.note
+
+    def test_lookup_case_insensitive(self):
+        assert entry("TPU").name == "TPU"
+        with pytest.raises(KeyError):
+            entry("nonexistent")
+
+    def test_rejects_invalid_entry(self):
+        with pytest.raises(ValueError):
+            CatalogEntry("x", 0.0, "c", "n")

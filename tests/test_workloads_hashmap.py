@@ -1,0 +1,128 @@
+"""Unit tests for the hash-map substrate and workload."""
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.core.validation import validate_workload
+from repro.sim.config import HIGH_PERF_SIM
+from repro.workloads.hashmap import (
+    GET_BASE_UOPS,
+    PROBE_STEP_UOPS,
+    PUT_BASE_UOPS,
+    HashMapWorkloadSpec,
+    OpenAddressingHashMap,
+    generate_hashmap_program,
+)
+
+
+class TestOpenAddressingHashMap:
+    def test_put_get_roundtrip(self):
+        table = OpenAddressingHashMap(64)
+        for key in range(30):
+            table.put(key, key * 10)
+        for key in range(30):
+            value, _distance = table.get(key)
+            assert value == key * 10
+
+    def test_missing_key(self):
+        table = OpenAddressingHashMap(64)
+        table.put(1, 11)
+        value, _distance = table.get(999)
+        assert value is None
+
+    def test_update_in_place(self):
+        table = OpenAddressingHashMap(64)
+        table.put(5, 50)
+        table.put(5, 55)
+        assert table.size == 1
+        assert table.get(5)[0] == 55
+
+    def test_probe_distance_grows_with_load(self):
+        table = OpenAddressingHashMap(64)
+        early_distances = [table.put(k, k) for k in range(8)]
+        late_distances = [table.put(k, k) for k in range(8, 52)]
+        assert sum(late_distances) >= sum(early_distances)
+
+    def test_load_factor_limit(self):
+        table = OpenAddressingHashMap(16)
+        for key in range(14):
+            table.put(key, key)
+        with pytest.raises(RuntimeError, match="load-factor"):
+            table.put(99, 99)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            OpenAddressingHashMap(100)
+
+    def test_invariants_after_churn(self):
+        table = OpenAddressingHashMap(128)
+        for key in range(80):
+            table.put(key * 3, key)
+        table.check_invariants()
+
+    def test_bucket_addr_in_range(self):
+        table = OpenAddressingHashMap(64)
+        from repro.workloads.hashmap import BUCKETS_BASE, BUCKET_BYTES
+
+        for key in range(20):
+            addr = table.bucket_addr(key)
+            assert BUCKETS_BASE <= addr < BUCKETS_BASE + 64 * BUCKET_BYTES
+
+
+class TestHashMapWorkload:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            HashMapWorkloadSpec(operations=0)
+        with pytest.raises(ValueError):
+            HashMapWorkloadSpec(put_fraction=1.5)
+        with pytest.raises(ValueError):
+            HashMapWorkloadSpec(key_space=300, capacity=256)
+
+    def test_program_structure(self):
+        program = generate_hashmap_program(HashMapWorkloadSpec(operations=80))
+        assert program.num_invocations == 80
+        for region in program.regions:
+            assert region.descriptor.name in ("hashmap-get", "hashmap-put")
+            assert region.descriptor.replaced_instructions == region.length
+
+    def test_region_length_tracks_probe_distance(self):
+        program = generate_hashmap_program(HashMapWorkloadSpec(operations=120, seed=7))
+        lengths = {r.length for r in program.regions}
+        # base costs plus probe steps: at least two distinct lengths occur
+        assert len(lengths) >= 2
+        assert min(lengths) >= min(GET_BASE_UOPS, PUT_BASE_UOPS)
+
+    def test_tca_reads_track_probe_distance(self):
+        # Longer regions (more probe steps in software) carry more TCA
+        # bucket reads.
+        program = generate_hashmap_program(HashMapWorkloadSpec(operations=120, seed=7))
+        by_length = sorted(
+            (r.length, len(r.descriptor.reads)) for r in program.regions
+        )
+        shortest_reads = by_length[0][1]
+        longest_reads = by_length[-1][1]
+        assert longest_reads >= shortest_reads
+
+    def test_deterministic(self):
+        spec = HashMapWorkloadSpec(operations=50, seed=9)
+        a = generate_hashmap_program(spec)
+        b = generate_hashmap_program(spec)
+        assert a.baseline.instructions == b.baseline.instructions
+
+    def test_granularity_is_finest_of_workloads(self):
+        from repro.workloads.heap import heap_granularity
+
+        program = generate_hashmap_program(HashMapWorkloadSpec(operations=100))
+        assert program.mean_granularity < heap_granularity()
+
+    def test_fine_granularity_punishes_nt_modes(self):
+        program = generate_hashmap_program(HashMapWorkloadSpec(operations=150))
+        report = validate_workload(
+            program.baseline,
+            program.accelerated(),
+            HIGH_PERF_SIM,
+            warm_ranges=program.baseline.metadata["warm_ranges"],
+        )
+        assert report.record(TCAMode.NL_NT).sim_speedup < 1.0
+        assert report.record(TCAMode.L_T).sim_speedup > 1.2
+        assert report.trend_ordering_matches()

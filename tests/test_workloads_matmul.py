@@ -1,0 +1,163 @@
+"""Unit tests for the blocked-DGEMM workload."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.isa.instructions import OpClass
+from repro.workloads.matmul import (
+    MatmulSpec,
+    blocked_matmul,
+    generate_accelerated_trace,
+    generate_baseline_trace,
+    generate_matmul_traces,
+    matmul_tca_descriptor_stats,
+    tile_compute_latency,
+)
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("n,block", [(4, 2), (8, 4), (8, 8), (16, 4)])
+    def test_blocked_matches_numpy(self, n, block):
+        rng = random.Random(n * 31 + block)
+        a = [[rng.uniform(-2, 2) for _ in range(n)] for _ in range(n)]
+        b = [[rng.uniform(-2, 2) for _ in range(n)] for _ in range(n)]
+        ours = np.array(blocked_matmul(a, b, block))
+        reference = np.array(a) @ np.array(b)
+        np.testing.assert_allclose(ours, reference, rtol=1e-10, atol=1e-10)
+
+    def test_identity(self):
+        n = 8
+        eye = [[1.0 if i == j else 0.0 for j in range(n)] for i in range(n)]
+        m = [[float(i * n + j) for j in range(n)] for i in range(n)]
+        assert blocked_matmul(eye, m, 4) == m
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            blocked_matmul([[1.0, 2.0]], [[1.0, 2.0]], 1)
+        with pytest.raises(ValueError):
+            blocked_matmul([[1.0]], [[1.0]], 2)
+
+
+class TestSpecValidation:
+    def test_rejects_indivisible_block(self):
+        with pytest.raises(ValueError):
+            MatmulSpec(n=30, block=16)
+
+    def test_rejects_indivisible_tile(self):
+        with pytest.raises(ValueError):
+            MatmulSpec(n=32, block=12, accel_sizes=(8,))
+
+    def test_rejects_oversized_tile_row(self):
+        with pytest.raises(ValueError, match="64B"):
+            MatmulSpec(n=32, block=16, accel_sizes=(16,))
+
+    def test_counts(self):
+        spec = MatmulSpec(n=32, block=16)
+        assert spec.num_block_multiplies == 8
+        assert spec.baseline_instructions() == 8 * 16 * 16 * (4 * 16 + 3)
+        assert spec.tca_invocations(4) == 8 * (16 // 4) ** 3
+
+    def test_warm_ranges_cover_matrices(self):
+        spec = MatmulSpec(n=16, block=8)
+        ranges = spec.warm_ranges()
+        assert len(ranges) == 3
+        assert all(size == 16 * 16 * 8 for _addr, size in ranges)
+
+    def test_compute_latency_scaling(self):
+        assert tile_compute_latency(2) == 4
+        assert tile_compute_latency(4) == 8
+        assert tile_compute_latency(8) == 16
+        with pytest.raises(ValueError):
+            tile_compute_latency(0)
+
+
+class TestBaselineTrace:
+    def test_length_matches_formula(self):
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(2, 4))
+        trace = generate_baseline_trace(spec)
+        assert len(trace) == spec.baseline_instructions()
+
+    def test_kernel_mix(self):
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(2, 4))
+        stats = generate_baseline_trace(spec).stats()
+        b = spec.block
+        per_pair = b  # one FP_MUL per k step
+        pairs = spec.num_block_multiplies * b * b
+        assert stats.by_class[OpClass.FP_MUL] == pairs * per_pair
+        assert stats.by_class[OpClass.FP_ALU] == pairs * per_pair
+        assert stats.by_class[OpClass.STORE] == pairs
+        # loads: 2 per k step (A and B) plus one C load per pair
+        assert stats.by_class[OpClass.LOAD] == pairs * (2 * b + 1)
+
+
+class TestAcceleratedTrace:
+    def test_invocation_count(self):
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(2, 4))
+        for m in (2, 4):
+            trace = generate_accelerated_trace(spec, m)
+            assert trace.stats().tca_invocations == spec.tca_invocations(m)
+
+    def test_replaced_partition_is_exact(self):
+        # The TCA descriptors must partition the baseline instruction count
+        # exactly so a/v statistics feed the model consistently.
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(2, 4))
+        for m in (2, 4):
+            trace = generate_accelerated_trace(spec, m)
+            assert (
+                trace.stats().replaced_instructions == spec.baseline_instructions()
+            )
+
+    def test_requests_stay_within_64b(self):
+        spec = MatmulSpec(n=16, block=8, accel_sizes=(8,))
+        trace = generate_accelerated_trace(spec, 8)
+        for inst in trace:
+            if inst.is_tca:
+                for req in (*inst.tca.reads, *inst.tca.writes):
+                    assert req.size <= 64
+
+    def test_tile_reads_cover_a_b_c(self):
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(4,))
+        trace = generate_accelerated_trace(spec, 4)
+        first_tca = next(inst for inst in trace if inst.is_tca)
+        # 4x4 tile: 4 rows each of A, B, C = 12 reads; 4 C-row writes.
+        assert len(first_tca.tca.reads) == 12
+        assert len(first_tca.tca.writes) == 4
+        assert first_tca.tca.read_bytes == 3 * 4 * 4 * 8
+        assert first_tca.tca.write_bytes == 4 * 4 * 8
+
+    def test_rejects_unlisted_tile(self):
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(2,))
+        with pytest.raises(ValueError):
+            generate_accelerated_trace(spec, 4)
+
+    def test_accumulation_dependence_chain_exists(self):
+        # Consecutive k0 tiles write and re-read the same C rows.
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(2,))
+        trace = generate_accelerated_trace(spec, 2)
+        tcas = [inst for inst in trace if inst.is_tca]
+        first, second = tcas[0], tcas[1]
+        c_writes = first.tca.writes
+        assert any(
+            read.overlaps(write)
+            for write in c_writes
+            for read in second.tca.reads
+        )
+
+
+class TestTraceSet:
+    def test_generate_all(self):
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(2, 4))
+        traces = generate_matmul_traces(spec)
+        assert set(traces.accelerated) == {2, 4}
+        assert len(traces.baseline) == spec.baseline_instructions()
+
+    def test_descriptor_stats(self):
+        spec = MatmulSpec(n=8, block=4, accel_sizes=(4,))
+        stats = matmul_tca_descriptor_stats(spec, 4)
+        assert stats["reads_per_invocation"] == 12
+        assert stats["compute_latency"] == 8
+        assert stats["mean_replaced_instructions"] == pytest.approx(
+            spec.baseline_instructions() / spec.tca_invocations(4)
+        )

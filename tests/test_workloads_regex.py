@@ -1,0 +1,154 @@
+"""Unit and property tests for the regex engine substrate and workload."""
+
+import re as pyre
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.regex import (
+    CompiledRegex,
+    RegexSyntaxError,
+    RegexWorkloadSpec,
+    generate_regex_program,
+)
+
+
+class TestEngineCorrectness:
+    @pytest.mark.parametrize(
+        "pattern,subject,expected",
+        [
+            ("abc", b"abc", True),
+            ("abc", b"xxabcxx", True),
+            ("abc", b"abd", False),
+            ("a.c", b"axc", True),
+            ("a.c", b"ac", False),
+            ("ab*c", b"ac", True),
+            ("ab*c", b"abbbbc", True),
+            ("ab+c", b"ac", False),
+            ("ab+c", b"abc", True),
+            ("ab?c", b"abc", True),
+            ("ab?c", b"abbc", False),
+            ("(ab|cd)ef", b"cdef", True),
+            ("(ab|cd)ef", b"adef", False),
+            ("(ab|cd)*ef", b"ef", True),
+            ("(ab|cd)*ef", b"abcdabef", True),
+            ("[a-c]x", b"bx", True),
+            ("[a-c]x", b"dx", False),
+            ("[^a-c]x", b"dx", True),
+            ("[^a-c]x", b"ax", False),
+            ("a\\*b", b"a*b", True),
+            ("a\\*b", b"aab", False),
+        ],
+    )
+    def test_hand_cases(self, pattern, subject, expected):
+        matched, _work, _consumed = CompiledRegex(pattern).search(subject)
+        assert matched == expected
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        pattern=st.sampled_from(
+            [
+                "abc",
+                "a[b-d]+e",
+                "(ab|cd)*ef",
+                "a.c",
+                "x[^ab]y",
+                "ab?c+d*",
+                "(a|b)(c|d)",
+                "a(bc)+d",
+            ]
+        ),
+        subject=st.binary(min_size=0, max_size=24).map(
+            lambda raw: bytes(97 + (b % 8) for b in raw)  # a..h alphabet
+        ),
+    )
+    def test_matches_python_re(self, pattern, subject):
+        ours, _w, _c = CompiledRegex(pattern).search(subject)
+        theirs = pyre.search(pattern.encode(), subject) is not None
+        assert ours == theirs
+
+    def test_consumed_semantics(self):
+        compiled = CompiledRegex("bc")
+        matched, _work, consumed = compiled.search(b"abcdef")
+        assert matched
+        assert consumed == 3  # stops right after the match completes
+        matched, _work, consumed = compiled.search(b"aaaaaa")
+        assert not matched
+        assert consumed == 6
+
+    def test_work_scales_with_subject(self):
+        compiled = CompiledRegex("a[b-d]+e")
+        _m, short_work, _c = compiled.search(b"x" * 10)
+        _m, long_work, _c = compiled.search(b"x" * 100)
+        assert long_work > short_work
+
+    def test_empty_alternative(self):
+        matched, _w, _c = CompiledRegex("a(b|)c").search(b"ac")
+        assert matched
+
+    def test_num_states_positive(self):
+        assert CompiledRegex("(ab|cd)+e?").num_states > 5
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(ab", "ab)", "[ab", "*a", "+a", "?a", "a(", "a\\", "[]", "[z-a]"],
+    )
+    def test_rejected(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            CompiledRegex(pattern)
+
+
+class TestRegexWorkload:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RegexWorkloadSpec(matches=0)
+        with pytest.raises(ValueError):
+            RegexWorkloadSpec(subject_length=0)
+        with pytest.raises(ValueError):
+            RegexWorkloadSpec(match_fraction=2.0)
+        with pytest.raises(ValueError):
+            RegexWorkloadSpec(alphabet=b"")
+
+    def test_program_structure(self):
+        program = generate_regex_program(RegexWorkloadSpec(matches=30))
+        assert program.num_invocations == 30
+        for region in program.regions:
+            assert region.descriptor.name == "regex-match"
+            assert region.descriptor.replaced_instructions == region.length
+            assert region.descriptor.reads
+
+    def test_match_rate_tracks_fraction(self):
+        none = generate_regex_program(
+            RegexWorkloadSpec(matches=40, match_fraction=0.0, seed=3)
+        )
+        most = generate_regex_program(
+            RegexWorkloadSpec(matches=40, match_fraction=1.0, seed=3)
+        )
+        assert (
+            most.baseline.metadata["match_rate"]
+            > none.baseline.metadata["match_rate"]
+        )
+
+    def test_granularity_in_figure2_band(self):
+        # Fig. 2 places regex acceleration in the hundreds-to-thousands
+        # of instructions band, coarser than the heap manager.
+        from repro.workloads.heap import heap_granularity
+
+        program = generate_regex_program(RegexWorkloadSpec(matches=40))
+        assert program.mean_granularity > heap_granularity()
+
+    def test_matched_subjects_consume_fewer_bytes(self):
+        program = generate_regex_program(
+            RegexWorkloadSpec(matches=60, match_fraction=0.5, seed=9)
+        )
+        read_bytes = [r.descriptor.read_bytes for r in program.regions]
+        assert min(read_bytes) < max(read_bytes)  # early exits happen
+
+    def test_deterministic(self):
+        spec = RegexWorkloadSpec(matches=20, seed=5)
+        a = generate_regex_program(spec)
+        b = generate_regex_program(spec)
+        assert a.baseline.instructions == b.baseline.instructions

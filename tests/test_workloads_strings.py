@@ -1,0 +1,122 @@
+"""Unit tests for the string-function substrate and workload."""
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.core.validation import validate_workload
+from repro.sim.config import HIGH_PERF_SIM
+from repro.workloads.strings import (
+    StringTable,
+    StringWorkloadSpec,
+    generate_string_program,
+)
+
+
+class TestStringTable:
+    def test_store_and_content(self):
+        table = StringTable()
+        sid = table.add(b"hello world")
+        assert table.content(sid) == b"hello world"
+
+    def test_addresses_aligned_and_disjoint(self):
+        table = StringTable()
+        ids = [table.add(bytes([65 + i]) * (10 + i)) for i in range(5)]
+        addrs = [table.addr(i) for i in ids]
+        assert all(a % 8 == 0 for a in addrs)
+        for (a, i), (b, j) in zip(
+            sorted(zip(addrs, ids)), sorted(zip(addrs, ids))[1:]
+        ):
+            assert b - a >= len(table.content(i))
+
+    def test_compare_equal(self):
+        table = StringTable()
+        a = table.add(b"abcdef")
+        b = table.add(b"abcdef")
+        sign, divergence = table.compare(a, b)
+        assert sign == 0
+        assert divergence == 6
+
+    def test_compare_ordering(self):
+        table = StringTable()
+        a = table.add(b"abcd")
+        b = table.add(b"abce")
+        assert table.compare(a, b)[0] == -1
+        assert table.compare(b, a)[0] == 1
+
+    def test_divergence_index(self):
+        table = StringTable()
+        a = table.add(b"prefixAAA")
+        b = table.add(b"prefixBBB")
+        _sign, divergence = table.compare(a, b)
+        assert divergence == 6
+
+    def test_prefix_length_difference(self):
+        table = StringTable()
+        a = table.add(b"abc")
+        b = table.add(b"abcdef")
+        sign, divergence = table.compare(a, b)
+        assert sign == -1
+        assert divergence == 3
+
+    def test_add_random_shares_prefix(self):
+        table = StringTable(seed=3)
+        a = table.add_random(32)
+        b = table.add_random(32, prefix_of=a, prefix_len=12)
+        assert table.content(a)[:12] == table.content(b)[:12]
+
+    def test_image_bytes_grows(self):
+        table = StringTable()
+        before = table.image_bytes
+        table.add(b"x" * 100)
+        assert table.image_bytes > before
+
+
+class TestStringWorkload:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            StringWorkloadSpec(comparisons=0)
+        with pytest.raises(ValueError):
+            StringWorkloadSpec(num_strings=1)
+        with pytest.raises(ValueError):
+            StringWorkloadSpec(shared_prefix=100, string_length=50)
+
+    def test_program_structure(self):
+        program = generate_string_program(StringWorkloadSpec(comparisons=60))
+        assert program.num_invocations == 60
+        for region in program.regions:
+            assert region.descriptor.name == "strcmp"
+            assert region.descriptor.replaced_instructions == region.length
+            assert region.descriptor.reads  # both operands streamed
+
+    def test_granularity_grows_with_shared_prefix(self):
+        short = generate_string_program(
+            StringWorkloadSpec(comparisons=60, shared_prefix=0, seed=4)
+        )
+        long = generate_string_program(
+            StringWorkloadSpec(comparisons=60, shared_prefix=40, seed=4)
+        )
+        assert long.mean_granularity > short.mean_granularity
+
+    def test_tca_latency_tracks_divergence(self):
+        program = generate_string_program(
+            StringWorkloadSpec(comparisons=80, shared_prefix=32, seed=6)
+        )
+        latencies = {r.descriptor.compute_latency for r in program.regions}
+        assert len(latencies) >= 2  # content-dependent timing
+
+    def test_deterministic(self):
+        spec = StringWorkloadSpec(comparisons=40, seed=8)
+        a = generate_string_program(spec)
+        b = generate_string_program(spec)
+        assert a.baseline.instructions == b.baseline.instructions
+
+    def test_validates_with_matching_trends(self):
+        program = generate_string_program(StringWorkloadSpec(comparisons=120))
+        report = validate_workload(
+            program.baseline,
+            program.accelerated(),
+            HIGH_PERF_SIM,
+            warm_ranges=program.baseline.metadata["warm_ranges"],
+        )
+        assert report.trend_ordering_matches()
+        assert report.record(TCAMode.L_T).sim_speedup > 1.0

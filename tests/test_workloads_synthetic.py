@@ -1,0 +1,100 @@
+"""Unit tests for the adaptive synthetic microbenchmark."""
+
+import pytest
+
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic_program
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_instructions": 0},
+            {"num_invocations": -1},
+            {"region_size": 0},
+            {"tca_latency": 0},
+            {"load_every": 0},
+            {"chain_every": 0},
+            {"mispredict_every": -1},
+            {"total_instructions": 100, "num_invocations": 3, "region_size": 50},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticSpec(**kwargs)
+
+    def test_derived_fractions(self):
+        spec = SyntheticSpec(
+            total_instructions=10_000, num_invocations=10, region_size=100
+        )
+        assert spec.acceleratable_fraction == pytest.approx(0.1)
+        assert spec.invocation_frequency == pytest.approx(0.001)
+
+
+class TestGeneration:
+    def test_program_matches_spec(self):
+        spec = SyntheticSpec(
+            total_instructions=5000, num_invocations=8, region_size=100
+        )
+        program = generate_synthetic_program(spec)
+        assert len(program.baseline) == 5000
+        assert program.num_invocations == 8
+        assert program.acceleratable_fraction == pytest.approx(
+            spec.acceleratable_fraction
+        )
+
+    def test_regions_non_overlapping_by_construction(self):
+        spec = SyntheticSpec(
+            total_instructions=3000, num_invocations=20, region_size=100, seed=11
+        )
+        program = generate_synthetic_program(spec)  # Program validates regions
+        ends = [r.end for r in program.regions]
+        starts = [r.start for r in program.regions]
+        assert all(e <= s for e, s in zip(ends, starts[1:]))
+
+    def test_deterministic_per_seed(self):
+        spec = SyntheticSpec(total_instructions=2000, num_invocations=5, seed=3)
+        a = generate_synthetic_program(spec)
+        b = generate_synthetic_program(spec)
+        assert [r.start for r in a.regions] == [r.start for r in b.regions]
+        assert a.baseline.instructions == b.baseline.instructions
+
+    def test_seed_randomizes_placement(self):
+        starts = set()
+        for seed in range(5):
+            spec = SyntheticSpec(
+                total_instructions=5000, num_invocations=5, seed=seed
+            )
+            program = generate_synthetic_program(spec)
+            starts.add(tuple(r.start for r in program.regions))
+        assert len(starts) > 1
+
+    def test_zero_invocations(self):
+        program = generate_synthetic_program(
+            SyntheticSpec(total_instructions=1000, num_invocations=0)
+        )
+        assert program.num_invocations == 0
+        assert len(program.accelerated()) == 1000
+
+    def test_accelerated_carries_explicit_latency(self):
+        spec = SyntheticSpec(
+            total_instructions=2000, num_invocations=3, tca_latency=77
+        )
+        accel = generate_synthetic_program(spec).accelerated()
+        tcas = [inst for inst in accel if inst.is_tca]
+        assert len(tcas) == 3
+        assert all(t.tca.compute_latency == 77 for t in tcas)
+
+    def test_mispredict_knob(self):
+        spec = SyntheticSpec(
+            total_instructions=2000, num_invocations=0, mispredict_every=100
+        )
+        stats = generate_synthetic_program(spec).baseline.stats()
+        assert stats.mispredicted_branches == 20
+
+    def test_streaming_loads_touch_fresh_lines(self):
+        spec = SyntheticSpec(total_instructions=2000, num_invocations=0)
+        trace = generate_synthetic_program(spec).baseline
+        load_addrs = [i.addr for i in trace if i.op.value == "load"]
+        lines = {addr // 64 for addr in load_addrs}
+        assert len(lines) == len(load_addrs)  # one fresh line per load

@@ -1,0 +1,172 @@
+"""Unit tests for the TCMalloc-style allocator substrate."""
+
+import pytest
+
+from repro.isa.instructions import OpClass
+from repro.isa.trace import TraceBuilder
+from repro.workloads.tcmalloc import (
+    FREE_SOFTWARE_UOPS,
+    MALLOC_SOFTWARE_UOPS,
+    SIZE_CLASSES,
+    HeapCorruptionError,
+    SizeClassAllocator,
+    emit_free_software,
+    emit_malloc_software,
+)
+
+SCRATCH = (0, 1, 2, 3)
+
+
+class TestSizeClasses:
+    def test_class_mapping(self):
+        assert SizeClassAllocator.size_class_of(1) == 0
+        assert SizeClassAllocator.size_class_of(32) == 0
+        assert SizeClassAllocator.size_class_of(33) == 1
+        assert SizeClassAllocator.size_class_of(96) == 2
+        assert SizeClassAllocator.size_class_of(128) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SizeClassAllocator.size_class_of(0)
+        with pytest.raises(ValueError):
+            SizeClassAllocator.size_class_of(129)
+
+    def test_paper_class_bounds(self):
+        # Paper §V-B: 0-32B, 33-64B, 65-96B, 97-128B.
+        assert SIZE_CLASSES == (32, 64, 96, 128)
+
+
+class TestAllocatorBehaviour:
+    def test_distinct_addresses(self):
+        allocator = SizeClassAllocator()
+        addrs = [allocator.malloc(32) for _ in range(100)]
+        assert len(set(addrs)) == 100
+
+    def test_lifo_reuse(self):
+        allocator = SizeClassAllocator()
+        addr = allocator.malloc(32)
+        allocator.free(addr)
+        assert allocator.malloc(32) == addr
+
+    def test_no_cross_class_reuse(self):
+        allocator = SizeClassAllocator()
+        small = allocator.malloc(16)
+        allocator.free(small)
+        big = allocator.malloc(100)
+        assert big != small
+
+    def test_double_free_detected(self):
+        allocator = SizeClassAllocator()
+        addr = allocator.malloc(32)
+        allocator.free(addr)
+        with pytest.raises(HeapCorruptionError, match="double free"):
+            allocator.free(addr)
+
+    def test_foreign_pointer_detected(self):
+        allocator = SizeClassAllocator()
+        with pytest.raises(HeapCorruptionError, match="foreign"):
+            allocator.free(0xDEAD0000)
+
+    def test_span_refill_counted(self):
+        allocator = SizeClassAllocator(page_size=256)
+        per_page = 256 // 32
+        for _ in range(per_page + 1):
+            allocator.malloc(32)
+        assert allocator.stats.refills == 2
+
+    def test_objects_dont_overlap_within_page(self):
+        allocator = SizeClassAllocator(page_size=512)
+        addrs = sorted(allocator.malloc(96) for _ in range(5))
+        for left, right in zip(addrs, addrs[1:]):
+            assert right - left >= 96
+
+    def test_stats_track_live_objects(self):
+        allocator = SizeClassAllocator()
+        a = allocator.malloc(32)
+        b = allocator.malloc(64)
+        assert allocator.stats.live_objects == 2
+        allocator.free(a)
+        assert allocator.stats.live_objects == 1
+        assert allocator.live_objects == frozenset({b})
+
+    def test_invariants_hold_through_churn(self):
+        import random
+
+        rng = random.Random(3)
+        allocator = SizeClassAllocator()
+        live = []
+        for _ in range(500):
+            if live and (len(live) > 40 or rng.random() < 0.5):
+                allocator.free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(allocator.malloc(rng.choice(SIZE_CLASSES)))
+        allocator.check_invariants()
+
+    def test_last_allocated_tracked(self):
+        allocator = SizeClassAllocator()
+        assert allocator.last_allocated is None
+        addr = allocator.malloc(48)
+        assert allocator.last_allocated == addr
+
+    def test_rejects_small_page(self):
+        with pytest.raises(ValueError):
+            SizeClassAllocator(page_size=64)
+
+
+class TestSoftwareSequences:
+    def test_malloc_uop_budget(self):
+        # Paper §IV: TCMalloc malloc fast path is 69 uops.
+        allocator = SizeClassAllocator()
+        builder = TraceBuilder("t")
+        emitted = emit_malloc_software(builder, allocator, 32, SCRATCH)
+        assert emitted == MALLOC_SOFTWARE_UOPS == 69
+        assert len(builder) == 69
+
+    def test_free_uop_budget(self):
+        # Paper §IV: TCMalloc free fast path is 37 uops.
+        allocator = SizeClassAllocator()
+        builder = TraceBuilder("t")
+        emit_malloc_software(builder, allocator, 32, SCRATCH)
+        addr = allocator.last_allocated
+        start = len(builder)
+        emitted = emit_free_software(builder, allocator, addr, SCRATCH)
+        assert emitted == FREE_SOFTWARE_UOPS == 37
+        assert len(builder) - start == 37
+
+    def test_sequences_advance_allocator(self):
+        allocator = SizeClassAllocator()
+        builder = TraceBuilder("t")
+        emit_malloc_software(builder, allocator, 32, SCRATCH)
+        assert allocator.stats.mallocs == 1
+        emit_free_software(builder, allocator, allocator.last_allocated, SCRATCH)
+        assert allocator.stats.frees == 1
+
+    def test_malloc_sequence_touches_freelist_metadata(self):
+        allocator = SizeClassAllocator()
+        builder = TraceBuilder("t")
+        emit_malloc_software(builder, allocator, 32, SCRATCH)
+        head_addr = allocator.free_list_head_addr(0)
+        mem_addrs = {
+            inst.addr for inst in builder.build() if inst.op.is_memory
+        }
+        assert head_addr in mem_addrs
+
+    def test_sequences_contain_memory_mix(self):
+        allocator = SizeClassAllocator()
+        builder = TraceBuilder("t")
+        emit_malloc_software(builder, allocator, 32, SCRATCH)
+        stats = builder.build().stats()
+        assert stats.by_class.get(OpClass.LOAD, 0) >= 4
+        assert stats.by_class.get(OpClass.STORE, 0) >= 2
+
+    def test_requires_scratch_registers(self):
+        allocator = SizeClassAllocator()
+        with pytest.raises(ValueError):
+            emit_malloc_software(TraceBuilder("t"), allocator, 32, (0, 1))
+        with pytest.raises(ValueError):
+            emit_free_software(TraceBuilder("t"), allocator, 0, (0,))
+
+    def test_free_of_foreign_pointer_raises(self):
+        allocator = SizeClassAllocator()
+        with pytest.raises(HeapCorruptionError):
+            emit_free_software(TraceBuilder("t"), allocator, 0x1234, SCRATCH)
