@@ -14,7 +14,10 @@ The package provides:
   MMA TCAs, and accelerator catalogs;
 - :mod:`repro.baselines` — LogCA, Gables, and Amdahl comparators;
 - :mod:`repro.experiments` — regenerators for every figure/table in the
-  paper's evaluation.
+  paper's evaluation;
+- :mod:`repro.obs` — observability: opt-in pipeline event tracing
+  (Chrome ``trace_event`` export), a metrics registry, structured
+  logging, and run-provenance manifests (``docs/OBSERVABILITY.md``).
 
 Quick start::
 
@@ -50,6 +53,16 @@ from repro.core import (
     validate_workload,
 )
 from repro.isa import Instruction, OpClass, TCADescriptor, Trace, TraceBuilder
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    PipelineTracer,
+    build_manifest,
+    configure_logging,
+    get_logger,
+    get_registry,
+    tracing,
+)
 from repro.sim import (
     ARM_A72_SIM,
     HIGH_PERF_SIM,
@@ -73,7 +86,10 @@ __all__ = [
     "CoreParameters",
     "ExplicitDrain",
     "Instruction",
+    "MetricsRegistry",
+    "NullTracer",
     "OpClass",
+    "PipelineTracer",
     "PowerLawDrain",
     "SimConfig",
     "SimulationResult",
@@ -84,8 +100,13 @@ __all__ = [
     "TraceBuilder",
     "ValidationReport",
     "WorkloadParameters",
+    "build_manifest",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
     "predict_speedups",
     "simulate",
     "simulate_modes",
+    "tracing",
     "validate_workload",
 ]

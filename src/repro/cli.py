@@ -14,6 +14,7 @@ import argparse
 import sys
 
 from repro.core.design_space import recommend_mode
+from repro.obs.log import add_log_level_argument, configure_logging
 from repro.core.interval import interval_timeline, render_timeline
 from repro.core.model import TCAModel
 from repro.core.modes import TCAMode
@@ -91,7 +92,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--timeline", action="store_true", help="print Fig.3-style timelines"
     )
+    add_log_level_argument(parser)
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
 
     core = _build_core(args)
     accelerator = AcceleratorParameters(

@@ -39,6 +39,12 @@ from repro.core.parameters import (
     CoreParameters,
     WorkloadParameters,
 )
+from repro.obs.metrics import get_registry
+
+# Evaluation counter resolved once at import: a speedup() call costs one
+# integer add of observability, keeping million-point sweeps honest about
+# how many model evaluations they burn.
+_EVALUATIONS = get_registry().counter("model.evaluations")
 
 
 @dataclass(frozen=True)
@@ -236,6 +242,7 @@ class TCAModel:
         Returns 1.0 for workloads that never invoke the accelerator.
         Values below 1.0 are slowdowns (the paper's blue heatmap regions).
         """
+        _EVALUATIONS.inc()
         if not self.workload.has_invocations:
             return 1.0
         time = self.execution_time(mode)

@@ -27,6 +27,7 @@ from repro.core.parameters import (
     CoreParameters,
     WorkloadParameters,
 )
+from repro.obs.metrics import get_registry
 
 
 @dataclass(frozen=True)
@@ -75,11 +76,16 @@ def _sweep(
     drain_estimator: DrainEstimator | None,
     modes: tuple[TCAMode, ...],
 ) -> SweepResult:
+    registry = get_registry()
     speedups: dict[TCAMode, list[float]] = {mode: [] for mode in modes}
-    for x in xs:
-        model = TCAModel(core, accelerator, make_workload(float(x)), drain_estimator)
-        for mode in modes:
-            speedups[mode].append(model.speedup(mode))
+    with registry.timer("model.sweep").time():
+        for x in xs:
+            model = TCAModel(
+                core, accelerator, make_workload(float(x)), drain_estimator
+            )
+            for mode in modes:
+                speedups[mode].append(model.speedup(mode))
+    registry.counter("model.sweep_points").inc(len(xs) * len(modes))
     return SweepResult(
         x_label=x_label,
         x=np.asarray(xs, dtype=float),
@@ -204,18 +210,21 @@ def speedup_heatmap(
     drain_estimator: DrainEstimator | None = None,
 ) -> HeatmapResult:
     """One Fig. 7 panel: speedup over the (a, v) plane for a mode/core."""
+    registry = get_registry()
     grid = np.full((len(fractions), len(frequencies)), np.nan)
-    for i, a in enumerate(fractions):
-        for j, v in enumerate(frequencies):
-            if v <= 0 or a <= 0 or a < v:
-                continue
-            model = TCAModel(
-                core,
-                accelerator,
-                WorkloadParameters(float(a), float(v)),
-                drain_estimator,
-            )
-            grid[i, j] = model.speedup(mode)
+    with registry.timer("model.heatmap").time():
+        for i, a in enumerate(fractions):
+            for j, v in enumerate(frequencies):
+                if v <= 0 or a <= 0 or a < v:
+                    continue
+                model = TCAModel(
+                    core,
+                    accelerator,
+                    WorkloadParameters(float(a), float(v)),
+                    drain_estimator,
+                )
+                grid[i, j] = model.speedup(mode)
+    registry.counter("model.heatmap_cells").inc(len(fractions) * len(frequencies))
     return HeatmapResult(
         mode=mode,
         core=core,

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.sweep import HeatmapResult
+from repro.obs.manifest import build_manifest
 
 #: Where experiment JSON records land (created on demand).
 RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
@@ -43,6 +44,9 @@ class ExperimentResult:
         rows: the regenerated data series as row dicts.
         notes: paper-vs-measured observations (shape checks).
         text: the rendered figure/table.
+        manifest: provenance record attached by the runner (git sha,
+            host, wall time, metrics snapshot); built on demand by
+            :meth:`save_json` when absent.
     """
 
     name: str
@@ -51,6 +55,7 @@ class ExperimentResult:
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     text: str = ""
+    manifest: dict[str, Any] | None = None
 
     def render(self) -> str:
         """Full printable report for this experiment."""
@@ -62,7 +67,13 @@ class ExperimentResult:
         return "\n".join(lines)
 
     def save_json(self, directory: str | None = None) -> str:
-        """Persist rows+notes as JSON; returns the file path."""
+        """Persist rows+notes+provenance as JSON; returns the file path.
+
+        Every record carries a ``manifest`` block (git sha, scale, host,
+        Python version, wall time) so saved results stay reproducible;
+        the runner attaches a manifest with run timings, and a fresh one
+        is built here when none was set.
+        """
         directory = directory or os.environ.get(
             RESULTS_DIR_ENV, DEFAULT_RESULTS_DIR
         )
@@ -74,6 +85,7 @@ class ExperimentResult:
             "scale": self.scale,
             "rows": self.rows,
             "notes": self.notes,
+            "manifest": self.manifest or build_manifest(scale=self.scale),
         }
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, default=str)

@@ -6,13 +6,22 @@ subset of the paper's figures/tables::
     repro-experiments fig2 fig8            # two quick model figures
     repro-experiments all --scale smoke    # everything, CI-sized
     REPRO_SCALE=full repro-experiments all --save
+
+Observability (see ``docs/OBSERVABILITY.md``):
+
+- ``--trace PATH`` records a Chrome ``trace_event`` file of every
+  simulation the chosen experiments run (open in Perfetto);
+- ``--profile`` prints the metrics registry's per-stage timing table;
+- ``--log-level debug`` enables the package's diagnostic logging;
+- ``--save`` writes JSON records that carry a provenance manifest
+  (git sha, scale, host, wall time, metrics snapshot).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from time import perf_counter
 from typing import Callable
 
 from repro.experiments import (
@@ -28,6 +37,13 @@ from repro.experiments import (
     zoo,
 )
 from repro.experiments.report import ExperimentResult
+from repro.obs.log import add_log_level_argument, configure_logging, get_logger
+from repro.obs.manifest import build_manifest
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import PipelineTracer, tracing
+
+# Named explicitly: under ``python -m`` __name__ is "__main__".
+_log = get_logger("experiments.runner")
 
 #: All regenerable paper artifacts, in paper order.
 EXPERIMENTS: dict[str, Callable[[str | None], ExperimentResult]] = {
@@ -75,23 +91,69 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--save",
         action="store_true",
-        help="write JSON records under results/",
+        help="write JSON records (with provenance manifests) under results/",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON of every simulation run "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage timing/throughput table after running",
+    )
+    add_log_level_argument(parser)
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}")
-    for name in names:
-        started = time.time()
-        result = run_experiment(name, args.scale)
-        print(result.render())
-        print(f"[{name} completed in {time.time() - started:.1f}s]")
-        print()
-        if args.save:
-            path = result.save_json()
-            print(f"[saved {path}]")
+    if args.trace:
+        # Fail fast on an unwritable trace path rather than after the
+        # experiments have burned their wall time.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write trace file {args.trace!r}: {exc}")
+
+    registry = get_registry()
+    tracer = PipelineTracer() if args.trace else None
+    with tracing(tracer):
+        for name in names:
+            started = perf_counter()
+            with registry.timer(f"experiment.{name}").time():
+                result = run_experiment(name, args.scale)
+            duration = perf_counter() - started
+            _log.info("%s completed in %.2fs", name, duration)
+            print(result.render())
+            print()
+            if args.save:
+                result.manifest = build_manifest(
+                    scale=result.scale,
+                    wall_time_s=duration,
+                    metrics=registry.snapshot(),
+                )
+                path = result.save_json()
+                print(f"[saved {path}]")
+    if tracer is not None:
+        count = tracer.write_chrome_trace(args.trace)
+        if not tracer.runs:
+            _log.warning(
+                "no simulations ran under --trace (model-only experiments "
+                "produce empty traces)"
+            )
+        print(
+            f"[trace: {count} events from {len(tracer.runs)} run(s) "
+            f"written to {args.trace}]"
+        )
+    if args.profile:
+        print(registry.render_table())
     return 0
 
 

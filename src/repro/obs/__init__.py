@@ -1,0 +1,56 @@
+"""Observability: pipeline tracing, metrics, logging, run provenance.
+
+``repro.obs`` is the introspection layer the rest of the package reports
+through:
+
+- :mod:`repro.obs.tracer` — opt-in per-instruction pipeline event
+  tracing in the simulator, exported as Chrome ``trace_event`` JSON
+  (open in ``chrome://tracing`` or Perfetto);
+- :mod:`repro.obs.metrics` — an in-process registry of counters, gauges,
+  and ``perf_counter`` timers (experiment stage timings, simulator
+  throughput, model evaluation counts);
+- :mod:`repro.obs.log` — per-module structured logging under the
+  ``repro`` root logger, configured from the CLIs' ``--log-level``;
+- :mod:`repro.obs.manifest` — provenance manifests (git sha, host,
+  Python, wall time, metrics snapshot) attached to saved results.
+
+The module depends only on the standard library and is imported by every
+other layer, so it must never import from ``repro.core``/``repro.sim``
+at module level.  See ``docs/OBSERVABILITY.md`` for the event schema and
+usage walkthrough.
+"""
+
+from repro.obs.log import (
+    LOG_LEVELS,
+    add_log_level_argument,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.manifest import build_manifest, git_revision
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, get_registry
+from repro.obs.tracer import (
+    NullTracer,
+    PipelineTracer,
+    get_active_tracer,
+    set_active_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "NullTracer",
+    "PipelineTracer",
+    "Timer",
+    "add_log_level_argument",
+    "build_manifest",
+    "configure_logging",
+    "get_active_tracer",
+    "get_logger",
+    "get_registry",
+    "git_revision",
+    "set_active_tracer",
+    "tracing",
+]

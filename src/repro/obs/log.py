@@ -1,0 +1,103 @@
+"""Structured logging for the repro package.
+
+Every module obtains its logger via :func:`get_logger`, which namespaces
+it under the ``repro`` root so one :func:`configure_logging` call (made
+by the CLIs from their ``--log-level`` flag, or by library users)
+controls the whole package.  Nothing is emitted below WARNING until
+configured — importing ``repro`` never spams stderr.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+#: Environment override consulted when ``configure_logging(None)`` is called.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Accepted ``--log-level`` values (CLI choices), least to most verbose.
+LOG_LEVELS = ("error", "warning", "info", "debug")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Marker attribute so repeated configure calls reuse our handler.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at emit time.
+
+    The handler outlives any single CLI invocation (it is installed once
+    per process), so binding the stream at construction would pin
+    whatever ``sys.stderr`` happened to be then — wrong under pytest's
+    capture or any redirection.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A package logger for ``name`` (namespaced under ``repro.``).
+
+    Accepts either a bare module path (``"sim.simulator"``) or an
+    already-qualified name (``"repro.sim.simulator"`` / ``__name__``).
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def resolve_level(level: str | int | None) -> int:
+    """Map a CLI/env level spec to a ``logging`` numeric level."""
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV, "warning")
+    if isinstance(level, int):
+        return level
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+        )
+    return numeric
+
+
+def configure_logging(level: str | int | None = None) -> logging.Logger:
+    """Install a stderr handler on the ``repro`` root logger (idempotent).
+
+    Args:
+        level: level name (``"debug"`` .. ``"error"``), numeric level, or
+            ``None`` to use ``$REPRO_LOG_LEVEL`` (default ``warning``).
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(resolve_level(level))
+    if not any(getattr(h, _HANDLER_TAG, False) for h in logger.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        setattr(handler, _HANDLER_TAG, True)
+        logger.addHandler(handler)
+        # The CLIs own their stderr; don't double-emit via the root logger.
+        logger.propagate = False
+    return logger
+
+
+def add_log_level_argument(parser) -> None:
+    """Attach the standard ``--log-level`` option to an argparse parser."""
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help="diagnostic verbosity (default: REPRO_LOG_LEVEL env or 'warning')",
+    )

@@ -1,0 +1,91 @@
+"""Run provenance manifests for saved experiment results.
+
+A manifest answers "what produced this ``results/*.json`` file?": the
+source revision, workload scale, host, Python version, wall time, and a
+metrics snapshot.  :meth:`repro.experiments.report.ExperimentResult.save_json`
+attaches one to every record it writes, turning saved results into
+reproducible provenance records rather than bare numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Any
+
+#: Manifest layout version, bumped on breaking field changes.
+MANIFEST_SCHEMA = 1
+
+
+def git_revision(cwd: str | None = None) -> str | None:
+    """The current git commit sha, or ``None`` outside a repo / without git.
+
+    Looks up from the package's own directory by default, so manifests
+    record the *source* revision regardless of the process working
+    directory.
+    """
+    where = cwd or os.path.dirname(os.path.abspath(__file__))
+    try:
+        proc = subprocess.run(
+            ["git", "-C", where, "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports repro.obs, so a module-level
+    # import here would be circular.
+    try:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+    except Exception:  # pragma: no cover - broken partial installs
+        return "unknown"
+
+
+def build_manifest(
+    scale: str | None = None,
+    wall_time_s: float | None = None,
+    metrics: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a JSON-safe provenance manifest.
+
+    Args:
+        scale: workload scale the run used (``smoke`` .. ``paper``).
+        wall_time_s: end-to-end wall time of the run, in seconds.
+        metrics: a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+            taken at save time.
+        extra: additional caller-specific fields, merged at the top level
+            (they may not overwrite standard fields).
+    """
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_revision() or "unknown",
+        "package_version": _package_version(),
+        "scale": scale,
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "python_executable": sys.executable,
+        "wall_time_s": wall_time_s,
+        "argv": list(sys.argv),
+    }
+    if metrics is not None:
+        manifest["metrics"] = metrics
+    if extra:
+        for key, value in extra.items():
+            manifest.setdefault(key, value)
+    return manifest

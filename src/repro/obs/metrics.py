@@ -1,0 +1,199 @@
+"""Lightweight metrics registry: counters, gauges, wall-clock timers.
+
+The registry records what the reproduction's own machinery costs —
+per-experiment stage timings, simulator throughput (cycles/sec,
+committed-instructions/sec), model evaluation counts — so "make the hot
+path faster" claims can be grounded in numbers.  Everything is in-process
+and allocation-light: a counter increment is one attribute add, a timer
+sample two ``perf_counter`` calls.
+
+Snapshots are plain JSON-safe dicts, suitable for embedding in run
+manifests (:mod:`repro.obs.manifest`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Iterator
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Timer:
+    """Accumulated wall-clock durations measured with ``perf_counter``."""
+
+    __slots__ = ("name", "total", "count", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one measured duration."""
+        self.total += seconds
+        self.count += 1
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per sample (0 when never sampled)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @contextmanager
+    def time(self) -> Iterator["Timer"]:
+        """Context manager measuring the enclosed block."""
+        start = perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(perf_counter() - start)
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-safe summary of this timer."""
+        return {
+            "total_s": self.total,
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, timers, and structured info blobs.
+
+    Instruments are created on first use and cached, so call sites can
+    simply ``registry.counter("sim.runs").inc()`` with no registration
+    ceremony.  ``info`` entries hold arbitrary JSON-safe structures (e.g.
+    the last simulation's :meth:`~repro.sim.stats.SimStats.to_dict`).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        self._info: dict[str, Any] = {}
+
+    # ---------------------------------------------------------- instruments
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def timer(self, name: str) -> Timer:
+        """The timer called ``name`` (created on first use)."""
+        try:
+            return self._timers[name]
+        except KeyError:
+            instrument = self._timers[name] = Timer(name)
+            return instrument
+
+    def set_info(self, name: str, value: Any) -> None:
+        """Attach a JSON-safe structured value under ``name``."""
+        self._info[name] = value
+
+    # -------------------------------------------------------------- exports
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "timers": {n: t.as_dict() for n, t in sorted(self._timers.items())},
+            "info": dict(sorted(self._info.items())),
+        }
+
+    def render_table(self) -> str:
+        """Human-readable per-stage timing/counter table (``--profile``)."""
+        lines = ["metrics:"]
+        if self._timers:
+            lines.append(
+                f"  {'timer':<32} {'count':>7} {'total_s':>10} "
+                f"{'mean_s':>10} {'max_s':>10}"
+            )
+            for name, t in sorted(self._timers.items()):
+                lines.append(
+                    f"  {name:<32} {t.count:>7} {t.total:>10.3f} "
+                    f"{t.mean:>10.4f} {t.max:>10.3f}"
+                )
+        if self._counters:
+            lines.append(f"  {'counter':<32} {'value':>10}")
+            for name, c in sorted(self._counters.items()):
+                lines.append(f"  {name:<32} {c.value:>10}")
+        if self._gauges:
+            lines.append(f"  {'gauge':<32} {'value':>10}")
+            for name, g in sorted(self._gauges.items()):
+                lines.append(f"  {name:<32} {g.value:>10.4g}")
+        if len(lines) == 1:
+            lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every instrument (counters/timers keep their identity)."""
+        for c in self._counters.values():
+            c.value = 0
+        for g in self._gauges.values():
+            g.value = 0.0
+        for t in self._timers.values():
+            t.total = 0.0
+            t.count = 0
+            t.min = float("inf")
+            t.max = 0.0
+        self._info.clear()
+
+
+#: Process-wide default registry, used by the simulator/model/runner
+#: instrumentation.  Library users can build private registries too.
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

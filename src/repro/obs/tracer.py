@@ -1,0 +1,345 @@
+"""Opt-in pipeline event tracing with a Chrome ``trace_event`` exporter.
+
+A :class:`PipelineTracer` records per-dynamic-instruction lifecycle
+events (dispatch, issue, complete, commit) and dispatch-stall spans from
+:class:`~repro.sim.core.CoreSim`, grouped into one *run* per simulation.
+:meth:`PipelineTracer.write_chrome_trace` serialises everything in the
+Chrome ``trace_event`` JSON format, so traces open directly in
+``chrome://tracing`` or https://ui.perfetto.dev (one simulated cycle maps
+to one microsecond on the timeline; each simulation run is a separate
+process row).
+
+Tracing is strictly opt-in.  When no tracer is installed the simulator's
+hot loop pays exactly one attribute check per event site — see
+``CoreSim`` — so the disabled path stays within noise of the untraced
+simulator.  :class:`NullTracer` is the explicit null-object form: it is
+accepted everywhere a tracer is, records nothing, and is normalised away
+before the hot loop runs.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+#: Instruction lifetime slices rotate over this many timeline lanes per
+#: run, keeping concurrently-in-flight instructions on separate rows.
+_LANES = 32
+
+#: tid carrying the dispatch-stall spans of a run.
+_STALL_TID = 0
+
+
+class _Run:
+    """Events of one simulation (one ``CoreSim.run()`` call)."""
+
+    __slots__ = ("trace_name", "config_name", "mode", "insts", "stalls", "stats")
+
+    def __init__(self, trace_name: str, config_name: str, mode: str) -> None:
+        self.trace_name = trace_name
+        self.config_name = config_name
+        self.mode = mode
+        # seq -> [op, dispatch, issue, complete, commit]
+        self.insts: dict[int, list[Any]] = {}
+        # merged (reason, start_cycle, duration) spans
+        self.stalls: list[list[Any]] = []
+        self.stats: dict[str, Any] | None = None
+
+
+class PipelineTracer:
+    """Records pipeline events from one or more simulation runs.
+
+    The recording methods (``on_dispatch`` .. ``on_stall``) are called
+    from the simulator's inner loop; they do plain list/dict writes and
+    no formatting.  All rendering cost is deferred to export time.
+    """
+
+    #: Disabled tracers are stripped before the simulation loop starts.
+    enabled = True
+
+    def __init__(self) -> None:
+        self.runs: list[_Run] = []
+        self._run: _Run | None = None
+
+    # ------------------------------------------------------------ run scope
+
+    def begin_run(
+        self, trace_name: str, config_name: str = "?", mode: str = "?"
+    ) -> None:
+        """Open a new run; subsequent events belong to it."""
+        self._run = _Run(trace_name, config_name, mode)
+        self.runs.append(self._run)
+
+    def ensure_run(
+        self, trace_name: str, config_name: str = "?", mode: str = "?"
+    ) -> None:
+        """Open a run only if none is currently open."""
+        if self._run is None:
+            self.begin_run(trace_name, config_name, mode)
+
+    def end_run(self, stats: dict[str, Any] | None = None) -> None:
+        """Close the current run, optionally attaching a stats dict."""
+        if self._run is not None:
+            self._run.stats = stats
+            self._run = None
+
+    # ----------------------------------------------------------- hot events
+
+    def on_dispatch(self, seq: int, op: str, cycle: int) -> None:
+        """Instruction ``seq`` entered the ROB/IQ/LSQ at ``cycle``."""
+        run = self._run
+        if run is None:
+            self.begin_run("<untitled>")
+            run = self._run
+        run.insts[seq] = [op, cycle, None, None, None]  # type: ignore[union-attr]
+
+    def on_issue(self, seq: int, cycle: int) -> None:
+        """Instruction ``seq`` began execution at ``cycle``."""
+        rec = self._run.insts.get(seq) if self._run else None
+        if rec is not None:
+            rec[2] = cycle
+
+    def on_complete(self, seq: int, cycle: int) -> None:
+        """Instruction ``seq`` finished execution at ``cycle``."""
+        rec = self._run.insts.get(seq) if self._run else None
+        if rec is not None:
+            rec[3] = cycle
+
+    def on_commit(self, seq: int, cycle: int) -> None:
+        """Instruction ``seq`` retired at ``cycle``."""
+        rec = self._run.insts.get(seq) if self._run else None
+        if rec is not None:
+            rec[4] = cycle
+
+    def on_stall(self, reason: str, cycle: int, duration: int = 1) -> None:
+        """``duration`` zero-dispatch cycles for ``reason`` starting at ``cycle``."""
+        run = self._run
+        if run is None:
+            self.begin_run("<untitled>")
+            run = self._run
+        stalls = run.stalls  # type: ignore[union-attr]
+        if stalls:
+            last = stalls[-1]
+            if last[0] == reason and last[1] + last[2] == cycle:
+                last[2] += duration
+                return
+        stalls.append([reason, cycle, duration])
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def event_count(self) -> int:
+        """Total recorded instruction records and stall spans."""
+        return sum(len(r.insts) + len(r.stalls) for r in self.runs)
+
+    def instruction_events(self, run_index: int = 0) -> list[dict[str, Any]]:
+        """Per-instruction lifecycle records of one run, in program order.
+
+        Each record has ``seq``, ``op``, ``dispatch``, ``issue``,
+        ``complete``, ``commit`` (cycle numbers, ``None`` if unreached).
+        """
+        run = self.runs[run_index]
+        return [
+            {
+                "seq": seq,
+                "op": rec[0],
+                "dispatch": rec[1],
+                "issue": rec[2],
+                "complete": rec[3],
+                "commit": rec[4],
+            }
+            for seq, rec in sorted(run.insts.items())
+        ]
+
+    def stall_events(self, run_index: int = 0) -> list[dict[str, Any]]:
+        """Merged stall spans of one run: ``reason``, ``cycle``, ``duration``."""
+        run = self.runs[run_index]
+        return [
+            {"reason": r, "cycle": c, "duration": d} for r, c, d in run.stalls
+        ]
+
+    # --------------------------------------------------------------- export
+
+    def to_chrome_events(self) -> list[dict[str, Any]]:
+        """The recorded events as Chrome ``trace_event`` dicts.
+
+        One simulated cycle = 1 µs of trace time.  Each run becomes a
+        separate pid with named threads: tid 0 carries dispatch-stall
+        spans, tids 1..``_LANES`` carry instruction lifetime slices
+        (dispatch→commit ``X`` events with the issue/complete cycles in
+        ``args``).
+        """
+        events: list[dict[str, Any]] = []
+        for run_index, run in enumerate(self.runs):
+            pid = run_index + 1
+            label = f"{run.trace_name} on {run.config_name} [{run.mode}]"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": _STALL_TID,
+                    "args": {"name": "dispatch stalls"},
+                }
+            )
+            used_lanes = min(_LANES, max(1, len(run.insts)))
+            for lane in range(used_lanes):
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "ts": 0,
+                        "pid": pid,
+                        "tid": lane + 1,
+                        "args": {"name": f"inst lane {lane:02d}"},
+                    }
+                )
+            for reason, cycle, duration in run.stalls:
+                events.append(
+                    {
+                        "name": reason,
+                        "cat": "stall",
+                        "ph": "X",
+                        "ts": cycle,
+                        "dur": duration,
+                        "pid": pid,
+                        "tid": _STALL_TID,
+                    }
+                )
+            for seq, rec in sorted(run.insts.items()):
+                op, dispatch, issue, complete, commit = rec
+                end = commit if commit is not None else complete
+                if end is None:
+                    end = dispatch
+                events.append(
+                    {
+                        "name": f"{op} #{seq}",
+                        "cat": "inst",
+                        "ph": "X",
+                        "ts": dispatch,
+                        "dur": max(1, end - dispatch),
+                        "pid": pid,
+                        "tid": 1 + (seq % _LANES),
+                        "args": {
+                            "seq": seq,
+                            "op": op,
+                            "issue": issue,
+                            "complete": complete,
+                            "commit": commit,
+                        },
+                    }
+                )
+            if run.stats is not None:
+                events.append(
+                    {
+                        "name": "run_stats",
+                        "cat": "summary",
+                        "ph": "i",
+                        "ts": int(run.stats.get("cycles", 0)),
+                        "pid": pid,
+                        "tid": _STALL_TID,
+                        "s": "p",
+                        "args": run.stats,
+                    }
+                )
+        return events
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Full Chrome trace document (``traceEvents`` object form)."""
+        return {
+            "traceEvents": self.to_chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.tracer",
+                "time_unit": "1 trace µs = 1 simulated cycle",
+                "runs": len(self.runs),
+            },
+        }
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write the trace JSON to ``path``; returns the event count."""
+        document = self.to_chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        return len(document["traceEvents"])
+
+
+class NullTracer(PipelineTracer):
+    """A tracer that records nothing (the explicit disabled form).
+
+    The simulator normalises ``NullTracer`` (any tracer with
+    ``enabled = False``) to ``None`` before entering its hot loop, so
+    passing one costs nothing per cycle.
+    """
+
+    enabled = False
+
+    def on_dispatch(self, seq: int, op: str, cycle: int) -> None:
+        """Discard the event."""
+
+    def on_issue(self, seq: int, cycle: int) -> None:
+        """Discard the event."""
+
+    def on_complete(self, seq: int, cycle: int) -> None:
+        """Discard the event."""
+
+    def on_commit(self, seq: int, cycle: int) -> None:
+        """Discard the event."""
+
+    def on_stall(self, reason: str, cycle: int, duration: int = 1) -> None:
+        """Discard the event."""
+
+    def begin_run(
+        self, trace_name: str, config_name: str = "?", mode: str = "?"
+    ) -> None:
+        """Discard the run boundary."""
+
+    def end_run(self, stats: dict[str, Any] | None = None) -> None:
+        """Discard the run boundary."""
+
+
+# ----------------------------------------------------------- ambient tracer
+
+#: The ambient (session) tracer consulted by ``CoreSim`` when no explicit
+#: tracer is passed.  ``None`` = tracing disabled (the default).
+_ACTIVE: PipelineTracer | None = None
+
+
+def set_active_tracer(tracer: PipelineTracer | None) -> None:
+    """Install (or clear, with ``None``) the ambient tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def get_active_tracer() -> PipelineTracer | None:
+    """The ambient tracer, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: PipelineTracer | None) -> Iterator[PipelineTracer | None]:
+    """Scope ``tracer`` as the ambient tracer for the enclosed block.
+
+    Every simulation started inside the block records into ``tracer``
+    (unless given an explicit tracer of its own).  Passing ``None`` is
+    allowed and leaves tracing disabled, so callers can write
+    ``with tracing(maybe_tracer):`` unconditionally.
+    """
+    previous = get_active_tracer()
+    set_active_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_active_tracer(previous)

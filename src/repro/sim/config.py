@@ -4,6 +4,13 @@ The presets mirror the cores the paper evaluates: a mid/high-performance
 OoO core (1.8 IPC-class, 256-entry ROB, 4-issue), a low-performance OoO
 core (0.5 IPC-class, 64-entry ROB, 2-issue), and an ARM A72-class core used
 for the Fig. 2 granularity study (3-wide, 128-entry ROB).
+
+Configuration is *static* core structure only.  Run-scoped concerns —
+pipeline event tracing, metrics, logging — live in :mod:`repro.obs` and
+are passed per simulation (``simulate(..., tracer=...)`` or the ambient
+``repro.obs.tracing`` context), never stored on a :class:`SimConfig`:
+presets are shared frozen instances and must stay observation-free.  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ import heapq
 
 from repro.isa.instructions import Instruction, OpClass
 from repro.isa.trace import Trace
+from repro.obs.tracer import PipelineTracer, get_active_tracer
 from repro.sim.branch import RedirectUnit
 from repro.sim.cache import CacheConfig, CacheHierarchy
 from repro.sim.config import SimConfig
@@ -100,6 +101,12 @@ class CoreSim:
         trace: dynamic instruction stream to execute.
         warm_ranges: optional ``(addr, size)`` byte ranges pre-loaded into
             the caches before simulation (e.g. warmed data structures).
+        tracer: optional :class:`~repro.obs.tracer.PipelineTracer`
+            receiving per-instruction dispatch/issue/complete/commit and
+            stall events.  Defaults to the ambient tracer installed via
+            :func:`repro.obs.tracer.tracing` (``None`` = tracing off).
+            Disabled tracers are normalised to ``None`` so the hot loop
+            pays exactly one attribute check per event site.
     """
 
     def __init__(
@@ -107,9 +114,17 @@ class CoreSim:
         config: SimConfig,
         trace: Trace,
         warm_ranges: list[tuple[int, int]] | None = None,
+        tracer: PipelineTracer | None = None,
     ) -> None:
         self.config = config
         self.trace = trace
+        if tracer is None:
+            tracer = get_active_tracer()
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if tracer is not None:
+            tracer.ensure_run(trace.name, config.name, config.tca_mode.value)
+        self._tracer = tracer
         self.stats = SimStats()
         self.rob = ReorderBuffer(config.rob_size)
         self.iq = IssueQueue(config.iq_size)
@@ -162,6 +177,8 @@ class CoreSim:
 
             if dispatched == 0 and self._last_stall is not StallReason.NONE:
                 self.stats.add_stall(self._last_stall)
+                if self._tracer is not None:
+                    self._tracer.on_stall(self._last_stall.value, cycle)
             self.stats.rob_occupancy_sum += rob_len
             self.stats.rob_samples += 1
 
@@ -200,6 +217,8 @@ class CoreSim:
         if skipped > 0:
             if self._last_stall is not StallReason.NONE:
                 self.stats.add_stall(self._last_stall, skipped)
+                if self._tracer is not None:
+                    self._tracer.on_stall(self._last_stall.value, cycle + 1, skipped)
             self.stats.rob_occupancy_sum += rob_len * skipped
             self.stats.rob_samples += skipped
         return target
@@ -227,6 +246,8 @@ class CoreSim:
     def _complete(self, dyn: DynInst, cycle: int) -> None:
         dyn.completed = True
         dyn.complete_cycle = cycle
+        if self._tracer is not None:
+            self._tracer.on_complete(dyn.seq, cycle)
         for dep in dyn.dependents:
             dep.deps -= 1
             if dep.deps == 0:
@@ -295,6 +316,8 @@ class CoreSim:
             self._barrier = None
         self._committed += 1
         self.stats.instructions += 1
+        if self._tracer is not None:
+            self._tracer.on_commit(head.seq, cycle)
 
     # ---------------------------------------------------------------- issue
 
@@ -402,6 +425,8 @@ class CoreSim:
         dyn.issued = True
         self.iq.release()
         heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_OP, dyn))
+        if self._tracer is not None:
+            self._tracer.on_issue(dyn.seq, cycle)
 
     def _try_start_tca(self, dyn: DynInst, cycle: int) -> bool:
         mode = self.config.tca_mode
@@ -419,6 +444,8 @@ class CoreSim:
             return False
         dyn.issued = True
         dyn.tca_start_cycle = cycle
+        if self._tracer is not None:
+            self._tracer.on_issue(dyn.seq, cycle)
         if dyn.first_ready_cycle is not None:
             self.stats.tca_wait_drain_cycles += cycle - dyn.first_ready_cycle
         self.iq.release()
@@ -503,6 +530,8 @@ class CoreSim:
     def _dispatch_one(self, inst: Instruction, cycle: int) -> DynInst:
         dyn = DynInst(inst, self._pc)
         self._pc += 1
+        if self._tracer is not None:
+            self._tracer.on_dispatch(dyn.seq, inst.op.value, cycle)
         producers: set[int] = set()
         for src in inst.srcs:
             producer = self.rename.producer_of(src)

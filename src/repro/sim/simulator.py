@@ -9,12 +9,18 @@ exact experiment shape of the paper's validation figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.modes import TCAMode
 from repro.isa.trace import Trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import PipelineTracer, get_active_tracer
 from repro.sim.config import SimConfig
 from repro.sim.core import CoreSim
 from repro.sim.stats import SimStats
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -48,16 +54,64 @@ def simulate(
     trace: Trace,
     config: SimConfig,
     warm_ranges: list[tuple[int, int]] | None = None,
+    tracer: PipelineTracer | None = None,
 ) -> SimulationResult:
     """Execute ``trace`` on ``config`` and return the result.
+
+    Wall time, simulated cycles, and committed instructions are recorded
+    in the default metrics registry (``sim.*``), so sweeps report
+    simulator throughput for free.
 
     Args:
         trace: dynamic instruction stream.
         config: core configuration (its ``tca_mode`` governs TCA semantics).
         warm_ranges: byte ranges pre-loaded into the caches.
+        tracer: optional pipeline event tracer; defaults to the ambient
+            tracer (see :func:`repro.obs.tracer.tracing`).
     """
-    sim = CoreSim(config, trace, warm_ranges=warm_ranges)
+    active = tracer if tracer is not None else get_active_tracer()
+    if active is not None and active.enabled:
+        active.begin_run(trace.name, config.name, config.tca_mode.value)
+    else:
+        active = None
+    started = perf_counter()
+    sim = CoreSim(config, trace, warm_ranges=warm_ranges, tracer=active)
     stats = sim.run()
+    elapsed = perf_counter() - started
+    if active is not None:
+        active.end_run(stats.to_dict())
+
+    registry = get_registry()
+    registry.counter("sim.runs").inc()
+    registry.counter("sim.cycles").inc(stats.cycles)
+    registry.counter("sim.instructions").inc(stats.instructions)
+    registry.timer("sim.run").record(elapsed)
+    if elapsed > 0:
+        registry.gauge("sim.cycles_per_sec").set(stats.cycles / elapsed)
+        registry.gauge("sim.instructions_per_sec").set(
+            stats.instructions / elapsed
+        )
+    registry.set_info(
+        "sim.last_run",
+        {
+            "trace": trace.name,
+            "config": config.name,
+            "mode": config.tca_mode.value,
+            "wall_time_s": elapsed,
+            "stats": stats.to_dict(),
+        },
+    )
+    _log.debug(
+        "simulated %s on %s [%s]: %d cycles, %d instructions, %.3fs "
+        "(%.0f cycles/s)",
+        trace.name,
+        config.name,
+        config.tca_mode.value,
+        stats.cycles,
+        stats.instructions,
+        elapsed,
+        stats.cycles / elapsed if elapsed > 0 else float("inf"),
+    )
     return SimulationResult(
         trace_name=trace.name,
         config_name=config.name,
@@ -96,17 +150,22 @@ def simulate_modes(
     config: SimConfig,
     modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
     warm_ranges: list[tuple[int, int]] | None = None,
+    tracer: PipelineTracer | None = None,
 ) -> ModeComparison:
     """Run the paper's validation experiment shape.
 
     Simulates ``baseline`` once, then ``accelerated`` under each mode in
     ``modes`` (same core otherwise), returning a :class:`ModeComparison`
-    with per-mode speedups.
+    with per-mode speedups.  With a ``tracer``, every run lands in the
+    same trace file as a separate process row.
     """
-    base_result = simulate(baseline, config, warm_ranges=warm_ranges)
+    base_result = simulate(baseline, config, warm_ranges=warm_ranges, tracer=tracer)
     per_mode: dict[TCAMode, SimulationResult] = {}
     for mode in modes:
         per_mode[mode] = simulate(
-            accelerated, config.with_mode(mode), warm_ranges=warm_ranges
+            accelerated,
+            config.with_mode(mode),
+            warm_ranges=warm_ranges,
+            tracer=tracer,
         )
     return ModeComparison(baseline=base_result, per_mode=per_mode)

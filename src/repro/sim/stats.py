@@ -92,6 +92,65 @@ class SimStats:
             if reason is not StallReason.TRACE_DRAINED
         )
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe dump of every counter (stall reasons keyed by value).
+
+        Derived ratios (``ipc``, ``mean_rob_occupancy``) are included for
+        convenience; :meth:`from_dict` ignores them on the way back in.
+        """
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "dispatched": self.dispatched,
+            "ipc": self.ipc,
+            "stall_cycles": {
+                reason.value: count for reason, count in self.stall_cycles.items()
+            },
+            "tca_invocations": self.tca_invocations,
+            "tca_read_requests": self.tca_read_requests,
+            "tca_write_requests": self.tca_write_requests,
+            "tca_wait_drain_cycles": self.tca_wait_drain_cycles,
+            "tca_exec_cycles": self.tca_exec_cycles,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "rob_occupancy_sum": self.rob_occupancy_sum,
+            "rob_samples": self.rob_samples,
+            "mean_rob_occupancy": self.mean_rob_occupancy,
+            "max_rob_occupancy": self.max_rob_occupancy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "SimStats":
+        """Rebuild a :class:`SimStats` from a :meth:`to_dict` payload."""
+        stats = cls()
+        for name in (
+            "cycles",
+            "instructions",
+            "dispatched",
+            "tca_invocations",
+            "tca_read_requests",
+            "tca_write_requests",
+            "tca_wait_drain_cycles",
+            "tca_exec_cycles",
+            "loads",
+            "stores",
+            "branches",
+            "mispredicts",
+            "rob_occupancy_sum",
+            "rob_samples",
+            "max_rob_occupancy",
+        ):
+            if name in payload:
+                setattr(stats, name, int(payload[name]))  # type: ignore[arg-type]
+        raw_stalls = payload.get("stall_cycles", {})
+        stats.stall_cycles = {
+            StallReason(reason): int(count)  # type: ignore[arg-type]
+            for reason, count in raw_stalls.items()  # type: ignore[union-attr]
+        }
+        return stats
+
     def summary(self) -> str:
         """Multi-line human-readable summary."""
         lines = [

@@ -1,0 +1,87 @@
+"""Run manifests and JSON-safe simulation statistics."""
+
+import json
+import re
+
+from repro.experiments.report import ExperimentResult
+from repro.obs.manifest import build_manifest, git_revision
+from repro.sim.simulator import simulate
+from repro.sim.stats import SimStats, StallReason
+
+
+class TestGitRevision:
+    def test_returns_sha_inside_this_repo(self):
+        sha = git_revision()
+        assert sha is not None
+        assert re.fullmatch(r"[0-9a-f]{40}", sha)
+
+    def test_returns_none_outside_a_repo(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) is None
+
+
+class TestBuildManifest:
+    def test_standard_fields(self):
+        manifest = build_manifest(scale="smoke", wall_time_s=1.5)
+        assert manifest["schema"] == 1
+        assert manifest["scale"] == "smoke"
+        assert manifest["wall_time_s"] == 1.5
+        assert manifest["git_sha"] != ""
+        assert manifest["python_version"].count(".") == 2
+        assert manifest["package_version"] != ""
+        assert "host" in manifest and "platform" in manifest
+        assert "created_utc" in manifest
+
+    def test_is_json_safe(self):
+        manifest = build_manifest(
+            scale="full", metrics={"counters": {"sim.runs": 3}}
+        )
+        round_tripped = json.loads(json.dumps(manifest))
+        assert round_tripped["metrics"]["counters"]["sim.runs"] == 3
+
+    def test_extra_fields_cannot_shadow_standard_ones(self):
+        manifest = build_manifest(
+            scale="smoke", extra={"scale": "paper", "custom": 42}
+        )
+        assert manifest["scale"] == "smoke"
+        assert manifest["custom"] == 42
+
+
+class TestSimStatsDict:
+    def test_round_trip_through_json(self, tiny_sim_config, alu_trace):
+        stats = simulate(alu_trace, tiny_sim_config).stats
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert SimStats.from_dict(payload) == stats
+
+    def test_stall_reasons_keyed_by_value(self):
+        stats = SimStats()
+        stats.add_stall(StallReason.ROB_FULL, 7)
+        stats.add_stall(StallReason.TCA_BARRIER, 2)
+        dumped = stats.to_dict()
+        assert dumped["stall_cycles"] == {"rob_full": 7, "tca_barrier": 2}
+
+    def test_derived_ratios_included(self):
+        stats = SimStats(cycles=100, instructions=250)
+        dumped = stats.to_dict()
+        assert dumped["ipc"] == 2.5
+        # derived fields are informational; from_dict ignores them
+        assert SimStats.from_dict(dumped).ipc == 2.5
+
+
+class TestSaveJsonProvenance:
+    def test_saved_results_carry_a_manifest(self, tmp_path):
+        result = ExperimentResult(
+            name="demo", title="t", scale="smoke", rows=[{"x": 1}]
+        )
+        path = result.save_json(str(tmp_path))
+        payload = json.load(open(path))
+        manifest = payload["manifest"]
+        assert manifest["scale"] == "smoke"
+        assert re.fullmatch(r"[0-9a-f]{40}", manifest["git_sha"])
+        assert "wall_time_s" in manifest
+
+    def test_explicit_manifest_is_preserved(self, tmp_path):
+        result = ExperimentResult(name="demo", title="t", scale="smoke")
+        result.manifest = build_manifest(scale="smoke", wall_time_s=9.25)
+        path = result.save_json(str(tmp_path))
+        payload = json.load(open(path))
+        assert payload["manifest"]["wall_time_s"] == 9.25

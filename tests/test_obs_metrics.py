@@ -1,0 +1,135 @@
+"""Unit tests for the metrics registry (counters, gauges, timers)."""
+
+import json
+import time
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+    def test_distinct_names_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert registry.counter("b").value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("throughput")
+        gauge.set(10.0)
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+
+class TestTimer:
+    def test_record_accumulates(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("stage")
+        timer.record(0.5)
+        timer.record(1.5)
+        assert timer.count == 2
+        assert timer.total == 2.0
+        assert timer.mean == 1.0
+        assert timer.min == 0.5
+        assert timer.max == 1.5
+
+    def test_context_manager_measures_wall_time(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("sleep")
+        with timer.time():
+            time.sleep(0.01)
+        assert timer.count == 1
+        assert timer.total >= 0.005
+
+    def test_unsampled_timer_is_safe(self):
+        timer = MetricsRegistry().timer("never")
+        assert timer.mean == 0.0
+        assert timer.as_dict()["min_s"] == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.25)
+        registry.timer("t").record(0.1)
+        registry.set_info("run", {"nested": [1, 2, {"deep": True}]})
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"]["c"] == 3
+        assert snapshot["gauges"]["g"] == 1.25
+        assert snapshot["timers"]["t"]["count"] == 1
+        assert snapshot["info"]["run"]["nested"][2]["deep"] is True
+
+    def test_render_table_lists_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("model.evaluations").inc(7)
+        registry.timer("experiment.fig5").record(2.0)
+        table = registry.render_table()
+        assert "model.evaluations" in table
+        assert "experiment.fig5" in table
+        assert "7" in table
+
+    def test_render_table_empty(self):
+        assert "no metrics recorded" in MetricsRegistry().render_table()
+
+    def test_reset_zeroes_but_keeps_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        timer = registry.timer("t")
+        timer.record(1.0)
+        registry.set_info("k", "v")
+        registry.reset()
+        assert counter.value == 0
+        assert timer.count == 0 and timer.total == 0.0
+        assert registry.snapshot()["info"] == {}
+        assert registry.counter("c") is counter
+
+    def test_default_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+        assert isinstance(get_registry(), MetricsRegistry)
+
+
+class TestSimulatorIntegration:
+    def test_simulate_records_throughput(self, tiny_sim_config, alu_trace):
+        from repro.sim.simulator import simulate
+
+        registry = get_registry()
+        runs_before = registry.counter("sim.runs").value
+        cycles_before = registry.counter("sim.cycles").value
+        result = simulate(alu_trace, tiny_sim_config)
+        assert registry.counter("sim.runs").value == runs_before + 1
+        assert (
+            registry.counter("sim.cycles").value
+            == cycles_before + result.stats.cycles
+        )
+        last = registry.snapshot()["info"]["sim.last_run"]
+        assert last["trace"] == alu_trace.name
+        assert last["stats"]["cycles"] == result.stats.cycles
+
+    def test_model_evaluations_counted(self, small_core, simple_accelerator,
+                                       simple_workload):
+        from repro.core.model import TCAModel
+        from repro.core.modes import TCAMode
+
+        counter = get_registry().counter("model.evaluations")
+        before = counter.value
+        TCAModel(small_core, simple_accelerator, simple_workload).speedup(
+            TCAMode.L_T
+        )
+        assert counter.value == before + 1

@@ -1,0 +1,80 @@
+"""Runner CLI observability flags: --trace, --profile, --log-level."""
+
+import json
+
+import pytest
+
+from repro.experiments import report as report_mod
+from repro.experiments.runner import main
+from repro.obs.tracer import get_active_tracer
+
+REQUIRED_CHROME_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+class TestTraceFlag:
+    def test_sim_backed_experiment_writes_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "fig5.trace.json"
+        code = main(["fig5", "--scale", "smoke", "--trace", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[trace:" in out
+        document = json.loads(trace_path.read_text())
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert REQUIRED_CHROME_KEYS <= set(event)
+        # fig5 smoke: 2 sweep points x (1 baseline + 4 modes) simulations
+        assert document["otherData"]["runs"] == 10
+        assert get_active_tracer() is None
+
+    def test_model_only_experiment_writes_empty_valid_trace(
+        self, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "fig2.trace.json"
+        assert main(["fig2", "--scale", "smoke", "--trace", str(trace_path)]) == 0
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"] == []
+        assert document["otherData"]["runs"] == 0
+
+
+class TestProfileFlag:
+    def test_profile_prints_stage_timings(self, capsys):
+        assert main(["fig2", "--scale", "smoke", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "experiment.fig2" in out
+        assert "model.evaluations" in out
+
+
+class TestManifestOnSave:
+    def test_saved_json_manifest_has_wall_time_and_metrics(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(report_mod.RESULTS_DIR_ENV, str(tmp_path))
+        assert main(["fig2", "--scale", "smoke", "--save"]) == 0
+        payload = json.load(open(tmp_path / "fig2.json"))
+        manifest = payload["manifest"]
+        assert manifest["scale"] == "smoke"
+        assert manifest["wall_time_s"] > 0
+        assert manifest["metrics"]["timers"]["experiment.fig2"]["count"] >= 1
+
+
+class TestLogLevelFlag:
+    def test_log_level_info_emits_completion_line(self, capsys):
+        assert main(["fig2", "--scale", "smoke", "--log-level", "info"]) == 0
+        err = capsys.readouterr().err
+        assert "fig2 completed in" in err
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--log-level", "loud"])
+
+    def test_model_cli_accepts_log_level(self, capsys):
+        from repro.cli import main as model_main
+
+        code = model_main(
+            ["--core", "hp", "-g", "53", "-a", "0.3", "-A", "3",
+             "--log-level", "warning"]
+        )
+        assert code == 0
+        assert "recommended mode" in capsys.readouterr().out

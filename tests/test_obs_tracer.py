@@ -1,0 +1,162 @@
+"""Pipeline event tracer: event ordering, Chrome export, disabled path."""
+
+import json
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.obs.tracer import (
+    NullTracer,
+    PipelineTracer,
+    get_active_tracer,
+    tracing,
+)
+from repro.sim.simulator import simulate, simulate_modes
+from repro.sim.stats import StallReason
+
+REQUIRED_CHROME_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+@pytest.fixture
+def traced_run(tiny_sim_config, alu_trace):
+    tracer = PipelineTracer()
+    result = simulate(alu_trace, tiny_sim_config, tracer=tracer)
+    return tracer, result
+
+
+class TestEventOrdering:
+    def test_every_committed_instruction_recorded(self, traced_run, alu_trace):
+        tracer, result = traced_run
+        events = tracer.instruction_events()
+        assert len(events) == len(alu_trace) == result.stats.instructions
+        assert [e["seq"] for e in events] == list(range(len(alu_trace)))
+
+    def test_lifecycle_is_monotone(self, traced_run):
+        tracer, _result = traced_run
+        for event in tracer.instruction_events():
+            assert event["dispatch"] is not None
+            assert event["issue"] is not None
+            assert event["complete"] is not None
+            assert event["commit"] is not None
+            assert event["dispatch"] <= event["issue"]
+            assert event["issue"] <= event["complete"]
+            assert event["complete"] <= event["commit"]
+
+    def test_commit_respects_commit_latency(self, traced_run, tiny_sim_config):
+        tracer, _result = traced_run
+        for event in tracer.instruction_events():
+            assert (
+                event["commit"]
+                >= event["complete"] + tiny_sim_config.commit_latency
+            )
+
+    def test_stall_spans_match_stats(self, traced_run):
+        tracer, result = traced_run
+        by_reason: dict[str, int] = {}
+        for stall in tracer.stall_events():
+            by_reason[stall["reason"]] = (
+                by_reason.get(stall["reason"], 0) + stall["duration"]
+            )
+        expected = {
+            reason.value: count
+            for reason, count in result.stats.stall_cycles.items()
+        }
+        assert by_reason == expected
+
+    def test_frontend_fill_stall_recorded(self, traced_run, tiny_sim_config):
+        tracer, _result = traced_run
+        fills = [
+            s
+            for s in tracer.stall_events()
+            if s["reason"] == StallReason.FRONTEND_FILL.value
+        ]
+        assert fills and fills[0]["cycle"] == 0
+        assert sum(s["duration"] for s in fills) == tiny_sim_config.frontend_depth
+
+
+class TestChromeExport:
+    def test_schema_round_trip(self, traced_run, tmp_path):
+        tracer, _result = traced_run
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(str(path))
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert len(events) == count > 0
+        for event in events:
+            assert REQUIRED_CHROME_KEYS <= set(event)
+        assert any(e["ph"] == "X" and e.get("cat") == "inst" for e in events)
+        assert any(e["ph"] == "X" and e.get("cat") == "stall" for e in events)
+        assert any(e["ph"] == "M" and e["name"] == "process_name" for e in events)
+
+    def test_durations_and_timestamps_are_cycles(self, traced_run):
+        tracer, result = traced_run
+        slices = [
+            e
+            for e in tracer.to_chrome_events()
+            if e.get("cat") == "inst"
+        ]
+        assert all(isinstance(e["ts"], int) and e["ts"] >= 0 for e in slices)
+        assert all(e["dur"] >= 1 for e in slices)
+        assert max(e["ts"] + e["dur"] for e in slices) <= result.stats.cycles
+
+    def test_run_stats_embedded(self, traced_run):
+        tracer, result = traced_run
+        summaries = [
+            e for e in tracer.to_chrome_events() if e["name"] == "run_stats"
+        ]
+        assert len(summaries) == 1
+        assert summaries[0]["args"]["cycles"] == result.stats.cycles
+
+    def test_multi_run_trace_gets_one_pid_per_run(self, tiny_sim_config):
+        from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+
+        program = generate_heap_program(
+            HeapWorkloadSpec(slots=40, call_probability=0.2)
+        )
+        tracer = PipelineTracer()
+        simulate_modes(
+            program.baseline,
+            program.accelerated(),
+            tiny_sim_config,
+            warm_ranges=program.baseline.metadata["warm_ranges"],
+            tracer=tracer,
+        )
+        assert len(tracer.runs) == 1 + len(TCAMode.all_modes())
+        pids = {e["pid"] for e in tracer.to_chrome_events()}
+        assert pids == set(range(1, len(tracer.runs) + 1))
+
+
+class TestDisabledPath:
+    def test_no_tracer_emits_nothing_and_changes_nothing(
+        self, tiny_sim_config, alu_trace
+    ):
+        # Regression guard: the disabled tracer must emit no events and
+        # leave simulation results bit-identical to a traced run's stats.
+        assert get_active_tracer() is None
+        untraced = simulate(alu_trace, tiny_sim_config)
+        tracer = PipelineTracer()
+        traced = simulate(alu_trace, tiny_sim_config, tracer=tracer)
+        assert untraced.stats == traced.stats
+        assert tracer.event_count > 0
+
+    def test_null_tracer_records_nothing(self, tiny_sim_config, alu_trace):
+        null = NullTracer()
+        result = simulate(alu_trace, tiny_sim_config, tracer=null)
+        assert result.stats.instructions == len(alu_trace)
+        assert null.runs == []
+        assert null.event_count == 0
+        assert null.to_chrome_events() == []
+
+    def test_ambient_tracing_context(self, tiny_sim_config, alu_trace):
+        tracer = PipelineTracer()
+        with tracing(tracer):
+            assert get_active_tracer() is tracer
+            simulate(alu_trace, tiny_sim_config)
+        assert get_active_tracer() is None
+        assert len(tracer.runs) == 1
+        assert tracer.runs[0].trace_name == alu_trace.name
+
+    def test_tracing_accepts_none(self, tiny_sim_config, alu_trace):
+        with tracing(None):
+            result = simulate(alu_trace, tiny_sim_config)
+        assert result.stats.instructions == len(alu_trace)
