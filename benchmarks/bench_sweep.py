@@ -1,0 +1,178 @@
+"""Micro-benchmark: scalar loop vs vectorized vs multi-process sweeps.
+
+Times the Fig. 7 heatmap workload (8 panels: {HP, LP} x 4 modes) three
+ways and writes the throughputs to ``BENCH_sweep.json``:
+
+- **scalar** — the reference oracle: one ``TCAModel`` per feasible cell
+  (:func:`repro.core.sweep.speedup_heatmap_scalar`);
+- **vectorized** — the production path: one closed-form
+  :func:`repro.core.model.speedup_grid` pass per panel;
+- **jobs** — the vectorized path fanned over worker processes with
+  :func:`repro.core.parallel.parallel_map` (the ``--jobs`` backend).
+
+Run it directly (defaults to the paper's full-scale grid)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+    PYTHONPATH=src python benchmarks/bench_sweep.py --scale smoke --jobs 2
+
+"points" are evaluated (feasible) cells; points/sec is the comparable
+throughput number.  The script also cross-checks that all three paths
+produce identical NaN masks and values within 1e-9, so the speedup
+numbers can't silently come from computing something different.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.modes import TCAMode
+from repro.core.parallel import parallel_map
+from repro.core.parameters import HIGH_PERF, LOW_PERF, AcceleratorParameters
+from repro.core.sweep import speedup_heatmap, speedup_heatmap_scalar
+from repro.experiments.fig7_heatmap import _GRID, _MODE_ORDER, _panel
+
+#: Best-of-N timing repetitions per approach.
+REPEATS = 3
+
+ACCELERATOR = AcceleratorParameters(name="bench", acceleration=1.5)
+
+
+def _tasks(scale: str) -> list[tuple]:
+    n_frac, n_freq = _GRID[scale]
+    fractions = np.linspace(0.02, 1.0, n_frac)
+    frequencies = np.logspace(-5, -0.5, n_freq)
+    return [
+        (core, mode, fractions, frequencies)
+        for core in (HIGH_PERF, LOW_PERF)
+        for mode in _MODE_ORDER
+    ]
+
+
+def _run_scalar(tasks) -> list:
+    return [
+        speedup_heatmap_scalar(core, ACCELERATOR, mode, fractions, frequencies)
+        for core, mode, fractions, frequencies in tasks
+    ]
+
+
+def _run_vectorized(tasks) -> list:
+    return [
+        speedup_heatmap(core, ACCELERATOR, mode, fractions, frequencies)
+        for core, mode, fractions, frequencies in tasks
+    ]
+
+
+def _best_of(fn, tasks, repeats: int = REPEATS) -> tuple[float, list]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = perf_counter()
+        result = fn(tasks)
+        best = min(best, perf_counter() - started)
+    return best, result
+
+
+def _verify(reference, candidates, label: str) -> float:
+    """Equal NaN masks and values within 1e-9; returns max |rel diff|."""
+    worst = 0.0
+    for ref, got in zip(reference, candidates):
+        if not np.array_equal(np.isnan(ref.speedup), np.isnan(got.speedup)):
+            raise AssertionError(f"{label}: NaN feasibility mask differs")
+        feasible = ~np.isnan(ref.speedup)
+        rel = np.abs(got.speedup[feasible] - ref.speedup[feasible]) / np.abs(
+            ref.speedup[feasible]
+        )
+        worst = max(worst, float(rel.max()))
+        if worst > 1e-9:
+            raise AssertionError(f"{label}: max rel diff {worst} > 1e-9")
+    return worst
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=tuple(_GRID),
+        default="full",
+        help="grid size (default: full, the paper's Fig. 7 resolution)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        metavar="N",
+        help="worker processes for the parallel measurement (default: "
+        "min(4, cpu_count))",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_sweep.json",
+        help="output JSON path (default: BENCH_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+
+    tasks = _tasks(args.scale)
+    n_frac, n_freq = _GRID[args.scale]
+
+    scalar_s, scalar_heats = _best_of(_run_scalar, tasks)
+    vector_s, vector_heats = _best_of(_run_vectorized, tasks)
+    jobs_s, jobs_heats = _best_of(
+        lambda ts: parallel_map(_panel, ts, jobs=args.jobs), tasks
+    )
+
+    max_rel = max(
+        _verify(scalar_heats, vector_heats, "vectorized"),
+        _verify(scalar_heats, jobs_heats, f"jobs={args.jobs}"),
+    )
+    points = sum(int((~np.isnan(h.speedup)).sum()) for h in scalar_heats)
+
+    def entry(seconds: float, **extra) -> dict:
+        return {
+            "seconds": seconds,
+            "points_per_sec": points / seconds if seconds > 0 else float("inf"),
+            "speedup_vs_scalar": scalar_s / seconds if seconds > 0 else float("inf"),
+            **extra,
+        }
+
+    payload = {
+        "bench": "sweep",
+        "scale": args.scale,
+        "grid": {
+            "fractions": n_frac,
+            "frequencies": n_freq,
+            "panels": len(tasks),
+            "evaluated_points": points,
+        },
+        "repeats": REPEATS,
+        "max_rel_diff_vs_scalar": max_rel,
+        "scalar": entry(scalar_s),
+        "vectorized": entry(vector_s),
+        "jobs": entry(jobs_s, n=args.jobs),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(
+        f"sweep bench (scale={args.scale}, {points} points over "
+        f"{len(tasks)} panels, best of {REPEATS}):"
+    )
+    for label in ("scalar", "vectorized", "jobs"):
+        row = payload[label]
+        print(
+            f"  {label:<12} {row['seconds']:>9.4f}s  "
+            f"{row['points_per_sec']:>12.0f} points/s  "
+            f"{row['speedup_vs_scalar']:>7.1f}x vs scalar"
+        )
+    print(f"  max rel diff vs scalar: {max_rel:.2e}")
+    print(f"[written {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from repro.core.drain import (
     ExplicitDrain,
     PowerLawDrain,
     resolve_drain,
+    resolve_drain_grid,
 )
 from repro.core.interval import (
     IntervalTimeline,
@@ -56,7 +57,8 @@ from repro.core.interval import (
     interval_timeline,
     render_timeline,
 )
-from repro.core.model import ModeBreakdown, TCAModel, predict_speedups
+from repro.core.model import ModeBreakdown, TCAModel, predict_speedups, speedup_grid
+from repro.core.parallel import parallel_map
 from repro.core.modes import MODE_COSTS, ModeHardwareCost, TCAMode
 from repro.core.partial import PartialSpeculationModel, PartialSpeculationResult
 from repro.core.parameters import (
@@ -75,6 +77,7 @@ from repro.core.sweep import (
     frequency_sweep,
     granularity_sweep,
     speedup_heatmap,
+    speedup_heatmap_scalar,
 )
 from repro.core.validation import (
     ValidationRecord,
@@ -135,12 +138,16 @@ __all__ = [
     "interval_timeline",
     "max_speedup_limit",
     "optimal_fraction",
+    "parallel_map",
     "pareto_frontier",
     "predict_speedups",
     "recommend_mode",
     "render_timeline",
     "resolve_drain",
+    "resolve_drain_grid",
+    "speedup_grid",
     "speedup_heatmap",
+    "speedup_heatmap_scalar",
     "validate_composite",
     "validate_workload",
 ]

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.core.parameters import CoreParameters, WorkloadParameters
 
 
@@ -41,6 +43,31 @@ class DrainEstimator(ABC):
     @abstractmethod
     def estimate(self, core: CoreParameters, workload: WorkloadParameters) -> float:
         """Raw drain estimate in cycles (before the ``t_non_accl`` cap)."""
+
+    def estimate_grid(
+        self, core: CoreParameters, a: np.ndarray, v: np.ndarray
+    ) -> np.ndarray | float:
+        """Vectorized raw drain estimate over broadcast ``(a, v)`` arrays.
+
+        Returns an array of per-cell estimates (or a scalar, which
+        broadcasts) in cycles, before the ``t_non_accl`` cap.  Every
+        ``(a, v)`` cell must be a valid :class:`WorkloadParameters`
+        combination — the array evaluation path substitutes feasible
+        values at masked cells before calling this.
+
+        The base implementation loops :meth:`estimate` per cell, which is
+        correct for any estimator but slow; the built-in estimators
+        override it with closed forms.
+        """
+        a_arr, v_arr = np.broadcast_arrays(
+            np.asarray(a, dtype=float), np.asarray(v, dtype=float)
+        )
+        out = np.empty(a_arr.shape, dtype=float)
+        for idx in np.ndindex(a_arr.shape):
+            out[idx] = self.estimate(
+                core, WorkloadParameters(float(a_arr[idx]), float(v_arr[idx]))
+            )
+        return out
 
 
 class ExplicitDrain(DrainEstimator):
@@ -57,6 +84,12 @@ class ExplicitDrain(DrainEstimator):
 
     def estimate(self, core: CoreParameters, workload: WorkloadParameters) -> float:
         """The supplied drain time, unconditionally."""
+        return self.cycles
+
+    def estimate_grid(
+        self, core: CoreParameters, a: np.ndarray, v: np.ndarray
+    ) -> float:
+        """The supplied drain time, broadcast over the grid."""
         return self.cycles
 
 
@@ -94,6 +127,12 @@ class PowerLawDrain(DrainEstimator):
         """Critical path of a full ``s_ROB`` window under the power law."""
         return self.critical_path_length(float(core.rob_size))
 
+    def estimate_grid(
+        self, core: CoreParameters, a: np.ndarray, v: np.ndarray
+    ) -> float:
+        """Workload-independent: the full-window critical path, broadcast."""
+        return self.critical_path_length(float(core.rob_size))
+
 
 class BalancedWindowDrain(DrainEstimator):
     """Balanced-window calibration: a full ROB sustaining the program IPC.
@@ -126,6 +165,12 @@ class BalancedWindowDrain(DrainEstimator):
         """Balanced-window drain of a full ROB: ``s_ROB / IPC``."""
         return self.critical_path_length(core, float(core.rob_size))
 
+    def estimate_grid(
+        self, core: CoreParameters, a: np.ndarray, v: np.ndarray
+    ) -> float:
+        """Workload-independent: the full-ROB balanced drain, broadcast."""
+        return self.critical_path_length(core, float(core.rob_size))
+
 
 def resolve_drain(
     core: CoreParameters,
@@ -145,3 +190,25 @@ def resolve_drain(
     else:
         raw = (estimator or PowerLawDrain()).estimate(core, workload)
     return min(raw, non_accel_time)
+
+
+def resolve_drain_grid(
+    core: CoreParameters,
+    drain_time: float | np.ndarray | None,
+    estimator: DrainEstimator | None,
+    non_accel_time: np.ndarray,
+    a: np.ndarray,
+    v: np.ndarray,
+) -> np.ndarray:
+    """Array counterpart of :func:`resolve_drain` (same precedence/cap).
+
+    ``drain_time`` is the explicit per-workload drain (scalar or an array
+    broadcastable against the grid); when ``None`` the estimator's
+    :meth:`~DrainEstimator.estimate_grid` supplies the raw estimate.  The
+    result is capped element-wise at ``non_accel_time``.
+    """
+    if drain_time is not None:
+        raw = drain_time
+    else:
+        raw = (estimator or PowerLawDrain()).estimate_grid(core, a, v)
+    return np.minimum(raw, non_accel_time)

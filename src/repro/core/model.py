@@ -32,7 +32,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.drain import DrainEstimator, PowerLawDrain, resolve_drain
+import numpy as np
+
+from repro.core.drain import (
+    DrainEstimator,
+    PowerLawDrain,
+    resolve_drain,
+    resolve_drain_grid,
+)
 from repro.core.modes import TCAMode
 from repro.core.parameters import (
     AcceleratorParameters,
@@ -285,6 +292,97 @@ class TCAModel:
         if instructions < 0:
             raise ValueError(f"instructions must be non-negative, got {instructions}")
         return instructions / self.core.ipc
+
+
+def speedup_grid(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    a: np.ndarray | float,
+    v: np.ndarray | float,
+    mode: TCAMode,
+    drain_estimator: DrainEstimator | None = None,
+    drain_time: float | np.ndarray | None = None,
+) -> np.ndarray:
+    """Closed-form NumPy evaluation of eqs. (1)–(9) over ``(a, v)`` arrays.
+
+    The array-native counterpart of :meth:`TCAModel.speedup`: ``a``
+    (acceleratable fraction) and ``v`` (invocation frequency) are
+    broadcast against each other and every cell is evaluated in one pass
+    of vectorized arithmetic.  The scalar :class:`TCAModel` remains the
+    reference oracle; per cell this matches it exactly:
+
+    - ``a == 0`` or ``v == 0`` (no invocations): speedup 1.0;
+    - ``0 < a < v`` (less than one instruction per invocation) or values
+      outside ``[0, 1]`` — combinations the :class:`WorkloadParameters`
+      constructor rejects: NaN;
+    - zero interval time: ``inf``;
+    - otherwise ``t_baseline / t_mode``.
+
+    Args:
+        core: processor parameters.
+        accelerator: TCA parameters (explicit ``latency`` wins over ``A``,
+            as in the scalar model).
+        a: acceleratable fraction(s), broadcastable against ``v``.
+        v: invocation frequency(s), broadcastable against ``a``.
+        mode: the TCA integration mode to evaluate.
+        drain_estimator: NL-mode drain strategy (default power law).
+        drain_time: explicit per-workload drain time (scalar or an array
+            broadcastable over the grid), taking precedence over the
+            estimator — the array form of ``WorkloadParameters.drain_time``.
+
+    Returns:
+        Speedups with the broadcast shape of ``(a, v)``.
+    """
+    a, v = np.broadcast_arrays(
+        np.asarray(a, dtype=float), np.asarray(v, dtype=float)
+    )
+    in_range = (a >= 0.0) & (a <= 1.0) & (v >= 0.0) & (v <= 1.0)
+    no_invocations = in_range & ((a == 0.0) | (v == 0.0))
+    active = in_range & (a > 0.0) & (v > 0.0) & (a >= v)
+    _EVALUATIONS.inc(int(active.sum()) + int(no_invocations.sum()))
+
+    # Feasible substitutes at masked cells keep every arithmetic step
+    # finite and warning-free; masked results are discarded below.
+    sa = np.where(active, a, 1.0)
+    sv = np.where(active, v, 1.0)
+
+    ipc = core.ipc
+    t_base = 1.0 / (sv * ipc)  # eq. (1)
+    if accelerator.latency is not None:
+        t_accl = np.full(sa.shape, float(accelerator.latency))  # eq. (2)
+    else:
+        assert accelerator.acceleration is not None
+        t_accl = sa / (sv * accelerator.acceleration * ipc)  # eq. (2)
+    t_non = (1.0 - sa) / (sv * ipc)  # eq. (3)
+    t_commit = core.commit_stall
+    t_fill = core.rob_fill_time
+
+    if mode is TCAMode.NL_NT:
+        t_drain = resolve_drain_grid(
+            core, drain_time, drain_estimator, t_non, sa, sv
+        )
+        time = t_non + t_accl + t_drain + 2.0 * t_commit  # eq. (4)
+    elif mode is TCAMode.L_NT:
+        time = t_non + t_accl + t_commit  # eq. (5)
+    elif mode is TCAMode.NL_T:
+        t_drain = resolve_drain_grid(
+            core, drain_time, drain_estimator, t_non, sa, sv
+        )
+        rob_full = np.maximum(
+            0.0, t_drain + t_accl + t_commit - t_fill
+        )  # eq. (6)
+        time = np.maximum(t_non + rob_full, t_accl + t_drain + t_commit)  # eq. (7)
+    elif mode is TCAMode.L_T:
+        rob_full = np.maximum(0.0, t_accl - t_fill)  # eq. (8)
+        time = np.maximum(t_non + rob_full, t_accl)  # eq. (9)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    speedup = np.where(
+        time > 0.0, t_base / np.where(time > 0.0, time, 1.0), np.inf
+    )
+    out = np.where(no_invocations, 1.0, np.nan)
+    return np.where(active, speedup, out)
 
 
 def predict_speedups(

@@ -177,6 +177,11 @@ class WorkloadParameters:
         """
         if granularity <= 0:
             raise ValueError(f"granularity must be positive, got {granularity}")
+        if granularity < 1:
+            raise ValueError(
+                f"granularity must be >= 1 (each invocation replaces at "
+                f"least one baseline instruction), got {granularity}"
+            )
         return cls(
             acceleratable_fraction=acceleratable_fraction,
             invocation_frequency=acceleratable_fraction / granularity,

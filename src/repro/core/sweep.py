@@ -11,6 +11,13 @@ These utilities generate the paper's design-space figures:
 - :func:`speedup_heatmap` — 2-D sweep over (fraction, frequency) for one
   mode/core (one panel of Fig. 7), plus :func:`accelerator_curve` for the
   fixed-function accelerator overlays.
+
+All sweeps evaluate through the array-native :func:`repro.core.model.speedup_grid`
+— eqs. (1)–(9) in closed-form NumPy over the whole axis (or plane) at
+once — rather than one scalar :class:`~repro.core.model.TCAModel` per
+point.  The scalar model remains the reference oracle;
+:func:`speedup_heatmap_scalar` keeps the point-by-point implementation
+for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.drain import DrainEstimator
-from repro.core.model import TCAModel
+from repro.core.model import TCAModel, speedup_grid
 from repro.core.modes import TCAMode
 from repro.core.parameters import (
     AcceleratorParameters,
@@ -67,29 +74,41 @@ class SweepResult:
         return float(self.x[below[-1]])
 
 
+def _require_granularity(granularity: float, argument: str) -> None:
+    if granularity < 1:
+        raise ValueError(
+            f"{argument} must be >= 1 (each invocation replaces at least "
+            f"one baseline instruction), got {granularity}"
+        )
+
+
+def _require_fractions(fractions: np.ndarray, argument: str) -> None:
+    if np.any((fractions < 0.0) | (fractions > 1.0)):
+        raise ValueError(f"{argument} must be within [0, 1], got {fractions}")
+
+
 def _sweep(
     x_label: str,
     xs: np.ndarray,
-    make_workload,
+    a: np.ndarray,
+    v: np.ndarray,
     core: CoreParameters,
     accelerator: AcceleratorParameters,
     drain_estimator: DrainEstimator | None,
     modes: tuple[TCAMode, ...],
 ) -> SweepResult:
+    """Evaluate all ``modes`` over aligned ``(a, v)`` axis arrays."""
     registry = get_registry()
-    speedups: dict[TCAMode, list[float]] = {mode: [] for mode in modes}
     with registry.timer("model.sweep").time():
-        for x in xs:
-            model = TCAModel(
-                core, accelerator, make_workload(float(x)), drain_estimator
-            )
-            for mode in modes:
-                speedups[mode].append(model.speedup(mode))
+        speedups = {
+            mode: speedup_grid(core, accelerator, a, v, mode, drain_estimator)
+            for mode in modes
+        }
     registry.counter("model.sweep_points").inc(len(xs) * len(modes))
     return SweepResult(
         x_label=x_label,
         x=np.asarray(xs, dtype=float),
-        speedups={mode: np.array(vals) for mode, vals in speedups.items()},
+        speedups=speedups,
         core=core,
         accelerator=accelerator,
     )
@@ -104,14 +123,19 @@ def granularity_sweep(
     modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
 ) -> SweepResult:
     """Speedup vs accelerator granularity at fixed coverage (Fig. 2)."""
+    gs = np.asarray(granularities, dtype=float)
+    if np.any(gs < 1.0):
+        raise ValueError(
+            "granularities must be >= 1 (each invocation replaces at "
+            f"least one baseline instruction), got min {gs.min()}"
+        )
+    if not 0.0 <= acceleratable_fraction <= 1.0:
+        raise ValueError(
+            f"acceleratable_fraction must be in [0,1], got {acceleratable_fraction}"
+        )
+    a = np.full(gs.shape, float(acceleratable_fraction))
     return _sweep(
-        "granularity",
-        granularities,
-        lambda g: WorkloadParameters.from_granularity(g, acceleratable_fraction),
-        core,
-        accelerator,
-        drain_estimator,
-        modes,
+        "granularity", gs, a, a / gs, core, accelerator, drain_estimator, modes
     )
 
 
@@ -124,10 +148,14 @@ def fraction_sweep(
     modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
 ) -> SweepResult:
     """Speedup vs acceleratable fraction at fixed granularity (Fig. 8)."""
+    _require_granularity(granularity, "granularity")
+    a = np.asarray(fractions, dtype=float)
+    _require_fractions(a, "fractions")
     return _sweep(
         "acceleratable_fraction",
-        fractions,
-        lambda a: WorkloadParameters.from_granularity(granularity, a),
+        a,
+        a,
+        a / granularity,
         core,
         accelerator,
         drain_estimator,
@@ -146,18 +174,18 @@ def frequency_sweep(
     """Speedup vs invocation frequency at fixed granularity.
 
     Coverage follows the frequency: ``a = v · granularity`` (a
-    fixed-function accelerator invoked more often covers more code).
+    fixed-function accelerator invoked more often covers more code),
+    saturating at full coverage.
     """
-    def make(v: float) -> WorkloadParameters:
-        return WorkloadParameters(
-            acceleratable_fraction=min(1.0, v * granularity),
-            invocation_frequency=v,
-        )
-
+    _require_granularity(granularity, "granularity")
+    v = np.asarray(frequencies, dtype=float)
+    _require_fractions(v, "frequencies")
+    a = np.minimum(1.0, v * granularity)
     return _sweep(
         "invocation_frequency",
-        frequencies,
-        make,
+        v,
+        a,
+        v,
         core,
         accelerator,
         drain_estimator,
@@ -209,22 +237,64 @@ def speedup_heatmap(
     frequencies: np.ndarray,
     drain_estimator: DrainEstimator | None = None,
 ) -> HeatmapResult:
-    """One Fig. 7 panel: speedup over the (a, v) plane for a mode/core."""
+    """One Fig. 7 panel: speedup over the (a, v) plane for a mode/core.
+
+    Evaluated in one vectorized :func:`~repro.core.model.speedup_grid`
+    pass over the whole plane.  Infeasible cells (``v <= 0``, ``a <= 0``,
+    or ``a < v``) are NaN and never evaluated; the
+    ``model.heatmap_cells`` counter records only evaluated cells, with
+    the remainder in ``model.heatmap_cells_skipped``.
+    """
     registry = get_registry()
-    grid = np.full((len(fractions), len(frequencies)), np.nan)
+    fractions = np.asarray(fractions, dtype=float)
+    frequencies = np.asarray(frequencies, dtype=float)
+    a = fractions[:, np.newaxis]
+    v = frequencies[np.newaxis, :]
     with registry.timer("model.heatmap").time():
-        for i, a in enumerate(fractions):
-            for j, v in enumerate(frequencies):
-                if v <= 0 or a <= 0 or a < v:
-                    continue
-                model = TCAModel(
-                    core,
-                    accelerator,
-                    WorkloadParameters(float(a), float(v)),
-                    drain_estimator,
-                )
-                grid[i, j] = model.speedup(mode)
-    registry.counter("model.heatmap_cells").inc(len(fractions) * len(frequencies))
+        evaluated = (v > 0.0) & (a > 0.0) & (a >= v)
+        grid = np.where(
+            evaluated,
+            speedup_grid(core, accelerator, a, v, mode, drain_estimator),
+            np.nan,
+        )
+    n_evaluated = int(evaluated.sum())
+    registry.counter("model.heatmap_cells").inc(n_evaluated)
+    registry.counter("model.heatmap_cells_skipped").inc(grid.size - n_evaluated)
+    return HeatmapResult(
+        mode=mode,
+        core=core,
+        fractions=fractions,
+        frequencies=frequencies,
+        speedup=grid,
+    )
+
+
+def speedup_heatmap_scalar(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    mode: TCAMode,
+    fractions: np.ndarray,
+    frequencies: np.ndarray,
+    drain_estimator: DrainEstimator | None = None,
+) -> HeatmapResult:
+    """Point-by-point reference implementation of :func:`speedup_heatmap`.
+
+    One scalar :class:`TCAModel` per feasible cell — the oracle the
+    vectorized path is tested (and benchmarked) against.  Records no
+    sweep-layer metrics; use :func:`speedup_heatmap` for production runs.
+    """
+    grid = np.full((len(fractions), len(frequencies)), np.nan)
+    for i, a in enumerate(fractions):
+        for j, v in enumerate(frequencies):
+            if v <= 0 or a <= 0 or a < v:
+                continue
+            model = TCAModel(
+                core,
+                accelerator,
+                WorkloadParameters(float(a), float(v)),
+                drain_estimator,
+            )
+            grid[i, j] = model.speedup(mode)
     return HeatmapResult(
         mode=mode,
         core=core,
@@ -238,7 +308,16 @@ def accelerator_curve(
     granularity: float, fractions: np.ndarray
 ) -> np.ndarray:
     """Invocation frequencies a fixed-function accelerator needs for given
-    coverages: ``v = a / granularity`` (the Fig. 7 overlay curves)."""
+    coverages: ``v = a / granularity`` (the Fig. 7 overlay curves).
+
+    Contract: every returned value is a valid
+    ``WorkloadParameters.invocation_frequency`` — entries whose required
+    frequency falls outside ``[0, 1]`` (coverage above ``granularity``
+    instructions per instruction, or a negative fraction) are masked to
+    NaN rather than returned, so the curve can be fed straight back into
+    the model or :func:`speedup_grid` without crashing.
+    """
     if granularity <= 0:
         raise ValueError(f"granularity must be positive, got {granularity}")
-    return np.asarray(fractions, dtype=float) / granularity
+    curve = np.asarray(fractions, dtype=float) / granularity
+    return np.where((curve >= 0.0) & (curve <= 1.0), curve, np.nan)

@@ -15,16 +15,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.model import TCAModel
+from repro.core.model import speedup_grid
 from repro.core.modes import TCAMode
+from repro.core.parallel import parallel_map
 from repro.core.parameters import (
     HIGH_PERF,
     LOW_PERF,
     AcceleratorParameters,
     CoreParameters,
-    WorkloadParameters,
 )
-from repro.core.sweep import accelerator_curve, speedup_heatmap
+from repro.core.sweep import HeatmapResult, accelerator_curve, speedup_heatmap
 from repro.experiments.report import (
     ExperimentResult,
     ascii_table,
@@ -52,28 +52,34 @@ def _curve_speedups(
     core: CoreParameters, granularity: float, fractions: np.ndarray
 ) -> dict[TCAMode, np.ndarray]:
     accelerator = AcceleratorParameters(name="fig7", acceleration=ACCELERATION)
-    out: dict[TCAMode, np.ndarray] = {}
-    for mode in _MODE_ORDER:
-        out[mode] = np.array(
-            [
-                TCAModel(
-                    core,
-                    accelerator,
-                    WorkloadParameters.from_granularity(granularity, float(a)),
-                ).speedup(mode)
-                for a in fractions
-            ]
+    return {
+        mode: speedup_grid(
+            core, accelerator, fractions, fractions / granularity, mode
         )
-    return out
+        for mode in _MODE_ORDER
+    }
 
 
-def run(scale: str | None = None) -> ExperimentResult:
-    """Regenerate the Fig. 7 heatmaps at the requested scale."""
+def _panel(
+    task: tuple[CoreParameters, TCAMode, np.ndarray, np.ndarray]
+) -> HeatmapResult:
+    """One heatmap panel — module-level so ``--jobs`` workers can pickle it."""
+    core, mode, fractions, frequencies = task
+    accelerator = AcceleratorParameters(name="fig7", acceleration=ACCELERATION)
+    return speedup_heatmap(core, accelerator, mode, fractions, frequencies)
+
+
+def run(scale: str | None = None, jobs: int = 1) -> ExperimentResult:
+    """Regenerate the Fig. 7 heatmaps at the requested scale.
+
+    ``jobs > 1`` spreads the eight panels over that many worker
+    processes (``repro-experiments fig7 --jobs N``); results and merged
+    metrics are identical to the serial run.
+    """
     scale = resolve_scale(scale)
     n_frac, n_freq = _GRID[scale]
     fractions = np.linspace(0.02, 1.0, n_frac)
     frequencies = np.logspace(-5, -0.5, n_freq)
-    accelerator = AcceleratorParameters(name="fig7", acceleration=ACCELERATION)
 
     heap_g = heap_granularity()
     greendroid_g = float(
@@ -85,15 +91,20 @@ def run(scale: str | None = None) -> ExperimentResult:
         "G": list(zip(overlay_fracs, accelerator_curve(greendroid_g, overlay_fracs))),
     }
 
+    tasks = [
+        (core, mode, fractions, frequencies)
+        for core in (HIGH_PERF, LOW_PERF)
+        for mode in _MODE_ORDER
+    ]
+    heats = parallel_map(_panel, tasks, jobs=jobs)
+
     panels = []
     summary_rows = []
     slowdown_by_core: dict[str, float] = {}
     for core in (HIGH_PERF, LOW_PERF):
         spreads = []
         for mode in _MODE_ORDER:
-            heat = speedup_heatmap(
-                core, accelerator, mode, fractions, frequencies
-            )
+            heat = heats.pop(0)
             panels.append(render_heatmap(heat, overlays))
             summary_rows.append(
                 [

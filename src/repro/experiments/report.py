@@ -251,6 +251,8 @@ def render_heatmap(
         for label, points in overlays.items():
             glyph = label[0]
             for a, v in points:
+                if math.isnan(a) or math.isnan(v):
+                    continue  # accelerator_curve masks out-of-range points
                 i = int(min(range(len(fractions)), key=lambda k: abs(fractions[k] - a)))
                 j = int(
                     min(

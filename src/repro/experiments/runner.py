@@ -20,9 +20,12 @@ Observability (see ``docs/OBSERVABILITY.md``):
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from time import perf_counter
 from typing import Callable
+
+from repro.core.parallel import parallel_map
 
 from repro.experiments import (
     ablations,
@@ -60,15 +63,38 @@ EXPERIMENTS: dict[str, Callable[[str | None], ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, scale: str | None = None) -> ExperimentResult:
-    """Run one experiment by id (``fig2`` .. ``fig8``, ``table1``)."""
+def run_experiment(
+    name: str, scale: str | None = None, jobs: int = 1
+) -> ExperimentResult:
+    """Run one experiment by id (``fig2`` .. ``fig8``, ``table1``).
+
+    ``jobs`` is forwarded to experiments whose runner supports
+    process-parallel evaluation (currently ``fig7``); the rest ignore it.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
         ) from None
+    if jobs > 1 and "jobs" in inspect.signature(runner).parameters:
+        return runner(scale, jobs=jobs)
     return runner(scale)
+
+
+def _run_timed(
+    task: tuple[str, str | None, int]
+) -> tuple[ExperimentResult, float]:
+    """Run one experiment, returning (result, wall seconds).
+
+    Module-level so ``--jobs`` pool workers can pickle it; workers pass
+    an inner ``jobs`` of 1 (daemonic pool processes cannot nest pools).
+    """
+    name, scale, jobs = task
+    started = perf_counter()
+    with get_registry().timer(f"experiment.{name}").time():
+        result = run_experiment(name, scale, jobs=jobs)
+    return result, perf_counter() - started
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -92,6 +118,16 @@ def main(argv: list[str] | None = None) -> int:
         "--save",
         action="store_true",
         help="write JSON records (with provenance manifests) under results/",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes: parallelizes panel evaluation inside "
+        "experiments that support it (fig7) and, when several experiments "
+        "are requested, the experiments themselves; per-worker metrics "
+        "are merged back into this process (default: 1)",
     )
     parser.add_argument(
         "--trace",
@@ -123,13 +159,31 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"cannot write trace file {args.trace!r}: {exc}")
 
     registry = get_registry()
+    jobs = max(1, args.jobs)
     tracer = PipelineTracer() if args.trace else None
+    parallel_experiments = jobs > 1 and len(names) > 1 and tracer is None
+    if jobs > 1 and len(names) > 1 and tracer is not None:
+        _log.warning(
+            "--trace cannot capture simulations inside worker processes; "
+            "running experiments serially"
+        )
     with tracing(tracer):
-        for name in names:
-            started = perf_counter()
-            with registry.timer(f"experiment.{name}").time():
-                result = run_experiment(name, args.scale)
-            duration = perf_counter() - started
+        if parallel_experiments:
+            # Fan the experiments themselves out; each worker merges its
+            # metrics back here, so --profile totals match a serial run.
+            outcomes = zip(
+                names,
+                parallel_map(
+                    _run_timed,
+                    [(name, args.scale, 1) for name in names],
+                    jobs=jobs,
+                ),
+            )
+        else:  # lazily, so each experiment prints as soon as it finishes
+            outcomes = (
+                (name, _run_timed((name, args.scale, jobs))) for name in names
+            )
+        for name, (result, duration) in outcomes:
             _log.info("%s completed in %.2fs", name, duration)
             print(result.render())
             print()

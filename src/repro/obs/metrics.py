@@ -139,6 +139,40 @@ class MetricsRegistry:
         """Attach a JSON-safe structured value under ``name``."""
         self._info[name] = value
 
+    def merge(self, other: "MetricsRegistry | dict[str, Any]") -> None:
+        """Fold another registry's recorded state into this one.
+
+        ``other`` is a :class:`MetricsRegistry` or — the form worker
+        processes send back across process boundaries — a
+        :meth:`snapshot` dict.  Semantics per instrument kind:
+
+        - **counters** add;
+        - **timers** add ``total``/``count`` and widen ``min``/``max``;
+        - **gauges** take the incoming value when it is non-zero (last
+          write wins; a snapshot cannot distinguish "never set" from an
+          explicit 0.0, so zero-valued incoming gauges are skipped);
+        - **info** entries overwrite same-named keys.
+        """
+        snapshot = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value:
+                self.gauge(name).set(value)
+        for name, sample in snapshot.get("timers", {}).items():
+            if not sample.get("count"):
+                continue
+            timer = self.timer(name)
+            timer.total += sample["total_s"]
+            timer.count += sample["count"]
+            if sample["min_s"] < timer.min:
+                timer.min = sample["min_s"]
+            if sample["max_s"] > timer.max:
+                timer.max = sample["max_s"]
+        for name, value in snapshot.get("info", {}).items():
+            self.set_info(name, value)
+
     # -------------------------------------------------------------- exports
 
     def snapshot(self) -> dict[str, Any]:

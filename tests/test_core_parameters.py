@@ -113,3 +113,10 @@ class TestWorkloadParameters:
     def test_from_granularity_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             WorkloadParameters.from_granularity(0, 0.3)
+
+    def test_from_granularity_rejects_sub_unit_granularity(self):
+        # Regression: granularity in (0, 1) used to fall through to the
+        # opaque "each invocation must replace >= 1 instruction" error;
+        # now the message names the offending argument.
+        with pytest.raises(ValueError, match="granularity must be >= 1"):
+            WorkloadParameters.from_granularity(0.5, 0.3)

@@ -1,0 +1,198 @@
+"""Scalar-vs-vectorized equivalence suite for ``speedup_grid``.
+
+The scalar :class:`TCAModel` is the reference oracle: over seeded random
+grids of every model input — ``(a, v, IPC, A, s_ROB, w_issue,
+t_commit)`` — the closed-form NumPy path must agree per mode to within
+1e-9, including the explicit-latency, explicit-drain, and
+no-invocations edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.drain import (
+    BalancedWindowDrain,
+    DrainEstimator,
+    ExplicitDrain,
+    PowerLawDrain,
+)
+from repro.core.model import TCAModel, speedup_grid
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    HIGH_PERF,
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+
+RTOL = 1e-9
+
+
+def _random_core(rng: np.random.Generator) -> CoreParameters:
+    return CoreParameters(
+        ipc=float(rng.uniform(0.25, 6.0)),
+        rob_size=int(rng.integers(16, 512)),
+        issue_width=int(rng.integers(1, 8)),
+        commit_stall=float(rng.uniform(0.0, 20.0)),
+    )
+
+
+def _random_workload_grid(
+    rng: np.random.Generator, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feasible (a, v) pairs: 0 < v <= a <= 1."""
+    a = rng.uniform(0.01, 1.0, size=n)
+    v = a / rng.uniform(1.0, 1e5, size=n)  # granularity >= 1
+    return a, v
+
+
+def _assert_matches_scalar(
+    core, accelerator, a, v, mode, drain_estimator=None, drain_time=None
+):
+    vectorized = speedup_grid(
+        core, accelerator, a, v, mode, drain_estimator, drain_time
+    )
+    scalar = np.array(
+        [
+            TCAModel(
+                core,
+                accelerator,
+                WorkloadParameters(float(ai), float(vi), drain_time=drain_time),
+                drain_estimator,
+            ).speedup(mode)
+            for ai, vi in zip(np.atleast_1d(a), np.atleast_1d(v))
+        ]
+    )
+    np.testing.assert_allclose(vectorized, scalar, rtol=RTOL, atol=0.0)
+
+
+class TestRandomGridEquivalence:
+    @pytest.mark.parametrize("mode", TCAMode.all_modes())
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_acceleration_factor_accelerators(self, mode, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            core = _random_core(rng)
+            accelerator = AcceleratorParameters(
+                acceleration=float(rng.uniform(1.01, 100.0))
+            )
+            a, v = _random_workload_grid(rng, 64)
+            _assert_matches_scalar(core, accelerator, a, v, mode)
+
+    @pytest.mark.parametrize("mode", TCAMode.all_modes())
+    def test_explicit_latency_accelerators(self, mode):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            core = _random_core(rng)
+            accelerator = AcceleratorParameters(
+                latency=float(rng.uniform(1.0, 10_000.0))
+            )
+            a, v = _random_workload_grid(rng, 64)
+            _assert_matches_scalar(core, accelerator, a, v, mode)
+
+    @pytest.mark.parametrize("mode", TCAMode.all_modes())
+    def test_explicit_drain_time(self, mode):
+        rng = np.random.default_rng(11)
+        for drain_time in (0.0, 12.5, 400.0):
+            core = _random_core(rng)
+            accelerator = AcceleratorParameters(
+                acceleration=float(rng.uniform(1.01, 50.0))
+            )
+            a, v = _random_workload_grid(rng, 64)
+            _assert_matches_scalar(
+                core, accelerator, a, v, mode, drain_time=drain_time
+            )
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [PowerLawDrain(), BalancedWindowDrain(), ExplicitDrain(30.0)],
+        ids=["power-law", "balanced-window", "explicit-estimator"],
+    )
+    def test_drain_estimators(self, estimator):
+        rng = np.random.default_rng(13)
+        core = _random_core(rng)
+        accelerator = AcceleratorParameters(acceleration=4.0)
+        a, v = _random_workload_grid(rng, 64)
+        for mode in (TCAMode.NL_NT, TCAMode.NL_T):
+            _assert_matches_scalar(
+                core, accelerator, a, v, mode, drain_estimator=estimator
+            )
+
+    def test_custom_estimator_uses_per_cell_fallback(self):
+        """A workload-dependent estimator without estimate_grid overrides
+        goes through the base class's per-cell fallback and still matches."""
+
+        class CoverageDrain(DrainEstimator):
+            def estimate(self, core, workload):
+                return 10.0 + 5.0 * workload.acceleratable_fraction
+
+        rng = np.random.default_rng(17)
+        a, v = _random_workload_grid(rng, 16)
+        _assert_matches_scalar(
+            HIGH_PERF,
+            AcceleratorParameters(acceleration=2.0),
+            a,
+            v,
+            TCAMode.NL_NT,
+            drain_estimator=CoverageDrain(),
+        )
+
+
+class TestEdgeSemantics:
+    def test_no_invocations_returns_one(self):
+        accelerator = AcceleratorParameters(acceleration=3.0)
+        a = np.array([0.0, 0.5, 0.0])
+        v = np.array([0.0, 0.0, 0.1])
+        out = speedup_grid(HIGH_PERF, accelerator, a, v, TCAMode.L_T)
+        # matches TCAModel.speedup's has_invocations == False contract
+        np.testing.assert_array_equal(out, [1.0, 1.0, 1.0])
+
+    def test_infeasible_cells_are_nan(self):
+        accelerator = AcceleratorParameters(acceleration=3.0)
+        out = speedup_grid(
+            HIGH_PERF,
+            accelerator,
+            np.array([0.05, 0.3]),
+            np.array([0.1, 0.1]),
+            TCAMode.L_T,
+        )
+        assert np.isnan(out[0])  # a < v: WorkloadParameters would reject
+        assert np.isfinite(out[1])
+
+    def test_out_of_range_values_are_nan(self):
+        accelerator = AcceleratorParameters(acceleration=3.0)
+        out = speedup_grid(
+            HIGH_PERF,
+            accelerator,
+            np.array([1.5, -0.1, 1.0]),
+            np.array([0.1, 0.1, 1.5]),
+            TCAMode.L_T,
+        )
+        assert np.isnan(out[0]) and np.isnan(out[1]) and np.isnan(out[2])
+
+    def test_zero_time_gives_inf(self):
+        # latency-0 accelerator at full coverage with no commit stall:
+        # the L_T interval time collapses to zero, as in the scalar model.
+        core = CoreParameters(ipc=1.0, rob_size=64, issue_width=2, commit_stall=0.0)
+        accelerator = AcceleratorParameters(latency=0.0)
+        out = speedup_grid(core, accelerator, 1.0, 0.01, TCAMode.L_T)
+        scalar = TCAModel(
+            core, accelerator, WorkloadParameters(1.0, 0.01)
+        ).speedup(TCAMode.L_T)
+        assert np.isinf(float(out)) and np.isinf(scalar)
+
+    def test_broadcasts_column_against_row(self):
+        accelerator = AcceleratorParameters(acceleration=3.0)
+        a = np.linspace(0.1, 1.0, 4)[:, None]
+        v = np.logspace(-4, -1, 5)[None, :]
+        out = speedup_grid(HIGH_PERF, accelerator, a, v, TCAMode.NL_T)
+        assert out.shape == (4, 5)
+
+    def test_scalar_inputs_give_scalar_shaped_output(self):
+        accelerator = AcceleratorParameters(acceleration=3.0)
+        out = speedup_grid(HIGH_PERF, accelerator, 0.3, 0.001, TCAMode.L_T)
+        assert np.shape(out) == ()
+        expected = TCAModel(
+            HIGH_PERF, accelerator, WorkloadParameters(0.3, 0.001)
+        ).speedup(TCAMode.L_T)
+        assert float(out) == pytest.approx(expected, rel=RTOL)

@@ -11,6 +11,7 @@ from repro.core.sweep import (
     frequency_sweep,
     granularity_sweep,
     speedup_heatmap,
+    speedup_heatmap_scalar,
 )
 
 
@@ -76,6 +77,36 @@ class TestFractionSweep:
         assert 0 < peak < len(fractions) - 1  # interior peak (A+1 effect)
 
 
+class TestSweepValidation:
+    def test_frequency_sweep_rejects_sub_unit_granularity(self):
+        # Regression: used to surface as an opaque WorkloadParameters
+        # error ("each invocation must replace >= 1 instruction") raised
+        # deep inside the sweep loop.
+        with pytest.raises(ValueError, match="granularity must be >= 1"):
+            frequency_sweep(
+                HIGH_PERF,
+                AcceleratorParameters(acceleration=10),
+                granularity=0.5,
+                frequencies=np.array([0.1]),
+            )
+
+    def test_fraction_sweep_rejects_sub_unit_granularity(self, accelerator):
+        with pytest.raises(ValueError, match="granularity must be >= 1"):
+            fraction_sweep(HIGH_PERF, accelerator, 0.9, np.array([0.5]))
+
+    def test_granularity_sweep_rejects_sub_unit_granularities(self, accelerator):
+        with pytest.raises(ValueError, match="granularities must be >= 1"):
+            granularity_sweep(ARM_A72, accelerator, 0.3, np.array([10.0, 0.5]))
+
+    def test_granularity_sweep_rejects_bad_fraction(self, accelerator):
+        with pytest.raises(ValueError, match="acceleratable_fraction"):
+            granularity_sweep(ARM_A72, accelerator, 1.5, np.array([10.0]))
+
+    def test_frequency_sweep_rejects_out_of_range_frequencies(self, accelerator):
+        with pytest.raises(ValueError, match="frequencies"):
+            frequency_sweep(HIGH_PERF, accelerator, 100, np.array([1.5]))
+
+
 class TestFrequencySweep:
     def test_coverage_follows_frequency(self, accelerator):
         vs = np.array([1e-4, 1e-3])
@@ -135,6 +166,25 @@ class TestHeatmap:
         assert np.isnan(heat.max_speedup())
         assert heat.slowdown_fraction() == 0.0
 
+    @pytest.mark.parametrize("mode", TCAMode.all_modes())
+    def test_matches_scalar_reference(self, accelerator, mode):
+        """Bitwise-identical NaN masks, values within 1e-9 of the oracle."""
+        fractions = np.linspace(0.02, 1.0, 9)
+        frequencies = np.logspace(-5, -0.3, 11)
+        vectorized = speedup_heatmap(
+            HIGH_PERF, accelerator, mode, fractions, frequencies
+        )
+        scalar = speedup_heatmap_scalar(
+            HIGH_PERF, accelerator, mode, fractions, frequencies
+        )
+        np.testing.assert_array_equal(
+            np.isnan(vectorized.speedup), np.isnan(scalar.speedup)
+        )
+        feasible = ~np.isnan(scalar.speedup)
+        np.testing.assert_allclose(
+            vectorized.speedup[feasible], scalar.speedup[feasible], rtol=1e-9
+        )
+
 
 class TestAcceleratorCurve:
     def test_curve_values(self):
@@ -145,3 +195,20 @@ class TestAcceleratorCurve:
     def test_rejects_bad_granularity(self):
         with pytest.raises(ValueError):
             accelerator_curve(0, np.array([0.5]))
+
+    def test_masks_out_of_range_frequencies_to_nan(self):
+        # Regression: g < 1 made v = a/g exceed 1, and feeding the curve
+        # back into WorkloadParameters crashed with "invocation_frequency
+        # must be <= 1".
+        curve = accelerator_curve(0.5, np.array([0.2, 0.6, 1.0]))
+        assert curve[0] == pytest.approx(0.4)
+        assert np.isnan(curve[1]) and np.isnan(curve[2])
+        # the contract: every non-NaN value is within the range the
+        # WorkloadParameters constructor accepts
+        finite = curve[~np.isnan(curve)]
+        assert np.all((finite >= 0.0) & (finite <= 1.0))
+
+    def test_negative_fraction_masked_to_nan(self):
+        curve = accelerator_curve(50, np.array([-0.1, 0.5]))
+        assert np.isnan(curve[0]) and curve[1] == pytest.approx(0.01)
+

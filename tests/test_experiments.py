@@ -51,6 +51,28 @@ class TestShapeNotes:
         assert any("HP more sensitive" in note for note in result.notes)
         assert any("never slows down" in note for note in result.notes)
 
+    def test_fig7_jobs_matches_serial_run(self):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        counters = ("model.heatmap_cells", "model.heatmap_cells_skipped")
+
+        before = {c: registry.counter(c).value for c in counters}
+        serial = run_experiment("fig7", scale="smoke", jobs=1)
+        serial_counts = {
+            c: registry.counter(c).value - before[c] for c in counters
+        }
+
+        before = {c: registry.counter(c).value for c in counters}
+        parallel = run_experiment("fig7", scale="smoke", jobs=2)
+        parallel_counts = {
+            c: registry.counter(c).value - before[c] for c in counters
+        }
+
+        assert parallel.rows == serial.rows
+        assert parallel.notes == serial.notes
+        assert parallel_counts == serial_counts
+
     def test_fig8_reports_a_plus_one(self):
         result = run_experiment("fig8", scale="smoke")
         assert any("matches A+1" in note for note in result.notes)

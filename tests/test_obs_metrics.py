@@ -3,6 +3,8 @@
 import json
 import time
 
+import pytest
+
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 
@@ -103,6 +105,115 @@ class TestRegistry:
     def test_default_registry_is_a_singleton(self):
         assert get_registry() is get_registry()
         assert isinstance(get_registry(), MetricsRegistry)
+
+
+class TestMerge:
+    def test_counters_add(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(3)
+        child = MetricsRegistry()
+        child.counter("c").inc(4)
+        child.counter("only_child").inc(2)
+        parent.merge(child)
+        assert parent.counter("c").value == 7
+        assert parent.counter("only_child").value == 2
+
+    def test_accepts_snapshot_dict(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.counter("c").inc(5)
+        snapshot = json.loads(json.dumps(child.snapshot()))  # wire form
+        parent.merge(snapshot)
+        assert parent.counter("c").value == 5
+
+    def test_timers_add_totals_and_widen_bounds(self):
+        parent = MetricsRegistry()
+        parent.timer("t").record(1.0)
+        child = MetricsRegistry()
+        child.timer("t").record(0.25)
+        child.timer("t").record(3.0)
+        parent.merge(child)
+        timer = parent.timer("t")
+        assert timer.count == 3
+        assert timer.total == pytest.approx(4.25)
+        assert timer.min == 0.25
+        assert timer.max == 3.0
+
+    def test_unsampled_timer_does_not_corrupt_min(self):
+        parent = MetricsRegistry()
+        parent.timer("t").record(1.0)
+        child = MetricsRegistry()
+        child.timer("t")  # created but never sampled (min is +inf in child)
+        parent.merge(child)
+        assert parent.timer("t").min == 1.0
+        assert parent.timer("t").count == 1
+
+    def test_gauges_last_write_wins_but_zero_skipped(self):
+        parent = MetricsRegistry()
+        parent.gauge("g").set(5.0)
+        child = MetricsRegistry()
+        child.gauge("g").set(2.5)
+        child.gauge("never_set")
+        parent.merge(child)
+        assert parent.gauge("g").value == 2.5
+        assert parent.gauge("never_set").value == 0.0
+        parent2 = MetricsRegistry()
+        parent2.gauge("g").set(5.0)
+        zeroed = MetricsRegistry()
+        zeroed.gauge("g")  # default 0.0 must not clobber the parent
+        parent2.merge(zeroed)
+        assert parent2.gauge("g").value == 5.0
+
+    def test_info_overwrites(self):
+        parent = MetricsRegistry()
+        parent.set_info("run", {"id": 1})
+        child = MetricsRegistry()
+        child.set_info("run", {"id": 2})
+        parent.merge(child)
+        assert parent.snapshot()["info"]["run"] == {"id": 2}
+
+    def test_merge_then_snapshot_roundtrips(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.counter("c").inc()
+        child.timer("t").record(0.5)
+        parent.merge(child.snapshot())
+        assert json.loads(json.dumps(parent.snapshot()))["counters"]["c"] == 1
+
+
+class TestHeatmapCellAccounting:
+    def test_counts_only_evaluated_cells_and_tracks_skips(self):
+        # Regression: the heatmap counter used to report
+        # len(fractions) * len(frequencies) even though infeasible cells
+        # (a < v, v <= 0, a <= 0) are skipped and never evaluated.
+        import numpy as np
+
+        from repro.core.modes import TCAMode
+        from repro.core.parameters import HIGH_PERF, AcceleratorParameters
+        from repro.core.sweep import speedup_heatmap
+
+        registry = get_registry()
+        fractions = np.linspace(0.1, 1.0, 5)
+        frequencies = np.logspace(-4, -0.2, 7)
+        evaluated_before = registry.counter("model.heatmap_cells").value
+        skipped_before = registry.counter("model.heatmap_cells_skipped").value
+        heat = speedup_heatmap(
+            HIGH_PERF,
+            AcceleratorParameters(acceleration=3.0),
+            TCAMode.L_T,
+            fractions,
+            frequencies,
+        )
+        feasible = int((~np.isnan(heat.speedup)).sum())
+        assert 0 < feasible < heat.speedup.size  # the grid has both kinds
+        assert (
+            registry.counter("model.heatmap_cells").value - evaluated_before
+            == feasible
+        )
+        assert (
+            registry.counter("model.heatmap_cells_skipped").value - skipped_before
+            == heat.speedup.size - feasible
+        )
 
 
 class TestSimulatorIntegration:

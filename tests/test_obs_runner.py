@@ -1,4 +1,4 @@
-"""Runner CLI observability flags: --trace, --profile, --log-level."""
+"""Runner CLI observability flags: --trace, --profile, --log-level, --jobs."""
 
 import json
 
@@ -44,6 +44,47 @@ class TestProfileFlag:
         assert "metrics:" in out
         assert "experiment.fig2" in out
         assert "model.evaluations" in out
+
+
+class TestJobsFlag:
+    def test_fig7_with_jobs_profiles_merged_metrics(self, capsys):
+        from repro.obs.metrics import get_registry
+
+        cells_before = get_registry().counter("model.heatmap_cells").value
+        assert main(["fig7", "--scale", "smoke", "--jobs", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "model.heatmap_cells" in out
+        # the 9x25 smoke grid has 215 feasible cells per panel, 8 panels —
+        # worker metrics merged back means the parent counter moved
+        assert get_registry().counter("model.heatmap_cells").value > cells_before
+
+    def test_saved_json_schema_unchanged_under_jobs(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(report_mod.RESULTS_DIR_ENV, str(tmp_path))
+        assert main(["fig7", "--scale", "smoke", "--jobs", "2", "--save"]) == 0
+        payload = json.load(open(tmp_path / "fig7.json"))
+        assert set(payload) == {
+            "name", "title", "scale", "rows", "notes", "manifest",
+        }
+        assert payload["manifest"]["wall_time_s"] > 0
+
+    def test_multiple_experiments_fan_out(self, capsys):
+        assert main(["fig2", "fig7", "--scale", "smoke", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        # both experiments rendered, in request order
+        assert out.index("=== fig2:") < out.index("=== fig7:")
+
+    def test_trace_with_jobs_falls_back_to_serial(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        code = main(
+            ["fig2", "fig5", "--scale", "smoke", "--jobs", "2",
+             "--trace", str(trace_path)]
+        )
+        assert code == 0
+        document = json.loads(trace_path.read_text())
+        assert document["otherData"]["runs"] > 0  # fig5 sims still traced
 
 
 class TestManifestOnSave:
