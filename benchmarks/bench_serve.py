@@ -1,0 +1,199 @@
+"""Micro-benchmark: per-query model vs batched vs cached evaluation.
+
+Times a heterogeneous 10k-query workload (mixed cores, accelerators,
+modes, drain configs — the shape a ``/evaluate`` request has) three ways
+and writes the numbers to ``BENCH_serve.json``:
+
+- **scalar** — the reference oracle: one :class:`~repro.core.model.TCAModel`
+  per query;
+- **batched** — the service path, cold: one
+  :func:`~repro.serve.batch.evaluate_batch` call against an empty
+  :class:`~repro.serve.cache.EvaluationCache`, which keys every query,
+  coalesces the misses into vectorized
+  :func:`~repro.core.model.speedup_grid` groups, and stores the results
+  (timed single-shot — a repetition would hit the cache it just filled);
+- **cached** — the identical batch repeated against the now-warm cache
+  (best-of-:data:`REPEATS`), which answers every query by lookup.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --queries 50000
+
+The script cross-checks that the batched results match the scalar oracle
+within 1e-9 and asserts the cached rerun is at least 10x faster than the
+uncached batch, so the reported speedups can't silently come from
+computing something different (or from a cache that isn't hitting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from time import perf_counter
+
+from repro.core.drain import BalancedWindowDrain, ExplicitDrain
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    ARM_A72,
+    HIGH_PERF,
+    LOW_PERF,
+    AcceleratorParameters,
+    WorkloadParameters,
+)
+from repro.serve.batch import EvaluationQuery, evaluate_batch
+from repro.serve.cache import EvaluationCache
+
+#: Best-of-N timing repetitions per approach.
+REPEATS = 3
+
+#: The cached rerun must beat the uncached batch by at least this factor.
+MIN_CACHED_SPEEDUP = 10.0
+
+CORES = (ARM_A72, HIGH_PERF, LOW_PERF)
+ACCELERATORS = (
+    AcceleratorParameters(name="x3", acceleration=3.0),
+    AcceleratorParameters(name="x8", acceleration=8.0),
+    AcceleratorParameters(name="lat", latency=25.0),
+)
+DRAINS = (None, ExplicitDrain(40.0), BalancedWindowDrain())
+
+
+def make_queries(n: int, seed: int = 20200406) -> list[EvaluationQuery]:
+    """``n`` heterogeneous queries, deterministic for a given seed."""
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n):
+        workload = WorkloadParameters.from_granularity(
+            rng.uniform(2.0, 5000.0),
+            acceleratable_fraction=rng.uniform(0.05, 0.95),
+        )
+        queries.append(
+            EvaluationQuery(
+                core=rng.choice(CORES),
+                accelerator=rng.choice(ACCELERATORS),
+                workload=workload,
+                mode=rng.choice(TCAMode.all_modes()),
+                drain_estimator=rng.choice(DRAINS),
+            )
+        )
+    return queries
+
+
+def run_scalar(queries: list[EvaluationQuery]) -> list[float]:
+    """The oracle: one scalar model per query."""
+    return [
+        TCAModel(
+            q.core, q.accelerator, q.workload, drain_estimator=q.drain_estimator
+        ).speedup(q.mode)
+        for q in queries
+    ]
+
+
+def best_of(fn, repeats: int = REPEATS):
+    """(best seconds, last result) over ``repeats`` calls of ``fn()``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = perf_counter()
+        result = fn()
+        best = min(best, perf_counter() - started)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Benchmark entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="batch size (default: 10000)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="output JSON path (default: BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+
+    queries = make_queries(args.queries)
+
+    scalar_s, oracle = best_of(lambda: run_scalar(queries))
+
+    # Cold: keying + coalesced evaluation + cache fill, timed once
+    # (repeating it would measure the warm path).
+    cache = EvaluationCache(max_entries=4 * args.queries)
+    started = perf_counter()
+    entries = evaluate_batch(queries, cache=cache)
+    batch_s = perf_counter() - started
+
+    max_abs = max(
+        abs(entry.speedup - expected)
+        for entry, expected in zip(entries, oracle)
+    )
+    if max_abs > 1e-9:
+        raise AssertionError(
+            f"batched results diverge from the scalar model: {max_abs} > 1e-9"
+        )
+
+    cached_s, cached_entries = best_of(
+        lambda: evaluate_batch(queries, cache=cache)
+    )
+    if not all(entry.cached for entry in cached_entries):
+        raise AssertionError("cached rerun missed the cache")
+    cached_speedup = batch_s / cached_s if cached_s > 0 else float("inf")
+    if cached_speedup < MIN_CACHED_SPEEDUP:
+        raise AssertionError(
+            f"cached rerun only {cached_speedup:.1f}x faster than the cold "
+            f"batch (expected >= {MIN_CACHED_SPEEDUP}x)"
+        )
+
+    def entry(seconds: float, **extra) -> dict:
+        return {
+            "seconds": seconds,
+            "queries_per_sec": (
+                len(queries) / seconds if seconds > 0 else float("inf")
+            ),
+            "speedup_vs_scalar": (
+                scalar_s / seconds if seconds > 0 else float("inf")
+            ),
+            **extra,
+        }
+
+    payload = {
+        "bench": "serve",
+        "queries": len(queries),
+        "repeats": REPEATS,
+        "max_abs_diff_vs_scalar": max_abs,
+        "scalar": entry(scalar_s),
+        "batched": entry(batch_s),
+        "cached": entry(cached_s, speedup_vs_batched=cached_speedup),
+        "cache": cache.stats(),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(
+        f"serve bench ({len(queries)} heterogeneous queries, "
+        f"best of {REPEATS}):"
+    )
+    for label in ("scalar", "batched", "cached"):
+        row = payload[label]
+        print(
+            f"  {label:<8} {row['seconds']:>9.4f}s  "
+            f"{row['queries_per_sec']:>12.0f} queries/s  "
+            f"{row['speedup_vs_scalar']:>7.1f}x vs scalar"
+        )
+    print(f"  cached vs batched: {cached_speedup:.1f}x")
+    print(f"  max abs diff vs scalar: {max_abs:.2e}")
+    print(f"[written {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

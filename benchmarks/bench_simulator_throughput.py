@@ -71,3 +71,40 @@ def test_model_evaluation_rate(benchmark):
 
     total = benchmark.pedantic(evaluate_thousand, rounds=3, iterations=1)
     assert total > 0
+
+
+def _batch_queries(n=1000):
+    from repro.serve.batch import EvaluationQuery
+
+    accelerator = AcceleratorParameters(name="bench", acceleration=3.0)
+    return [
+        EvaluationQuery(
+            ARM_A72,
+            accelerator,
+            WorkloadParameters.from_granularity(10 + i, 0.3 + (i % 50) / 100.0),
+            TCAMode.all_modes()[i % 4],
+        )
+        for i in range(n)
+    ]
+
+
+def test_batch_evaluation_uncached(benchmark):
+    from repro.serve.batch import evaluate_batch
+
+    queries = _batch_queries()
+    entries = benchmark.pedantic(evaluate_batch, args=(queries,), rounds=3, iterations=1)
+    assert len(entries) == len(queries)
+    assert not any(e.cached for e in entries)
+
+
+def test_batch_evaluation_cached(benchmark):
+    from repro.serve.batch import evaluate_batch
+    from repro.serve.cache import EvaluationCache
+
+    queries = _batch_queries()
+    cache = EvaluationCache()
+    evaluate_batch(queries, cache=cache)  # warm
+    entries = benchmark.pedantic(
+        evaluate_batch, args=(queries,), kwargs={"cache": cache}, rounds=3, iterations=1
+    )
+    assert all(e.cached for e in entries)

@@ -1,42 +1,45 @@
 #!/usr/bin/env python3
-"""Quickstart: evaluate a tightly-coupled accelerator in four lines.
+"""Quickstart: evaluate a tightly-coupled accelerator in one call.
 
 Models a heap-management TCA (single-cycle malloc/free against ~53
-software instructions per call) on an ARM-A72-class core, printing the
-predicted program speedup for each of the paper's four integration modes,
-the penalty breakdown behind them, and the interval timeline (paper
-Fig. 3) for the best and worst mode.
+software instructions per call) on an ARM-A72-class core via the
+`repro.evaluate` façade, printing the predicted program speedup for each
+of the paper's four integration modes, the penalty breakdown behind
+them, and the interval timeline (paper Fig. 3) for the best and worst
+mode.
 """
 
 from repro import (
     ARM_A72,
     AcceleratorParameters,
-    TCAModel,
     TCAMode,
     WorkloadParameters,
+    evaluate,
 )
 from repro.core.interval import interval_timeline, render_timeline
+from repro.core.model import TCAModel
 
 
 def main() -> None:
     # A fine-grained accelerator: ~53 baseline instructions per call,
     # invoked often enough to cover 30% of dynamic execution, 3x faster
     # than software.
-    model = TCAModel(
-        core=ARM_A72,
-        accelerator=AcceleratorParameters(name="heap-manager", acceleration=3.0),
-        workload=WorkloadParameters.from_granularity(
-            granularity=53, acceleratable_fraction=0.30
-        ),
+    core = ARM_A72
+    accelerator = AcceleratorParameters(name="heap-manager", acceleration=3.0)
+    workload = WorkloadParameters.from_granularity(
+        granularity=53, acceleratable_fraction=0.30
     )
+    result = evaluate(core, accelerator, workload)
 
     print("Predicted program speedup by TCA integration mode")
     print("(ARM A72-class core, a=0.30, A=3, granularity=53 instructions)\n")
-    for mode in TCAMode.all_modes():
-        speedup = model.speedup(mode)
+    for mode, speedup in result.speedups.items():
         flag = "  <-- slowdown!" if speedup < 1.0 else ""
         print(f"  {mode.value:<6} {speedup:6.3f}x   {mode.description}{flag}")
 
+    # The façade answers "which mode, how fast"; penalty attribution and
+    # timelines come from the underlying model object.
+    model = TCAModel(core, accelerator, workload)
     print("\nPenalty breakdown (cycles per invocation interval):")
     for mode in TCAMode.all_modes():
         b = model.breakdown(mode)
@@ -47,15 +50,16 @@ def main() -> None:
         )
 
     print("\nInterval timelines (paper Fig. 3):\n")
-    for mode in (TCAMode.L_T, TCAMode.NL_NT):
+    for mode in (result.best_mode, TCAMode.NL_NT):
         print(render_timeline(interval_timeline(model, mode)))
         print()
 
-    best = model.best_mode()
+    best = result.best_mode
+    slowdowns = ", ".join(m.value for m in result.slowdown_modes)
     print(
-        f"Conclusion: {best.value} is fastest at {model.speedup(best):.2f}x; "
-        f"modes {', '.join(m.value for m in model.slowdown_modes()) or '(none)'} "
-        "would slow the program down."
+        f"Conclusion: {best.value} is fastest at "
+        f"{result.speedups[best]:.2f}x; "
+        f"modes {slowdowns or '(none)'} would slow the program down."
     )
 
 

@@ -3,6 +3,9 @@ Accelerators* (Schlais, Zhuo, Lipasti — ISPASS 2020).
 
 The package provides:
 
+- :mod:`repro.api` — the public façade: :func:`evaluate`, :func:`sweep`,
+  :func:`simulate`, and :func:`compare`, returning typed
+  JSON-round-trippable results (``docs/API.md``);
 - :mod:`repro.core` — the paper's analytical TCA performance model
   (four leading/trailing concurrency modes, drain/fill/barrier penalties,
   sweeps, heatmaps, concurrency limits, design-space tools);
@@ -15,27 +18,32 @@ The package provides:
 - :mod:`repro.baselines` — LogCA, Gables, and Amdahl comparators;
 - :mod:`repro.experiments` — regenerators for every figure/table in the
   paper's evaluation;
+- :mod:`repro.serve` — content-addressed caching, batched evaluation,
+  and the ``repro-serve`` HTTP service (``docs/SERVING.md``);
 - :mod:`repro.obs` — observability: opt-in pipeline event tracing
   (Chrome ``trace_event`` export), a metrics registry, structured
   logging, and run-provenance manifests (``docs/OBSERVABILITY.md``).
 
 Quick start::
 
-    import repro
+    from repro import evaluate, ARM_A72, AcceleratorParameters, WorkloadParameters
 
-    model = repro.TCAModel(
-        repro.ARM_A72,
-        repro.AcceleratorParameters(name="heap", acceleration=3.0),
-        repro.WorkloadParameters.from_granularity(50, acceleratable_fraction=0.3),
+    result = evaluate(
+        ARM_A72,
+        AcceleratorParameters(name="heap", acceleration=3.0),
+        WorkloadParameters.from_granularity(50, acceleratable_fraction=0.3),
     )
-    for mode, speedup in model.speedups().items():
+    for mode, speedup in result.speedups.items():
         print(mode.value, round(speedup, 3))
 """
+
+import warnings as _warnings
 
 # NOTE: repro.core must be imported before repro.sim — repro.sim.config
 # depends on repro.core.modes, while repro.core.validation lazily imports
 # repro.sim at call time.  Importing core first keeps every entry point
 # (``import repro.sim``, ``import repro.core.modes``, ...) cycle-free.
+# repro.api builds on both (plus repro.serve), so it comes last.
 from repro import core as core  # noqa: F401  (import-order anchor)
 from repro.core import (
     ARM_A72,
@@ -49,7 +57,6 @@ from repro.core import (
     TCAMode,
     ValidationReport,
     WorkloadParameters,
-    predict_speedups,
     validate_workload,
 )
 from repro.isa import Instruction, OpClass, TCADescriptor, Trace, TraceBuilder
@@ -68,12 +75,20 @@ from repro.sim import (
     HIGH_PERF_SIM,
     LOW_PERF_SIM,
     SimConfig,
-    SimulationResult,
-    simulate,
-    simulate_modes,
 )
+from repro.api import (
+    ComparisonResult,
+    EvaluationResult,
+    SimulationResult,
+    SweepResult,
+    compare,
+    evaluate,
+    simulate,
+    sweep,
+)
+from repro.serve import EvaluationCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ARM_A72",
@@ -83,7 +98,10 @@ __all__ = [
     "LOW_PERF",
     "LOW_PERF_SIM",
     "AcceleratorParameters",
+    "ComparisonResult",
     "CoreParameters",
+    "EvaluationCache",
+    "EvaluationResult",
     "ExplicitDrain",
     "Instruction",
     "MetricsRegistry",
@@ -93,6 +111,7 @@ __all__ = [
     "PowerLawDrain",
     "SimConfig",
     "SimulationResult",
+    "SweepResult",
     "TCADescriptor",
     "TCAModel",
     "TCAMode",
@@ -101,12 +120,46 @@ __all__ = [
     "ValidationReport",
     "WorkloadParameters",
     "build_manifest",
+    "compare",
     "configure_logging",
+    "evaluate",
     "get_logger",
     "get_registry",
     "predict_speedups",
     "simulate",
     "simulate_modes",
+    "sweep",
     "tracing",
     "validate_workload",
 ]
+
+#: Top-level names retired in favor of the :mod:`repro.api` façade:
+#: name -> (provider module, attribute, replacement hint).
+_DEPRECATED = {
+    "predict_speedups": ("repro.core", "predict_speedups", "repro.evaluate"),
+    "simulate_modes": ("repro.sim", "simulate_modes", "repro.compare"),
+}
+
+
+def __getattr__(name):
+    """Resolve deprecated top-level exports with a :class:`DeprecationWarning`.
+
+    ``repro.predict_speedups`` and ``repro.simulate_modes`` still work —
+    they forward to their original implementations — but new code should
+    use :func:`repro.evaluate` and :func:`repro.compare`, which add
+    caching and typed, serializable results.
+    """
+    try:
+        module_name, attribute, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

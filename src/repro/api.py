@@ -1,0 +1,531 @@
+"""The public façade: one coherent entry point over model and simulator.
+
+Four verbs cover the package's common questions, each returning a typed,
+JSON-round-trippable result:
+
+- :func:`evaluate` — "what does this TCA buy me?" — analytical speedups
+  for one (core, accelerator, workload) point, optionally cached;
+- :func:`sweep` — "how does that change across a design axis?" —
+  granularity/fraction/frequency sweeps through the vectorized path;
+- :func:`simulate` — "what does the cycle-level simulator say?" — one
+  trace on one configuration, optionally cached by content;
+- :func:`compare` — "model vs. silicon-stand-in" — a baseline trace plus
+  an accelerated trace under each integration mode, with per-mode
+  speedups.
+
+Quick start::
+
+    from repro import evaluate, ARM_A72, AcceleratorParameters, WorkloadParameters
+
+    result = evaluate(
+        ARM_A72,
+        AcceleratorParameters(name="heap", acceleration=3.0),
+        WorkloadParameters.from_granularity(53, acceleratable_fraction=0.3),
+    )
+    print(result.best_mode, result.speedups[result.best_mode])
+
+Every result type provides ``to_dict``/``from_dict`` with stable string
+keys (modes serialize by value), which is exactly what the HTTP service
+(:mod:`repro.serve.service`) sends over the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.drain import DrainEstimator
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+from repro.core.sweep import (
+    SweepResult as _CoreSweepResult,
+    fraction_sweep,
+    frequency_sweep,
+    granularity_sweep,
+)
+from repro.isa.trace import Trace
+from repro.obs.tracer import PipelineTracer
+from repro.serve.batch import EvaluationQuery, evaluate_batch
+from repro.serve.cache import MISS, EvaluationCache
+from repro.serve.keys import simulation_key
+from repro.sim import simulator as _simulator
+from repro.sim.config import SimConfig
+from repro.sim.stats import SimStats
+
+__all__ = [
+    "ComparisonResult",
+    "EvaluationResult",
+    "SimulationResult",
+    "SweepResult",
+    "compare",
+    "evaluate",
+    "simulate",
+    "sweep",
+]
+
+#: Sweep kinds :func:`sweep` accepts.
+SWEEP_KINDS = ("granularity", "fraction", "frequency")
+
+
+def _core_to_dict(core: CoreParameters) -> dict[str, Any]:
+    return {"name": core.name, **core.to_canonical_dict()}
+
+
+def _core_from_dict(payload: Mapping[str, Any]) -> CoreParameters:
+    return CoreParameters(
+        ipc=float(payload["ipc"]),
+        rob_size=int(payload["rob_size"]),
+        issue_width=int(payload["issue_width"]),
+        commit_stall=float(payload["commit_stall"]),
+        name=str(payload.get("name", "")),
+    )
+
+
+def _accelerator_to_dict(accelerator: AcceleratorParameters) -> dict[str, Any]:
+    return {"name": accelerator.name, **accelerator.to_canonical_dict()}
+
+
+def _accelerator_from_dict(payload: Mapping[str, Any]) -> AcceleratorParameters:
+    acceleration = payload.get("acceleration")
+    latency = payload.get("latency")
+    return AcceleratorParameters(
+        name=str(payload.get("name", "tca")),
+        acceleration=None if acceleration is None else float(acceleration),
+        latency=None if latency is None else float(latency),
+    )
+
+
+def _workload_to_dict(workload: WorkloadParameters) -> dict[str, Any]:
+    return workload.to_canonical_dict()
+
+
+def _workload_from_dict(payload: Mapping[str, Any]) -> WorkloadParameters:
+    drain_time = payload.get("drain_time")
+    return WorkloadParameters(
+        acceleratable_fraction=float(payload["acceleratable_fraction"]),
+        invocation_frequency=float(payload["invocation_frequency"]),
+        drain_time=None if drain_time is None else float(drain_time),
+    )
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Analytical speedups of one operating point.
+
+    Attributes:
+        core: processor parameters evaluated.
+        accelerator: TCA parameters evaluated.
+        workload: program parameters evaluated.
+        speedups: per-mode predicted speedup over the software baseline.
+        cached: whether *every* mode was answered from the cache.
+    """
+
+    core: CoreParameters
+    accelerator: AcceleratorParameters
+    workload: WorkloadParameters
+    speedups: Mapping[TCAMode, float]
+    cached: bool = False
+
+    @property
+    def best_mode(self) -> TCAMode:
+        """The mode with the highest predicted speedup (L_T wins ties)."""
+        return max(
+            self.speedups,
+            key=lambda mode: (self.speedups[mode], mode is TCAMode.L_T),
+        )
+
+    @property
+    def slowdown_modes(self) -> tuple[TCAMode, ...]:
+        """Modes whose predicted speedup falls below 1.0."""
+        return tuple(m for m, s in self.speedups.items() if s < 1.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (modes keyed by their string values)."""
+        return {
+            "core": _core_to_dict(self.core),
+            "accelerator": _accelerator_to_dict(self.accelerator),
+            "workload": _workload_to_dict(self.workload),
+            "speedups": {m.value: float(s) for m, s in self.speedups.items()},
+            "best_mode": self.best_mode.value,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationResult":
+        """Rebuild from a :meth:`to_dict` payload."""
+        return cls(
+            core=_core_from_dict(payload["core"]),
+            accelerator=_accelerator_from_dict(payload["accelerator"]),
+            workload=_workload_from_dict(payload["workload"]),
+            speedups={
+                TCAMode(mode): float(speedup)
+                for mode, speedup in payload["speedups"].items()
+            },
+            cached=bool(payload.get("cached", False)),
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A 1-D design-space sweep of per-mode speedups.
+
+    The façade counterpart of :class:`repro.core.sweep.SweepResult`,
+    carrying the same data in JSON-round-trippable form.
+
+    Attributes:
+        kind: sweep kind (``granularity``/``fraction``/``frequency``).
+        x_label: meaning of the sweep axis.
+        x: sweep axis values.
+        speedups: per-mode speedup tuples aligned with ``x``.
+        core: processor parameters used.
+        accelerator: TCA parameters used.
+    """
+
+    kind: str
+    x_label: str
+    x: tuple[float, ...]
+    speedups: Mapping[TCAMode, tuple[float, ...]]
+    core: CoreParameters
+    accelerator: AcceleratorParameters
+
+    @classmethod
+    def from_core_sweep(
+        cls, kind: str, result: _CoreSweepResult
+    ) -> "SweepResult":
+        """Wrap a :class:`repro.core.sweep.SweepResult`."""
+        return cls(
+            kind=kind,
+            x_label=result.x_label,
+            x=tuple(float(x) for x in result.x),
+            speedups={
+                mode: tuple(float(s) for s in values)
+                for mode, values in result.speedups.items()
+            },
+            core=result.core,
+            accelerator=result.accelerator,
+        )
+
+    def rows(self) -> list[dict[str, float]]:
+        """The sweep as row dicts (x plus one column per mode)."""
+        out = []
+        for i, x in enumerate(self.x):
+            row: dict[str, float] = {self.x_label: x}
+            for mode, values in self.speedups.items():
+                row[mode.value] = values[i]
+            out.append(row)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (modes keyed by their string values)."""
+        return {
+            "kind": self.kind,
+            "x_label": self.x_label,
+            "x": list(self.x),
+            "speedups": {
+                m.value: list(values) for m, values in self.speedups.items()
+            },
+            "core": _core_to_dict(self.core),
+            "accelerator": _accelerator_to_dict(self.accelerator),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild from a :meth:`to_dict` payload."""
+        return cls(
+            kind=str(payload["kind"]),
+            x_label=str(payload["x_label"]),
+            x=tuple(float(x) for x in payload["x"]),
+            speedups={
+                TCAMode(mode): tuple(float(s) for s in values)
+                for mode, values in payload["speedups"].items()
+            },
+            core=_core_from_dict(payload["core"]),
+            accelerator=_accelerator_from_dict(payload["accelerator"]),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one cycle-level simulation.
+
+    Attribute-compatible with :class:`repro.sim.simulator.SimulationResult`
+    (``trace_name``/``config_name``/``mode``/``stats``/``cycles``/``ipc``)
+    plus serialization and cache provenance.
+
+    Attributes:
+        trace_name: name of the executed trace.
+        config_name: name of the core configuration.
+        mode: TCA integration mode in effect.
+        stats: full simulation statistics.
+        cached: whether the result was served from the content-addressed
+            cache rather than simulated.
+    """
+
+    trace_name: str
+    config_name: str
+    mode: TCAMode
+    stats: SimStats
+    cached: bool = False
+
+    @property
+    def cycles(self) -> int:
+        """Total execution cycles."""
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.stats.ipc
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (stats via :meth:`SimStats.to_dict`)."""
+        return {
+            "trace_name": self.trace_name,
+            "config_name": self.config_name,
+            "mode": self.mode.value,
+            "stats": self.stats.to_dict(),
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild from a :meth:`to_dict` payload."""
+        return cls(
+            trace_name=str(payload["trace_name"]),
+            config_name=str(payload["config_name"]),
+            mode=TCAMode(payload["mode"]),
+            stats=SimStats.from_dict(payload["stats"]),
+            cached=bool(payload.get("cached", False)),
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Baseline-vs-accelerated simulation across integration modes.
+
+    Attributes:
+        baseline: result of the software-only trace.
+        per_mode: accelerated-trace result per simulated mode.
+    """
+
+    baseline: SimulationResult
+    per_mode: Mapping[TCAMode, SimulationResult]
+
+    def speedup(self, mode: TCAMode) -> float:
+        """Program speedup of ``mode`` over the software baseline."""
+        accel = self.per_mode[mode]
+        if accel.cycles == 0:
+            return float("inf")
+        return self.baseline.cycles / accel.cycles
+
+    def speedups(self) -> dict[TCAMode, float]:
+        """Speedups for every simulated mode."""
+        return {mode: self.speedup(mode) for mode in self.per_mode}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (modes keyed by their string values)."""
+        return {
+            "baseline": self.baseline.to_dict(),
+            "per_mode": {
+                m.value: result.to_dict() for m, result in self.per_mode.items()
+            },
+            "speedups": {m.value: self.speedup(m) for m in self.per_mode},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ComparisonResult":
+        """Rebuild from a :meth:`to_dict` payload."""
+        return cls(
+            baseline=SimulationResult.from_dict(payload["baseline"]),
+            per_mode={
+                TCAMode(mode): SimulationResult.from_dict(result)
+                for mode, result in payload["per_mode"].items()
+            },
+        )
+
+
+def _resolve_modes(
+    modes: TCAMode | Iterable[TCAMode] | None,
+) -> tuple[TCAMode, ...]:
+    if modes is None:
+        return TCAMode.all_modes()
+    if isinstance(modes, TCAMode):
+        return (modes,)
+    resolved = tuple(modes)
+    if not resolved:
+        raise ValueError("modes must name at least one TCAMode")
+    return resolved
+
+
+def evaluate(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    workload: WorkloadParameters,
+    modes: TCAMode | Iterable[TCAMode] | None = None,
+    drain_estimator: DrainEstimator | None = None,
+    cache: EvaluationCache | None = None,
+) -> EvaluationResult:
+    """Predict program speedups for one operating point.
+
+    Args:
+        core: processor parameters.
+        accelerator: TCA parameters.
+        workload: program parameters.
+        modes: one mode, an iterable of modes, or ``None`` for all four.
+        drain_estimator: NL-mode drain strategy (default power law).
+        cache: optional memoization layer; hits skip evaluation entirely.
+
+    Returns:
+        An :class:`EvaluationResult`; ``result.cached`` is True only when
+        every requested mode came from the cache.
+    """
+    requested = _resolve_modes(modes)
+    queries = [
+        EvaluationQuery(core, accelerator, workload, mode, drain_estimator)
+        for mode in requested
+    ]
+    entries = evaluate_batch(queries, cache=cache)
+    return EvaluationResult(
+        core=core,
+        accelerator=accelerator,
+        workload=workload,
+        speedups=MappingProxyType(
+            {mode: entry.speedup for mode, entry in zip(requested, entries)}
+        ),
+        cached=all(entry.cached for entry in entries),
+    )
+
+
+def sweep(
+    kind: str,
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    x: Sequence[float] | np.ndarray,
+    acceleratable_fraction: float | None = None,
+    granularity: float | None = None,
+    drain_estimator: DrainEstimator | None = None,
+    modes: TCAMode | Iterable[TCAMode] | None = None,
+) -> SweepResult:
+    """Sweep one design axis through the vectorized evaluation path.
+
+    Args:
+        kind: ``"granularity"`` (requires ``acceleratable_fraction``),
+            ``"fraction"`` (requires ``granularity``), or ``"frequency"``
+            (requires ``granularity``).
+        core: processor parameters.
+        accelerator: TCA parameters.
+        x: the axis values (granularities, fractions, or frequencies).
+        acceleratable_fraction: fixed coverage for granularity sweeps.
+        granularity: fixed granularity for fraction/frequency sweeps.
+        drain_estimator: NL-mode drain strategy (default power law).
+        modes: one mode, an iterable, or ``None`` for all four.
+
+    Returns:
+        A façade :class:`SweepResult` (JSON-round-trippable).
+    """
+    resolved_modes = _resolve_modes(modes)
+    axis = np.asarray(x, dtype=float)
+    if kind == "granularity":
+        if acceleratable_fraction is None:
+            raise ValueError("granularity sweeps require acceleratable_fraction")
+        result = granularity_sweep(
+            core, accelerator, acceleratable_fraction, axis,
+            drain_estimator, resolved_modes,
+        )
+    elif kind == "fraction":
+        if granularity is None:
+            raise ValueError("fraction sweeps require granularity")
+        result = fraction_sweep(
+            core, accelerator, granularity, axis, drain_estimator, resolved_modes
+        )
+    elif kind == "frequency":
+        if granularity is None:
+            raise ValueError("frequency sweeps require granularity")
+        result = frequency_sweep(
+            core, accelerator, granularity, axis, drain_estimator, resolved_modes
+        )
+    else:
+        raise ValueError(f"unknown sweep kind {kind!r}; expected one of {SWEEP_KINDS}")
+    return SweepResult.from_core_sweep(kind, result)
+
+
+def simulate(
+    trace: Trace,
+    config: SimConfig,
+    warm_ranges: list[tuple[int, int]] | None = None,
+    tracer: PipelineTracer | None = None,
+    cache: EvaluationCache | None = None,
+) -> SimulationResult:
+    """Execute ``trace`` on ``config`` through the cycle-level simulator.
+
+    Signature-compatible with :func:`repro.sim.simulator.simulate`, plus
+    content-addressed memoization: with a ``cache``, a previously
+    simulated ``(config, trace fingerprint, warm ranges)`` combination
+    returns its recorded :class:`~repro.sim.stats.SimStats` without
+    running the simulator (pipeline tracing is skipped for cached runs —
+    nothing executes to trace).
+    """
+    key = None
+    if cache is not None:
+        key = simulation_key(config, trace, warm_ranges)
+        value = cache.get(key)
+        if value is not MISS:
+            return SimulationResult(
+                trace_name=trace.name,
+                config_name=config.name,
+                mode=config.tca_mode,
+                stats=SimStats.from_dict(value["stats"]),
+                cached=True,
+            )
+    raw = _simulator.simulate(trace, config, warm_ranges=warm_ranges, tracer=tracer)
+    if cache is not None and key is not None:
+        cache.put(key, {"stats": raw.stats.to_dict()})
+    return SimulationResult(
+        trace_name=raw.trace_name,
+        config_name=raw.config_name,
+        mode=raw.mode,
+        stats=raw.stats,
+        cached=False,
+    )
+
+
+def compare(
+    baseline: Trace,
+    accelerated: Trace,
+    config: SimConfig,
+    modes: TCAMode | Iterable[TCAMode] | None = None,
+    warm_ranges: list[tuple[int, int]] | None = None,
+    tracer: PipelineTracer | None = None,
+    cache: EvaluationCache | None = None,
+) -> ComparisonResult:
+    """Run the paper's validation experiment shape, cache-aware.
+
+    Simulates ``baseline`` once, then ``accelerated`` under each
+    requested mode (same core otherwise), all through :func:`simulate` so
+    a cache can short-circuit any leg individually.
+
+    Returns:
+        A :class:`ComparisonResult` with per-mode speedups.
+    """
+    requested = _resolve_modes(modes)
+    base = simulate(
+        baseline, config, warm_ranges=warm_ranges, tracer=tracer, cache=cache
+    )
+    per_mode = {
+        mode: simulate(
+            accelerated,
+            config.with_mode(mode),
+            warm_ranges=warm_ranges,
+            tracer=tracer,
+            cache=cache,
+        )
+        for mode in requested
+    }
+    return ComparisonResult(baseline=base, per_mode=per_mode)

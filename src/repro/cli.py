@@ -13,8 +13,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cli_common import (
+    add_common_arguments,
+    configure_from_args,
+    maybe_print_profile,
+)
 from repro.core.design_space import recommend_mode
-from repro.obs.log import add_log_level_argument, configure_logging
 from repro.core.interval import interval_timeline, render_timeline
 from repro.core.model import TCAModel
 from repro.core.modes import TCAMode
@@ -92,9 +96,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--timeline", action="store_true", help="print Fig.3-style timelines"
     )
-    add_log_level_argument(parser)
+    add_common_arguments(parser)
     args = parser.parse_args(argv)
-    configure_logging(args.log_level)
+    configure_from_args(args)
 
     core = _build_core(args)
     accelerator = AcceleratorParameters(
@@ -133,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
         for mode in TCAMode.all_modes():
             print(render_timeline(interval_timeline(model, mode)))
             print()
+    maybe_print_profile(args)
     return 0
 
 

@@ -1,0 +1,69 @@
+"""Shared argparse plumbing for the ``repro-*`` command-line tools.
+
+``repro-model``, ``repro-experiments``, and ``repro-serve`` expose the
+same observability surface — ``--log-level`` and ``--profile`` always,
+``--jobs`` and ``--trace`` where fan-out/tracing is meaningful — with
+identical flag names, defaults, and help text.  These helpers are that
+single definition; a CLI calls :func:`add_common_arguments` while
+building its parser, :func:`configure_from_args` right after parsing,
+and :func:`maybe_print_profile` on the way out.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.log import add_log_level_argument, configure_logging
+from repro.obs.metrics import get_registry
+
+
+def add_common_arguments(
+    parser: argparse.ArgumentParser,
+    jobs: bool = False,
+    trace: bool = False,
+) -> None:
+    """Attach the standard observability flags to ``parser``.
+
+    Always adds ``--log-level`` and ``--profile``; adds ``--jobs`` and
+    ``--trace`` when the caller opts in (they only make sense for tools
+    that fan out work or run simulations).
+    """
+    add_log_level_argument(parser)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the metrics registry's timing/counter table on exit",
+    )
+    if jobs:
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for parallelizable work; per-worker "
+            "metrics are merged back into this process (default: 1)",
+        )
+    if trace:
+        parser.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="write a Chrome trace_event JSON of every simulation run "
+            "(open in chrome://tracing or ui.perfetto.dev)",
+        )
+
+
+def configure_from_args(args: argparse.Namespace) -> None:
+    """Apply the common flags right after ``parse_args``.
+
+    Currently this means configuring package logging from
+    ``args.log_level``; kept as a hook so every CLI picks up future
+    common setup without edits.
+    """
+    configure_logging(getattr(args, "log_level", None))
+
+
+def maybe_print_profile(args: argparse.Namespace) -> None:
+    """Print the metrics table when ``--profile`` was requested."""
+    if getattr(args, "profile", False):
+        print(get_registry().render_table())

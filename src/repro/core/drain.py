@@ -69,6 +69,23 @@ class DrainEstimator(ABC):
             )
         return out
 
+    def cache_config(self) -> dict[str, object]:
+        """Stable, JSON-safe description of this estimator's configuration.
+
+        Participates in content-addressed cache keys
+        (:mod:`repro.serve.keys`): two estimators with equal configs must
+        produce equal estimates.  The base implementation records the
+        class name plus every public instance attribute, which is correct
+        for simple value-holding estimators; estimators with
+        non-JSON-safe state must override.
+        """
+        params = {
+            name: value
+            for name, value in sorted(vars(self).items())
+            if not name.startswith("_")
+        }
+        return {"kind": type(self).__qualname__, **params}
+
 
 class ExplicitDrain(DrainEstimator):
     """A drain time the architect knows and supplies directly.

@@ -53,6 +53,13 @@ from repro.obs.metrics import get_registry
 # how many model evaluations they burn.
 _EVALUATIONS = get_registry().counter("model.evaluations")
 
+#: Schema tag of the model equations.  Content-addressed caches
+#: (:mod:`repro.serve`) embed this in every key; bump it whenever a change
+#: to eqs. (1)–(9), the drain precedence rules, or the masking semantics
+#: alters what any ``(core, accelerator, workload, mode)`` point evaluates
+#: to, so stale cached speedups can never be served.
+MODEL_SCHEMA = "tca-eqs1-9.v1"
+
 
 @dataclass(frozen=True)
 class ModeBreakdown:

@@ -64,6 +64,21 @@ class CoreParameters:
         """Copy with a different measured baseline IPC."""
         return replace(self, ipc=ipc)
 
+    def to_canonical_dict(self) -> dict[str, float | int]:
+        """Model-relevant fields as a stable, JSON-safe dict.
+
+        Used for content-addressed cache keys (:mod:`repro.serve.keys`):
+        only fields that influence the model's equations are included —
+        the display ``name`` is deliberately omitted so identically
+        parameterised cores share cache entries.
+        """
+        return {
+            "ipc": float(self.ipc),
+            "rob_size": int(self.rob_size),
+            "issue_width": int(self.issue_width),
+            "commit_stall": float(self.commit_stall),
+        }
+
 
 #: ARM Cortex-A72-class core used for the Fig. 2 granularity study.
 ARM_A72 = CoreParameters(ipc=1.1, rob_size=128, issue_width=3, commit_stall=4.0, name="arm-a72")
@@ -125,6 +140,21 @@ class AcceleratorParameters:
             return software / self.latency
         assert self.acceleration is not None
         return self.acceleration
+
+    def to_canonical_dict(self) -> dict[str, float | None]:
+        """Model-relevant fields as a stable, JSON-safe dict.
+
+        Used for content-addressed cache keys (:mod:`repro.serve.keys`);
+        ``name`` is omitted so identically parameterised accelerators
+        share cache entries.  Both timing sources are recorded because
+        both participate in the model's precedence rule.
+        """
+        return {
+            "acceleration": (
+                None if self.acceleration is None else float(self.acceleration)
+            ),
+            "latency": None if self.latency is None else float(self.latency),
+        }
 
 
 @dataclass(frozen=True)
@@ -199,3 +229,16 @@ class WorkloadParameters:
     def has_invocations(self) -> bool:
         """Whether the workload invokes the accelerator at all."""
         return self.invocation_frequency > 0 and self.acceleratable_fraction > 0
+
+    def to_canonical_dict(self) -> dict[str, float | None]:
+        """All fields as a stable, JSON-safe dict.
+
+        Used for content-addressed cache keys (:mod:`repro.serve.keys`).
+        """
+        return {
+            "acceleratable_fraction": float(self.acceleratable_fraction),
+            "invocation_frequency": float(self.invocation_frequency),
+            "drain_time": (
+                None if self.drain_time is None else float(self.drain_time)
+            ),
+        }

@@ -25,6 +25,11 @@ import sys
 from time import perf_counter
 from typing import Callable
 
+from repro.cli_common import (
+    add_common_arguments,
+    configure_from_args,
+    maybe_print_profile,
+)
 from repro.core.parallel import parallel_map
 
 from repro.experiments import (
@@ -40,7 +45,7 @@ from repro.experiments import (
     zoo,
 )
 from repro.experiments.report import ExperimentResult
-from repro.obs.log import add_log_level_argument, configure_logging, get_logger
+from repro.obs.log import get_logger
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import PipelineTracer, tracing
@@ -119,31 +124,9 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write JSON records (with provenance manifests) under results/",
     )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes: parallelizes panel evaluation inside "
-        "experiments that support it (fig7) and, when several experiments "
-        "are requested, the experiments themselves; per-worker metrics "
-        "are merged back into this process (default: 1)",
-    )
-    parser.add_argument(
-        "--trace",
-        metavar="PATH",
-        default=None,
-        help="write a Chrome trace_event JSON of every simulation run "
-        "(open in chrome://tracing or ui.perfetto.dev)",
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="print the per-stage timing/throughput table after running",
-    )
-    add_log_level_argument(parser)
+    add_common_arguments(parser, jobs=True, trace=True)
     args = parser.parse_args(argv)
-    configure_logging(args.log_level)
+    configure_from_args(args)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
@@ -206,8 +189,7 @@ def main(argv: list[str] | None = None) -> int:
             f"[trace: {count} events from {len(tracer.runs)} run(s) "
             f"written to {args.trace}]"
         )
-    if args.profile:
-        print(registry.render_table())
+    maybe_print_profile(args)
     return 0
 
 

@@ -9,6 +9,7 @@ streaming loads, call-like register pressure) without hand-rolling tuples.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -101,6 +102,51 @@ class Trace:
     def instructions(self) -> tuple[Instruction, ...]:
         """The underlying instruction tuple."""
         return self._instructions
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the instruction stream (sha256 hex).
+
+        Two traces with identical dynamic instruction sequences — ops,
+        registers, addresses, branch annotations, latencies, and full TCA
+        descriptors — share a fingerprint regardless of ``name`` or
+        ``metadata``, so content-addressed simulation caches
+        (:mod:`repro.serve`) key on what actually executes.  The digest is
+        sha256 over a canonical per-instruction encoding (never Python
+        ``hash()``), so fingerprints are stable across interpreter
+        restarts and ``PYTHONHASHSEED`` values.  Computed lazily and
+        cached; traces are immutable-by-convention, so the cache is safe.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        digest.update(b"trace.v1")
+        for inst in self._instructions:
+            tca = None
+            if inst.tca is not None:
+                tca = (
+                    inst.tca.name,
+                    inst.tca.compute_latency,
+                    tuple((r.addr, r.size, r.is_write) for r in inst.tca.reads),
+                    tuple((w.addr, w.size, w.is_write) for w in inst.tca.writes),
+                    inst.tca.replaced_instructions,
+                    inst.tca.replaced_cycles,
+                )
+            record = (
+                inst.op.value,
+                inst.srcs,
+                inst.dsts,
+                inst.addr,
+                inst.size,
+                inst.mispredicted,
+                inst.low_confidence,
+                inst.latency,
+                tca,
+            )
+            digest.update(repr(record).encode("utf-8"))
+        result = digest.hexdigest()
+        self._fingerprint = result
+        return result
 
     def stats(self) -> TraceStats:
         """Compute summary statistics."""

@@ -59,6 +59,7 @@ def build_manifest(
     wall_time_s: float | None = None,
     metrics: dict[str, Any] | None = None,
     extra: dict[str, Any] | None = None,
+    cache: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble a JSON-safe provenance manifest.
 
@@ -69,6 +70,9 @@ def build_manifest(
             taken at save time.
         extra: additional caller-specific fields, merged at the top level
             (they may not overwrite standard fields).
+        cache: a :meth:`~repro.serve.cache.EvaluationCache.stats` snapshot
+            recording how much of the run was served from cache — so a
+            saved record says whether its numbers were computed fresh.
     """
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
@@ -85,6 +89,8 @@ def build_manifest(
     }
     if metrics is not None:
         manifest["metrics"] = metrics
+    if cache is not None:
+        manifest["cache"] = cache
     if extra:
         for key, value in extra.items():
             manifest.setdefault(key, value)

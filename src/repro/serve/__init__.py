@@ -1,0 +1,76 @@
+"""Cached, batched evaluation service for the TCA model and simulator.
+
+The analytical model's selling point is answering design-space queries in
+microseconds; this package turns that into a *query layer* that can serve
+heavy traffic:
+
+- :mod:`repro.serve.keys` — content-addressed cache keys: sha256 over
+  canonical-JSON serializations of the parameter dataclasses (never
+  Python ``hash()``, so keys survive process restarts and
+  ``PYTHONHASHSEED``), versioned by package version + model schema tag;
+- :mod:`repro.serve.cache` — a thread-safe, size/TTL-bounded in-memory
+  LRU plus an optional on-disk store under ``~/.cache/repro/``, with
+  hit/miss/eviction counters in the :class:`~repro.obs.metrics.MetricsRegistry`;
+- :mod:`repro.serve.batch` — a batch evaluation engine that partitions
+  heterogeneous queries by (core, accelerator, drain, mode) group,
+  coalesces each group into one vectorized
+  :func:`~repro.core.model.speedup_grid` call, and scatters results back
+  in request order (cached entries short-circuit before coalescing);
+- :mod:`repro.serve.service` — a concurrent JSON-over-HTTP service
+  (``repro-serve``) exposing ``/evaluate``, ``/sweep``, ``/simulate``,
+  and ``/healthz``.
+
+See ``docs/SERVING.md`` for endpoint schemas and cache semantics.
+"""
+
+from repro.serve.batch import BatchEntry, EvaluationQuery, evaluate_batch
+from repro.serve.cache import (
+    DEFAULT_MAX_ENTRIES,
+    DiskCache,
+    EvaluationCache,
+    LRUCache,
+    MISS,
+)
+from repro.serve.keys import (
+    canonical_json,
+    evaluation_key,
+    schema_tag,
+    sha256_key,
+    simulation_key,
+)
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "BatchEntry",
+    "DiskCache",
+    "EvaluationCache",
+    "EvaluationQuery",
+    "LRUCache",
+    "MISS",
+    "ServeApp",
+    "canonical_json",
+    "evaluate_batch",
+    "evaluation_key",
+    "schema_tag",
+    "serve_main",
+    "sha256_key",
+    "simulation_key",
+]
+
+
+def __getattr__(name: str):
+    """Lazy exports for the HTTP layer.
+
+    ``repro.serve.service`` consumes the :mod:`repro.api` façade, which
+    itself builds on this package — importing it eagerly here would make
+    ``repro.api → repro.serve.batch → repro.serve → repro.serve.service
+    → repro.api`` a cycle.  Resolving the service symbols on first access
+    keeps the package importable from either direction.
+    """
+    if name in ("ServeApp", "serve_main"):
+        from repro.serve import service
+
+        value = service.ServeApp if name == "ServeApp" else service.main
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

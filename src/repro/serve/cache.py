@@ -1,0 +1,349 @@
+"""Memoization stores: a thread-safe LRU and an on-disk result cache.
+
+Model evaluations are cheap individually but the service answers them by
+the million; simulations are expensive enough that re-running one is
+always worth avoiding.  Both are pure functions of their content-addressed
+keys (:mod:`repro.serve.keys`), so memoization is semantically invisible:
+
+- :class:`LRUCache` — in-memory, thread-safe, bounded by entry count and
+  optional TTL; eviction is least-recently-used.
+- :class:`DiskCache` — JSON files under ``~/.cache/repro/<schema-tag>/``
+  (override with ``$REPRO_CACHE_DIR``), sharded by key prefix and written
+  atomically.  The directory is versioned by the schema tag, so a package
+  or model-equation version bump starts from an empty cache rather than
+  serving stale results.
+- :class:`EvaluationCache` — the two composed: memory first, then disk
+  (disk hits are promoted), with hit/miss/eviction counters recorded in
+  the process :class:`~repro.obs.metrics.MetricsRegistry` under
+  ``serve.cache.*`` so they show up in ``--profile`` output and run
+  manifests.
+
+Values must be JSON-safe (floats — including ``inf`` — dicts, lists,
+strings); callers serialize richer results (e.g.
+:meth:`~repro.sim.stats.SimStats.to_dict`) before storing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.serve.keys import schema_tag
+
+_log = get_logger(__name__)
+
+#: Default in-memory entry bound — small enough to be RAM-trivial
+#: (values are floats/dicts), large enough to hold a full design-space
+#: sweep's working set.
+DEFAULT_MAX_ENTRIES = 100_000
+
+#: Sentinel returned by ``get`` on a miss, so ``None`` stays storable.
+MISS: Any = object()
+
+
+class LRUCache:
+    """A thread-safe, size- and TTL-bounded least-recently-used map.
+
+    Args:
+        max_entries: entry bound; inserting beyond it evicts the least
+            recently *used* entry.
+        ttl_s: optional time-to-live in seconds; entries older than this
+            are treated (and counted) as expired on access.
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[Any, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Any:
+        """The cached value, or :data:`MISS`.
+
+        A hit refreshes the entry's recency; an expired entry is removed
+        and counted as both an expiration and a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return MISS
+            value, stored_at = entry
+            if self.ttl_s is not None and self._clock() - stored_at > self.ttl_s:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value``, evicting LRU entries beyond ``max_entries``."""
+        with self._lock:
+            self._entries[key] = (value, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe snapshot of size, bounds, and access counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "ttl_s": self.ttl_s,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }
+
+
+def default_cache_dir() -> str:
+    """Root directory for on-disk caches.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro`` or
+    ``~/.cache/repro``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def _sanitize_tag(tag: str) -> str:
+    """A filesystem-safe directory name for a schema tag."""
+    return re.sub(r"[^A-Za-z0-9._+-]", "_", tag)
+
+
+class DiskCache:
+    """JSON-file store versioned by schema tag.
+
+    Each entry lives at ``<root>/<schema-tag>/<key[:2]>/<key>.json`` and
+    is written atomically (temp file + rename), so concurrent writers of
+    the same key are safe — last writer wins with either complete value.
+    I/O errors and corrupt files degrade to misses: the cache never takes
+    down the computation it fronts.
+
+    Args:
+        root: cache root (default :func:`default_cache_dir`).
+        tag: schema tag namespace (default :func:`~repro.serve.keys.schema_tag`);
+            a different tag reads/writes a disjoint directory, which is
+            how schema bumps invalidate stale results.
+    """
+
+    def __init__(self, root: str | None = None, tag: str | None = None) -> None:
+        self.tag = tag if tag is not None else schema_tag()
+        self.root = os.path.join(root or default_cache_dir(), _sanitize_tag(self.tag))
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.errors = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Any:
+        """The stored value, or :data:`MISS` (corrupt/unreadable = miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            value = payload["value"]
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except (OSError, ValueError, KeyError) as exc:
+            self.errors += 1
+            self.misses += 1
+            _log.warning("disk cache entry %s unreadable: %s", path, exc)
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key`` (errors are logged)."""
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"schema": self.tag, "key": key, "value": value}, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self.errors += 1
+            _log.warning("disk cache write %s failed: %s", path, exc)
+            return
+        self.writes += 1
+
+    def clear(self) -> int:
+        """Delete this tag's entries; returns the number removed."""
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe snapshot of location and access counters."""
+        return {
+            "root": self.root,
+            "tag": self.tag,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "errors": self.errors,
+        }
+
+
+class EvaluationCache:
+    """The service's memoization layer: in-memory LRU plus optional disk.
+
+    Lookup order is memory, then disk (a disk hit is promoted into
+    memory).  Every access is mirrored into the process
+    :class:`~repro.obs.metrics.MetricsRegistry`:
+
+    ========================  ============================================
+    ``serve.cache.hits``      requests answered from either layer
+    ``serve.cache.misses``    requests neither layer could answer
+    ``serve.cache.evictions`` LRU evictions (size bound)
+    ``serve.cache.expired``   TTL expirations
+    ``serve.cache.disk_hits``   answered from disk (subset of hits)
+    ``serve.cache.disk_writes`` values persisted to disk
+    ========================  ============================================
+
+    Args:
+        max_entries: in-memory LRU bound.
+        ttl_s: optional in-memory TTL (the disk layer has none: its
+            entries are invalidated by schema tag, not age).
+        disk: ``True`` for the default on-disk store, a
+            :class:`DiskCache` instance, or ``None``/``False`` for
+            memory-only.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        ttl_s: float | None = None,
+        disk: "DiskCache | bool | None" = None,
+    ) -> None:
+        self.memory = LRUCache(max_entries=max_entries, ttl_s=ttl_s)
+        if disk is True:
+            self.disk: DiskCache | None = DiskCache()
+        elif isinstance(disk, DiskCache):
+            self.disk = disk
+        else:
+            self.disk = None
+        registry = get_registry()
+        self._hits = registry.counter("serve.cache.hits")
+        self._misses = registry.counter("serve.cache.misses")
+        self._evictions = registry.counter("serve.cache.evictions")
+        self._expired = registry.counter("serve.cache.expired")
+        self._disk_hits = registry.counter("serve.cache.disk_hits")
+        self._disk_writes = registry.counter("serve.cache.disk_writes")
+        self._evictions_seen = 0
+        self._expired_seen = 0
+
+    def _sync_memory_counters(self) -> None:
+        # Evictions/expirations happen inside the LRU; forward the deltas
+        # so the registry totals track even under concurrent access.
+        evictions = self.memory.evictions
+        if evictions > self._evictions_seen:
+            self._evictions.inc(evictions - self._evictions_seen)
+            self._evictions_seen = evictions
+        expired = self.memory.expirations
+        if expired > self._expired_seen:
+            self._expired.inc(expired - self._expired_seen)
+            self._expired_seen = expired
+
+    def get(self, key: str) -> Any:
+        """The cached value from memory or disk, or :data:`MISS`."""
+        value = self.memory.get(key)
+        self._sync_memory_counters()
+        if value is not MISS:
+            self._hits.inc()
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not MISS:
+                self.memory.put(key, value)
+                self._sync_memory_counters()
+                self._hits.inc()
+                self._disk_hits.inc()
+                return value
+        self._misses.inc()
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` in memory and (when enabled) on disk."""
+        self.memory.put(key, value)
+        self._sync_memory_counters()
+        if self.disk is not None:
+            self.disk.put(key, value)
+            self._disk_writes.inc()
+
+    def clear(self) -> None:
+        """Drop the in-memory layer and this tag's disk entries."""
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Combined JSON-safe snapshot of both layers.
+
+        This is the ``cache`` block run manifests record (see
+        :func:`repro.obs.manifest.build_manifest`).
+        """
+        return {
+            "memory": self.memory.stats(),
+            "disk": self.disk.stats() if self.disk is not None else None,
+        }

@@ -1,0 +1,141 @@
+"""Content-addressed cache keys for model and simulator results.
+
+A cache key must identify *what a result is a function of* and nothing
+else, and it must be reproducible anywhere: across interpreter restarts,
+across machines, and regardless of ``PYTHONHASHSEED``.  Keys here are
+therefore sha256 hex digests over **canonical JSON** — keys sorted,
+separators fixed, enums by value, floats via ``repr`` — of the parameter
+dataclasses' :meth:`to_canonical_dict` forms, never Python ``hash()``.
+
+Every key embeds :func:`schema_tag`, which combines the package version
+with the model-equation schema tag
+(:data:`repro.core.model.MODEL_SCHEMA`): bumping either invalidates all
+previously cached results, so a cache can never serve speedups computed
+by a different model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from enum import Enum
+from typing import Any, Iterable
+
+from repro.core.drain import DrainEstimator, PowerLawDrain
+from repro.core.model import MODEL_SCHEMA
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+from repro.isa.trace import Trace
+from repro.sim.config import SimConfig
+
+
+def schema_tag() -> str:
+    """The cache-key version tag: package version + model schema.
+
+    Computed lazily (not at import) because :mod:`repro.serve` modules
+    are importable while ``repro/__init__`` is still executing.
+    """
+    import repro
+
+    version = getattr(repro, "__version__", "unknown")
+    return f"{version}+{MODEL_SCHEMA}"
+
+
+def _canonical_default(value: Any) -> Any:
+    """``json.dumps`` fallback for the value types keys may contain."""
+    if isinstance(value, Enum):
+        return value.value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy arrays
+        return value.tolist()
+    raise TypeError(
+        f"{type(value).__name__} is not canonically serializable; "
+        "convert it to plain JSON types before keying"
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON serialization for hashing.
+
+    Dict keys are sorted, separators are fixed, enums serialize by value,
+    and floats use ``repr`` (via ``json``), so equal payloads always
+    produce byte-identical strings — the property sha256 keys need.
+    Non-finite floats are permitted (``NaN``/``Infinity``): they only
+    need to hash deterministically, not interoperate.
+    """
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,
+        default=_canonical_default,
+    )
+
+
+def sha256_key(payload: Any) -> str:
+    """sha256 hex digest of :func:`canonical_json` of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def drain_config(estimator: DrainEstimator | None) -> dict[str, Any]:
+    """Canonical config of a drain estimator (``None`` = model default)."""
+    return (estimator or PowerLawDrain()).cache_config()
+
+
+def evaluation_key(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    workload: WorkloadParameters,
+    mode: TCAMode,
+    drain_estimator: DrainEstimator | None = None,
+) -> str:
+    """Content-addressed key of one model evaluation.
+
+    Covers everything :meth:`repro.core.model.TCAModel.speedup` is a
+    function of: the three parameter groups, the integration mode, the
+    drain-estimator configuration, and the schema tag.  Display names are
+    excluded (see the ``to_canonical_dict`` methods), so renaming a
+    preset never splits the cache.
+    """
+    return sha256_key(
+        {
+            "kind": "evaluate",
+            "schema": schema_tag(),
+            "core": core.to_canonical_dict(),
+            "accelerator": accelerator.to_canonical_dict(),
+            "workload": workload.to_canonical_dict(),
+            "mode": mode.value,
+            "drain": drain_config(drain_estimator),
+        }
+    )
+
+
+def simulation_key(
+    config: SimConfig,
+    trace: Trace,
+    warm_ranges: Iterable[tuple[int, int]] | None = None,
+) -> str:
+    """Content-addressed key of one cycle-level simulation.
+
+    Covers the full core configuration (including its TCA mode), the
+    trace's content fingerprint (:meth:`repro.isa.trace.Trace.fingerprint`),
+    the cache warm-up ranges, and the schema tag.
+    """
+    return sha256_key(
+        {
+            "kind": "simulate",
+            "schema": schema_tag(),
+            "config": config.to_canonical_dict(),
+            "trace": trace.fingerprint(),
+            "warm_ranges": (
+                None
+                if warm_ranges is None
+                else [[int(lo), int(hi)] for lo, hi in warm_ranges]
+            ),
+        }
+    )

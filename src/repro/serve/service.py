@@ -1,0 +1,483 @@
+"""``repro-serve``: a concurrent JSON-over-HTTP evaluation service.
+
+Design exploration rarely happens one query at a time — a frontend, a
+notebook, or a search loop fires thousands.  This service fronts the
+package with four endpoints on a stdlib ``ThreadingHTTPServer`` (no
+dependencies to install):
+
+- ``POST /evaluate`` — one query or ``{"queries": [...]}``; the whole
+  request is routed through the batch engine
+  (:func:`repro.serve.batch.evaluate_batch`), so heterogeneous queries
+  coalesce into vectorized :func:`~repro.core.model.speedup_grid` calls
+  and repeated ones are answered from the content-addressed cache;
+- ``POST /sweep`` — a 1-D design-space sweep via :func:`repro.api.sweep`;
+- ``POST /simulate`` — cycle-level simulation of posted traces, fanned
+  out over ``--jobs`` worker processes for multi-run requests and
+  memoized by trace fingerprint;
+- ``GET /healthz`` — liveness, version/schema tags, cache statistics,
+  and a provenance manifest.
+
+Operational behavior: requests are size-bounded (413 beyond
+``--max-request-bytes``), malformed input yields a structured 400 (see
+:class:`repro.serve.params.RequestError`), every request is timed into
+the metrics registry (``serve.request`` timer, per-endpoint counters),
+and ``SIGTERM``/``SIGINT`` trigger a graceful shutdown that drains
+in-flight requests before the process exits.  ``docs/SERVING.md`` walks
+through a full client session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic
+from typing import Any, Mapping
+
+from repro import api
+from repro.cli_common import (
+    add_common_arguments,
+    configure_from_args,
+    maybe_print_profile,
+)
+from repro.core.parallel import parallel_map
+from repro.obs.log import get_logger
+from repro.obs.manifest import build_manifest
+from repro.obs.metrics import get_registry
+from repro.serve.batch import EvaluationQuery, evaluate_batch
+from repro.serve.cache import DEFAULT_MAX_ENTRIES, MISS, DiskCache, EvaluationCache
+from repro.serve.keys import schema_tag, simulation_key
+from repro.serve.params import (
+    RequestError,
+    iter_queries,
+    parse_accelerator,
+    parse_core,
+    parse_drain,
+    parse_modes,
+    parse_sim_config,
+    parse_trace,
+    parse_warm_ranges,
+    parse_workload,
+)
+from repro.sim.stats import SimStats
+
+_log = get_logger("serve.service")
+
+#: Default bound on request body size (bytes) — ample for 10k-query
+#: batches and multi-thousand-instruction traces, small enough that a
+#: misbehaving client cannot balloon memory.
+DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
+
+
+def _field(base: str, index: int | None, leaf: str) -> str:
+    """Field path for error messages: ``queries[i].leaf`` or ``leaf``."""
+    return leaf if index is None else f"{base}[{index}].{leaf}"
+
+
+def _simulate_run(item: tuple[Any, Any, Any]) -> dict[str, Any]:
+    """One simulator run for :func:`parallel_map` workers.
+
+    Module-level so pool processes can pickle it; returns the stats dict
+    (the picklable, cacheable part of the result).
+    """
+    trace, config, warm_ranges = item
+    result = api.simulate(trace, config, warm_ranges=warm_ranges)
+    return result.stats.to_dict()
+
+
+class ServeApp:
+    """The service's request handlers, independent of the HTTP plumbing.
+
+    Each ``handle_*`` method takes a decoded JSON payload and returns a
+    JSON-safe response dict, raising
+    :class:`~repro.serve.params.RequestError` on bad input — which makes
+    the application logic directly testable without sockets.
+
+    Args:
+        cache: the memoization layer (default: in-memory only).
+        jobs: worker processes for multi-run ``/simulate`` requests.
+    """
+
+    def __init__(
+        self, cache: EvaluationCache | None = None, jobs: int = 1
+    ) -> None:
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.jobs = max(1, jobs)
+        self.started_at = monotonic()
+
+    def handle_evaluate(self, payload: Any) -> dict[str, Any]:
+        """``POST /evaluate``: batched analytical-model queries.
+
+        Every (query, mode) pair in the request becomes one
+        :class:`~repro.serve.batch.EvaluationQuery`; the batch engine
+        coalesces them across queries, so a 10k-query request over a few
+        core/accelerator groups costs a few vectorized evaluations.
+        """
+        specs = []
+        queries: list[EvaluationQuery] = []
+        spans: list[tuple[int, int]] = []  # queries[i] -> slice of `queries`
+        for index, spec in iter_queries(payload):
+            core = parse_core(spec.get("core"), _field("queries", index, "core"))
+            accelerator = parse_accelerator(
+                spec.get("accelerator"), _field("queries", index, "accelerator")
+            )
+            workload = parse_workload(
+                spec.get("workload"), _field("queries", index, "workload")
+            )
+            modes = parse_modes(
+                spec.get("modes", spec.get("mode")),
+                _field("queries", index, "modes"),
+            )
+            drain = parse_drain(
+                spec.get("drain"), _field("queries", index, "drain")
+            )
+            start = len(queries)
+            queries.extend(
+                EvaluationQuery(core, accelerator, workload, mode, drain)
+                for mode in modes
+            )
+            spans.append((start, len(queries)))
+            specs.append((core, accelerator, workload, modes))
+        entries = evaluate_batch(queries, cache=self.cache)
+        results = []
+        for (core, accelerator, workload, modes), (start, stop) in zip(
+            specs, spans
+        ):
+            span = entries[start:stop]
+            result = api.EvaluationResult(
+                core=core,
+                accelerator=accelerator,
+                workload=workload,
+                speedups={
+                    mode: entry.speedup for mode, entry in zip(modes, span)
+                },
+                cached=all(entry.cached for entry in span),
+            )
+            results.append(result.to_dict())
+        return {"results": results, "cache": self.cache.stats()}
+
+    def handle_sweep(self, payload: Any) -> dict[str, Any]:
+        """``POST /sweep``: a 1-D design-space sweep."""
+        spec = payload if isinstance(payload, Mapping) else None
+        if spec is None:
+            raise RequestError("expected a sweep object", field="request")
+        kind = spec.get("kind")
+        x = spec.get("x")
+        if not isinstance(x, (list, tuple)) or not x:
+            raise RequestError("x must be a non-empty number list", field="x")
+        if any(isinstance(v, bool) or not isinstance(v, (int, float)) for v in x):
+            raise RequestError("x must contain only numbers", field="x")
+        kwargs: dict[str, Any] = {}
+        for key in ("acceleratable_fraction", "granularity"):
+            if spec.get(key) is not None:
+                value = spec[key]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise RequestError(f"{key} must be a number", field=key)
+                kwargs[key] = float(value)
+        try:
+            result = api.sweep(
+                str(kind),
+                parse_core(spec.get("core")),
+                parse_accelerator(spec.get("accelerator")),
+                x,
+                drain_estimator=parse_drain(spec.get("drain")),
+                modes=parse_modes(spec.get("modes", spec.get("mode"))),
+                **kwargs,
+            )
+        except ValueError as exc:
+            if isinstance(exc, RequestError):
+                raise
+            raise RequestError(str(exc), field="kind") from exc
+        return {"result": result.to_dict()}
+
+    def handle_simulate(self, payload: Any) -> dict[str, Any]:
+        """``POST /simulate``: cycle-level simulation of posted traces.
+
+        Accepts one run object (``trace``/``config``/``warm_ranges``) or
+        ``{"runs": [...]}``.  Cached runs are answered immediately; the
+        remainder fan out over the configured worker processes.
+        """
+        if not isinstance(payload, Mapping):
+            raise RequestError("expected a simulate object", field="request")
+        if "runs" in payload:
+            run_specs = payload["runs"]
+            if not isinstance(run_specs, (list, tuple)) or not run_specs:
+                raise RequestError("runs must be a non-empty list", field="runs")
+            runs = [
+                (i, spec) for i, spec in enumerate(run_specs)
+            ]
+        else:
+            runs = [(None, payload)]
+        parsed = []
+        for index, spec in runs:
+            if not isinstance(spec, Mapping):
+                raise RequestError(
+                    "each run must be an object", field=_field("runs", index, "")
+                )
+            trace = parse_trace(
+                spec.get("trace"), _field("runs", index, "trace")
+            )
+            config = parse_sim_config(
+                spec.get("config", "a72"), _field("runs", index, "config")
+            )
+            warm = parse_warm_ranges(
+                spec.get("warm_ranges"), _field("runs", index, "warm_ranges")
+            )
+            parsed.append((trace, config, warm))
+
+        results: list[dict[str, Any] | None] = [None] * len(parsed)
+        fresh: list[tuple[int, tuple[Any, Any, Any], str]] = []
+        for i, (trace, config, warm) in enumerate(parsed):
+            key = simulation_key(config, trace, warm)
+            value = self.cache.get(key)
+            if value is not MISS:
+                results[i] = api.SimulationResult(
+                    trace_name=trace.name,
+                    config_name=config.name,
+                    mode=config.tca_mode,
+                    stats=SimStats.from_dict(value["stats"]),
+                    cached=True,
+                ).to_dict()
+            else:
+                fresh.append((i, (trace, config, warm), key))
+        if fresh:
+            stats_dicts = parallel_map(
+                _simulate_run, [item for _, item, _ in fresh], jobs=self.jobs
+            )
+            for (i, (trace, config, warm), key), stats in zip(
+                fresh, stats_dicts
+            ):
+                self.cache.put(key, {"stats": stats})
+                results[i] = api.SimulationResult(
+                    trace_name=trace.name,
+                    config_name=config.name,
+                    mode=config.tca_mode,
+                    stats=SimStats.from_dict(stats),
+                    cached=False,
+                ).to_dict()
+        body = {"results": results, "cache": self.cache.stats()}
+        if "runs" not in payload:
+            body["result"] = results[0]
+        return body
+
+    def handle_healthz(self) -> dict[str, Any]:
+        """``GET /healthz``: liveness plus provenance and cache state."""
+        return {
+            "status": "ok",
+            "schema": schema_tag(),
+            "uptime_s": monotonic() - self.started_at,
+            "cache": self.cache.stats(),
+            "manifest": build_manifest(
+                metrics=get_registry().snapshot(), cache=self.cache.stats()
+            ),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """HTTP plumbing: routing, size bounds, JSON codec, error mapping."""
+
+    server: "ServeServer"
+    #: Route table: (method, path) -> app handler name.
+    ROUTES = {
+        ("POST", "/evaluate"): "handle_evaluate",
+        ("POST", "/sweep"): "handle_sweep",
+        ("POST", "/simulate"): "handle_simulate",
+    }
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route http.server's chatter into the package logger."""
+        _log.info("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise RequestError("Content-Length header required") from None
+        if length > self.server.max_request_bytes:
+            raise _TooLarge(length)
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}") from exc
+
+    def _dispatch(self, endpoint: str, handler_name: str | None) -> None:
+        registry = get_registry()
+        registry.counter(f"serve.requests.{endpoint.lstrip('/')}").inc()
+        try:
+            with registry.timer("serve.request").time():
+                if handler_name is None:  # healthz
+                    response = self.server.app.handle_healthz()
+                else:
+                    payload = self._read_body()
+                    response = getattr(self.server.app, handler_name)(payload)
+        except _TooLarge as exc:
+            registry.counter("serve.requests.rejected").inc()
+            self._send_json(
+                413,
+                {
+                    "error": f"request body of {exc.length} bytes exceeds "
+                    f"the {self.server.max_request_bytes}-byte limit"
+                },
+            )
+        except RequestError as exc:
+            registry.counter("serve.requests.bad").inc()
+            self._send_json(400, exc.to_payload())
+        except Exception:
+            registry.counter("serve.requests.errors").inc()
+            _log.exception("unhandled error serving %s", endpoint)
+            self._send_json(500, {"error": "internal server error"})
+        else:
+            self._send_json(200, response)
+
+    def do_GET(self) -> None:
+        """Serve ``GET /healthz`` (anything else is a 404)."""
+        if self.path == "/healthz":
+            self._dispatch("/healthz", None)
+        else:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:
+        """Serve the evaluation endpoints (anything else is a 404)."""
+        handler_name = self.ROUTES.get(("POST", self.path))
+        if handler_name is None:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        self._dispatch(self.path, handler_name)
+
+
+class _TooLarge(Exception):
+    """Internal signal: request body exceeds the configured bound."""
+
+    def __init__(self, length: int) -> None:
+        super().__init__(str(length))
+        self.length = length
+
+
+class ServeServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`ServeApp`.
+
+    Handler threads are non-daemonic and ``block_on_close`` is left on,
+    so ``shutdown()`` + ``server_close()`` drain in-flight requests
+    before returning — the graceful-termination half of the SIGTERM
+    story.
+    """
+
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: ServeApp,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+        self.max_request_bytes = max_request_bytes
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    app: ServeApp | None = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+) -> ServeServer:
+    """A ready-to-run server (port 0 = ephemeral, for tests).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop.
+    """
+    return ServeServer(
+        (host, port), app if app is not None else ServeApp(), max_request_bytes
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``repro-serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve cached, batched TCA-model and simulator "
+        "evaluations over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8123, help="bind port")
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=DEFAULT_MAX_ENTRIES,
+        metavar="N",
+        help="in-memory cache bound (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="in-memory cache TTL (default: no expiry)",
+    )
+    parser.add_argument(
+        "--disk-cache",
+        action="store_true",
+        help="also persist results under ~/.cache/repro/ "
+        "(or $REPRO_CACHE_DIR), versioned by schema tag",
+    )
+    parser.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=DEFAULT_MAX_REQUEST_BYTES,
+        metavar="BYTES",
+        help="reject request bodies larger than this (default: %(default)s)",
+    )
+    add_common_arguments(parser, jobs=True)
+    args = parser.parse_args(argv)
+    configure_from_args(args)
+
+    app = ServeApp(
+        cache=EvaluationCache(
+            max_entries=args.cache_entries,
+            ttl_s=args.cache_ttl,
+            disk=DiskCache() if args.disk_cache else None,
+        ),
+        jobs=args.jobs,
+    )
+    server = make_server(
+        args.host, args.port, app, max_request_bytes=args.max_request_bytes
+    )
+
+    def _request_shutdown(signum: int, frame: Any) -> None:
+        _log.warning(
+            "received %s; draining in-flight requests",
+            signal.Signals(signum).name,
+        )
+        # shutdown() blocks until serve_forever exits, so it must run off
+        # the main thread (which is inside serve_forever).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+
+    host, port = server.server_address[:2]
+    print(f"repro-serve listening on http://{host}:{port} (schema {schema_tag()})")
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    maybe_print_profile(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

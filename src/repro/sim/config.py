@@ -166,6 +166,56 @@ class SimConfig:
         """The functional-unit config for an op class (with fallback)."""
         return self.functional_units.get(op, FunctionalUnitConfig(ports=1, latency=1))
 
+    def to_canonical_dict(self) -> dict[str, object]:
+        """Every timing-relevant field as a stable, JSON-safe dict.
+
+        Used for content-addressed simulation cache keys
+        (:mod:`repro.serve.keys`): functional units are keyed by op-class
+        value in sorted order, the TCA mode by its string value, and the
+        display ``name`` is omitted so identically configured cores share
+        cache entries.  ``max_cycles`` is included because it can truncate
+        a run (a watchdog abort is a different result).
+        """
+        fus = {
+            op.value: {
+                "ports": fu.ports,
+                "latency": fu.latency,
+                "pipelined": fu.pipelined,
+            }
+            for op, fu in sorted(
+                self.functional_units.items(), key=lambda kv: kv[0].value
+            )
+        }
+        return {
+            "dispatch_width": self.dispatch_width,
+            "issue_width": self.issue_width,
+            "commit_width": self.commit_width,
+            "rob_size": self.rob_size,
+            "iq_size": self.iq_size,
+            "lq_size": self.lq_size,
+            "sq_size": self.sq_size,
+            "frontend_depth": self.frontend_depth,
+            "commit_latency": self.commit_latency,
+            "redirect_penalty": self.redirect_penalty,
+            "load_ports": self.load_ports,
+            "store_ports": self.store_ports,
+            "forward_latency": self.forward_latency,
+            "functional_units": fus,
+            "l1d_size": self.l1d_size,
+            "l1d_assoc": self.l1d_assoc,
+            "l1d_latency": self.l1d_latency,
+            "l2_size": self.l2_size,
+            "l2_assoc": self.l2_assoc,
+            "l2_latency": self.l2_latency,
+            "mem_latency": self.mem_latency,
+            "prefetch_next_line": self.prefetch_next_line,
+            "mshrs": self.mshrs,
+            "tca_mode": self.tca_mode.value,
+            "tca_units": self.tca_units,
+            "partial_speculation": self.partial_speculation,
+            "max_cycles": self.max_cycles,
+        }
+
 
 #: Mid/high-performance OoO core (paper Fig. 7 "HP": 256-entry ROB, 4-issue).
 HIGH_PERF_SIM = SimConfig(

@@ -95,8 +95,13 @@ class SimStats:
     def to_dict(self) -> dict[str, object]:
         """JSON-safe dump of every counter (stall reasons keyed by value).
 
-        Derived ratios (``ipc``, ``mean_rob_occupancy``) are included for
-        convenience; :meth:`from_dict` ignores them on the way back in.
+        ``stall_cycles`` is emitted in :class:`StallReason` definition
+        order — not the order stalls happened to first occur — so two
+        equal stats objects always serialize to byte-identical JSON
+        (required by the content-addressed caches, which store these
+        payloads).  Derived ratios (``ipc``, ``mean_rob_occupancy``) are
+        included for convenience; :meth:`from_dict` ignores them on the
+        way back in.
         """
         return {
             "cycles": self.cycles,
@@ -104,7 +109,9 @@ class SimStats:
             "dispatched": self.dispatched,
             "ipc": self.ipc,
             "stall_cycles": {
-                reason.value: count for reason, count in self.stall_cycles.items()
+                reason.value: self.stall_cycles[reason]
+                for reason in StallReason
+                if reason in self.stall_cycles
             },
             "tca_invocations": self.tca_invocations,
             "tca_read_requests": self.tca_read_requests,
@@ -123,7 +130,12 @@ class SimStats:
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "SimStats":
-        """Rebuild a :class:`SimStats` from a :meth:`to_dict` payload."""
+        """Rebuild a :class:`SimStats` from a :meth:`to_dict` payload.
+
+        The round trip is exact: re-serializing the result reproduces
+        the input payload byte for byte (stall keys are re-normalized
+        into :class:`StallReason` definition order).
+        """
         stats = cls()
         for name in (
             "cycles",
@@ -145,9 +157,12 @@ class SimStats:
             if name in payload:
                 setattr(stats, name, int(payload[name]))  # type: ignore[arg-type]
         raw_stalls = payload.get("stall_cycles", {})
-        stats.stall_cycles = {
+        decoded = {
             StallReason(reason): int(count)  # type: ignore[arg-type]
             for reason, count in raw_stalls.items()  # type: ignore[union-attr]
+        }
+        stats.stall_cycles = {
+            reason: decoded[reason] for reason in StallReason if reason in decoded
         }
         return stats
 

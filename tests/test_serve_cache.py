@@ -1,0 +1,247 @@
+"""Tests of the memoization layer: keys, LRU semantics, disk store.
+
+The cache is only safe to rely on if its keys are *reproducible* (across
+processes, hash seeds, restarts) and its bounds actually bound — these
+tests pin both, plus thread safety under concurrent hammering and
+schema-tag invalidation of the disk layer.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+from repro.core.drain import ExplicitDrain, PowerLawDrain
+from repro.core.model import TCAModel
+from repro.core.modes import TCAMode
+from repro.core.parameters import (
+    ARM_A72,
+    AcceleratorParameters,
+    WorkloadParameters,
+)
+from repro.serve.cache import (
+    MISS,
+    DiskCache,
+    EvaluationCache,
+    LRUCache,
+)
+from repro.serve.keys import canonical_json, evaluation_key, schema_tag
+
+
+ACCEL = AcceleratorParameters(name="t", acceleration=3.0)
+WORKLOAD = WorkloadParameters.from_granularity(53, acceleratable_fraction=0.3)
+
+
+class TestKeys:
+    def test_key_is_sha256_hex(self):
+        key = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
+        assert len(key) == 64
+        int(key, 16)  # hex
+
+    def test_key_depends_on_every_input(self):
+        base = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
+        variants = [
+            evaluation_key(ARM_A72.with_ipc(2.0), ACCEL, WORKLOAD, TCAMode.L_T),
+            evaluation_key(
+                ARM_A72,
+                AcceleratorParameters(name="t", acceleration=4.0),
+                WORKLOAD,
+                TCAMode.L_T,
+            ),
+            evaluation_key(
+                ARM_A72,
+                ACCEL,
+                WorkloadParameters.from_granularity(
+                    100, acceleratable_fraction=0.3
+                ),
+                TCAMode.L_T,
+            ),
+            evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.NL_NT),
+            evaluation_key(
+                ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T, ExplicitDrain(40.0)
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_display_names_do_not_split_the_cache(self):
+        renamed = AcceleratorParameters(name="other-name", acceleration=3.0)
+        assert evaluation_key(
+            ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T
+        ) == evaluation_key(ARM_A72, renamed, WORKLOAD, TCAMode.L_T)
+
+    def test_default_drain_matches_explicit_power_law(self):
+        assert evaluation_key(
+            ARM_A72, ACCEL, WORKLOAD, TCAMode.NL_T
+        ) == evaluation_key(
+            ARM_A72, ACCEL, WORKLOAD, TCAMode.NL_T, PowerLawDrain()
+        )
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1.5, None]}) == '{"a":[1.5,null],"b":1}'
+
+    def test_key_stable_across_hash_seeds(self):
+        """Keys must survive process restarts under any PYTHONHASHSEED."""
+        program = textwrap.dedent(
+            """
+            from repro.core.modes import TCAMode
+            from repro.core.parameters import (
+                ARM_A72, AcceleratorParameters, WorkloadParameters,
+            )
+            from repro.serve.keys import evaluation_key
+            print(evaluation_key(
+                ARM_A72,
+                AcceleratorParameters(name="t", acceleration=3.0),
+                WorkloadParameters.from_granularity(53, acceleratable_fraction=0.3),
+                TCAMode.L_T,
+            ))
+            """
+        )
+        keys = set()
+        for seed in ("0", "1", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            keys.add(proc.stdout.strip())
+        keys.add(evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T))
+        assert len(keys) == 1, f"keys differ across processes: {keys}"
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("k") is MISS
+        cache.put("k", 1.5)
+        assert cache.get("k") == 1.5
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_none_is_storable(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("k", None)
+        assert cache.get("k") is None
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_expiry(self):
+        now = [0.0]
+        cache = LRUCache(max_entries=4, ttl_s=10.0, clock=lambda: now[0])
+        cache.put("k", 1)
+        now[0] = 9.9
+        assert cache.get("k") == 1
+        now[0] = 10.1
+        assert cache.get("k") is MISS
+        assert cache.stats()["expirations"] == 1
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+        with pytest.raises(ValueError):
+            LRUCache(ttl_s=0.0)
+
+    def test_thread_safety_under_hammering(self):
+        cache = LRUCache(max_entries=64)
+
+        def hammer(worker: int) -> int:
+            for i in range(500):
+                key = f"k{(worker * 500 + i) % 100}"
+                if cache.get(key) is MISS:
+                    cache.put(key, key)
+            return worker
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert sorted(pool.map(hammer, range(8))) == list(range(8))
+        stats = cache.stats()
+        assert stats["entries"] <= 64
+        assert stats["hits"] + stats["misses"] == 8 * 500
+
+
+class TestDiskCache:
+    def test_round_trip_and_stats(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        assert cache.get("aa" * 32) is MISS
+        cache.put("aa" * 32, {"x": [1.0, 2.0]})
+        assert cache.get("aa" * 32) == {"x": [1.0, 2.0]}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1
+
+    def test_schema_tag_partitions_entries(self, tmp_path):
+        """A schema bump must invalidate everything previously cached."""
+        old = DiskCache(root=str(tmp_path), tag="1.0.0+tca-eqs1-9.v1")
+        old.put("bb" * 32, 2.5)
+        new = DiskCache(root=str(tmp_path), tag="1.1.0+tca-eqs1-9.v2")
+        assert new.get("bb" * 32) is MISS
+        assert old.get("bb" * 32) == 2.5
+
+    def test_default_tag_is_current_schema(self, tmp_path):
+        assert DiskCache(root=str(tmp_path)).tag == schema_tag()
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        cache.put("cc" * 32, 1.0)
+        path = cache._path("cc" * 32)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.get("cc" * 32) is MISS
+        assert cache.stats()["errors"] == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        cache.put("dd" * 32, 1.0)
+        cache.put("ee" * 32, 2.0)
+        assert cache.clear() == 2
+        assert cache.get("dd" * 32) is MISS
+
+
+class TestEvaluationCache:
+    def test_disk_hits_promote_to_memory(self, tmp_path):
+        disk = DiskCache(root=str(tmp_path))
+        disk.put("ff" * 32, 4.5)
+        cache = EvaluationCache(disk=disk)
+        assert cache.get("ff" * 32) == 4.5  # from disk
+        assert len(cache.memory) == 1
+        assert cache.get("ff" * 32) == 4.5  # now from memory
+        assert cache.memory.hits == 1
+
+    def test_registry_counters_track_accesses(self):
+        registry = repro.get_registry()
+        before = registry.counter("serve.cache.hits").value
+        cache = EvaluationCache(max_entries=2)
+        cache.put("k1", 1.0)
+        cache.get("k1")
+        cache.get("nope")
+        assert registry.counter("serve.cache.hits").value == before + 1
+
+    def test_values_survive_restart_via_disk(self, tmp_path):
+        """Same key, new process-level cache object, same answer."""
+        key = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
+        expected = TCAModel(ARM_A72, ACCEL, WORKLOAD).speedup(TCAMode.L_T)
+        first = EvaluationCache(disk=DiskCache(root=str(tmp_path)))
+        first.put(key, expected)
+        # a fresh instance (as after a restart) sees only the disk layer
+        second = EvaluationCache(disk=DiskCache(root=str(tmp_path)))
+        assert second.get(key) == pytest.approx(expected, abs=0)
+
+    def test_stats_shape_matches_manifest_contract(self, tmp_path):
+        cache = EvaluationCache(disk=DiskCache(root=str(tmp_path)))
+        stats = cache.stats()
+        assert set(stats) == {"memory", "disk"}
+        json.dumps(stats)  # must be JSON-safe for manifests

@@ -1,0 +1,266 @@
+"""End-to-end tests of the HTTP service over a real socket.
+
+One ephemeral-port server per test class; requests go through the full
+stdlib HTTP stack, so routing, size bounds, error mapping, and response
+encoding are all exercised exactly as a client would see them.
+"""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.isa.instructions import TCADescriptor
+from repro.isa.trace import TraceBuilder
+from repro.isa.trace_io import dump_trace
+from repro.serve.service import ServeApp, make_server
+
+
+@pytest.fixture(scope="module")
+def server_port():
+    server = make_server(port=0, app=ServeApp())
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield port
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _request(port, path, payload=None, method=None):
+    """(status, decoded-JSON body) for one request to the test server."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _trace_text(name="svc-trace", latency=10):
+    builder = TraceBuilder(name)
+    builder.independent_block(40, [0, 1, 2, 3])
+    builder.tca(
+        TCADescriptor(
+            name="t", compute_latency=latency, replaced_instructions=50
+        )
+    )
+    builder.independent_block(40, [4, 5, 6, 7])
+    buffer = io.StringIO()
+    dump_trace(builder.build(), buffer)
+    return buffer.getvalue()
+
+
+EVALUATE_QUERY = {
+    "core": "a72",
+    "accelerator": {"acceleration": 3.0},
+    "workload": {"granularity": 53, "acceleratable_fraction": 0.3},
+}
+
+
+class TestHealthz:
+    def test_reports_ok_with_cache_and_manifest(self, server_port):
+        status, body = _request(server_port, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert "+" in body["schema"]
+        assert set(body["cache"]) == {"memory", "disk"}
+        assert body["manifest"]["package_version"]
+        assert body["manifest"]["cache"]["memory"]["max_entries"] >= 1
+
+
+class TestEvaluate:
+    def test_repeat_request_is_a_cache_hit(self, server_port):
+        query = dict(
+            EVALUATE_QUERY,
+            workload={"granularity": 77, "acceleratable_fraction": 0.4},
+        )
+        status1, body1 = _request(server_port, "/evaluate", query)
+        status2, body2 = _request(server_port, "/evaluate", query)
+        assert status1 == status2 == 200
+        assert not body1["results"][0]["cached"]
+        assert body2["results"][0]["cached"]
+        assert body1["results"][0]["speedups"] == body2["results"][0]["speedups"]
+
+    def test_batched_queries_come_back_in_order(self, server_port):
+        granularities = [11, 222, 3333, 44]
+        payload = {
+            "queries": [
+                dict(
+                    EVALUATE_QUERY,
+                    workload={
+                        "granularity": g,
+                        "acceleratable_fraction": 0.3,
+                    },
+                )
+                for g in granularities
+            ]
+        }
+        status, body = _request(server_port, "/evaluate", payload)
+        assert status == 200
+        assert len(body["results"]) == len(granularities)
+        # from_granularity sets v = a / g, so g echoes back as a / v
+        echoed = [
+            r["workload"]["acceleratable_fraction"]
+            / r["workload"]["invocation_frequency"]
+            for r in body["results"]
+        ]
+        assert echoed == pytest.approx(granularities)
+
+    def test_mode_subset_and_best_mode(self, server_port):
+        query = dict(EVALUATE_QUERY, modes=["L_T", "NL_NT"])
+        status, body = _request(server_port, "/evaluate", query)
+        assert status == 200
+        result = body["results"][0]
+        assert set(result["speedups"]) == {"L_T", "NL_NT"}
+        assert result["best_mode"] in result["speedups"]
+
+    def test_unknown_preset_is_structured_400(self, server_port):
+        status, body = _request(
+            server_port, "/evaluate", dict(EVALUATE_QUERY, core="bogus")
+        )
+        assert status == 400
+        assert "bogus" in body["error"]
+        assert body["field"] == "core"
+
+    def test_bad_workload_reports_field_path(self, server_port):
+        payload = {
+            "queries": [
+                EVALUATE_QUERY,
+                dict(EVALUATE_QUERY, workload={"granularity": -5}),
+            ]
+        }
+        status, body = _request(server_port, "/evaluate", payload)
+        assert status == 400
+        assert body["field"].startswith("queries[1].workload")
+
+    def test_invalid_json_is_400(self, server_port):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{server_port}/evaluate",
+            data=b"{nope",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+
+
+class TestSweep:
+    def test_granularity_sweep_round_trips(self, server_port):
+        payload = {
+            "kind": "granularity",
+            "core": "hp",
+            "accelerator": {"acceleration": 3.0},
+            "x": [10, 100, 1000],
+            "acceleratable_fraction": 0.3,
+        }
+        status, body = _request(server_port, "/sweep", payload)
+        assert status == 200
+        result = body["result"]
+        assert result["x"] == [10.0, 100.0, 1000.0]
+        assert set(result["speedups"]) == {"NL_NT", "L_NT", "NL_T", "L_T"}
+
+    def test_missing_fixed_axis_is_400(self, server_port):
+        payload = {
+            "kind": "fraction",
+            "core": "a72",
+            "accelerator": {"acceleration": 2.0},
+            "x": [0.1, 0.5],
+        }
+        status, body = _request(server_port, "/sweep", payload)
+        assert status == 400
+        assert "granularity" in body["error"]
+
+
+class TestSimulate:
+    def test_simulation_and_cache_hit(self, server_port):
+        payload = {"trace": _trace_text(), "config": "a72"}
+        status1, body1 = _request(server_port, "/simulate", payload)
+        status2, body2 = _request(server_port, "/simulate", payload)
+        assert status1 == status2 == 200
+        assert not body1["result"]["cached"]
+        assert body2["result"]["cached"]
+        assert (
+            body1["result"]["stats"]["cycles"]
+            == body2["result"]["stats"]["cycles"]
+            > 0
+        )
+
+    def test_multi_run_request_preserves_order(self, server_port):
+        payload = {
+            "runs": [
+                {
+                    "trace": _trace_text("multi", latency),
+                    "config": {"preset": "a72", "mode": "NL_T"},
+                }
+                for latency in (5, 30)
+            ]
+        }
+        status, body = _request(server_port, "/simulate", payload)
+        assert status == 200
+        cycles = [r["stats"]["cycles"] for r in body["results"]]
+        assert cycles[0] < cycles[1]
+        assert all(r["mode"] == "NL_T" for r in body["results"])
+
+    def test_malformed_trace_is_400(self, server_port):
+        status, body = _request(
+            server_port, "/simulate", {"trace": "not a trace", "config": "a72"}
+        )
+        assert status == 400
+        assert body["field"] == "trace"
+
+    def test_unknown_config_override_is_400(self, server_port):
+        status, body = _request(
+            server_port,
+            "/simulate",
+            {
+                "trace": _trace_text(),
+                "config": {"preset": "a72", "bogus_knob": 1},
+            },
+        )
+        assert status == 400
+        assert "bogus_knob" in body["error"]
+
+
+class TestLimitsAndRouting:
+    def test_oversize_request_is_413(self):
+        server = make_server(port=0, max_request_bytes=256)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            big = dict(EVALUATE_QUERY, padding="x" * 1024)
+            status, body = _request(port, "/evaluate", big)
+            assert status == 413
+            assert "limit" in body["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_unknown_endpoint_is_404(self, server_port):
+        status, body = _request(server_port, "/nope", {"x": 1})
+        assert status == 404
+
+    def test_get_on_post_endpoint_is_404(self, server_port):
+        status, _ = _request(server_port, "/evaluate")
+        assert status == 404
+
+    def test_request_metrics_recorded(self, server_port):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        before = registry.counter("serve.requests.evaluate").value
+        _request(server_port, "/evaluate", EVALUATE_QUERY)
+        assert registry.counter("serve.requests.evaluate").value == before + 1
