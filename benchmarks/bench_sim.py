@@ -1,0 +1,254 @@
+"""Micro-benchmark: seed simulator vs the compile-once trace pipeline.
+
+Times characteristic simulator workloads three ways and writes the
+throughputs to ``BENCH_sim.json``:
+
+- **seed** — the seed engine preserved verbatim as
+  :class:`repro.sim.reference.ReferenceCoreSim` (the baseline every
+  optimization is measured against);
+- **cold** — the compiled pipeline paying its one-pass trace analysis
+  inside the timed region (``compile_trace`` + ``CoreSim.run``), i.e.
+  the first-ever simulation of a trace;
+- **precompiled** — ``CoreSim.run`` against a reused
+  :class:`~repro.sim.compile.CompiledTrace` (mode comparisons, sweeps,
+  and the serving LRU all hit this path).
+
+It also times the end-to-end four-mode experiment shape
+(:func:`repro.sim.simulator.simulate_modes`: baseline + four mode runs,
+each trace compiled once and the analysis shared across runs) against
+the same five runs on the seed engine — both the first-ever call
+(**cold_compile**, analysis inside the timed region) and every later
+call (**compile_reused**, the memoized steady state).
+
+Run it directly (defaults to the full-scale workloads)::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py
+    PYTHONPATH=src python benchmarks/bench_sim.py --scale smoke
+
+Every timed pipeline run is cross-checked byte-identical
+(``SimStats.to_dict()``) against the seed engine, so the speedups can't
+silently come from simulating something different.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+
+from repro.core.modes import TCAMode
+from repro.isa.trace import Trace, TraceBuilder
+from repro.sim.config import HIGH_PERF_SIM
+from repro.sim.compile import compile_trace
+from repro.sim.core import CoreSim
+from repro.sim.reference import ReferenceCoreSim
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+from repro.workloads.matmul import (
+    MatmulSpec,
+    generate_accelerated_trace,
+    generate_baseline_trace,
+)
+
+#: Best-of-N timing repetitions per approach.
+REPEATS = 3
+
+#: Workload sizing knobs per scale.
+_SCALES = {
+    "smoke": {"alu": 4_000, "heap_slots": 80, "matmul": (8, 8, 4)},
+    "full": {"alu": 30_000, "heap_slots": 400, "matmul": (16, 8, 4)},
+}
+
+
+def _workloads(scale: str) -> list[tuple[str, Trace, object, list | None]]:
+    """(label, trace, config, warm_ranges) single-run measurement cases."""
+    knobs = _SCALES[scale]
+    builder = TraceBuilder("alu-heavy")
+    builder.independent_block(knobs["alu"], list(range(8)))
+    alu = builder.build()
+    program = generate_heap_program(
+        HeapWorkloadSpec(slots=knobs["heap_slots"], call_probability=0.3)
+    )
+    heap = program.accelerated()
+    heap_warm = program.baseline.metadata["warm_ranges"]
+    return [
+        ("alu", alu, HIGH_PERF_SIM, None),
+        ("heap-tca", heap, HIGH_PERF_SIM.with_mode(TCAMode.NL_NT), heap_warm),
+    ]
+
+
+def _fresh(trace: Trace) -> Trace:
+    """A new Trace over the same instructions (empty derived-data caches)."""
+    return Trace(trace.instructions, name=trace.name, metadata=trace.metadata)
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = perf_counter()
+        result = fn()
+        best = min(best, perf_counter() - started)
+    return best, result
+
+
+def _bench_single(trace, config, warm) -> dict:
+    seed_s, seed_stats = _best_of(
+        lambda: ReferenceCoreSim(config, trace, warm_ranges=warm).run()
+    )
+    cold_s, cold_stats = _best_of(
+        lambda: CoreSim(
+            config, compile_trace(_fresh(trace), cache=False), warm_ranges=warm
+        ).run()
+    )
+    compiled = compile_trace(trace, cache=False)
+    pre_s, pre_stats = _best_of(
+        lambda: CoreSim(config, compiled, warm_ranges=warm).run()
+    )
+    expected = json.dumps(seed_stats.to_dict())
+    for label, stats in (("cold", cold_stats), ("precompiled", pre_stats)):
+        if json.dumps(stats.to_dict()) != expected:
+            raise AssertionError(f"{label}: stats diverge from the seed engine")
+    instructions = seed_stats.instructions
+
+    def entry(seconds: float) -> dict:
+        return {
+            "seconds": seconds,
+            "instructions_per_sec": (
+                instructions / seconds if seconds > 0 else float("inf")
+            ),
+            "speedup_vs_seed": seed_s / seconds if seconds > 0 else float("inf"),
+        }
+
+    return {
+        "instructions": instructions,
+        "cycles": seed_stats.cycles,
+        "seed": entry(seed_s),
+        "cold": entry(cold_s),
+        "precompiled": entry(pre_s),
+    }
+
+
+def _bench_four_mode(scale: str) -> dict:
+    """End-to-end baseline + four-mode comparison, cold caches."""
+    n, block, m = _SCALES[scale]["matmul"]
+    spec = MatmulSpec(n=n, block=block, accel_sizes=(m,))
+    baseline = generate_baseline_trace(spec)
+    accelerated = generate_accelerated_trace(spec, m)
+    modes = TCAMode.all_modes()
+
+    def seed_runs():
+        results = [ReferenceCoreSim(HIGH_PERF_SIM, baseline).run()]
+        for mode in modes:
+            results.append(
+                ReferenceCoreSim(
+                    HIGH_PERF_SIM.with_mode(mode), accelerated
+                ).run()
+            )
+        return results
+
+    def pipeline_runs(base, accel):
+        results = [CoreSim(HIGH_PERF_SIM, base).run()]
+        for mode in modes:
+            results.append(CoreSim(HIGH_PERF_SIM.with_mode(mode), accel).run())
+        return results
+
+    def cold_runs():
+        # Fresh Trace wrappers each repeat so the one-shared-compilation
+        # cost is inside the timed region (a trace's first-ever
+        # simulate_modes call).
+        return pipeline_runs(
+            compile_trace(_fresh(baseline), cache=False),
+            compile_trace(_fresh(accelerated), cache=False),
+        )
+
+    compiled_base = compile_trace(baseline, cache=False)
+    compiled_accel = compile_trace(accelerated, cache=False)
+
+    seed_s, seed_results = _best_of(seed_runs)
+    cold_s, cold_results = _best_of(cold_runs)
+    reused_s, reused_results = _best_of(
+        lambda: pipeline_runs(compiled_base, compiled_accel)
+    )
+    expected = [json.dumps(stats.to_dict()) for stats in seed_results]
+    for label, results in (("cold", cold_results), ("reused", reused_results)):
+        got = [json.dumps(stats.to_dict()) for stats in results]
+        if got != expected:
+            raise AssertionError(
+                f"four-mode {label}: stats diverge from the seed engine"
+            )
+    instructions = sum(stats.instructions for stats in seed_results)
+
+    def entry(seconds: float) -> dict:
+        return {
+            "seconds": seconds,
+            "speedup_vs_seed": seed_s / seconds if seconds > 0 else float("inf"),
+        }
+
+    return {
+        "workload": f"matmul-{n}x{n}-cold-caches",
+        "runs": 1 + len(modes),
+        "instructions": instructions,
+        "seed": entry(seed_s),
+        "cold_compile": entry(cold_s),
+        "compile_reused": entry(reused_s),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=tuple(_SCALES),
+        default="full",
+        help="workload size (default: full)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_sim.json",
+        help="output JSON path (default: BENCH_sim.json)",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = {}
+    for label, trace, config, warm in _workloads(args.scale):
+        workloads[label] = _bench_single(trace, config, warm)
+    four_mode = _bench_four_mode(args.scale)
+
+    payload = {
+        "bench": "sim",
+        "scale": args.scale,
+        "repeats": REPEATS,
+        "identical_stats": True,  # _bench_* raise on any divergence
+        "workloads": workloads,
+        "four_mode": four_mode,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(f"sim bench (scale={args.scale}, best of {REPEATS}):")
+    for label, row in workloads.items():
+        print(f"  {label} ({row['instructions']} instructions):")
+        for approach in ("seed", "cold", "precompiled"):
+            entry = row[approach]
+            print(
+                f"    {approach:<12} {entry['seconds']:>9.4f}s  "
+                f"{entry['instructions_per_sec']:>12.0f} inst/s  "
+                f"{entry['speedup_vs_seed']:>6.2f}x vs seed"
+            )
+    print(
+        f"  four-mode {four_mode['workload']} ({four_mode['runs']} runs, "
+        f"{four_mode['instructions']} instructions):"
+    )
+    for approach in ("seed", "cold_compile", "compile_reused"):
+        entry = four_mode[approach]
+        print(
+            f"    {approach:<15} {entry['seconds']:>9.4f}s  "
+            f"{entry['speedup_vs_seed']:>6.2f}x vs seed"
+        )
+    print(f"[written {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,8 @@ from repro.serve.batch import EvaluationQuery, evaluate_batch
 from repro.serve.cache import MISS, EvaluationCache
 from repro.serve.keys import simulation_key
 from repro.sim import simulator as _simulator
+from repro.sim.compile import CompiledTrace
+from repro.sim.compile import compile_trace as _compile_trace
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
 
@@ -457,7 +459,7 @@ def sweep(
 
 
 def simulate(
-    trace: Trace,
+    trace: Trace | CompiledTrace,
     config: SimConfig,
     warm_ranges: list[tuple[int, int]] | None = None,
     tracer: PipelineTracer | None = None,
@@ -465,12 +467,14 @@ def simulate(
 ) -> SimulationResult:
     """Execute ``trace`` on ``config`` through the cycle-level simulator.
 
-    Signature-compatible with :func:`repro.sim.simulator.simulate`, plus
-    content-addressed memoization: with a ``cache``, a previously
-    simulated ``(config, trace fingerprint, warm ranges)`` combination
-    returns its recorded :class:`~repro.sim.stats.SimStats` without
-    running the simulator (pipeline tracing is skipped for cached runs —
-    nothing executes to trace).
+    Signature-compatible with :func:`repro.sim.simulator.simulate`
+    (including accepting a pre-built
+    :class:`~repro.sim.compile.CompiledTrace`), plus content-addressed
+    memoization: with a ``cache``, a previously simulated
+    ``(config, trace fingerprint, warm ranges)`` combination returns its
+    recorded :class:`~repro.sim.stats.SimStats` without running the
+    simulator (pipeline tracing is skipped for cached runs — nothing
+    executes to trace).
     """
     key = None
     if cache is not None:
@@ -497,8 +501,8 @@ def simulate(
 
 
 def compare(
-    baseline: Trace,
-    accelerated: Trace,
+    baseline: Trace | CompiledTrace,
+    accelerated: Trace | CompiledTrace,
     config: SimConfig,
     modes: TCAMode | Iterable[TCAMode] | None = None,
     warm_ranges: list[tuple[int, int]] | None = None,
@@ -509,12 +513,16 @@ def compare(
 
     Simulates ``baseline`` once, then ``accelerated`` under each
     requested mode (same core otherwise), all through :func:`simulate` so
-    a cache can short-circuit any leg individually.
+    a cache can short-circuit any leg individually.  Both traces are
+    compiled at most once — the accelerated trace's analysis is shared
+    by every uncached mode run.
 
     Returns:
         A :class:`ComparisonResult` with per-mode speedups.
     """
     requested = _resolve_modes(modes)
+    baseline = _compile_trace(baseline)
+    accelerated = _compile_trace(accelerated)
     base = simulate(
         baseline, config, warm_ranges=warm_ranges, tracer=tracer, cache=cache
     )

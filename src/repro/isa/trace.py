@@ -85,6 +85,13 @@ class Trace:
         self._instructions: tuple[Instruction, ...] = tuple(instructions)
         self.name = name
         self.metadata: dict = dict(metadata or {})
+        # Lazy derived-data caches.  Every constructor path starts them
+        # empty, so derived traces (``concat``, slicing into a new Trace)
+        # can never inherit a stale fingerprint, stats block, or compiled
+        # form from their sources.
+        self._fingerprint: str | None = None
+        self._stats: TraceStats | None = None
+        self._compiled = None  # set by repro.sim.compile.compile_trace
 
     def __len__(self) -> int:
         return len(self._instructions)
@@ -116,7 +123,7 @@ class Trace:
         restarts and ``PYTHONHASHSEED`` values.  Computed lazily and
         cached; traces are immutable-by-convention, so the cache is safe.
         """
-        cached = getattr(self, "_fingerprint", None)
+        cached = self._fingerprint
         if cached is not None:
             return cached
         digest = hashlib.sha256()
@@ -149,7 +156,13 @@ class Trace:
         return result
 
     def stats(self) -> TraceStats:
-        """Compute summary statistics."""
+        """Summary statistics (computed lazily and cached, like
+        :meth:`fingerprint`; traces are immutable-by-convention, so
+        repeated calls return the same :class:`TraceStats` object).
+        """
+        cached = self._stats
+        if cached is not None:
+            return cached
         by_class: Counter[OpClass] = Counter()
         tca = 0
         replaced = 0
@@ -162,13 +175,15 @@ class Trace:
                 replaced += inst.tca.replaced_instructions
             if inst.mispredicted:
                 mispredicted += 1
-        return TraceStats(
+        result = TraceStats(
             total=len(self._instructions),
             by_class=dict(by_class),
             tca_invocations=tca,
             replaced_instructions=replaced,
             mispredicted_branches=mispredicted,
         )
+        self._stats = result
+        return result
 
     def validate(self, num_registers: int | None = None) -> None:
         """Raise :class:`ValueError` on malformed traces.
@@ -191,7 +206,13 @@ class Trace:
                 raise ValueError(f"instruction {i}: TCA op without descriptor")
 
     def concat(self, other: "Trace", name: str | None = None) -> "Trace":
-        """Concatenate two traces into a new one."""
+        """Concatenate two traces into a new one.
+
+        The result is a fresh :class:`Trace` with empty derived-data
+        caches — its fingerprint, stats, and compiled form are computed
+        on demand for the combined stream, never inherited from either
+        input (whose own caches may already be populated).
+        """
         return Trace(
             self._instructions + other.instructions,
             name=name or f"{self.name}+{other.name}",

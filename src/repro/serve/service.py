@@ -13,9 +13,12 @@ dependencies to install):
 - ``POST /sweep`` — a 1-D design-space sweep via :func:`repro.api.sweep`;
 - ``POST /simulate`` — cycle-level simulation of posted traces, fanned
   out over ``--jobs`` worker processes for multi-run requests and
-  memoized by trace fingerprint;
-- ``GET /healthz`` — liveness, version/schema tags, cache statistics,
-  and a provenance manifest.
+  memoized by trace fingerprint; traces are compiled once into
+  :class:`~repro.sim.compile.CompiledTrace` form and kept in a
+  fingerprint-keyed LRU, so repeat requests skip the trace-static
+  analysis pass (the hit counter surfaces in ``/healthz``);
+- ``GET /healthz`` — liveness, version/schema tags, cache and
+  compiled-trace LRU statistics, and a provenance manifest.
 
 Operational behavior: requests are size-bounded (413 beyond
 ``--max-request-bytes``), malformed input yields a structured 400 (see
@@ -33,6 +36,7 @@ import json
 import signal
 import sys
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic
 from typing import Any, Mapping
@@ -62,6 +66,7 @@ from repro.serve.params import (
     parse_warm_ranges,
     parse_workload,
 )
+from repro.sim.compile import compile_trace
 from repro.sim.stats import SimStats
 
 _log = get_logger("serve.service")
@@ -70,6 +75,11 @@ _log = get_logger("serve.service")
 #: batches and multi-thousand-instruction traces, small enough that a
 #: misbehaving client cannot balloon memory.
 DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
+
+#: Default bound on the per-process :class:`CompiledTrace` LRU.  Clients
+#: that hammer ``/simulate`` typically rotate over a handful of traces
+#: (one per workload under study) across many configurations.
+DEFAULT_COMPILED_TRACES = 32
 
 
 def _field(base: str, index: int | None, leaf: str) -> str:
@@ -99,14 +109,59 @@ class ServeApp:
     Args:
         cache: the memoization layer (default: in-memory only).
         jobs: worker processes for multi-run ``/simulate`` requests.
+        compiled_traces: bound on the ``/simulate`` compiled-trace LRU
+            (keyed by :meth:`~repro.isa.trace.Trace.fingerprint`); repeat
+            requests for a known trace skip the trace-static analysis
+            pass entirely.
     """
 
     def __init__(
-        self, cache: EvaluationCache | None = None, jobs: int = 1
+        self,
+        cache: EvaluationCache | None = None,
+        jobs: int = 1,
+        compiled_traces: int = DEFAULT_COMPILED_TRACES,
     ) -> None:
         self.cache = cache if cache is not None else EvaluationCache()
         self.jobs = max(1, jobs)
         self.started_at = monotonic()
+        self._compiled: "OrderedDict[str, Any]" = OrderedDict()
+        self._compiled_lock = threading.Lock()
+        self._compiled_max = max(1, compiled_traces)
+        self._compiled_hits = 0
+        self._compiled_misses = 0
+
+    def _compiled_for(self, trace: Any) -> Any:
+        """The :class:`CompiledTrace` for ``trace``, via the LRU.
+
+        Compilation happens outside the lock (it is pure), so concurrent
+        first requests for the same trace may both compile; the second
+        insert simply refreshes the entry.
+        """
+        fingerprint = trace.fingerprint()
+        with self._compiled_lock:
+            cached = self._compiled.get(fingerprint)
+            if cached is not None:
+                self._compiled.move_to_end(fingerprint)
+                self._compiled_hits += 1
+                return cached
+            self._compiled_misses += 1
+        compiled = compile_trace(trace, cache=False)
+        with self._compiled_lock:
+            self._compiled[fingerprint] = compiled
+            self._compiled.move_to_end(fingerprint)
+            while len(self._compiled) > self._compiled_max:
+                self._compiled.popitem(last=False)
+        return compiled
+
+    def compiled_trace_stats(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the compiled-trace LRU counters."""
+        with self._compiled_lock:
+            return {
+                "entries": len(self._compiled),
+                "max_entries": self._compiled_max,
+                "hits": self._compiled_hits,
+                "misses": self._compiled_misses,
+            }
 
     def handle_evaluate(self, payload: Any) -> dict[str, Any]:
         """``POST /evaluate``: batched analytical-model queries.
@@ -198,7 +253,8 @@ class ServeApp:
 
         Accepts one run object (``trace``/``config``/``warm_ranges``) or
         ``{"runs": [...]}``.  Cached runs are answered immediately; the
-        remainder fan out over the configured worker processes.
+        remainder fan out over the configured worker processes, each
+        shipping the precompiled trace from the fingerprint-keyed LRU.
         """
         if not isinstance(payload, Mapping):
             raise RequestError("expected a simulate object", field="request")
@@ -226,7 +282,10 @@ class ServeApp:
             warm = parse_warm_ranges(
                 spec.get("warm_ranges"), _field("runs", index, "warm_ranges")
             )
-            parsed.append((trace, config, warm))
+            # Compiled form for every run — result-cache hits still count
+            # an LRU hit, and uncached runs ship the precompiled trace to
+            # the worker pool instead of recompiling per process.
+            parsed.append((self._compiled_for(trace), config, warm))
 
         results: list[dict[str, Any] | None] = [None] * len(parsed)
         fresh: list[tuple[int, tuple[Any, Any, Any], str]] = []
@@ -258,7 +317,11 @@ class ServeApp:
                     stats=SimStats.from_dict(stats),
                     cached=False,
                 ).to_dict()
-        body = {"results": results, "cache": self.cache.stats()}
+        body = {
+            "results": results,
+            "cache": self.cache.stats(),
+            "compiled_traces": self.compiled_trace_stats(),
+        }
         if "runs" not in payload:
             body["result"] = results[0]
         return body
@@ -270,6 +333,7 @@ class ServeApp:
             "schema": schema_tag(),
             "uptime_s": monotonic() - self.started_at,
             "cache": self.cache.stats(),
+            "compiled_traces": self.compiled_trace_stats(),
             "manifest": build_manifest(
                 metrics=get_registry().snapshot(), cache=self.cache.stats()
             ),

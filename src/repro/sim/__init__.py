@@ -14,10 +14,16 @@ accelerator (TCA) unit honouring the paper's four integration modes:
 
 The public entry points are :class:`~repro.sim.config.SimConfig`,
 :func:`~repro.sim.simulator.simulate`, and
-:func:`~repro.sim.simulator.simulate_modes`.
+:func:`~repro.sim.simulator.simulate_modes`.  Repeated simulation of one
+trace (mode comparisons, design-space sweeps, the evaluation service) can
+pay the trace-static analysis once via
+:func:`~repro.sim.compile.compile_trace` and pass the resulting
+:class:`~repro.sim.compile.CompiledTrace` anywhere a trace is accepted;
+see ``docs/SIMULATOR.md``.
 """
 
 from repro.sim.cache import CacheConfig, CacheHierarchy, CacheLevelStats
+from repro.sim.compile import CompiledTrace, compile_trace
 from repro.sim.config import (
     ARM_A72_SIM,
     HIGH_PERF_SIM,
@@ -35,11 +41,13 @@ __all__ = [
     "CacheConfig",
     "CacheHierarchy",
     "CacheLevelStats",
+    "CompiledTrace",
     "FunctionalUnitConfig",
     "SimConfig",
     "SimStats",
     "SimulationResult",
     "StallReason",
+    "compile_trace",
     "simulate",
     "simulate_modes",
 ]

@@ -79,7 +79,10 @@ class _CacheLevel:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        # Sets are materialized on first touch: a fresh hierarchy is built
+        # per simulation run, and most runs touch a small fraction of the
+        # (potentially thousands of) L2 sets.
+        self._sets: dict[int, list[int]] = {}
         self._num_sets = config.num_sets
         self._assoc = config.assoc
         self._line_shift = config.line.bit_length() - 1
@@ -94,8 +97,12 @@ class _CacheLevel:
         MRU position.
         """
         tag = addr >> self._line_shift
-        cache_set = self._sets[tag % self._num_sets]
         self.stats.accesses += 1
+        cache_set = self._sets.get(tag % self._num_sets)
+        if cache_set is None:
+            self._sets[tag % self._num_sets] = [tag]
+            self.stats.misses += 1
+            return False
         try:
             cache_set.remove(tag)
         except ValueError:
@@ -110,12 +117,12 @@ class _CacheLevel:
     def contains(self, addr: int) -> bool:
         """Whether the line holding ``addr`` is resident (no LRU update)."""
         tag = addr >> self._line_shift
-        return tag in self._sets[tag % self._num_sets]
+        cache_set = self._sets.get(tag % self._num_sets)
+        return cache_set is not None and tag in cache_set
 
     def flush(self) -> None:
         """Invalidate all lines (stats preserved)."""
-        for cache_set in self._sets:
-            cache_set.clear()
+        self._sets.clear()
 
 
 class CacheHierarchy:
@@ -184,6 +191,30 @@ class CacheHierarchy:
             return self.l1.config.latency + self.l2.config.latency
         return self.l1.config.latency + self.l2.config.latency + self.mem_latency
 
+    def access_lines(self, lines: tuple[int, ...]) -> tuple[int, bool]:
+        """:meth:`access` over a precomputed ascending line-address tuple.
+
+        The compiled-trace hot path expands ``(addr, size)`` into line
+        addresses once at compile time; probe/allocate/prefetch order is
+        identical to :meth:`access` on the originating byte range.
+        """
+        worst = 0
+        missed = False
+        l1 = self.l1
+        l1_latency = l1.config.latency
+        line = self._line
+        prefetch = self.prefetch_next_line
+        for line_addr in lines:
+            latency = self._access_line(line_addr)
+            if latency > worst:
+                worst = latency
+            if latency > l1_latency:
+                missed = True
+            if prefetch and not l1.contains(line_addr + line):
+                self._access_line(line_addr + line)
+                self.prefetches += 1
+        return worst, missed
+
     def write(self, addr: int, size: int = 8) -> None:
         """Commit-time store: allocate/refresh lines without stalling.
 
@@ -197,6 +228,20 @@ class CacheHierarchy:
         while line_addr <= last:
             self._access_line(line_addr)
             line_addr += line
+
+    def write_lines(self, lines: tuple[int, ...]) -> None:
+        """:meth:`write` over precomputed line addresses (commit-time drain)."""
+        for line_addr in lines:
+            self._access_line(line_addr)
+
+    def warm_lines(self, lines: tuple[int, ...]) -> None:
+        """Pre-load precomputed line addresses without counting stats."""
+        saved_l1 = (self.l1.stats.accesses, self.l1.stats.misses)
+        saved_l2 = (self.l2.stats.accesses, self.l2.stats.misses)
+        for line_addr in lines:
+            self._access_line(line_addr)
+        self.l1.stats.accesses, self.l1.stats.misses = saved_l1
+        self.l2.stats.accesses, self.l2.stats.misses = saved_l2
 
     def warm(self, addr: int, size: int) -> None:
         """Pre-load a byte range into both levels without counting stats."""

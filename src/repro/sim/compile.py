@@ -1,0 +1,400 @@
+"""Compile-once trace analysis for the cycle-level simulator.
+
+:class:`CompiledTrace` is the result of one pass over a
+:class:`~repro.isa.trace.Trace` that precomputes everything *trace-static*
+the pipeline would otherwise re-derive on every run:
+
+- the register dependency graph, resolved through a youngest-earlier-writer
+  scan and stored as flat producer→consumer edge arrays (CSR by consumer)
+  instead of per-instruction Python lists — at run time an edge is *live*
+  only if its producer is still incomplete, which is exactly the semantics
+  of the rename table's lazily-cleared producer lookup;
+- per-instruction op-kind / functional-unit-class / latency-override
+  tables, branch annotations, and cache-line spans for every memory access
+  (loads, store commits, and each pre-chunked TCA read/write request);
+- per-writer byte ranges and bounding boxes for the LSQ's conservative
+  memory disambiguation.
+
+A :class:`CompiledTrace` is immutable, config-independent (it can back
+runs under any :class:`~repro.sim.config.SimConfig` and TCA mode), safe to
+share across threads, and picklable — ``parallel_map`` fan-outs ship it to
+workers once instead of recompiling per (config, mode) point.  The
+per-*run* mutable state lives in a pooled :class:`RunState` block of
+preallocated flat arrays; blocks are recycled across runs without a reset
+pass because every field is either written before it is read within a run
+or left self-cleaned by a completed run (see :meth:`RunState` notes).
+
+``compile_trace`` memoizes the compiled form on the source trace object
+itself (the same idiom ``Trace.fingerprint`` uses), so repeated
+``simulate(trace, ...)`` calls in one process pay the analysis once.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import CACHE_LINE_BYTES, OpClass
+from repro.isa.trace import Trace
+
+# Instruction kinds used by the pipeline's hot branches.
+K_LOAD = 0
+K_STORE = 1
+K_TCA = 2
+K_BRANCH = 3
+K_OTHER = 4
+
+#: Op classes that issue through functional-unit ports, in a stable order.
+FU_CLASSES: tuple[OpClass, ...] = tuple(
+    op for op in OpClass if op not in (OpClass.LOAD, OpClass.STORE, OpClass.TCA)
+)
+_FU_INDEX = {op: i for i, op in enumerate(FU_CLASSES)}
+
+_KIND_OF = {
+    OpClass.LOAD: K_LOAD,
+    OpClass.STORE: K_STORE,
+    OpClass.TCA: K_TCA,
+    OpClass.BRANCH: K_BRANCH,
+}
+
+#: Maximum recycled RunState blocks kept per CompiledTrace.
+_POOL_MAX = 8
+
+#: Memo of warm-range tuples → cache-line address tuples (bounded).
+_WARM_LINE_MEMO: dict[tuple[tuple[int, int], ...], tuple[int, ...]] = {}
+_WARM_MEMO_MAX = 256
+
+
+def lines_for_range(addr: int, size: int) -> tuple[int, ...]:
+    """Cache-line addresses touched by ``[addr, addr + size)``, in probe order."""
+    first = addr - (addr % CACHE_LINE_BYTES)
+    return tuple(range(first, addr + size, CACHE_LINE_BYTES))
+
+
+def warm_lines(warm_ranges) -> tuple[int, ...]:
+    """Concatenated line addresses for a warm-range list, memoized.
+
+    The warm set is re-applied to a fresh cache hierarchy on every run, so
+    the range→line expansion is worth paying once per distinct range list
+    (workload generators reuse the same ``metadata["warm_ranges"]`` object
+    across many runs).
+    """
+    key = tuple((int(a), int(s)) for a, s in warm_ranges)
+    cached = _WARM_LINE_MEMO.get(key)
+    if cached is not None:
+        return cached
+    out: list[int] = []
+    for addr, size in key:
+        out.extend(lines_for_range(addr, size))
+    result = tuple(out)
+    if len(_WARM_LINE_MEMO) < _WARM_MEMO_MAX:
+        _WARM_LINE_MEMO[key] = result
+    return result
+
+
+class RunState:
+    """Pooled per-run mutable state for one :class:`CompiledTrace`.
+
+    All arrays are indexed by instruction sequence number (= trace index)
+    except ``edge_next``, indexed by dependency-edge id.  None of them is
+    zeroed between runs:
+
+    - ``completed`` is cleared lazily at dispatch, and is only ever read
+      for already-dispatched instructions;
+    - ``dep_head`` is consumed back to ``-1`` as each producer completes,
+      so a run that finishes leaves it fully reset;
+    - every other field is assigned before its first read within a run.
+
+    A run aborted by an exception leaves the block dirty; the simulator
+    discards it instead of returning it to the pool.
+    """
+
+    __slots__ = (
+        "completed",
+        "complete_cycle",
+        "deps",
+        "first_ready",
+        "forwarded",
+        "tca_read_index",
+        "tca_reads_left",
+        "tca_start_cycle",
+        "dep_head",
+        "edge_next",
+    )
+
+    def __init__(self, length: int, n_edges: int) -> None:
+        self.completed = bytearray(length)
+        self.complete_cycle = [0] * length
+        self.deps = [0] * length
+        self.first_ready = [0] * length
+        self.forwarded = bytearray(length)
+        self.tca_read_index = [0] * length
+        self.tca_reads_left = [0] * length
+        self.tca_start_cycle = [0] * length
+        self.dep_head = [-1] * length
+        self.edge_next = [0] * n_edges
+
+
+class CompiledTrace:
+    """Immutable trace-static tables for the simulator's hot loop.
+
+    Build via :func:`compile_trace`.  Duck-types the pieces of
+    :class:`~repro.isa.trace.Trace` the layers above the core need —
+    ``name``, ``len()``, ``fingerprint()`` — and keeps the ``source``
+    trace reachable for everything else (``stats()``, metadata).
+    """
+
+    __slots__ = (
+        "source",
+        "name",
+        "length",
+        "kind",
+        "op_value",
+        "fu_class",
+        "lat_override",
+        "mispredicted",
+        "low_conf",
+        "mem_addr",
+        "mem_size",
+        "mem_lines",
+        "commit_write_lines",
+        "writer_ranges",
+        "writer_lo",
+        "writer_hi",
+        "reg_edge_start",
+        "reg_edges",
+        "edge_producer",
+        "edge_consumer",
+        "reg_producers",
+        "mem_edge_base",
+        "tca_reads",
+        "tca_read_lines",
+        "tca_read_count",
+        "tca_write_count",
+        "tca_compute_latency",
+        "tca_count",
+        "fu_used",
+        "n_edges",
+        "_pool",
+    )
+
+    def __init__(self, trace: Trace) -> None:
+        instructions = trace.instructions
+        n = len(instructions)
+        self.source = trace
+        self.name = trace.name
+        self.length = n
+
+        kind = bytearray(n)
+        op_value: list[str] = [""] * n
+        fu_class = [-1] * n
+        lat_override = [-1] * n
+        mispredicted = bytearray(n)
+        low_conf = bytearray(n)
+        mem_addr = [0] * n
+        mem_size = [0] * n
+        mem_lines: list[tuple[int, ...] | None] = [None] * n
+        commit_write_lines: list[tuple[int, ...] | None] = [None] * n
+        writer_ranges: list[tuple[tuple[int, int], ...] | None] = [None] * n
+        writer_lo = [0] * n
+        writer_hi = [0] * n
+        reg_edge_start = [0] * (n + 1)
+        edge_producer: list[int] = []
+        reg_consumer: list[int] = []
+        reg_producers: list[tuple[int, ...]] = [()] * n
+        mem_slots = [0] * n
+        tca_reads: list[tuple[tuple[int, int], ...] | None] = [None] * n
+        tca_read_lines: list[tuple[tuple[int, ...], ...] | None] = [None] * n
+        tca_read_count = [0] * n
+        tca_write_count = [0] * n
+        tca_compute_latency = [0] * n
+        tca_count = 0
+        fu_used_set: set[int] = set()
+
+        # Youngest earlier writer of each architectural register.  The
+        # rename table's runtime dynamics (lazy clearing of completed
+        # producers, clear-at-commit) reduce to this static map plus a
+        # completed[] check at dispatch: a producer that completed —
+        # committed or not — contributes no dependence either way.
+        last_writer: dict[int, int] = {}
+
+        for k, inst in enumerate(instructions):
+            op = inst.op
+            knd = _KIND_OF.get(op, K_OTHER)
+            kind[k] = knd
+            op_value[k] = op.value
+            if inst.mispredicted:
+                mispredicted[k] = 1
+            if inst.low_confidence:
+                low_conf[k] = 1
+
+            seen: set[int] = set()
+            prods: list[int] = []
+            for src in inst.srcs:
+                p = last_writer.get(src)
+                if p is not None and p not in seen:
+                    seen.add(p)
+                    prods.append(p)
+            reg_edge_start[k] = len(edge_producer)
+            for p in prods:
+                edge_producer.append(p)
+                reg_consumer.append(k)
+            if prods:
+                reg_producers[k] = tuple(prods)
+
+            if knd == K_LOAD:
+                addr = inst.addr
+                assert addr is not None
+                mem_addr[k] = addr
+                mem_size[k] = inst.size
+                mem_lines[k] = lines_for_range(addr, inst.size)
+                mem_slots[k] = 1
+            elif knd == K_STORE:
+                addr = inst.addr
+                assert addr is not None
+                lines = lines_for_range(addr, inst.size)
+                commit_write_lines[k] = lines
+                writer_ranges[k] = ((addr, inst.size),)
+                writer_lo[k] = addr
+                writer_hi[k] = addr + inst.size
+            elif knd == K_TCA:
+                descriptor = inst.tca
+                assert descriptor is not None
+                tca_count += 1
+                reads = tuple((r.addr, r.size) for r in descriptor.reads)
+                tca_reads[k] = reads
+                tca_read_lines[k] = tuple(
+                    lines_for_range(a, s) for a, s in reads
+                )
+                tca_read_count[k] = len(reads)
+                tca_compute_latency[k] = max(1, descriptor.compute_latency)
+                mem_slots[k] = len(reads)
+                if descriptor.writes:
+                    ranges = tuple((w.addr, w.size) for w in descriptor.writes)
+                    writer_ranges[k] = ranges
+                    writer_lo[k] = min(a for a, _ in ranges)
+                    writer_hi[k] = max(a + s for a, s in ranges)
+                    lines: list[int] = []
+                    for a, s in ranges:
+                        lines.extend(lines_for_range(a, s))
+                    commit_write_lines[k] = tuple(lines)
+                    tca_write_count[k] = len(ranges)
+            else:
+                cls = _FU_INDEX[op]
+                fu_class[k] = cls
+                fu_used_set.add(cls)
+                if inst.latency is not None:
+                    lat_override[k] = max(1, inst.latency)
+
+            for dst in inst.dsts:
+                last_writer[dst] = k
+
+        # Append memory-dependence edge slots after the register edges.
+        # Memory edges have a static consumer but a producer discovered at
+        # dispatch (the LSQ disambiguation scan), so only edge_consumer is
+        # prefilled for them.
+        n_reg_edges = len(edge_producer)
+        reg_edge_start[n] = n_reg_edges
+        edge_consumer = reg_consumer
+        mem_edge_base = [0] * (n + 1)
+        base = n_reg_edges
+        for k in range(n):
+            mem_edge_base[k] = base
+            slots = mem_slots[k]
+            if slots:
+                edge_consumer.extend([k] * slots)
+                base += slots
+        mem_edge_base[n] = base
+
+        self.kind = kind
+        self.op_value = op_value
+        self.fu_class = fu_class
+        self.lat_override = lat_override
+        self.mispredicted = mispredicted
+        self.low_conf = low_conf
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.mem_lines = mem_lines
+        self.commit_write_lines = commit_write_lines
+        self.writer_ranges = writer_ranges
+        self.writer_lo = writer_lo
+        self.writer_hi = writer_hi
+        self.reg_edge_start = reg_edge_start
+        # Per-consumer (edge-id, producer) pairs: the dispatch hot loop
+        # iterates these directly instead of slicing the CSR arrays.
+        self.reg_edges = tuple(
+            tuple(
+                (e, edge_producer[e])
+                for e in range(reg_edge_start[k], reg_edge_start[k + 1])
+            )
+            for k in range(n)
+        )
+        self.edge_producer = edge_producer
+        self.edge_consumer = edge_consumer
+        self.reg_producers = reg_producers
+        self.mem_edge_base = mem_edge_base
+        self.tca_reads = tca_reads
+        self.tca_read_lines = tca_read_lines
+        self.tca_read_count = tca_read_count
+        self.tca_write_count = tca_write_count
+        self.tca_compute_latency = tca_compute_latency
+        self.tca_count = tca_count
+        self.fu_used = tuple(sorted(fu_used_set))
+        self.n_edges = base
+        self._pool: list[RunState] = []
+
+    # ------------------------------------------------------- trace protocol
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTrace(name={self.name!r}, n={self.length})"
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the underlying trace (sha256 hex)."""
+        return self.source.fingerprint()
+
+    # ------------------------------------------------------------- run pool
+
+    def acquire_state(self) -> RunState:
+        """Take a per-run state block from the pool (or allocate one)."""
+        try:
+            return self._pool.pop()
+        except IndexError:
+            return RunState(self.length, self.n_edges)
+
+    def release_state(self, state: RunState) -> None:
+        """Return a block whose run completed cleanly to the pool."""
+        if len(self._pool) < _POOL_MAX:
+            self._pool.append(state)
+
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_pool"
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        self._pool = []
+
+
+def compile_trace(trace: Trace | CompiledTrace, cache: bool = True) -> CompiledTrace:
+    """Compile ``trace`` (idempotent; already-compiled traces pass through).
+
+    Args:
+        trace: the trace to analyze, or an existing :class:`CompiledTrace`.
+        cache: memoize the result on the source ``Trace`` object so later
+            calls (and ``simulate(trace, ...)``) reuse it.  Pass ``False``
+            to force a fresh compilation (benchmarks measuring cold cost).
+    """
+    if isinstance(trace, CompiledTrace):
+        return trace
+    if cache:
+        cached = getattr(trace, "_compiled", None)
+        if cached is not None:
+            return cached
+    compiled = CompiledTrace(trace)
+    if cache:
+        trace._compiled = compiled
+    return compiled

@@ -20,34 +20,56 @@ with age-based priority, may not start until ROB head in NL modes
 (non-speculative flag), and blocks dispatch until commit in NT modes
 (serialize-after flag).
 
-The simulator fast-forwards over cycles where no pipeline event can occur
-(long accelerator executions, memory stalls), attributing the skipped
-cycles to the active dispatch-stall reason, so wall-clock cost scales with
-events rather than cycles.
+Since the compile-once pipeline (:mod:`repro.sim.compile`) the engine is
+split in two: :func:`~repro.sim.compile.compile_trace` pays the
+trace-static analysis once (dependency edges, op/latency tables, cache-line
+spans, pre-chunked TCA requests), and :class:`CoreSim` executes against the
+resulting :class:`~repro.sim.compile.CompiledTrace` plus a pooled per-run
+state block of flat arrays — no per-run ``DynInst`` allocation, no rename
+table, and a reorder buffer reduced to the contiguous sequence window
+``[committed, pc)``.  The run loop skips stage calls whose structures are
+provably idle and fast-forwards over cycles where no pipeline event can
+occur, attributing the skipped cycles to the active dispatch-stall reason,
+so wall-clock cost scales with events rather than cycles.
+
+The stats produced are byte-identical (``SimStats.to_dict()``) to the seed
+object-per-instruction engine, preserved as
+:class:`repro.sim.reference.ReferenceCoreSim` and pinned by the seeded
+equivalence suite in ``tests/test_sim_equivalence.py``.
+
+:class:`DynInst` remains the dynamic-instruction record used by the
+component classes (:mod:`repro.sim.rob`, :mod:`repro.sim.issue_queue`, …)
+and the reference engine.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 
-from repro.isa.instructions import Instruction, OpClass
+from repro.isa.instructions import Instruction
 from repro.isa.trace import Trace
 from repro.obs.tracer import PipelineTracer, get_active_tracer
-from repro.sim.branch import RedirectUnit
 from repro.sim.cache import CacheConfig, CacheHierarchy
+from repro.sim.compile import (
+    FU_CLASSES,
+    CompiledTrace,
+    compile_trace,
+    warm_lines,
+)
 from repro.sim.config import SimConfig
-from repro.sim.functional_units import FUPool
-from repro.sim.issue_queue import IssueQueue
-from repro.sim.lsq import LoadStoreQueue
-from repro.sim.rename import RenameTable
-from repro.sim.rob import ReorderBuffer
 from repro.sim.stats import SimStats, StallReason
-from repro.sim.tca_unit import TCAUnit
 
 # Completion-event kinds (heap payload tags).
 _EV_OP = 0
 _EV_TCA_READ = 1
 _EV_MSHR = 2
+
+# Stall reasons as flat indices: the per-cycle accounting uses int list
+# slots instead of enum-keyed dict lookups (Enum.__hash__ is a Python-level
+# call), and converts back to StallReason only when flushing SimStats.
+_STALL_REASONS = tuple(StallReason)
+_STALL_INDEX = {reason: i for i, reason in enumerate(_STALL_REASONS)}
 
 
 class DynInst:
@@ -98,7 +120,10 @@ class CoreSim:
 
     Args:
         config: core configuration (including the TCA integration mode).
-        trace: dynamic instruction stream to execute.
+        trace: dynamic instruction stream to execute — a
+            :class:`~repro.isa.trace.Trace` (compiled on first use and
+            memoized on the trace object) or an already-compiled
+            :class:`~repro.sim.compile.CompiledTrace`.
         warm_ranges: optional ``(addr, size)`` byte ranges pre-loaded into
             the caches before simulation (e.g. warmed data structures).
         tracer: optional :class:`~repro.obs.tracer.PipelineTracer`
@@ -107,477 +132,681 @@ class CoreSim:
             :func:`repro.obs.tracer.tracing` (``None`` = tracing off).
             Disabled tracers are normalised to ``None`` so the hot loop
             pays exactly one attribute check per event site.
+
+    ``run()`` executes once; construct a fresh ``CoreSim`` per run (the
+    compiled trace is shared, so repeat construction is cheap).
     """
 
     def __init__(
         self,
         config: SimConfig,
-        trace: Trace,
+        trace: Trace | CompiledTrace,
         warm_ranges: list[tuple[int, int]] | None = None,
         tracer: PipelineTracer | None = None,
     ) -> None:
+        compiled = compile_trace(trace)
         self.config = config
-        self.trace = trace
+        self.compiled = compiled
+        self.trace = compiled.source
         if tracer is None:
             tracer = get_active_tracer()
         if tracer is not None and not tracer.enabled:
             tracer = None
         if tracer is not None:
-            tracer.ensure_run(trace.name, config.name, config.tca_mode.value)
+            tracer.ensure_run(compiled.name, config.name, config.tca_mode.value)
         self._tracer = tracer
         self.stats = SimStats()
-        self.rob = ReorderBuffer(config.rob_size)
-        self.iq = IssueQueue(config.iq_size)
-        self.lsq = LoadStoreQueue(config.lq_size, config.sq_size)
-        self.rename = RenameTable()
-        self.fus = FUPool(config)
-        self.redirect = RedirectUnit(config.redirect_penalty)
-        self.tca_unit = TCAUnit(config.tca_mode, capacity=config.tca_units)
         self.cache = CacheHierarchy(
             CacheConfig(config.l1d_size, config.l1d_assoc, config.l1d_latency),
             CacheConfig(config.l2_size, config.l2_assoc, config.l2_latency),
             config.mem_latency,
             prefetch_next_line=config.prefetch_next_line,
         )
-        for addr, size in warm_ranges or ():
-            self.cache.warm(addr, size)
-        self._events: list[tuple[int, int, int, DynInst]] = []
-        self._pc = 0
-        self._committed = 0
-        self._barrier: DynInst | None = None
-        self._mshr_outstanding = 0
-        self._last_stall = StallReason.NONE
-        # In-flight low-confidence branches (for the §VIII partial-
-        # speculation policy); pruned lazily as they complete.
-        self._lowconf_branches: list[DynInst] = []
+        if warm_ranges:
+            self.cache.warm_lines(warm_lines(warm_ranges))
 
     # ------------------------------------------------------------------ run
 
     def run(self) -> SimStats:
         """Execute the trace to completion and return statistics."""
-        trace_len = len(self.trace)
+        compiled = self.compiled
+        state = compiled.acquire_state()
+        stats = self._run(compiled, state)
+        # A run that raised leaves the state block dirty; only clean
+        # completions recycle it (RunState reuse relies on the run's
+        # self-cleaning invariants).
+        compiled.release_state(state)
+        return stats
+
+    def _run(self, ct: CompiledTrace, st) -> SimStats:
+        config = self.config
+        stats = self.stats
+        tracer = self._tracer
+        cache = self.cache
+        trace_len = ct.length
+
+        # Compiled (trace-static) tables.
+        kind = ct.kind
+        op_value = ct.op_value
+        fu_class = ct.fu_class
+        lat_override = ct.lat_override
+        mispredicted_t = ct.mispredicted
+        low_conf = ct.low_conf
+        mem_addr = ct.mem_addr
+        mem_size = ct.mem_size
+        mem_lines = ct.mem_lines
+        commit_write_lines = ct.commit_write_lines
+        writer_ranges = ct.writer_ranges
+        writer_lo = ct.writer_lo
+        writer_hi = ct.writer_hi
+        reg_edges = ct.reg_edges
+        edge_consumer = ct.edge_consumer
+        reg_producers = ct.reg_producers
+        mem_edge_base = ct.mem_edge_base
+        tca_reads_t = ct.tca_reads
+        tca_read_lines = ct.tca_read_lines
+        tca_read_count = ct.tca_read_count
+        tca_write_count = ct.tca_write_count
+        tca_compute_latency = ct.tca_compute_latency
+
+        # Pooled per-run state.
+        completed = st.completed
+        complete_cycle = st.complete_cycle
+        deps = st.deps
+        first_ready = st.first_ready
+        forwarded = st.forwarded
+        tca_read_index = st.tca_read_index
+        tca_reads_left = st.tca_reads_left
+        tca_start_cycle = st.tca_start_cycle
+        dep_head = st.dep_head
+        edge_next = st.edge_next
+
+        # Configuration.
+        dispatch_width = config.dispatch_width
+        issue_width = config.issue_width
+        commit_width = config.commit_width
+        rob_size = config.rob_size
+        iq_size = config.iq_size
+        lq_size = config.lq_size
+        sq_size = config.sq_size
+        frontend_depth = config.frontend_depth
+        commit_latency = config.commit_latency
+        redirect_penalty = config.redirect_penalty
+        load_ports_n = config.load_ports
+        store_ports_n = config.store_ports
+        forward_latency = config.forward_latency
+        mshr_limit = config.mshrs
+        max_cycles = config.max_cycles
+        mode = config.tca_mode
+        mode_leading = mode.leading
+        mode_trailing = mode.trailing
+        partial_spec = config.partial_speculation
+        tca_units = config.tca_units
+
+        # Functional-unit port state (only classes the trace uses).
+        fu_used = ct.fu_used
+        n_fu = len(FU_CLASSES)
+        fu_ports = [0] * n_fu
+        fu_latency = [1] * n_fu
+        fu_pipelined = [True] * n_fu
+        fu_busy: list[list[int] | None] = [None] * n_fu
+        fu_left = [0] * n_fu
+        for cls in fu_used:
+            fu_cfg = config.fu_for(FU_CLASSES[cls])
+            fu_ports[cls] = fu_cfg.ports
+            fu_latency[cls] = max(1, fu_cfg.latency)
+            fu_pipelined[cls] = fu_cfg.pipelined
+            if not fu_cfg.pipelined:
+                fu_busy[cls] = [0] * fu_cfg.ports
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        l1_contains = cache.l1.contains
+        access_lines = cache.access_lines
+        write_lines = cache.write_lines
+
+        # Both heaps hold packed ints instead of tuples: an event is
+        # (when << 40) | (seq << 2) | kind and a ready entry is
+        # (cycle << 40) | seq, so heap comparisons are single int
+        # compares yet order exactly like the (when, seq, kind) /
+        # (cycle, seq) tuples the reference engine uses.  Python ints
+        # are unbounded, so when/cycle never overflow the packing.
+        SEQ_MASK = (1 << 38) - 1
+        READY_MASK = (1 << 40) - 1
+        events: list[int] = []
+        ready: list[int] = []
+        writers: list[int] = []
+        writers_start = 0
+        lowconf: list[int] = []
+        tca_active: list[int] = []
+        tca_pending = 0  # started TCAs with reads still to issue
+
+        pc = 0
+        committed = 0
+        barrier = -1
+        redirect_seq = -1
+        mshr_out = 0
+        iq_occ = 0
+        lq_count = 0
+        sq_count = 0
+        S_NONE = _STALL_INDEX[StallReason.NONE]
+        S_FRONTEND_FILL = _STALL_INDEX[StallReason.FRONTEND_FILL]
+        S_TCA_BARRIER = _STALL_INDEX[StallReason.TCA_BARRIER]
+        S_BRANCH_REDIRECT = _STALL_INDEX[StallReason.BRANCH_REDIRECT]
+        S_ROB_FULL = _STALL_INDEX[StallReason.ROB_FULL]
+        S_IQ_FULL = _STALL_INDEX[StallReason.IQ_FULL]
+        S_LQ_FULL = _STALL_INDEX[StallReason.LQ_FULL]
+        S_SQ_FULL = _STALL_INDEX[StallReason.SQ_FULL]
+        S_TRACE_DRAINED = _STALL_INDEX[StallReason.TRACE_DRAINED]
+        last_stall = S_NONE
+
+        # Stat accumulators (flushed into SimStats at the end).
+        s_dispatched = 0
+        s_instructions = 0
+        s_loads = 0
+        s_stores = 0
+        s_branches = 0
+        s_mispredicts = 0
+        s_tca_inv = 0
+        s_tca_reads = 0
+        s_tca_writes = 0
+        s_tca_wait = 0
+        s_tca_exec = 0
+        rob_occ_sum = 0
+        rob_samples = 0
+        max_rob = 0
+        stall_counts = [0] * len(_STALL_REASONS)
+
         cycle = 0
-        max_cycles = self.config.max_cycles
-        while self._committed < trace_len:
+        while committed < trace_len:
             if cycle > max_cycles:
                 raise DeadlockError(
                     f"exceeded max_cycles={max_cycles} "
-                    f"(committed {self._committed}/{trace_len})"
+                    f"(committed {committed}/{trace_len})"
                 )
             progress = 0
-            progress += self._process_completions(cycle)
-            progress += self._commit(cycle)
-            progress += self._issue(cycle)
-            dispatched = self._dispatch(cycle)
+
+            # ------------------------------------------------- completions
+            ready_key = cycle << 40
+            while events and (events[0] >> 40) <= cycle:
+                ev = heappop(events)
+                ekind = ev & 3
+                s = (ev >> 2) & SEQ_MASK
+                progress += 1
+                if ekind == _EV_OP:
+                    completed[s] = 1
+                    complete_cycle[s] = cycle
+                    if tracer is not None:
+                        tracer.on_complete(s, cycle)
+                    e = dep_head[s]
+                    while e >= 0:
+                        c = edge_consumer[e]
+                        d = deps[c] - 1
+                        deps[c] = d
+                        if d == 0:
+                            first_ready[c] = cycle
+                            heappush(ready, ready_key | c)
+                        e = edge_next[e]
+                    dep_head[s] = -1
+                    if kind[s] == 2:  # TCA
+                        tca_active.remove(s)
+                        s_tca_exec += cycle - tca_start_cycle[s]
+                elif ekind == _EV_TCA_READ:
+                    r = tca_reads_left[s] - 1
+                    tca_reads_left[s] = r
+                    if r == 0 and tca_read_index[s] >= tca_read_count[s]:
+                        heappush(
+                            events,
+                            ((cycle + tca_compute_latency[s]) << 40)
+                            | (s << 2),
+                        )
+                else:  # _EV_MSHR
+                    mshr_out -= 1
+
+            # ------------------------------------------------------ commit
+            commits = 0
+            while commits < commit_width and committed < pc:
+                h = committed
+                if not completed[h] or cycle < complete_cycle[h] + commit_latency:
+                    break
+                hk = kind[h]
+                if hk == 0:  # LOAD
+                    lq_count -= 1
+                    s_loads += 1
+                elif hk == 1:  # STORE
+                    sq_count -= 1
+                    write_lines(commit_write_lines[h])
+                    s_stores += 1
+                elif hk == 3:  # BRANCH
+                    s_branches += 1
+                    if mispredicted_t[h]:
+                        s_mispredicts += 1
+                elif hk == 2:  # TCA
+                    wl = commit_write_lines[h]
+                    if wl is not None:
+                        write_lines(wl)
+                        s_tca_writes += tca_write_count[h]
+                    s_tca_inv += 1
+                if barrier == h:
+                    barrier = -1
+                committed = h + 1
+                s_instructions += 1
+                if tracer is not None:
+                    tracer.on_commit(h, cycle)
+                commits += 1
+            progress += commits
+
+            # ------------------------------------------------------- issue
+            issued = 0
+            ready_limit = (cycle + 1) << 40
+            if (ready and ready[0] < ready_limit) or tca_pending:
+                for cls in fu_used:
+                    if fu_pipelined[cls]:
+                        fu_left[cls] = fu_ports[cls]
+                    else:
+                        n_free = 0
+                        for b in fu_busy[cls]:
+                            if b <= cycle:
+                                n_free += 1
+                        fu_left[cls] = n_free
+                issue_left = issue_width
+                lports = load_ports_n
+                sports = store_ports_n
+                deferred: list[int] = []
+                tca_reads_allowed = True
+                while issue_left > 0:
+                    atca = -1
+                    if tca_reads_allowed and tca_active:
+                        for t in tca_active:
+                            if tca_read_index[t] < tca_read_count[t]:
+                                atca = t
+                                break
+                    cand = -1
+                    if ready and ready[0] < ready_limit:
+                        cand = ready[0] & READY_MASK
+                    if atca >= 0 and (cand < 0 or atca < cand):
+                        # Older TCA read request competes for a load port
+                        # first (age-based arbitration, paper §IV).
+                        did_read = False
+                        if lports > 0:
+                            idx = tca_read_index[atca]
+                            rlines = tca_read_lines[atca][idx]
+                            blocked = False
+                            if mshr_out >= mshr_limit:
+                                for la in rlines:
+                                    if not l1_contains(la):
+                                        blocked = True
+                                        break
+                            if not blocked:
+                                lat, missed = access_lines(rlines)
+                                tca_read_index[atca] = idx + 1
+                                tca_reads_left[atca] += 1
+                                if idx + 1 == tca_read_count[atca]:
+                                    tca_pending -= 1
+                                ev = ((cycle + lat) << 40) | (atca << 2)
+                                heappush(events, ev | _EV_TCA_READ)
+                                if missed:
+                                    mshr_out += 1
+                                    heappush(events, ev | _EV_MSHR)
+                                s_tca_reads += 1
+                                did_read = True
+                        if did_read:
+                            lports -= 1
+                            issue_left -= 1
+                            issued += 1
+                            continue
+                        tca_reads_allowed = False
+                        continue
+                    if cand < 0:
+                        break
+                    heappop(ready)
+                    k = cand
+                    kk = kind[k]
+                    if kk == 2:  # TCA start
+                        ok = True
+                        if not mode_leading:
+                            if partial_spec:
+                                # Confidence-gated speculation (paper
+                                # §VIII): start once every older
+                                # low-confidence branch has resolved.
+                                blocked = False
+                                if lowconf:
+                                    live: list[int] = []
+                                    for b in lowconf:
+                                        if completed[b]:
+                                            continue
+                                        live.append(b)
+                                        if b < k:
+                                            blocked = True
+                                    lowconf = live
+                                if blocked:
+                                    ok = False
+                            elif committed != k:
+                                # Non-speculative TCA: wait for every
+                                # leading instruction to commit (ROB
+                                # drain) before beginning execution.
+                                ok = False
+                        if ok and len(tca_active) >= tca_units:
+                            ok = False
+                        if ok:
+                            insort(tca_active, k)
+                            tca_start_cycle[k] = cycle
+                            if tracer is not None:
+                                tracer.on_issue(k, cycle)
+                            s_tca_wait += cycle - first_ready[k]
+                            iq_occ -= 1
+                            if tca_read_count[k] == 0:
+                                heappush(
+                                    events,
+                                    ((cycle + tca_compute_latency[k]) << 40)
+                                    | (k << 2),
+                                )
+                            else:
+                                tca_pending += 1
+                            issued += 1
+                            issue_left -= 1
+                        else:
+                            deferred.append(k)
+                        continue
+                    if kk == 0:  # LOAD
+                        if lports <= 0:
+                            deferred.append(k)
+                            continue
+                        if forwarded[k]:
+                            lat = forward_latency
+                        else:
+                            llines = mem_lines[k]
+                            if mshr_out >= mshr_limit:
+                                wm = False
+                                for la in llines:
+                                    if not l1_contains(la):
+                                        wm = True
+                                        break
+                                if wm:
+                                    deferred.append(k)
+                                    continue
+                            lat, missed = access_lines(llines)
+                            if missed:
+                                mshr_out += 1
+                                heappush(
+                                    events,
+                                    ((cycle + lat) << 40) | (k << 2) | _EV_MSHR,
+                                )
+                        iq_occ -= 1
+                        heappush(events, ((cycle + lat) << 40) | (k << 2))
+                        if tracer is not None:
+                            tracer.on_issue(k, cycle)
+                        issued += 1
+                        issue_left -= 1
+                        lports -= 1
+                        continue
+                    if kk == 1:  # STORE
+                        if sports <= 0:
+                            deferred.append(k)
+                            continue
+                        iq_occ -= 1
+                        heappush(events, ((cycle + 1) << 40) | (k << 2))
+                        if tracer is not None:
+                            tracer.on_issue(k, cycle)
+                        issued += 1
+                        issue_left -= 1
+                        sports -= 1
+                        continue
+                    # Functional-unit op.
+                    cls = fu_class[k]
+                    if fu_left[cls] <= 0:
+                        deferred.append(k)
+                        continue
+                    fu_left[cls] -= 1
+                    lat = lat_override[k]
+                    if lat < 0:
+                        lat = fu_latency[cls]
+                    if not fu_pipelined[cls]:
+                        busy = fu_busy[cls]
+                        for i in range(len(busy)):
+                            if busy[i] <= cycle:
+                                busy[i] = cycle + lat
+                                break
+                    iq_occ -= 1
+                    heappush(events, ((cycle + lat) << 40) | (k << 2))
+                    if tracer is not None:
+                        tracer.on_issue(k, cycle)
+                    issued += 1
+                    issue_left -= 1
+                for k in deferred:
+                    heappush(ready, ready_limit | k)
+            progress += issued
+
+            # ---------------------------------------------------- dispatch
+            dispatched = 0
+            last_stall = S_NONE
+            while dispatched < dispatch_width:
+                if pc >= trace_len:
+                    if dispatched == 0:
+                        last_stall = S_TRACE_DRAINED
+                    break
+                if cycle < frontend_depth:
+                    last_stall = S_FRONTEND_FILL
+                    break
+                if barrier >= 0:
+                    last_stall = S_TCA_BARRIER
+                    break
+                if redirect_seq >= 0:
+                    if (
+                        completed[redirect_seq]
+                        and cycle >= complete_cycle[redirect_seq] + redirect_penalty
+                    ):
+                        redirect_seq = -1
+                    else:
+                        last_stall = S_BRANCH_REDIRECT
+                        break
+                if pc - committed >= rob_size:
+                    last_stall = S_ROB_FULL
+                    break
+                k = pc
+                kk = kind[k]
+                if iq_occ >= iq_size:
+                    last_stall = S_IQ_FULL
+                    break
+                if kk == 0 and lq_count >= lq_size:
+                    last_stall = S_LQ_FULL
+                    break
+                if kk == 1 and sq_count >= sq_size:
+                    last_stall = S_SQ_FULL
+                    break
+                pc = k + 1
+                completed[k] = 0
+                if tracer is not None:
+                    tracer.on_dispatch(k, op_value[k], cycle)
+                ndeps = 0
+                for e, p in reg_edges[k]:
+                    if completed[p]:
+                        continue
+                    ndeps += 1
+                    edge_next[e] = dep_head[p]
+                    dep_head[p] = e
+                if kk == 0:  # LOAD: conservative disambiguation + forwarding
+                    addr = mem_addr[k]
+                    end = addr + mem_size[k]
+                    while writers_start < len(writers) and (
+                        writers[writers_start] < committed
+                    ):
+                        writers_start += 1
+                    w = -1
+                    for i in range(len(writers) - 1, writers_start - 1, -1):
+                        ws = writers[i]
+                        if completed[ws]:
+                            continue
+                        if writer_lo[ws] < end and addr < writer_hi[ws]:
+                            for wa, wsz in writer_ranges[ws]:
+                                if wa < end and addr < wa + wsz:
+                                    w = ws
+                                    break
+                            if w >= 0:
+                                break
+                    if w >= 0:
+                        forwarded[k] = 1
+                        if w not in reg_producers[k]:
+                            ndeps += 1
+                            e = mem_edge_base[k]
+                            edge_next[e] = dep_head[w]
+                            dep_head[w] = e
+                    else:
+                        forwarded[k] = 0
+                    lq_count += 1
+                elif kk == 1:  # STORE
+                    sq_count += 1
+                    writers.append(k)
+                elif kk == 2:  # TCA
+                    tca_read_index[k] = 0
+                    tca_reads_left[k] = 0
+                    reads = tca_reads_t[k]
+                    if reads:
+                        while writers_start < len(writers) and (
+                            writers[writers_start] < committed
+                        ):
+                            writers_start += 1
+                        rp = reg_producers[k]
+                        mem_e = mem_edge_base[k]
+                        n_attached = 0
+                        attached_mem: list[int] = []
+                        for ra, rs in reads:
+                            rend = ra + rs
+                            w = -1
+                            for i in range(
+                                len(writers) - 1, writers_start - 1, -1
+                            ):
+                                ws = writers[i]
+                                if completed[ws]:
+                                    continue
+                                if writer_lo[ws] < rend and ra < writer_hi[ws]:
+                                    for wa, wsz in writer_ranges[ws]:
+                                        if wa < rend and ra < wa + wsz:
+                                            w = ws
+                                            break
+                                    if w >= 0:
+                                        break
+                            if w >= 0 and w not in rp and w not in attached_mem:
+                                attached_mem.append(w)
+                                ndeps += 1
+                                e = mem_e + n_attached
+                                n_attached += 1
+                                edge_next[e] = dep_head[w]
+                                dep_head[w] = e
+                    if writer_ranges[k] is not None:
+                        writers.append(k)
+                if low_conf[k]:
+                    lowconf.append(k)
+                iq_occ += 1
+                deps[k] = ndeps
+                if ndeps == 0:
+                    first_ready[k] = cycle + 1
+                    heappush(ready, ((cycle + 1) << 40) | k)
+                dispatched += 1
+                s_dispatched += 1
+                if kk == 2 and not mode_trailing:
+                    # NT modes: the TCA is a dispatch barrier until commit.
+                    barrier = k
+                    break
+                if mispredicted_t[k]:
+                    redirect_seq = k
+                    break
             progress += dispatched
 
-            rob_len = len(self.rob)
-            if rob_len > self.stats.max_rob_occupancy:
-                self.stats.max_rob_occupancy = rob_len
-
-            if dispatched == 0 and self._last_stall is not StallReason.NONE:
-                self.stats.add_stall(self._last_stall)
-                if self._tracer is not None:
-                    self._tracer.on_stall(self._last_stall.value, cycle)
-            self.stats.rob_occupancy_sum += rob_len
-            self.stats.rob_samples += 1
+            # ------------------------------------------------- end of cycle
+            rob_len = pc - committed
+            if rob_len > max_rob:
+                max_rob = rob_len
+            if dispatched == 0 and last_stall != S_NONE:
+                stall_counts[last_stall] += 1
+                if tracer is not None:
+                    tracer.on_stall(_STALL_REASONS[last_stall].value, cycle)
+            rob_occ_sum += rob_len
+            rob_samples += 1
 
             if progress:
                 cycle += 1
                 continue
-            cycle = self._fast_forward(cycle, rob_len)
-        self.stats.cycles = cycle
-        return self.stats
 
-    def _fast_forward(self, cycle: int, rob_len: int) -> int:
-        """Jump to the next cycle at which any pipeline event can occur."""
-        candidates: list[int] = []
-        if self._events:
-            candidates.append(self._events[0][0])
-        ready = self.iq.next_ready_cycle()
-        if ready is not None:
-            candidates.append(ready)
-        resume = self.redirect.resume_cycle()
-        if resume is not None:
-            candidates.append(resume)
-        head = self.rob.head()
-        if head is not None and head.completed:
-            assert head.complete_cycle is not None
-            candidates.append(head.complete_cycle + self.config.commit_latency)
-        if cycle < self.config.frontend_depth:
-            candidates.append(self.config.frontend_depth)
-        if not candidates:
-            raise DeadlockError(
-                f"no progress possible at cycle {cycle} "
-                f"(committed {self._committed}/{len(self.trace)}, "
-                f"rob={rob_len}, pc={self._pc})"
-            )
-        target = max(cycle + 1, min(candidates))
-        skipped = target - cycle - 1
-        if skipped > 0:
-            if self._last_stall is not StallReason.NONE:
-                self.stats.add_stall(self._last_stall, skipped)
-                if self._tracer is not None:
-                    self._tracer.on_stall(self._last_stall.value, cycle + 1, skipped)
-            self.stats.rob_occupancy_sum += rob_len * skipped
-            self.stats.rob_samples += skipped
-        return target
-
-    # ---------------------------------------------------------- completions
-
-    def _process_completions(self, cycle: int) -> int:
-        events = self._events
-        processed = 0
-        while events and events[0][0] <= cycle:
-            _when, _seq, kind, dyn = heapq.heappop(events)
-            processed += 1
-            if kind == _EV_OP:
-                self._complete(dyn, cycle)
-            elif kind == _EV_TCA_READ:
-                dyn.tca_reads_left -= 1
-                if dyn.tca_reads_left == 0 and dyn.tca_read_index >= len(
-                    dyn.inst.tca.reads  # type: ignore[union-attr]
-                ):
-                    self._schedule_tca_compute(dyn, cycle)
-            else:  # _EV_MSHR
-                self._mshr_outstanding -= 1
-        return processed
-
-    def _complete(self, dyn: DynInst, cycle: int) -> None:
-        dyn.completed = True
-        dyn.complete_cycle = cycle
-        if self._tracer is not None:
-            self._tracer.on_complete(dyn.seq, cycle)
-        for dep in dyn.dependents:
-            dep.deps -= 1
-            if dep.deps == 0:
-                self._mark_ready(dep, cycle)
-        dyn.dependents.clear()
-        if dyn.inst.is_tca:
-            self.tca_unit.finish(dyn)
-            assert dyn.tca_start_cycle is not None
-            self.stats.tca_exec_cycles += cycle - dyn.tca_start_cycle
-
-    def _schedule_tca_compute(self, dyn: DynInst, cycle: int) -> None:
-        latency = max(1, dyn.inst.tca.compute_latency)  # type: ignore[union-attr]
-        heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_OP, dyn))
-
-    def _mark_ready(self, dyn: DynInst, cycle: int) -> None:
-        if dyn.first_ready_cycle is None:
-            dyn.first_ready_cycle = cycle
-        self.iq.mark_ready(dyn, cycle)
-
-    # --------------------------------------------------------------- commit
-
-    def _commit(self, cycle: int) -> int:
-        commits = 0
-        latency = self.config.commit_latency
-        width = self.config.commit_width
-        while commits < width:
-            head = self.rob.head()
-            if head is None or not head.completed:
-                break
-            assert head.complete_cycle is not None
-            if cycle < head.complete_cycle + latency:
-                break
-            self._commit_one(head, cycle)
-            commits += 1
-        return commits
-
-    def _commit_one(self, head: DynInst, cycle: int) -> None:
-        self.rob.pop_head()
-        inst = head.inst
-        op = inst.op
-        if op is OpClass.LOAD:
-            self.lsq.release_load()
-            self.stats.loads += 1
-        elif op is OpClass.STORE:
-            self.lsq.release_store()
-            self.lsq.deregister_writer(head)
-            assert inst.addr is not None
-            self.cache.write(inst.addr, inst.size)
-            self.stats.stores += 1
-        elif op is OpClass.BRANCH:
-            self.stats.branches += 1
-            if inst.mispredicted:
-                self.stats.mispredicts += 1
-        elif op is OpClass.TCA:
-            descriptor = inst.tca
-            assert descriptor is not None
-            if descriptor.writes:
-                self.lsq.deregister_writer(head)
-                for req in descriptor.writes:
-                    self.cache.write(req.addr, req.size)
-                self.stats.tca_write_requests += len(descriptor.writes)
-            self.stats.tca_invocations += 1
-        for dst in inst.dsts:
-            self.rename.clear_if_producer(dst, head)
-        if self._barrier is head:
-            self._barrier = None
-        self._committed += 1
-        self.stats.instructions += 1
-        if self._tracer is not None:
-            self._tracer.on_commit(head.seq, cycle)
-
-    # ---------------------------------------------------------------- issue
-
-    def _issue(self, cycle: int) -> int:
-        self.fus.new_cycle(cycle)
-        issued = 0
-        issue_left = self.config.issue_width
-        load_ports = self.config.load_ports
-        store_ports = self.config.store_ports
-        deferred: list[DynInst] = []
-        tca_reads_allowed = True
-
-        while issue_left > 0:
-            active_tca = (
-                self.tca_unit.oldest_with_pending_reads()
-                if tca_reads_allowed
-                else None
-            )
-            tca_seq = active_tca.seq if active_tca is not None else None
-            cand_seq = self.iq.peek_ready_seq(cycle)
-            if tca_seq is not None and (cand_seq is None or tca_seq < cand_seq):
-                # Older TCA read request competes for a load port first
-                # (age-based arbitration, paper §IV).
-                if load_ports > 0 and self._issue_tca_read(active_tca, cycle):
-                    load_ports -= 1
-                    issue_left -= 1
-                    issued += 1
-                    continue
-                tca_reads_allowed = False
-                continue
-            if cand_seq is None:
-                break
-            dyn = self.iq.pop_ready(cycle)
-            assert dyn is not None
-            ok, used_load, used_store = self._try_issue_inst(
-                dyn, cycle, load_ports, store_ports
-            )
-            if ok:
-                issued += 1
-                issue_left -= 1
-                load_ports -= used_load
-                store_ports -= used_store
-            else:
-                deferred.append(dyn)
-        for dyn in deferred:
-            self.iq.mark_ready(dyn, cycle + 1)
-        return issued
-
-    def _issue_tca_read(self, dyn: DynInst, cycle: int) -> bool:
-        descriptor = dyn.inst.tca
-        assert descriptor is not None
-        req = descriptor.reads[dyn.tca_read_index]
-        missed = self._would_miss(req.addr, req.size)
-        if missed and self._mshr_outstanding >= self.config.mshrs:
-            return False
-        latency, missed = self.cache.access(req.addr, req.size)
-        dyn.tca_read_index += 1
-        dyn.tca_reads_left += 1
-        heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_TCA_READ, dyn))
-        if missed:
-            self._mshr_outstanding += 1
-            heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_MSHR, dyn))
-        self.stats.tca_read_requests += 1
-        return True
-
-    def _try_issue_inst(
-        self, dyn: DynInst, cycle: int, load_ports: int, store_ports: int
-    ) -> tuple[bool, int, int]:
-        """Attempt to issue one instruction; returns (ok, loads_used, stores_used)."""
-        inst = dyn.inst
-        op = inst.op
-        if op is OpClass.TCA:
-            return self._try_start_tca(dyn, cycle), 0, 0
-        if op is OpClass.LOAD:
-            if load_ports <= 0:
-                return False, 0, 0
-            assert inst.addr is not None
-            if dyn.forwarded:
-                latency = self.config.forward_latency
-            else:
-                if self._would_miss(inst.addr, inst.size) and (
-                    self._mshr_outstanding >= self.config.mshrs
-                ):
-                    return False, 0, 0
-                latency, missed = self.cache.access(inst.addr, inst.size)
-                if missed:
-                    self._mshr_outstanding += 1
-                    heapq.heappush(
-                        self._events, (cycle + latency, dyn.seq, _EV_MSHR, dyn)
+            # Fast-forward to the next cycle at which any pipeline event
+            # can occur.  A zero-progress cycle is *sterile*: every ready
+            # candidate was attempted and deferred, and each blocker
+            # (MSHR free, FU port free, completion, commit eligibility,
+            # redirect resume, frontend fill) resolves exactly at one of
+            # the candidate times below — so re-attempting the deferred
+            # instructions before then cannot succeed, and the ready heap
+            # is re-keyed to the target instead of being polled every
+            # cycle (the event-proportional cost the seed engine only
+            # achieved when the IQ was empty).
+            target = -1
+            if events:
+                target = events[0] >> 40
+            if redirect_seq >= 0 and completed[redirect_seq]:
+                t2 = complete_cycle[redirect_seq] + redirect_penalty
+                if target < 0 or t2 < target:
+                    target = t2
+            if committed < pc and completed[committed]:
+                t2 = complete_cycle[committed] + commit_latency
+                if target < 0 or t2 < target:
+                    target = t2
+            if cycle < frontend_depth:
+                if target < 0 or frontend_depth < target:
+                    target = frontend_depth
+            if target < 0:
+                if ready:
+                    # No event will unblock the deferred candidates; step
+                    # and let the watchdog bound the livelock (matches the
+                    # seed engine's behaviour).
+                    target = cycle + 1
+                else:
+                    raise DeadlockError(
+                        f"no progress possible at cycle {cycle} "
+                        f"(committed {committed}/{trace_len}, "
+                        f"rob={rob_len}, pc={pc})"
                     )
-            self._finish_issue(dyn, cycle, latency)
-            return True, 1, 0
-        if op is OpClass.STORE:
-            if store_ports <= 0:
-                return False, 0, 0
-            self._finish_issue(dyn, cycle, 1)
-            return True, 0, 1
-        latency = self.fus.try_issue(op, inst.latency)
-        if latency is None:
-            return False, 0, 0
-        self._finish_issue(dyn, cycle, latency)
-        return True, 0, 0
+            if target < cycle + 1:
+                target = cycle + 1
+            if target > max_cycles + 1:
+                target = max_cycles + 1
+            skipped = target - cycle - 1
+            if skipped > 0:
+                if last_stall != S_NONE:
+                    stall_counts[last_stall] += skipped
+                    if tracer is not None:
+                        tracer.on_stall(
+                            _STALL_REASONS[last_stall].value, cycle + 1, skipped
+                        )
+                rob_occ_sum += rob_len * skipped
+                rob_samples += skipped
+                if ready:
+                    # Deferred entries would have been re-keyed forward one
+                    # cycle at a time; jump them to the target so age-order
+                    # arbitration at the target cycle matches stepping.  At
+                    # this point every entry is keyed exactly cycle + 1
+                    # (anything older was popped by the issue stage this
+                    # cycle and re-deferred), so the uniform re-key
+                    # preserves the heap invariant without a heapify.
+                    target_key = target << 40
+                    ready = [target_key | (v & READY_MASK) for v in ready]
+            cycle = target
 
-    def _finish_issue(self, dyn: DynInst, cycle: int, latency: int) -> None:
-        dyn.issued = True
-        self.iq.release()
-        heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_OP, dyn))
-        if self._tracer is not None:
-            self._tracer.on_issue(dyn.seq, cycle)
-
-    def _try_start_tca(self, dyn: DynInst, cycle: int) -> bool:
-        mode = self.config.tca_mode
-        if not mode.leading:
-            if self.config.partial_speculation:
-                # Confidence-gated speculation (paper §VIII): start once
-                # every older low-confidence branch has resolved.
-                if self._has_unresolved_lowconf_branch(dyn.seq):
-                    return False
-            elif self.rob.head() is not dyn:
-                # Non-speculative TCA: wait for every leading instruction
-                # to commit (ROB drain) before beginning execution.
-                return False
-        if not self.tca_unit.try_start(dyn):
-            return False
-        dyn.issued = True
-        dyn.tca_start_cycle = cycle
-        if self._tracer is not None:
-            self._tracer.on_issue(dyn.seq, cycle)
-        if dyn.first_ready_cycle is not None:
-            self.stats.tca_wait_drain_cycles += cycle - dyn.first_ready_cycle
-        self.iq.release()
-        descriptor = dyn.inst.tca
-        assert descriptor is not None
-        if not descriptor.reads:
-            self._schedule_tca_compute(dyn, cycle)
-        return True
-
-    def _has_unresolved_lowconf_branch(self, seq: int) -> bool:
-        """Whether any older low-confidence branch is still in flight."""
-        live: list[DynInst] = []
-        blocked = False
-        for branch in self._lowconf_branches:
-            if branch.completed:
-                continue
-            live.append(branch)
-            if branch.seq < seq:
-                blocked = True
-        self._lowconf_branches = live
-        return blocked
-
-    def _would_miss(self, addr: int, size: int) -> bool:
-        line = self.cache.l1.config.line
-        first = addr - (addr % line)
-        last = addr + size - 1
-        line_addr = first
-        while line_addr <= last:
-            if not self.cache.l1.contains(line_addr):
-                return True
-            line_addr += line
-        return False
-
-    # ------------------------------------------------------------- dispatch
-
-    def _dispatch(self, cycle: int) -> int:
-        trace = self.trace.instructions
-        trace_len = len(trace)
-        dispatched = 0
-        self._last_stall = StallReason.NONE
-        width = self.config.dispatch_width
-        while dispatched < width:
-            if self._pc >= trace_len:
-                if dispatched == 0:
-                    self._last_stall = StallReason.TRACE_DRAINED
-                break
-            if cycle < self.config.frontend_depth:
-                self._last_stall = StallReason.FRONTEND_FILL
-                break
-            if self._barrier is not None:
-                self._last_stall = StallReason.TCA_BARRIER
-                break
-            if self.redirect.active and not self.redirect.try_release(cycle):
-                self._last_stall = StallReason.BRANCH_REDIRECT
-                break
-            if self.rob.full:
-                self._last_stall = StallReason.ROB_FULL
-                break
-            inst = trace[self._pc]
-            op = inst.op
-            if self.iq.full:
-                self._last_stall = StallReason.IQ_FULL
-                break
-            if op is OpClass.LOAD and self.lsq.lq_full:
-                self._last_stall = StallReason.LQ_FULL
-                break
-            if op is OpClass.STORE and self.lsq.sq_full:
-                self._last_stall = StallReason.SQ_FULL
-                break
-            dyn = self._dispatch_one(inst, cycle)
-            dispatched += 1
-            self.stats.dispatched += 1
-            if op is OpClass.TCA and not self.config.tca_mode.trailing:
-                # NT modes: the TCA is a dispatch barrier until it commits.
-                self._barrier = dyn
-                break
-            if inst.mispredicted:
-                self.redirect.block_on(dyn)
-                break
-        return dispatched
-
-    def _dispatch_one(self, inst: Instruction, cycle: int) -> DynInst:
-        dyn = DynInst(inst, self._pc)
-        self._pc += 1
-        if self._tracer is not None:
-            self._tracer.on_dispatch(dyn.seq, inst.op.value, cycle)
-        producers: set[int] = set()
-        for src in inst.srcs:
-            producer = self.rename.producer_of(src)
-            if producer is not None and id(producer) not in producers:
-                producers.add(id(producer))
-                dyn.deps += 1
-                producer.dependents.append(dyn)
-        op = inst.op
-        if op is OpClass.LOAD:
-            assert inst.addr is not None
-            writer = self.lsq.youngest_conflicting_writer(
-                dyn.seq, inst.addr, inst.size
-            )
-            if writer is not None and id(writer) not in producers:
-                producers.add(id(writer))
-                dyn.deps += 1
-                writer.dependents.append(dyn)
-                dyn.forwarded = True
-            elif writer is not None:
-                dyn.forwarded = True
-            self.lsq.allocate_load()
-        elif op is OpClass.STORE:
-            assert inst.addr is not None
-            self.lsq.allocate_store()
-            self.lsq.register_writer(dyn, ((inst.addr, inst.size),))
-        elif op is OpClass.TCA:
-            descriptor = inst.tca
-            assert descriptor is not None
-            for req in descriptor.reads:
-                writer = self.lsq.youngest_conflicting_writer(
-                    dyn.seq, req.addr, req.size
-                )
-                if writer is not None and id(writer) not in producers:
-                    producers.add(id(writer))
-                    dyn.deps += 1
-                    writer.dependents.append(dyn)
-            if descriptor.writes:
-                self.lsq.register_writer(
-                    dyn, tuple((w.addr, w.size) for w in descriptor.writes)
-                )
-        if inst.low_confidence:
-            self._lowconf_branches.append(dyn)
-        for dst in inst.dsts:
-            self.rename.set_producer(dst, dyn)
-        self.iq.allocate()
-        self.rob.push(dyn)
-        if dyn.deps == 0:
-            self._mark_ready(dyn, cycle + 1)
-        return dyn
+        stats.cycles = cycle
+        stats.instructions = s_instructions
+        stats.dispatched = s_dispatched
+        stats.loads = s_loads
+        stats.stores = s_stores
+        stats.branches = s_branches
+        stats.mispredicts = s_mispredicts
+        stats.tca_invocations = s_tca_inv
+        stats.tca_read_requests = s_tca_reads
+        stats.tca_write_requests = s_tca_writes
+        stats.tca_wait_drain_cycles = s_tca_wait
+        stats.tca_exec_cycles = s_tca_exec
+        stats.rob_occupancy_sum = rob_occ_sum
+        stats.rob_samples = rob_samples
+        stats.max_rob_occupancy = max_rob
+        for i, reason in enumerate(_STALL_REASONS):
+            count = stall_counts[i]
+            if count:
+                stats.stall_cycles[reason] = count
+        return stats

@@ -1,0 +1,550 @@
+"""The seed (pre-compile-pipeline) out-of-order core engine.
+
+This module preserves the original object-per-instruction simulator —
+one :class:`~repro.sim.core.DynInst` allocated per trace instruction per
+run, component objects (:class:`~repro.sim.rob.ReorderBuffer`,
+:class:`~repro.sim.issue_queue.IssueQueue`, …) driven cycle by cycle —
+exactly as it behaved before the compile-once pipeline
+(:mod:`repro.sim.compile`) replaced it on the hot path.  It exists for
+two reasons:
+
+1. **Equivalence oracle.**  The production :class:`~repro.sim.core.CoreSim`
+   must produce *byte-identical* :meth:`~repro.sim.stats.SimStats.to_dict`
+   payloads to this engine; ``tests/test_sim_equivalence.py`` asserts it
+   across workloads, TCA modes, and warm/cold cache variants, and
+   ``benchmarks/bench_sim.py`` measures speedup against it.
+2. **Cycle-stepped reference.**  ``fast_forward=False`` disables the
+   event jump and steps every cycle, which pins down the fast-forward
+   contract: skipped cycles must be charged to the active
+   :class:`~repro.sim.stats.StallReason` and sampled into the ROB
+   occupancy statistics exactly as if they had been stepped.
+
+Behavioural documentation for the pipeline itself lives in
+:mod:`repro.sim.core` and ``docs/SIMULATOR.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.trace import Trace
+from repro.obs.tracer import PipelineTracer, get_active_tracer
+from repro.sim.branch import RedirectUnit
+from repro.sim.cache import CacheConfig, CacheHierarchy
+from repro.sim.config import SimConfig
+from repro.sim.core import DeadlockError, DynInst
+from repro.sim.functional_units import FUPool
+from repro.sim.issue_queue import IssueQueue
+from repro.sim.lsq import LoadStoreQueue
+from repro.sim.rename import RenameTable
+from repro.sim.rob import ReorderBuffer
+from repro.sim.stats import SimStats, StallReason
+from repro.sim.tca_unit import TCAUnit
+
+# Completion-event kinds (heap payload tags).
+_EV_OP = 0
+_EV_TCA_READ = 1
+_EV_MSHR = 2
+
+
+class ReferenceCoreSim:
+    """Seed cycle-level execution of one trace on one core configuration.
+
+    Args:
+        config: core configuration (including the TCA integration mode).
+        trace: dynamic instruction stream to execute.
+        warm_ranges: optional ``(addr, size)`` byte ranges pre-loaded into
+            the caches before simulation (e.g. warmed data structures).
+        tracer: optional :class:`~repro.obs.tracer.PipelineTracer`
+            receiving per-instruction dispatch/issue/complete/commit and
+            stall events.  Defaults to the ambient tracer installed via
+            :func:`repro.obs.tracer.tracing` (``None`` = tracing off).
+            Disabled tracers are normalised to ``None`` so the hot loop
+            pays exactly one attribute check per event site.
+        fast_forward: when ``False``, step every cycle instead of jumping
+            to the next possible event — slower, but charges stalls one
+            cycle at a time (the reference for fast-forward attribution
+            tests).
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        trace: Trace,
+        warm_ranges: list[tuple[int, int]] | None = None,
+        tracer: PipelineTracer | None = None,
+        fast_forward: bool = True,
+    ) -> None:
+        self._fast_forward_enabled = fast_forward
+        self.config = config
+        self.trace = trace
+        if tracer is None:
+            tracer = get_active_tracer()
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        if tracer is not None:
+            tracer.ensure_run(trace.name, config.name, config.tca_mode.value)
+        self._tracer = tracer
+        self.stats = SimStats()
+        self.rob = ReorderBuffer(config.rob_size)
+        self.iq = IssueQueue(config.iq_size)
+        self.lsq = LoadStoreQueue(config.lq_size, config.sq_size)
+        self.rename = RenameTable()
+        self.fus = FUPool(config)
+        self.redirect = RedirectUnit(config.redirect_penalty)
+        self.tca_unit = TCAUnit(config.tca_mode, capacity=config.tca_units)
+        self.cache = CacheHierarchy(
+            CacheConfig(config.l1d_size, config.l1d_assoc, config.l1d_latency),
+            CacheConfig(config.l2_size, config.l2_assoc, config.l2_latency),
+            config.mem_latency,
+            prefetch_next_line=config.prefetch_next_line,
+        )
+        for addr, size in warm_ranges or ():
+            self.cache.warm(addr, size)
+        self._events: list[tuple[int, int, int, DynInst]] = []
+        self._pc = 0
+        self._committed = 0
+        self._barrier: DynInst | None = None
+        self._mshr_outstanding = 0
+        self._last_stall = StallReason.NONE
+        # In-flight low-confidence branches (for the §VIII partial-
+        # speculation policy); pruned lazily as they complete.
+        self._lowconf_branches: list[DynInst] = []
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> SimStats:
+        """Execute the trace to completion and return statistics."""
+        trace_len = len(self.trace)
+        cycle = 0
+        max_cycles = self.config.max_cycles
+        while self._committed < trace_len:
+            if cycle > max_cycles:
+                raise DeadlockError(
+                    f"exceeded max_cycles={max_cycles} "
+                    f"(committed {self._committed}/{trace_len})"
+                )
+            progress = 0
+            progress += self._process_completions(cycle)
+            progress += self._commit(cycle)
+            progress += self._issue(cycle)
+            dispatched = self._dispatch(cycle)
+            progress += dispatched
+
+            rob_len = len(self.rob)
+            if rob_len > self.stats.max_rob_occupancy:
+                self.stats.max_rob_occupancy = rob_len
+
+            if dispatched == 0 and self._last_stall is not StallReason.NONE:
+                self.stats.add_stall(self._last_stall)
+                if self._tracer is not None:
+                    self._tracer.on_stall(self._last_stall.value, cycle)
+            self.stats.rob_occupancy_sum += rob_len
+            self.stats.rob_samples += 1
+
+            if progress:
+                cycle += 1
+                continue
+            if self._fast_forward_enabled:
+                cycle = self._fast_forward(cycle, rob_len)
+            else:
+                # Cycle-stepped reference: re-run every stage next cycle
+                # and let the main loop charge the stall (deadlock is
+                # still caught by the max_cycles guard above).
+                cycle += 1
+        self.stats.cycles = cycle
+        return self.stats
+
+    def _fast_forward(self, cycle: int, rob_len: int) -> int:
+        """Jump to the next cycle at which any pipeline event can occur."""
+        candidates: list[int] = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        ready = self.iq.next_ready_cycle()
+        if ready is not None:
+            candidates.append(ready)
+        resume = self.redirect.resume_cycle()
+        if resume is not None:
+            candidates.append(resume)
+        head = self.rob.head()
+        if head is not None and head.completed:
+            assert head.complete_cycle is not None
+            candidates.append(head.complete_cycle + self.config.commit_latency)
+        if cycle < self.config.frontend_depth:
+            candidates.append(self.config.frontend_depth)
+        if not candidates:
+            raise DeadlockError(
+                f"no progress possible at cycle {cycle} "
+                f"(committed {self._committed}/{len(self.trace)}, "
+                f"rob={rob_len}, pc={self._pc})"
+            )
+        target = max(cycle + 1, min(candidates))
+        skipped = target - cycle - 1
+        if skipped > 0:
+            if self._last_stall is not StallReason.NONE:
+                self.stats.add_stall(self._last_stall, skipped)
+                if self._tracer is not None:
+                    self._tracer.on_stall(self._last_stall.value, cycle + 1, skipped)
+            self.stats.rob_occupancy_sum += rob_len * skipped
+            self.stats.rob_samples += skipped
+        return target
+
+    # ---------------------------------------------------------- completions
+
+    def _process_completions(self, cycle: int) -> int:
+        events = self._events
+        processed = 0
+        while events and events[0][0] <= cycle:
+            _when, _seq, kind, dyn = heapq.heappop(events)
+            processed += 1
+            if kind == _EV_OP:
+                self._complete(dyn, cycle)
+            elif kind == _EV_TCA_READ:
+                dyn.tca_reads_left -= 1
+                if dyn.tca_reads_left == 0 and dyn.tca_read_index >= len(
+                    dyn.inst.tca.reads  # type: ignore[union-attr]
+                ):
+                    self._schedule_tca_compute(dyn, cycle)
+            else:  # _EV_MSHR
+                self._mshr_outstanding -= 1
+        return processed
+
+    def _complete(self, dyn: DynInst, cycle: int) -> None:
+        dyn.completed = True
+        dyn.complete_cycle = cycle
+        if self._tracer is not None:
+            self._tracer.on_complete(dyn.seq, cycle)
+        for dep in dyn.dependents:
+            dep.deps -= 1
+            if dep.deps == 0:
+                self._mark_ready(dep, cycle)
+        dyn.dependents.clear()
+        if dyn.inst.is_tca:
+            self.tca_unit.finish(dyn)
+            assert dyn.tca_start_cycle is not None
+            self.stats.tca_exec_cycles += cycle - dyn.tca_start_cycle
+
+    def _schedule_tca_compute(self, dyn: DynInst, cycle: int) -> None:
+        latency = max(1, dyn.inst.tca.compute_latency)  # type: ignore[union-attr]
+        heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_OP, dyn))
+
+    def _mark_ready(self, dyn: DynInst, cycle: int) -> None:
+        if dyn.first_ready_cycle is None:
+            dyn.first_ready_cycle = cycle
+        self.iq.mark_ready(dyn, cycle)
+
+    # --------------------------------------------------------------- commit
+
+    def _commit(self, cycle: int) -> int:
+        commits = 0
+        latency = self.config.commit_latency
+        width = self.config.commit_width
+        while commits < width:
+            head = self.rob.head()
+            if head is None or not head.completed:
+                break
+            assert head.complete_cycle is not None
+            if cycle < head.complete_cycle + latency:
+                break
+            self._commit_one(head, cycle)
+            commits += 1
+        return commits
+
+    def _commit_one(self, head: DynInst, cycle: int) -> None:
+        self.rob.pop_head()
+        inst = head.inst
+        op = inst.op
+        if op is OpClass.LOAD:
+            self.lsq.release_load()
+            self.stats.loads += 1
+        elif op is OpClass.STORE:
+            self.lsq.release_store()
+            self.lsq.deregister_writer(head)
+            assert inst.addr is not None
+            self.cache.write(inst.addr, inst.size)
+            self.stats.stores += 1
+        elif op is OpClass.BRANCH:
+            self.stats.branches += 1
+            if inst.mispredicted:
+                self.stats.mispredicts += 1
+        elif op is OpClass.TCA:
+            descriptor = inst.tca
+            assert descriptor is not None
+            if descriptor.writes:
+                self.lsq.deregister_writer(head)
+                for req in descriptor.writes:
+                    self.cache.write(req.addr, req.size)
+                self.stats.tca_write_requests += len(descriptor.writes)
+            self.stats.tca_invocations += 1
+        for dst in inst.dsts:
+            self.rename.clear_if_producer(dst, head)
+        if self._barrier is head:
+            self._barrier = None
+        self._committed += 1
+        self.stats.instructions += 1
+        if self._tracer is not None:
+            self._tracer.on_commit(head.seq, cycle)
+
+    # ---------------------------------------------------------------- issue
+
+    def _issue(self, cycle: int) -> int:
+        self.fus.new_cycle(cycle)
+        issued = 0
+        issue_left = self.config.issue_width
+        load_ports = self.config.load_ports
+        store_ports = self.config.store_ports
+        deferred: list[DynInst] = []
+        tca_reads_allowed = True
+
+        while issue_left > 0:
+            active_tca = (
+                self.tca_unit.oldest_with_pending_reads()
+                if tca_reads_allowed
+                else None
+            )
+            tca_seq = active_tca.seq if active_tca is not None else None
+            cand_seq = self.iq.peek_ready_seq(cycle)
+            if tca_seq is not None and (cand_seq is None or tca_seq < cand_seq):
+                # Older TCA read request competes for a load port first
+                # (age-based arbitration, paper §IV).
+                if load_ports > 0 and self._issue_tca_read(active_tca, cycle):
+                    load_ports -= 1
+                    issue_left -= 1
+                    issued += 1
+                    continue
+                tca_reads_allowed = False
+                continue
+            if cand_seq is None:
+                break
+            dyn = self.iq.pop_ready(cycle)
+            assert dyn is not None
+            ok, used_load, used_store = self._try_issue_inst(
+                dyn, cycle, load_ports, store_ports
+            )
+            if ok:
+                issued += 1
+                issue_left -= 1
+                load_ports -= used_load
+                store_ports -= used_store
+            else:
+                deferred.append(dyn)
+        for dyn in deferred:
+            self.iq.mark_ready(dyn, cycle + 1)
+        return issued
+
+    def _issue_tca_read(self, dyn: DynInst, cycle: int) -> bool:
+        descriptor = dyn.inst.tca
+        assert descriptor is not None
+        req = descriptor.reads[dyn.tca_read_index]
+        missed = self._would_miss(req.addr, req.size)
+        if missed and self._mshr_outstanding >= self.config.mshrs:
+            return False
+        latency, missed = self.cache.access(req.addr, req.size)
+        dyn.tca_read_index += 1
+        dyn.tca_reads_left += 1
+        heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_TCA_READ, dyn))
+        if missed:
+            self._mshr_outstanding += 1
+            heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_MSHR, dyn))
+        self.stats.tca_read_requests += 1
+        return True
+
+    def _try_issue_inst(
+        self, dyn: DynInst, cycle: int, load_ports: int, store_ports: int
+    ) -> tuple[bool, int, int]:
+        """Attempt to issue one instruction; returns (ok, loads_used, stores_used)."""
+        inst = dyn.inst
+        op = inst.op
+        if op is OpClass.TCA:
+            return self._try_start_tca(dyn, cycle), 0, 0
+        if op is OpClass.LOAD:
+            if load_ports <= 0:
+                return False, 0, 0
+            assert inst.addr is not None
+            if dyn.forwarded:
+                latency = self.config.forward_latency
+            else:
+                if self._would_miss(inst.addr, inst.size) and (
+                    self._mshr_outstanding >= self.config.mshrs
+                ):
+                    return False, 0, 0
+                latency, missed = self.cache.access(inst.addr, inst.size)
+                if missed:
+                    self._mshr_outstanding += 1
+                    heapq.heappush(
+                        self._events, (cycle + latency, dyn.seq, _EV_MSHR, dyn)
+                    )
+            self._finish_issue(dyn, cycle, latency)
+            return True, 1, 0
+        if op is OpClass.STORE:
+            if store_ports <= 0:
+                return False, 0, 0
+            self._finish_issue(dyn, cycle, 1)
+            return True, 0, 1
+        latency = self.fus.try_issue(op, inst.latency)
+        if latency is None:
+            return False, 0, 0
+        self._finish_issue(dyn, cycle, latency)
+        return True, 0, 0
+
+    def _finish_issue(self, dyn: DynInst, cycle: int, latency: int) -> None:
+        dyn.issued = True
+        self.iq.release()
+        heapq.heappush(self._events, (cycle + latency, dyn.seq, _EV_OP, dyn))
+        if self._tracer is not None:
+            self._tracer.on_issue(dyn.seq, cycle)
+
+    def _try_start_tca(self, dyn: DynInst, cycle: int) -> bool:
+        mode = self.config.tca_mode
+        if not mode.leading:
+            if self.config.partial_speculation:
+                # Confidence-gated speculation (paper §VIII): start once
+                # every older low-confidence branch has resolved.
+                if self._has_unresolved_lowconf_branch(dyn.seq):
+                    return False
+            elif self.rob.head() is not dyn:
+                # Non-speculative TCA: wait for every leading instruction
+                # to commit (ROB drain) before beginning execution.
+                return False
+        if not self.tca_unit.try_start(dyn):
+            return False
+        dyn.issued = True
+        dyn.tca_start_cycle = cycle
+        if self._tracer is not None:
+            self._tracer.on_issue(dyn.seq, cycle)
+        if dyn.first_ready_cycle is not None:
+            self.stats.tca_wait_drain_cycles += cycle - dyn.first_ready_cycle
+        self.iq.release()
+        descriptor = dyn.inst.tca
+        assert descriptor is not None
+        if not descriptor.reads:
+            self._schedule_tca_compute(dyn, cycle)
+        return True
+
+    def _has_unresolved_lowconf_branch(self, seq: int) -> bool:
+        """Whether any older low-confidence branch is still in flight."""
+        live: list[DynInst] = []
+        blocked = False
+        for branch in self._lowconf_branches:
+            if branch.completed:
+                continue
+            live.append(branch)
+            if branch.seq < seq:
+                blocked = True
+        self._lowconf_branches = live
+        return blocked
+
+    def _would_miss(self, addr: int, size: int) -> bool:
+        line = self.cache.l1.config.line
+        first = addr - (addr % line)
+        last = addr + size - 1
+        line_addr = first
+        while line_addr <= last:
+            if not self.cache.l1.contains(line_addr):
+                return True
+            line_addr += line
+        return False
+
+    # ------------------------------------------------------------- dispatch
+
+    def _dispatch(self, cycle: int) -> int:
+        trace = self.trace.instructions
+        trace_len = len(trace)
+        dispatched = 0
+        self._last_stall = StallReason.NONE
+        width = self.config.dispatch_width
+        while dispatched < width:
+            if self._pc >= trace_len:
+                if dispatched == 0:
+                    self._last_stall = StallReason.TRACE_DRAINED
+                break
+            if cycle < self.config.frontend_depth:
+                self._last_stall = StallReason.FRONTEND_FILL
+                break
+            if self._barrier is not None:
+                self._last_stall = StallReason.TCA_BARRIER
+                break
+            if self.redirect.active and not self.redirect.try_release(cycle):
+                self._last_stall = StallReason.BRANCH_REDIRECT
+                break
+            if self.rob.full:
+                self._last_stall = StallReason.ROB_FULL
+                break
+            inst = trace[self._pc]
+            op = inst.op
+            if self.iq.full:
+                self._last_stall = StallReason.IQ_FULL
+                break
+            if op is OpClass.LOAD and self.lsq.lq_full:
+                self._last_stall = StallReason.LQ_FULL
+                break
+            if op is OpClass.STORE and self.lsq.sq_full:
+                self._last_stall = StallReason.SQ_FULL
+                break
+            dyn = self._dispatch_one(inst, cycle)
+            dispatched += 1
+            self.stats.dispatched += 1
+            if op is OpClass.TCA and not self.config.tca_mode.trailing:
+                # NT modes: the TCA is a dispatch barrier until it commits.
+                self._barrier = dyn
+                break
+            if inst.mispredicted:
+                self.redirect.block_on(dyn)
+                break
+        return dispatched
+
+    def _dispatch_one(self, inst: Instruction, cycle: int) -> DynInst:
+        dyn = DynInst(inst, self._pc)
+        self._pc += 1
+        if self._tracer is not None:
+            self._tracer.on_dispatch(dyn.seq, inst.op.value, cycle)
+        producers: set[int] = set()
+        for src in inst.srcs:
+            producer = self.rename.producer_of(src)
+            if producer is not None and id(producer) not in producers:
+                producers.add(id(producer))
+                dyn.deps += 1
+                producer.dependents.append(dyn)
+        op = inst.op
+        if op is OpClass.LOAD:
+            assert inst.addr is not None
+            writer = self.lsq.youngest_conflicting_writer(
+                dyn.seq, inst.addr, inst.size
+            )
+            if writer is not None and id(writer) not in producers:
+                producers.add(id(writer))
+                dyn.deps += 1
+                writer.dependents.append(dyn)
+                dyn.forwarded = True
+            elif writer is not None:
+                dyn.forwarded = True
+            self.lsq.allocate_load()
+        elif op is OpClass.STORE:
+            assert inst.addr is not None
+            self.lsq.allocate_store()
+            self.lsq.register_writer(dyn, ((inst.addr, inst.size),))
+        elif op is OpClass.TCA:
+            descriptor = inst.tca
+            assert descriptor is not None
+            for req in descriptor.reads:
+                writer = self.lsq.youngest_conflicting_writer(
+                    dyn.seq, req.addr, req.size
+                )
+                if writer is not None and id(writer) not in producers:
+                    producers.add(id(writer))
+                    dyn.deps += 1
+                    writer.dependents.append(dyn)
+            if descriptor.writes:
+                self.lsq.register_writer(
+                    dyn, tuple((w.addr, w.size) for w in descriptor.writes)
+                )
+        if inst.low_confidence:
+            self._lowconf_branches.append(dyn)
+        for dst in inst.dsts:
+            self.rename.set_producer(dst, dyn)
+        self.iq.allocate()
+        self.rob.push(dyn)
+        if dyn.deps == 0:
+            self._mark_ready(dyn, cycle + 1)
+        return dyn

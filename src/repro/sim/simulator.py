@@ -16,6 +16,7 @@ from repro.isa.trace import Trace
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import PipelineTracer, get_active_tracer
+from repro.sim.compile import CompiledTrace, compile_trace
 from repro.sim.config import SimConfig
 from repro.sim.core import CoreSim
 from repro.sim.stats import SimStats
@@ -51,7 +52,7 @@ class SimulationResult:
 
 
 def simulate(
-    trace: Trace,
+    trace: Trace | CompiledTrace,
     config: SimConfig,
     warm_ranges: list[tuple[int, int]] | None = None,
     tracer: PipelineTracer | None = None,
@@ -63,19 +64,24 @@ def simulate(
     simulator throughput for free.
 
     Args:
-        trace: dynamic instruction stream.
+        trace: dynamic instruction stream — a :class:`~repro.isa.trace.Trace`
+            (compiled on first use and memoized on the trace object) or a
+            :class:`~repro.sim.compile.CompiledTrace` prepared earlier via
+            :func:`~repro.sim.compile.compile_trace` for zero per-call
+            analysis cost.
         config: core configuration (its ``tca_mode`` governs TCA semantics).
         warm_ranges: byte ranges pre-loaded into the caches.
         tracer: optional pipeline event tracer; defaults to the ambient
             tracer (see :func:`repro.obs.tracer.tracing`).
     """
+    compiled = compile_trace(trace)
     active = tracer if tracer is not None else get_active_tracer()
     if active is not None and active.enabled:
-        active.begin_run(trace.name, config.name, config.tca_mode.value)
+        active.begin_run(compiled.name, config.name, config.tca_mode.value)
     else:
         active = None
     started = perf_counter()
-    sim = CoreSim(config, trace, warm_ranges=warm_ranges, tracer=active)
+    sim = CoreSim(config, compiled, warm_ranges=warm_ranges, tracer=active)
     stats = sim.run()
     elapsed = perf_counter() - started
     if active is not None:
@@ -94,7 +100,7 @@ def simulate(
     registry.set_info(
         "sim.last_run",
         {
-            "trace": trace.name,
+            "trace": compiled.name,
             "config": config.name,
             "mode": config.tca_mode.value,
             "wall_time_s": elapsed,
@@ -104,7 +110,7 @@ def simulate(
     _log.debug(
         "simulated %s on %s [%s]: %d cycles, %d instructions, %.3fs "
         "(%.0f cycles/s)",
-        trace.name,
+        compiled.name,
         config.name,
         config.tca_mode.value,
         stats.cycles,
@@ -113,7 +119,7 @@ def simulate(
         stats.cycles / elapsed if elapsed > 0 else float("inf"),
     )
     return SimulationResult(
-        trace_name=trace.name,
+        trace_name=compiled.name,
         config_name=config.name,
         mode=config.tca_mode,
         stats=stats,
@@ -145,8 +151,8 @@ class ModeComparison:
 
 
 def simulate_modes(
-    baseline: Trace,
-    accelerated: Trace,
+    baseline: Trace | CompiledTrace,
+    accelerated: Trace | CompiledTrace,
     config: SimConfig,
     modes: tuple[TCAMode, ...] = TCAMode.all_modes(),
     warm_ranges: list[tuple[int, int]] | None = None,
@@ -156,14 +162,20 @@ def simulate_modes(
 
     Simulates ``baseline`` once, then ``accelerated`` under each mode in
     ``modes`` (same core otherwise), returning a :class:`ModeComparison`
-    with per-mode speedups.  With a ``tracer``, every run lands in the
-    same trace file as a separate process row.
+    with per-mode speedups.  Both traces are compiled exactly once — the
+    accelerated trace's analysis is shared by all four mode runs.  With a
+    ``tracer``, every run lands in the same trace file as a separate
+    process row.
     """
-    base_result = simulate(baseline, config, warm_ranges=warm_ranges, tracer=tracer)
+    compiled_base = compile_trace(baseline)
+    compiled_accel = compile_trace(accelerated)
+    base_result = simulate(
+        compiled_base, config, warm_ranges=warm_ranges, tracer=tracer
+    )
     per_mode: dict[TCAMode, SimulationResult] = {}
     for mode in modes:
         per_mode[mode] = simulate(
-            accelerated,
+            compiled_accel,
             config.with_mode(mode),
             warm_ranges=warm_ranges,
             tracer=tracer,

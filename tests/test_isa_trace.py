@@ -27,6 +27,39 @@ class TestTrace:
         assert c.name == "a+b"
         assert c.metadata == {"x": 1, "y": 2}
 
+    def test_stats_cached_returns_same_object(self):
+        # stats() is lazily cached like fingerprint(): the second call
+        # must return the identical TraceStats object, not a recompute.
+        builder = TraceBuilder("cached")
+        builder.independent_block(10, [0, 1])
+        builder.branch(mispredicted=True)
+        trace = builder.build()
+        first = trace.stats()
+        assert trace.stats() is first
+        assert first.total == 11
+        assert first.mispredicted_branches == 1
+
+    def test_fingerprint_cached(self):
+        trace = Trace([Instruction(op=OpClass.NOP)])
+        first = trace.fingerprint()
+        assert trace.fingerprint() is first
+
+    def test_concat_does_not_inherit_cached_derived_data(self):
+        a = Trace([Instruction(op=OpClass.INT_ALU, dsts=(0,))], name="a")
+        b = Trace([Instruction(op=OpClass.LOAD, dsts=(1,), addr=64)], name="b")
+        # Populate both inputs' caches before concatenating.
+        fp_a, fp_b = a.fingerprint(), b.fingerprint()
+        stats_a = a.stats()
+        c = a.concat(b)
+        assert c.fingerprint() != fp_a
+        assert c.fingerprint() != fp_b
+        assert c.stats() is not stats_a
+        assert c.stats().total == 2
+        # The concatenation fingerprints identically to a trace built
+        # from the same combined instruction stream directly.
+        fresh = Trace(list(a.instructions) + list(b.instructions), name="other")
+        assert c.fingerprint() == fresh.fingerprint()
+
     def test_validate_register_bounds(self):
         trace = Trace([Instruction(op=OpClass.INT_ALU, dsts=(31,))])
         trace.validate(num_registers=32)

@@ -1,0 +1,110 @@
+"""Byte-identical equivalence of the compiled hot loop vs the seed engine.
+
+The compile-once pipeline (:mod:`repro.sim.compile` +
+:class:`repro.sim.core.CoreSim`) guarantees that ``SimStats.to_dict()``
+is byte-identical to the seed simulator (preserved verbatim as
+:class:`repro.sim.reference.ReferenceCoreSim`).  This suite enforces the
+guarantee across three workload generators, all four TCA integration
+modes, warm and cold caches, and both bundled configuration extremes —
+the acceptance matrix of the compiled-trace optimization.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.sim.compile import compile_trace
+from repro.sim.config import HIGH_PERF_SIM, LOW_PERF_SIM
+from repro.sim.core import CoreSim
+from repro.sim.reference import ReferenceCoreSim
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+from repro.workloads.matmul import (
+    MatmulSpec,
+    generate_accelerated_trace,
+    generate_baseline_trace,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic_program
+
+
+def _cases():
+    """(label, trace, warm_ranges) triples spanning three generators."""
+    cases = []
+    heap = generate_heap_program(
+        HeapWorkloadSpec(slots=80, call_probability=0.3, seed=4)
+    )
+    heap_warm = heap.baseline.metadata.get("warm_ranges")
+    cases.append(("heap-base", heap.baseline, heap_warm))
+    cases.append(("heap-accel", heap.accelerated(), heap_warm))
+    synth = generate_synthetic_program(
+        SyntheticSpec(total_instructions=2500, num_invocations=5)
+    )
+    cases.append(("synth-base", synth.baseline, None))
+    cases.append(("synth-accel", synth.accelerated(), None))
+    spec = MatmulSpec(n=8, block=8, accel_sizes=(4,))
+    cases.append(("matmul-base", generate_baseline_trace(spec), spec.warm_ranges()))
+    cases.append(
+        ("matmul-accel", generate_accelerated_trace(spec, 4), spec.warm_ranges())
+    )
+    return cases
+
+
+CASES = _cases()
+MODES = TCAMode.all_modes()
+
+
+def _dump(stats) -> str:
+    return json.dumps(stats.to_dict(), sort_keys=False)
+
+
+class TestByteIdenticalStats:
+    @pytest.mark.parametrize("config_name", ["high", "low"])
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize(
+        "case", CASES, ids=[label for label, _, _ in CASES]
+    )
+    @pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+    def test_matches_reference(self, config_name, mode, case, warm):
+        label, trace, warm_ranges = case
+        if warm and not warm_ranges:
+            pytest.skip(f"{label} has no warm ranges")
+        base = HIGH_PERF_SIM if config_name == "high" else LOW_PERF_SIM
+        config = dataclasses.replace(base, tca_mode=mode)
+        ranges = warm_ranges if warm else None
+        expected = ReferenceCoreSim(config, trace, warm_ranges=ranges).run()
+        actual = CoreSim(config, trace, warm_ranges=ranges).run()
+        assert _dump(actual) == _dump(expected)
+
+    def test_precompiled_trace_matches_reference(self):
+        # Running from an explicitly precompiled trace (the reuse path of
+        # simulate_modes / the serving LRU) changes nothing observable.
+        label, trace, warm_ranges = CASES[1]  # heap accelerated
+        compiled = compile_trace(trace, cache=False)
+        for mode in MODES:
+            config = dataclasses.replace(HIGH_PERF_SIM, tca_mode=mode)
+            expected = ReferenceCoreSim(
+                config, trace, warm_ranges=warm_ranges
+            ).run()
+            actual = CoreSim(config, compiled, warm_ranges=warm_ranges).run()
+            assert _dump(actual) == _dump(expected)
+
+    def test_repeated_runs_from_one_compiled_trace_are_deterministic(self):
+        # The pooled per-run state block must leave no residue: N runs
+        # from the same CompiledTrace produce identical stats.
+        _, trace, warm_ranges = CASES[0]
+        compiled = compile_trace(trace, cache=False)
+        config = dataclasses.replace(LOW_PERF_SIM, tca_mode=TCAMode.NL_NT)
+        dumps = {
+            _dump(CoreSim(config, compiled, warm_ranges=warm_ranges).run())
+            for _ in range(3)
+        }
+        assert len(dumps) == 1
+
+    def test_empty_trace(self):
+        from repro.isa.trace import Trace
+
+        trace = Trace([], name="empty")
+        expected = ReferenceCoreSim(HIGH_PERF_SIM, trace).run()
+        actual = CoreSim(HIGH_PERF_SIM, trace).run()
+        assert _dump(actual) == _dump(expected)
