@@ -39,6 +39,7 @@ from time import perf_counter
 
 from repro.core.modes import TCAMode
 from repro.isa.trace import Trace, TraceBuilder
+from repro.obs.manifest import bench_provenance
 from repro.sim.config import HIGH_PERF_SIM
 from repro.sim.compile import compile_trace
 from repro.sim.core import CoreSim
@@ -222,6 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         "identical_stats": True,  # _bench_* raise on any divergence
         "workloads": workloads,
         "four_mode": four_mode,
+        "provenance": bench_provenance(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

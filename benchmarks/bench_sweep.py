@@ -36,6 +36,7 @@ from repro.core.parallel import parallel_map
 from repro.core.parameters import HIGH_PERF, LOW_PERF, AcceleratorParameters
 from repro.core.sweep import speedup_heatmap, speedup_heatmap_scalar
 from repro.experiments.fig7_heatmap import _GRID, _MODE_ORDER, _panel
+from repro.obs.manifest import bench_provenance
 
 #: Best-of-N timing repetitions per approach.
 REPEATS = 3
@@ -154,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         "scalar": entry(scalar_s),
         "vectorized": entry(vector_s),
         "jobs": entry(jobs_s, n=args.jobs),
+        "provenance": bench_provenance(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

@@ -1,0 +1,178 @@
+"""Perf-regression gate: compare BENCH_*.json against committed baselines.
+
+The benchmark scripts (``bench_serve.py``, ``bench_sweep.py``,
+``bench_sim.py``) write throughput numbers; this gate keeps them from
+silently rotting.  It walks a freshly generated benchmark file and a
+committed baseline (``benchmarks/baselines/``), compares every
+``*_per_sec`` metric, and fails when the fresh number is worse than
+``baseline / tolerance``.
+
+The tolerance is deliberately generous (default 3x): CI runners, laptop
+thermal states, and container hosts differ wildly, and this gate exists
+to catch *gross* regressions — an accidentally quadratic hot path, a
+cache that stopped hitting, a vectorized route falling back to scalar —
+not 10% noise.  Two sections are excluded from comparison:
+
+- ``provenance`` — metadata, not metrics;
+- ``http`` — multi-process scaling numbers, which depend on the host's
+  core count (the benchmark itself asserts the >= 2x pool speedup on
+  machines with enough cores).
+
+Baselines are stamped with provenance (host, cpu count, python) so a
+failing comparison can be judged: regenerate them with the benchmark
+scripts and copy the JSON into ``benchmarks/baselines/`` (same scale —
+the gate refuses to compare across scales, because throughput at smoke
+scale is dominated by fixed overheads).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py \\
+        BENCH_serve.json benchmarks/baselines/smoke/BENCH_serve.json \\
+        BENCH_sweep.json benchmarks/baselines/smoke/BENCH_sweep.json \\
+        --tolerance 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterator
+
+#: Sections never compared (metadata / host-dependent scaling).
+SKIP_SECTIONS = frozenset({"provenance", "http", "cache", "manifest"})
+
+#: Default slowdown factor tolerated before the gate fails.
+DEFAULT_TOLERANCE = 3.0
+
+
+def iter_metrics(
+    payload: dict[str, Any], prefix: tuple[str, ...] = ()
+) -> Iterator[tuple[tuple[str, ...], float]]:
+    """Yield every ``(path, value)`` throughput metric in ``payload``.
+
+    A metric is a numeric leaf whose key ends in ``_per_sec``; sections
+    named in :data:`SKIP_SECTIONS` are not descended into.
+    """
+    for key, value in payload.items():
+        if key in SKIP_SECTIONS:
+            continue
+        if isinstance(value, dict):
+            yield from iter_metrics(value, prefix + (key,))
+        elif key.endswith("_per_sec") and isinstance(value, (int, float)):
+            if not isinstance(value, bool):
+                yield prefix + (key,), float(value)
+
+
+def lookup(payload: dict[str, Any], path: tuple[str, ...]) -> float | None:
+    """The numeric value at ``path``, or ``None`` if absent/non-numeric."""
+    node: Any = payload
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def check_pair(
+    current_path: str, baseline_path: str, tolerance: float
+) -> list[str]:
+    """Compare one benchmark file against its baseline.
+
+    Returns a list of failure messages (empty = pass), printing a
+    per-metric table as it goes.
+    """
+    with open(current_path, "r", encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures: list[str] = []
+    label = f"{current_path} vs {baseline_path}"
+    bench = baseline.get("bench", "?")
+    print(f"gate: {label} (bench={bench}, tolerance={tolerance:g}x)")
+
+    if current.get("bench") != baseline.get("bench"):
+        failures.append(
+            f"{label}: bench kind mismatch "
+            f"({current.get('bench')!r} vs {baseline.get('bench')!r})"
+        )
+        return failures
+    if (
+        "scale" in current
+        and "scale" in baseline
+        and current["scale"] != baseline["scale"]
+    ):
+        failures.append(
+            f"{label}: scale mismatch ({current['scale']!r} vs "
+            f"{baseline['scale']!r}) — regenerate the baseline at the "
+            "scale CI runs"
+        )
+        return failures
+
+    metrics = list(iter_metrics(baseline))
+    if not metrics:
+        failures.append(f"{label}: baseline contains no *_per_sec metrics")
+        return failures
+    for path, expected in metrics:
+        name = ".".join(path)
+        got = lookup(current, path)
+        if got is None:
+            failures.append(f"{bench}: metric {name} missing from {current_path}")
+            print(f"  FAIL {name:<44} missing")
+            continue
+        floor = expected / tolerance
+        ratio = got / expected if expected > 0 else float("inf")
+        status = "ok" if got >= floor else "FAIL"
+        print(
+            f"  {status:<4} {name:<44} {got:>14.0f} vs {expected:>14.0f} "
+            f"({ratio:.2f}x baseline)"
+        )
+        if got < floor:
+            failures.append(
+                f"{bench}: {name} regressed to {got:.0f}/s — below "
+                f"{floor:.0f}/s (baseline {expected:.0f}/s / {tolerance:g})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Gate entry point; exits non-zero on any gross regression."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="CURRENT BASELINE",
+        help="alternating current/baseline JSON paths",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="X",
+        help="fail when current < baseline / X (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.files) % 2 != 0:
+        parser.error("expected alternating CURRENT BASELINE path pairs")
+    if args.tolerance <= 1.0:
+        parser.error("--tolerance must be > 1.0")
+
+    failures: list[str] = []
+    for i in range(0, len(args.files), 2):
+        failures.extend(
+            check_pair(args.files[i], args.files[i + 1], args.tolerance)
+        )
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} regression(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

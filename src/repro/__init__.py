@@ -88,7 +88,7 @@ from repro.api import (
 )
 from repro.serve import EvaluationCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ARM_A72",

@@ -21,12 +21,13 @@ def add_common_arguments(
     parser: argparse.ArgumentParser,
     jobs: bool = False,
     trace: bool = False,
+    workers: bool = False,
 ) -> None:
     """Attach the standard observability flags to ``parser``.
 
-    Always adds ``--log-level`` and ``--profile``; adds ``--jobs`` and
-    ``--trace`` when the caller opts in (they only make sense for tools
-    that fan out work or run simulations).
+    Always adds ``--log-level`` and ``--profile``; adds ``--jobs``,
+    ``--trace``, and ``--workers`` when the caller opts in (they only
+    make sense for tools that fan out work, run simulations, or serve).
     """
     add_log_level_argument(parser)
     parser.add_argument(
@@ -42,6 +43,16 @@ def add_common_arguments(
             metavar="N",
             help="worker processes for parallelizable work; per-worker "
             "metrics are merged back into this process (default: 1)",
+        )
+    if workers:
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="pre-forked server processes sharing the listening port "
+            "(POSIX; each with its own caches — see docs/SERVING.md; "
+            "default: 1, single process)",
         )
     if trace:
         parser.add_argument(

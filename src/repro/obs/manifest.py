@@ -54,6 +54,26 @@ def _package_version() -> str:
         return "unknown"
 
 
+def bench_provenance() -> dict[str, Any]:
+    """Provenance stamp for ``BENCH_*.json`` benchmark results.
+
+    Throughput numbers are meaningless without the machine that produced
+    them: the perf-regression gate (``benchmarks/perf_gate.py``) compares
+    runs across hosts, so every benchmark file records where and on what
+    its numbers were measured — notably ``cpu_count``, which bounds what
+    multi-process sections can show.
+    """
+    return {
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_revision() or "unknown",
+        "package_version": _package_version(),
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def build_manifest(
     scale: str | None = None,
     wall_time_s: float | None = None,

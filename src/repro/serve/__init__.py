@@ -18,7 +18,12 @@ heavy traffic:
   in request order (cached entries short-circuit before coalescing);
 - :mod:`repro.serve.service` — a concurrent JSON-over-HTTP service
   (``repro-serve``) exposing ``/evaluate``, ``/sweep``, ``/simulate``,
-  and ``/healthz``.
+  and ``/healthz``;
+- :mod:`repro.serve.pool` — the scale-out tier: ``--workers N`` runs a
+  pre-forked pool of server processes sharing one listening port
+  (``SO_REUSEPORT`` where available, inherited socket elsewhere), with
+  crash respawn, graceful pool-wide drain, and a merged ``/healthz``
+  pool view.
 
 See ``docs/SERVING.md`` for endpoint schemas and cache semantics.
 """
@@ -33,7 +38,9 @@ from repro.serve.cache import (
 )
 from repro.serve.keys import (
     canonical_json,
+    evaluation_group_key,
     evaluation_key,
+    key_filename,
     schema_tag,
     sha256_key,
     simulation_key,
@@ -48,9 +55,12 @@ __all__ = [
     "LRUCache",
     "MISS",
     "ServeApp",
+    "WorkerPool",
     "canonical_json",
     "evaluate_batch",
+    "evaluation_group_key",
     "evaluation_key",
+    "key_filename",
     "schema_tag",
     "serve_main",
     "sha256_key",
@@ -59,7 +69,7 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    """Lazy exports for the HTTP layer.
+    """Lazy exports for the HTTP and pool layers.
 
     ``repro.serve.service`` consumes the :mod:`repro.api` façade, which
     itself builds on this package — importing it eagerly here would make
@@ -73,4 +83,9 @@ def __getattr__(name: str):
         value = service.ServeApp if name == "ServeApp" else service.main
         globals()[name] = value
         return value
+    if name == "WorkerPool":
+        from repro.serve.pool import WorkerPool
+
+        globals()[name] = WorkerPool
+        return WorkerPool
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

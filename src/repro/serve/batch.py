@@ -5,13 +5,26 @@ and drain configurations.  Evaluating each with a scalar
 :class:`~repro.core.model.TCAModel` wastes the vectorized path PR 2 built;
 this engine instead:
 
-1. short-circuits queries the cache already answers;
-2. partitions the remainder into groups sharing
+1. partitions the queries into groups sharing
    ``(core, accelerator, drain config, mode)`` — everything
    :func:`~repro.core.model.speedup_grid` holds fixed per call;
-3. evaluates each group's ``(a, v[, drain_time])`` vectors in **one**
-   ``speedup_grid`` pass;
-4. scatters results back in request order and feeds them to the cache.
+2. hashes each group's fixed configuration **once**
+   (:func:`~repro.serve.keys.evaluation_group_key`) and derives every
+   member's cache key as a cheap tuple over that digest — with caching
+   disabled, key construction is skipped entirely;
+3. short-circuits queries the cache already answers (one bulk
+   :meth:`~repro.serve.cache.EvaluationCache.get_many` — a single lock
+   round-trip for the whole batch);
+4. evaluates each group's remaining ``(a, v[, drain_time])`` vectors in
+   **one** ``speedup_grid`` pass;
+5. scatters results back in request order and feeds them to the cache
+   in one :meth:`~repro.serve.cache.EvaluationCache.put_many`.
+
+The per-query work is a few tuple packs and dict operations; every
+sha256/canonical-JSON pass is amortized across its group.  That is what
+makes the batched path beat the scalar model on heterogeneous batches
+instead of drowning in keying overhead (the 0.19x regression the
+pre-group-digest engine measured).
 
 Because every query carries a validated
 :class:`~repro.core.parameters.WorkloadParameters`, the coalesced grid
@@ -23,7 +36,7 @@ the scalar model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, NamedTuple, Sequence
 
 import numpy as np
 
@@ -37,7 +50,7 @@ from repro.core.parameters import (
 )
 from repro.obs.metrics import get_registry
 from repro.serve.cache import MISS, EvaluationCache
-from repro.serve.keys import canonical_json, drain_config, evaluation_key
+from repro.serve.keys import EvaluationKey, evaluation_group_key
 
 
 @dataclass(frozen=True)
@@ -60,30 +73,31 @@ class EvaluationQuery:
     mode: TCAMode
     drain_estimator: DrainEstimator | None = None
 
-    def cache_key(self) -> str:
+    def cache_key(self) -> EvaluationKey:
         """This query's content-addressed key, memoized on first use.
 
         The key is a pure function of the (frozen) query, so it is
         computed once and stored on the instance — re-evaluating the
         same query objects (a repeated batch, a retry loop) skips the
-        sha256/canonical-JSON work entirely.  The benign race under
-        concurrent first calls just computes the same value twice.
+        group-digest work entirely.  The benign race under concurrent
+        first calls just computes the same value twice.
         """
         key = self.__dict__.get("_key")
         if key is None:
-            key = evaluation_key(
-                self.core,
-                self.accelerator,
-                self.workload,
-                self.mode,
-                self.drain_estimator,
+            workload = self.workload
+            key = (
+                evaluation_group_key(
+                    self.core, self.accelerator, self.mode, self.drain_estimator
+                ),
+                workload.acceleratable_fraction,
+                workload.invocation_frequency,
+                workload.drain_time,
             )
             object.__setattr__(self, "_key", key)
         return key
 
 
-@dataclass(frozen=True)
-class BatchEntry:
+class BatchEntry(NamedTuple):
     """One query's outcome within a batch.
 
     Attributes:
@@ -91,12 +105,14 @@ class BatchEntry:
             :meth:`~repro.core.model.TCAModel.speedup` to 1e-9).
         cached: whether the value was served from the cache rather than
             evaluated in this batch.
-        key: the content-addressed cache key of the evaluation.
+        key: the content-addressed cache key of the evaluation, or
+            ``None`` when the batch ran without a cache (keys are then
+            never constructed — see :mod:`repro.serve.keys`).
     """
 
     speedup: float
     cached: bool
-    key: str
+    key: EvaluationKey | None
 
 
 def evaluate_batch(
@@ -116,60 +132,117 @@ def evaluate_batch(
     """
     registry = get_registry()
     registry.counter("serve.batch.queries").inc(len(queries))
-    entries: list[BatchEntry | None] = [None] * len(queries)
-    # group key -> list of (request index, query, cache key)
-    groups: dict[tuple[Any, ...], list[tuple[int, EvaluationQuery, str]]] = {}
+    n = len(queries)
+    entries: list[BatchEntry | None] = [None] * n
 
     with registry.timer("serve.batch").time():
+        # --- Phase 1: partition by what speedup_grid holds fixed. ----
+        # Grouping is by object identity (plus the drain-time-presence
+        # flag), which is both cheap and safe: equal-but-distinct
+        # parameter objects merely land in separate groups with equal
+        # group digests, so cache keys stay canonical either way.
+        # Each member is (request index, query, a, v, drain_time).
+        groups: dict[
+            tuple[int, int, TCAMode, int, bool],
+            list[tuple[int, EvaluationQuery, float, float, float | None]],
+        ] = {}
+        groups_get = groups.get
         for index, query in enumerate(queries):
-            key = query.cache_key()
-            if cache is not None:
-                value = cache.get(key)
-                if value is not MISS:
-                    entries[index] = BatchEntry(float(value), True, key)
-                    continue
+            workload = query.workload
+            drain_time = workload.drain_time
             group_key = (
-                query.core,
-                query.accelerator,
+                id(query.core),
+                id(query.accelerator),
                 query.mode,
-                canonical_json(drain_config(query.drain_estimator)),
+                id(query.drain_estimator),
                 # Explicit drain times override the estimator per cell;
                 # speedup_grid applies that precedence per call, so mixed
                 # explicit/estimated workloads may not share a group.
-                query.workload.drain_time is not None,
+                drain_time is not None,
             )
-            groups.setdefault(group_key, []).append((index, query, key))
+            members = groups_get(group_key)
+            if members is None:
+                members = groups[group_key] = []
+            members.append(
+                (
+                    index,
+                    query,
+                    workload.acceleratable_fraction,
+                    workload.invocation_frequency,
+                    drain_time,
+                )
+            )
 
-        registry.counter("serve.batch.groups").inc(len(groups))
+        # --- Phase 2: keys + bulk cache probe (skipped uncached). ----
+        use_cache = cache is not None
+        if use_cache:
+            keys: list[EvaluationKey] = [None] * n  # type: ignore[list-item]
+            for members in groups.values():
+                digest: str | None = None
+                for index, query, a, v, drain_time in members:
+                    key = query.__dict__.get("_key")
+                    if key is None:
+                        if digest is None:
+                            first = members[0][1]
+                            digest = evaluation_group_key(
+                                first.core,
+                                first.accelerator,
+                                first.mode,
+                                first.drain_estimator,
+                            )
+                        key = (digest, a, v, drain_time)
+                        object.__setattr__(query, "_key", key)
+                    elif digest is None:
+                        digest = key[0]
+                    keys[index] = key
+            values = cache.get_many(keys)
+            any_hits = False
+            for index, value in enumerate(values):
+                if value is not MISS:
+                    entries[index] = BatchEntry(float(value), True, keys[index])
+                    any_hits = True
+        else:
+            keys = None  # type: ignore[assignment]
+            any_hits = False
+
+        # --- Phase 3: one vectorized evaluation per group. -----------
+        fresh: list[tuple[EvaluationKey, Any]] = []
+        fresh_append = fresh.append
+        issued = 0
+        evaluated = 0
         for members in groups.values():
-            _, first, _ = members[0]
-            a = np.array(
-                [q.workload.acceleratable_fraction for _, q, _ in members]
-            )
-            v = np.array(
-                [q.workload.invocation_frequency for _, q, _ in members]
-            )
-            has_drain = first.workload.drain_time is not None
-            drain_time = (
-                np.array([q.workload.drain_time for _, q, _ in members])
-                if has_drain
-                else None
-            )
+            if any_hits:
+                members = [m for m in members if entries[m[0]] is None]
+                if not members:
+                    continue
+            issued += 1
+            evaluated += len(members)
+            _, first, _, _, _ = members[0]
+            _indices, _queries, aa, vv, dd = zip(*members)
+            has_drain = dd[0] is not None
             grid = speedup_grid(
                 first.core,
                 first.accelerator,
-                a,
-                v,
+                np.asarray(aa),
+                np.asarray(vv),
                 first.mode,
                 first.drain_estimator,
-                drain_time=drain_time,
+                drain_time=np.asarray(dd) if has_drain else None,
             )
-            registry.counter("serve.batch.evaluated").inc(len(members))
-            for (index, _query, key), value in zip(members, np.atleast_1d(grid)):
-                speedup = float(value)
-                entries[index] = BatchEntry(speedup, False, key)
-                if cache is not None:
-                    cache.put(key, speedup)
+            results = np.atleast_1d(grid).tolist()
+            # --- Phase 4: scatter in request order, feed the cache. --
+            if use_cache:
+                for (index, _query, _a, _v, _d), value in zip(members, results):
+                    key = keys[index]
+                    entries[index] = BatchEntry(value, False, key)
+                    fresh_append((key, value))
+            else:
+                for (index, _query, _a, _v, _d), value in zip(members, results):
+                    entries[index] = BatchEntry(value, False, None)
+        registry.counter("serve.batch.groups").inc(issued)
+        registry.counter("serve.batch.evaluated").inc(evaluated)
+        if use_cache and fresh:
+            cache.put_many(fresh)
 
     assert all(entry is not None for entry in entries)
     return entries  # type: ignore[return-value]

@@ -32,11 +32,11 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
-from repro.serve.keys import schema_tag
+from repro.serve.keys import key_filename, schema_tag
 
 _log = get_logger(__name__)
 
@@ -113,6 +113,61 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def get_many(self, keys: Sequence[Any]) -> list[Any]:
+        """Bulk :meth:`get`: one value (or :data:`MISS`) per key, in order.
+
+        Takes the lock once for the whole batch — the counter and LRU
+        semantics are identical to ``len(keys)`` individual gets, but a
+        10k-key probe costs one lock round-trip instead of 10k.
+        """
+        out: list[Any] = [MISS] * len(keys)
+        with self._lock:
+            entries = self._entries
+            if not entries:
+                self.misses += len(keys)
+                return out
+            ttl = self.ttl_s
+            now = self._clock() if ttl is not None else 0.0
+            hits = misses = expired = 0
+            move_to_end = entries.move_to_end
+            entries_get = entries.get
+            for position, key in enumerate(keys):
+                entry = entries_get(key)
+                if entry is None:
+                    misses += 1
+                    continue
+                value, stored_at = entry
+                if ttl is not None and now - stored_at > ttl:
+                    del entries[key]
+                    expired += 1
+                    misses += 1
+                    continue
+                move_to_end(key)
+                hits += 1
+                out[position] = value
+            self.hits += hits
+            self.misses += misses
+            self.expirations += expired
+        return out
+
+    def put_many(self, items: Iterable[tuple[Any, Any]]) -> None:
+        """Bulk :meth:`put` under a single lock acquisition.
+
+        All entries of the batch share one timestamp (they were computed
+        together); eviction runs once after the inserts, so the bound
+        holds on return exactly as with individual puts.
+        """
+        with self._lock:
+            entries = self._entries
+            now = self._clock()
+            move_to_end = entries.move_to_end
+            for key, value in items:
+                entries[key] = (value, now)
+                move_to_end(key)
+            while len(entries) > self.max_entries:
+                entries.popitem(last=False)
+                self.evictions += 1
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         with self._lock:
@@ -152,12 +207,25 @@ def _sanitize_tag(tag: str) -> str:
 
 
 class DiskCache:
-    """JSON-file store versioned by schema tag.
+    """JSON-file store versioned by schema tag, safe across processes.
 
-    Each entry lives at ``<root>/<schema-tag>/<key[:2]>/<key>.json`` and
-    is written atomically (temp file + rename), so concurrent writers of
-    the same key are safe — last writer wins with either complete value.
-    I/O errors and corrupt files degrade to misses: the cache never takes
+    Each entry lives at ``<root>/<schema-tag>/<name[:2]>/<name>.json``
+    (``name`` is :func:`~repro.serve.keys.key_filename` of the key, so
+    tuple evaluation keys and hex simulation keys both work).  This is
+    the cross-process result store of the pre-forked worker pool: many
+    workers read and write the same directory concurrently, which the
+    store survives without any locking because every write is
+
+    1. serialized into a ``tempfile.mkstemp`` file *in the destination
+       directory* (same filesystem, so the final step cannot degrade to
+       a copy),
+    2. flushed and ``fsync``'d, then
+    3. ``os.replace``'d into place — atomic on POSIX and Windows.
+
+    A reader therefore sees either the complete previous value or the
+    complete new one, never a partial file; concurrent writers of the
+    same key are last-writer-wins with either complete value.  I/O
+    errors and corrupt files degrade to misses: the cache never takes
     down the computation it fronts.
 
     Args:
@@ -165,20 +233,29 @@ class DiskCache:
         tag: schema tag namespace (default :func:`~repro.serve.keys.schema_tag`);
             a different tag reads/writes a disjoint directory, which is
             how schema bumps invalidate stale results.
+        fsync: force written entries to stable storage before renaming
+            (default on; tests and throwaway stores can turn it off).
     """
 
-    def __init__(self, root: str | None = None, tag: str | None = None) -> None:
+    def __init__(
+        self,
+        root: str | None = None,
+        tag: str | None = None,
+        fsync: bool = True,
+    ) -> None:
         self.tag = tag if tag is not None else schema_tag()
         self.root = os.path.join(root or default_cache_dir(), _sanitize_tag(self.tag))
+        self.fsync = fsync
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.errors = 0
 
-    def _path(self, key: str) -> str:
-        return os.path.join(self.root, key[:2], f"{key}.json")
+    def _path(self, key: Any) -> str:
+        name = key_filename(key)
+        return os.path.join(self.root, name[:2], f"{name}.json")
 
-    def get(self, key: str) -> Any:
+    def get(self, key: Any) -> Any:
         """The stored value, or :data:`MISS` (corrupt/unreadable = miss)."""
         path = self._path(key)
         try:
@@ -196,8 +273,13 @@ class DiskCache:
         self.hits += 1
         return value
 
-    def put(self, key: str, value: Any) -> None:
-        """Atomically persist ``value`` under ``key`` (errors are logged)."""
+    def put(self, key: Any, value: Any) -> None:
+        """Atomically persist ``value`` under ``key`` (errors are logged).
+
+        Write-to-temp + ``fsync`` + ``os.replace`` in the destination
+        directory: concurrent readers (including other worker processes)
+        can never observe a partially written entry.
+        """
         path = self._path(key)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -206,7 +288,17 @@ class DiskCache:
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump({"schema": self.tag, "key": key, "value": value}, handle)
+                    json.dump(
+                        {
+                            "schema": self.tag,
+                            "key": key_filename(key),
+                            "value": value,
+                        },
+                        handle,
+                    )
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -330,6 +422,48 @@ class EvaluationCache:
         if self.disk is not None:
             self.disk.put(key, value)
             self._disk_writes.inc()
+
+    def get_many(self, keys: Sequence[Any]) -> list[Any]:
+        """Bulk :meth:`get`: one value (or :data:`MISS`) per key, in order.
+
+        The in-memory probe is a single
+        :meth:`LRUCache.get_many` (one lock round-trip); only the
+        memory misses consult the disk layer, and disk hits are promoted
+        exactly as in :meth:`get`.
+        """
+        values = self.memory.get_many(keys)
+        self._sync_memory_counters()
+        hits = sum(1 for value in values if value is not MISS)
+        if self.disk is not None:
+            promoted = []
+            for position, value in enumerate(values):
+                if value is not MISS:
+                    continue
+                disk_value = self.disk.get(keys[position])
+                if disk_value is MISS:
+                    continue
+                values[position] = disk_value
+                promoted.append((keys[position], disk_value))
+            if promoted:
+                self.memory.put_many(promoted)
+                self._sync_memory_counters()
+                hits += len(promoted)
+                self._disk_hits.inc(len(promoted))
+        misses = len(keys) - hits
+        if hits:
+            self._hits.inc(hits)
+        if misses:
+            self._misses.inc(misses)
+        return values
+
+    def put_many(self, items: Sequence[tuple[Any, Any]]) -> None:
+        """Bulk :meth:`put`: memory in one lock round-trip, then disk."""
+        self.memory.put_many(items)
+        self._sync_memory_counters()
+        if self.disk is not None:
+            for key, value in items:
+                self.disk.put(key, value)
+            self._disk_writes.inc(len(items))
 
     def clear(self) -> None:
         """Drop the in-memory layer and this tag's disk entries."""

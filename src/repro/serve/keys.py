@@ -2,10 +2,26 @@
 
 A cache key must identify *what a result is a function of* and nothing
 else, and it must be reproducible anywhere: across interpreter restarts,
-across machines, and regardless of ``PYTHONHASHSEED``.  Keys here are
-therefore sha256 hex digests over **canonical JSON** — keys sorted,
-separators fixed, enums by value, floats via ``repr`` — of the parameter
+across machines, and regardless of ``PYTHONHASHSEED``.  Keys here build
+on sha256 hex digests over **canonical JSON** — keys sorted, separators
+fixed, enums by value, floats via ``repr`` — of the parameter
 dataclasses' :meth:`to_canonical_dict` forms, never Python ``hash()``.
+
+Model-evaluation keys are *two-stage*, because the serving tier answers
+them by the batch: everything :func:`~repro.core.model.speedup_grid`
+holds fixed per call — core, accelerator, mode, drain configuration,
+schema — is hashed **once** into a group digest
+(:func:`evaluation_group_key`), and each query's key is that digest plus
+the three per-query workload numbers, carried as a plain tuple
+(:func:`evaluation_key`).  A 10k-query batch over a handful of groups
+therefore costs a handful of sha256/canonical-JSON passes instead of
+10k, which is what makes the batched path faster than the scalar model
+rather than slower.  Tuples of floats hash and compare exactly (no
+``repr`` round-trip in the hot path); :func:`key_filename` renders any
+key into the deterministic string form the disk store needs.
+
+Simulation keys stay single sha256 hex strings: one key per run, never
+constructed by the thousand.
 
 Every key embeds :func:`schema_tag`, which combines the package version
 with the model-equation schema tag
@@ -19,7 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 from enum import Enum
-from typing import Any, Iterable
+from typing import Any, Iterable, Union
 
 from repro.core.drain import DrainEstimator, PowerLawDrain
 from repro.core.model import MODEL_SCHEMA
@@ -87,20 +103,33 @@ def drain_config(estimator: DrainEstimator | None) -> dict[str, Any]:
     return (estimator or PowerLawDrain()).cache_config()
 
 
-def evaluation_key(
+#: A model-evaluation cache key: the group digest plus the per-query
+#: workload numbers (acceleratable fraction, invocation frequency,
+#: explicit drain time or ``None``).  Hashable, picklable, and exact —
+#: float equality here is bitwise, which is precisely what
+#: content-addressing wants.
+EvaluationKey = tuple[str, float, float, Union[float, None]]
+
+#: Any key the caches accept: an evaluation tuple or a plain digest
+#: string (simulation keys, ad-hoc callers).
+CacheKey = Union[str, EvaluationKey]
+
+
+def evaluation_group_key(
     core: CoreParameters,
     accelerator: AcceleratorParameters,
-    workload: WorkloadParameters,
     mode: TCAMode,
     drain_estimator: DrainEstimator | None = None,
 ) -> str:
-    """Content-addressed key of one model evaluation.
+    """Digest of everything a batch group holds fixed.
 
-    Covers everything :meth:`repro.core.model.TCAModel.speedup` is a
-    function of: the three parameter groups, the integration mode, the
-    drain-estimator configuration, and the schema tag.  Display names are
-    excluded (see the ``to_canonical_dict`` methods), so renaming a
-    preset never splits the cache.
+    Covers the core and accelerator parameters, the integration mode,
+    the drain-estimator configuration, and the schema tag — exactly the
+    arguments :func:`~repro.core.model.speedup_grid` fixes per call.
+    The batch engine computes this once per group and derives every
+    member's key from it; display names are excluded (see the
+    ``to_canonical_dict`` methods), so renaming a preset never splits
+    the cache.
     """
     return sha256_key(
         {
@@ -108,11 +137,47 @@ def evaluation_key(
             "schema": schema_tag(),
             "core": core.to_canonical_dict(),
             "accelerator": accelerator.to_canonical_dict(),
-            "workload": workload.to_canonical_dict(),
             "mode": mode.value,
             "drain": drain_config(drain_estimator),
         }
     )
+
+
+def evaluation_key(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    workload: WorkloadParameters,
+    mode: TCAMode,
+    drain_estimator: DrainEstimator | None = None,
+) -> EvaluationKey:
+    """Content-addressed key of one model evaluation.
+
+    Covers everything :meth:`repro.core.model.TCAModel.speedup` is a
+    function of: the group digest (core, accelerator, mode, drain
+    config, schema — see :func:`evaluation_group_key`) plus the
+    workload's three numbers carried verbatim.  The tuple form keeps
+    per-query key construction to a tuple pack when the digest is
+    already in hand, which the batched hot path depends on.
+    """
+    return (
+        evaluation_group_key(core, accelerator, mode, drain_estimator),
+        float(workload.acceleratable_fraction),
+        float(workload.invocation_frequency),
+        None if workload.drain_time is None else float(workload.drain_time),
+    )
+
+
+def key_filename(key: CacheKey) -> str:
+    """Deterministic, filesystem-safe string form of a cache key.
+
+    String keys (sha256 hex) pass through; evaluation tuples render
+    their floats via ``repr``, which is exact for Python floats — equal
+    keys always map to the same name, across processes and hash seeds.
+    """
+    if isinstance(key, str):
+        return key
+    digest, a, v, drain = key
+    return f"{digest}-a{a!r}-v{v!r}-d{drain!r}"
 
 
 def simulation_key(

@@ -34,12 +34,13 @@ from __future__ import annotations
 import argparse
 import json
 import signal
+import socket
 import sys
 import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro import api
 from repro.cli_common import (
@@ -124,6 +125,10 @@ class ServeApp:
         self.cache = cache if cache is not None else EvaluationCache()
         self.jobs = max(1, jobs)
         self.started_at = monotonic()
+        #: Set by :mod:`repro.serve.pool` on pooled workers: a callable
+        #: returning the pool block for ``/healthz`` (size, per-worker
+        #: liveness, merged cache counters).  ``None`` = single process.
+        self.pool_info: Callable[[], dict[str, Any]] | None = None
         self._compiled: "OrderedDict[str, Any]" = OrderedDict()
         self._compiled_lock = threading.Lock()
         self._compiled_max = max(1, compiled_traces)
@@ -327,8 +332,13 @@ class ServeApp:
         return body
 
     def handle_healthz(self) -> dict[str, Any]:
-        """``GET /healthz``: liveness plus provenance and cache state."""
-        return {
+        """``GET /healthz``: liveness plus provenance and cache state.
+
+        On a pooled worker (``--workers N``) the response also carries a
+        ``pool`` block: pool size and strategy, per-worker pid/liveness/
+        request counts, and cache counters merged across all workers.
+        """
+        body = {
             "status": "ok",
             "schema": schema_tag(),
             "uptime_s": monotonic() - self.started_at,
@@ -338,6 +348,9 @@ class ServeApp:
                 metrics=get_registry().snapshot(), cache=self.cache.stats()
             ),
         }
+        if self.pool_info is not None:
+            body["pool"] = self.pool_info()
+        return body
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -405,6 +418,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": "internal server error"})
         else:
             self._send_json(200, response)
+        finally:
+            hook = self.server.after_request
+            if hook is not None:
+                hook()
 
     def do_GET(self) -> None:
         """Serve ``GET /healthz`` (anything else is a 404)."""
@@ -447,10 +464,36 @@ class ServeServer(ThreadingHTTPServer):
         address: tuple[str, int],
         app: ServeApp,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        sock: socket.socket | None = None,
     ) -> None:
-        super().__init__(address, _Handler)
+        if sock is None:
+            super().__init__(address, _Handler)
+        else:
+            # Pooled workers adopt an already-bound (possibly shared)
+            # listening socket instead of binding their own.
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()  # the unbound one socketserver made
+            self.socket = sock
+            self.server_address = sock.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
         self.app = app
         self.max_request_bytes = max_request_bytes
+        #: Optional post-request hook (pool workers report state here).
+        self.after_request: Callable[[], None] | None = None
+
+    def get_request(self) -> tuple[socket.socket, Any]:
+        """Accept one connection, re-blocking it for the handler.
+
+        A pool's shared listening socket is non-blocking (so a worker
+        that loses the accept race isn't stuck); accepted connections
+        must be switched back to blocking before ``http.server`` reads
+        from them.
+        """
+        request, client_address = super().get_request()
+        request.setblocking(True)
+        return request, client_address
 
 
 def make_server(
@@ -505,18 +548,37 @@ def main(argv: list[str] | None = None) -> int:
         metavar="BYTES",
         help="reject request bodies larger than this (default: %(default)s)",
     )
-    add_common_arguments(parser, jobs=True)
+    add_common_arguments(parser, jobs=True, workers=True)
     args = parser.parse_args(argv)
     configure_from_args(args)
 
-    app = ServeApp(
-        cache=EvaluationCache(
-            max_entries=args.cache_entries,
-            ttl_s=args.cache_ttl,
-            disk=DiskCache() if args.disk_cache else None,
-        ),
-        jobs=args.jobs,
-    )
+    def app_factory() -> ServeApp:
+        # Called in each worker process (after fork) so every worker
+        # owns fresh in-memory caches; the disk layer — shared by path,
+        # with atomic per-entry writes — is what workers share.
+        return ServeApp(
+            cache=EvaluationCache(
+                max_entries=args.cache_entries,
+                ttl_s=args.cache_ttl,
+                disk=DiskCache() if args.disk_cache else None,
+            ),
+            jobs=args.jobs,
+        )
+
+    if args.workers > 1:
+        from repro.serve.pool import run_pool
+
+        code = run_pool(
+            args.host,
+            args.port,
+            args.workers,
+            app_factory,
+            max_request_bytes=args.max_request_bytes,
+        )
+        maybe_print_profile(args)
+        return code
+
+    app = app_factory()
     server = make_server(
         args.host, args.port, app, max_request_bytes=args.max_request_bytes
     )
@@ -534,7 +596,11 @@ def main(argv: list[str] | None = None) -> int:
     signal.signal(signal.SIGINT, _request_shutdown)
 
     host, port = server.server_address[:2]
-    print(f"repro-serve listening on http://{host}:{port} (schema {schema_tag()})")
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"(schema {schema_tag()}; workers=1)",
+        flush=True,
+    )
     try:
         server.serve_forever()
     finally:

@@ -4,7 +4,7 @@ import json
 import re
 
 from repro.experiments.report import ExperimentResult
-from repro.obs.manifest import build_manifest, git_revision
+from repro.obs.manifest import bench_provenance, build_manifest, git_revision
 from repro.sim.simulator import simulate
 from repro.sim.stats import SimStats, StallReason
 
@@ -44,6 +44,20 @@ class TestBuildManifest:
         )
         assert manifest["scale"] == "smoke"
         assert manifest["custom"] == 42
+
+
+class TestBenchProvenance:
+    def test_stamp_identifies_the_machine(self):
+        stamp = bench_provenance()
+        assert stamp["cpu_count"] >= 1
+        assert stamp["python_version"].count(".") == 2
+        assert re.fullmatch(r"[0-9a-f]{40}", stamp["git_sha"])
+        assert stamp["package_version"] != ""
+        assert "host" in stamp and "platform" in stamp and "created_utc" in stamp
+
+    def test_stamp_is_json_safe(self):
+        stamp = bench_provenance()
+        assert json.loads(json.dumps(stamp)) == stamp
 
 
 class TestSimStatsDict:

@@ -1,0 +1,140 @@
+"""Tests of the perf-regression gate (``benchmarks/perf_gate.py``).
+
+The gate is CI's defense against silently rotted throughput, so its own
+semantics need pinning: which metrics it compares, when it fails, and
+that it refuses nonsense comparisons (mismatched scales or bench kinds)
+instead of quietly passing them.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_gate",
+    os.path.join(os.path.dirname(__file__), "..", "benchmarks", "perf_gate.py"),
+)
+perf_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_gate)
+
+
+BASELINE = {
+    "bench": "serve",
+    "scale": "full",
+    "scalar": {"seconds": 0.05, "queries_per_sec": 200_000.0},
+    "batched": {"seconds": 0.02, "queries_per_sec": 500_000.0},
+    "http": {"single": {"queries_per_sec": 4000.0}},  # skipped section
+    "provenance": {"cpu_count": 8},
+    "cache": {"memory": {"hits": 3}},
+}
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestIterMetrics:
+    def test_finds_per_sec_leaves_only(self):
+        metrics = dict(perf_gate.iter_metrics(BASELINE))
+        assert metrics == {
+            ("scalar", "queries_per_sec"): 200_000.0,
+            ("batched", "queries_per_sec"): 500_000.0,
+        }
+
+    def test_skips_http_and_provenance_sections(self):
+        paths = [p for p, _ in perf_gate.iter_metrics(BASELINE)]
+        assert all(p[0] not in ("http", "provenance", "cache") for p in paths)
+
+
+class TestGate:
+    def test_passes_within_tolerance(self, tmp_path):
+        current = dict(BASELINE, scalar={"queries_per_sec": 80_000.0})
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),
+            ]
+        )
+        assert rc == 0  # 0.4x is within the default 3x tolerance
+
+    def test_fails_on_gross_regression(self, tmp_path):
+        current = dict(BASELINE, batched={"queries_per_sec": 50_000.0})
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),
+            ]
+        )
+        assert rc == 1  # 0.1x < 1/3
+
+    def test_fails_when_metric_disappears(self, tmp_path):
+        current = {k: v for k, v in BASELINE.items() if k != "batched"}
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),
+            ]
+        )
+        assert rc == 1
+
+    def test_refuses_scale_mismatch(self, tmp_path):
+        current = dict(BASELINE, scale="smoke")
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),
+            ]
+        )
+        assert rc == 1
+
+    def test_refuses_bench_kind_mismatch(self, tmp_path):
+        current = dict(BASELINE, bench="sweep")
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),
+            ]
+        )
+        assert rc == 1
+
+    def test_custom_tolerance(self, tmp_path):
+        current = dict(BASELINE, scalar={"queries_per_sec": 80_000.0})
+        args = [
+            _write(tmp_path, "current.json", current),
+            _write(tmp_path, "baseline.json", BASELINE),
+            "--tolerance",
+            "2.0",
+        ]
+        assert perf_gate.main(args) == 1  # 0.4x < 1/2
+
+    def test_rejects_odd_path_count(self, tmp_path):
+        with pytest.raises(SystemExit):
+            perf_gate.main([_write(tmp_path, "current.json", BASELINE)])
+
+
+class TestCommittedBaselines:
+    """The baselines the repo actually ships must satisfy the gate's needs."""
+
+    @pytest.mark.parametrize(
+        "relpath",
+        [
+            "benchmarks/baselines/BENCH_serve.json",
+            "benchmarks/baselines/BENCH_sweep.json",
+            "benchmarks/baselines/BENCH_sim.json",
+            "benchmarks/baselines/smoke/BENCH_serve.json",
+            "benchmarks/baselines/smoke/BENCH_sweep.json",
+            "benchmarks/baselines/smoke/BENCH_sim.json",
+        ],
+    )
+    def test_baseline_has_metrics_and_provenance(self, relpath):
+        root = os.path.join(os.path.dirname(__file__), "..")
+        with open(os.path.join(root, relpath), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert list(perf_gate.iter_metrics(payload)), relpath
+        provenance = payload["provenance"]
+        assert provenance["cpu_count"] >= 1
+        assert provenance["python_version"]

@@ -7,6 +7,7 @@ schema-tag invalidation of the disk layer.
 """
 
 import json
+import os
 import subprocess
 import sys
 import textwrap
@@ -29,7 +30,13 @@ from repro.serve.cache import (
     EvaluationCache,
     LRUCache,
 )
-from repro.serve.keys import canonical_json, evaluation_key, schema_tag
+from repro.serve.keys import (
+    canonical_json,
+    evaluation_group_key,
+    evaluation_key,
+    key_filename,
+    schema_tag,
+)
 
 
 ACCEL = AcceleratorParameters(name="t", acceleration=3.0)
@@ -37,10 +44,37 @@ WORKLOAD = WorkloadParameters.from_granularity(53, acceleratable_fraction=0.3)
 
 
 class TestKeys:
-    def test_key_is_sha256_hex(self):
+    def test_key_is_group_digest_plus_workload_suffix(self):
+        """Evaluation keys are (sha256-hex group digest, a, v, drain)."""
         key = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
-        assert len(key) == 64
-        int(key, 16)  # hex
+        digest, a, v, drain = key
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+        assert digest == evaluation_group_key(ARM_A72, ACCEL, TCAMode.L_T)
+        assert (a, v, drain) == (
+            WORKLOAD.acceleratable_fraction,
+            WORKLOAD.invocation_frequency,
+            None,
+        )
+
+    def test_group_digest_amortizes_over_workloads(self):
+        """Different workloads share the (expensive) group digest."""
+        other = WorkloadParameters.from_granularity(
+            200, acceleratable_fraction=0.7
+        )
+        key1 = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
+        key2 = evaluation_key(ARM_A72, ACCEL, other, TCAMode.L_T)
+        assert key1[0] == key2[0]
+        assert key1 != key2
+
+    def test_key_filename_is_deterministic_and_fs_safe(self):
+        key = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
+        name = key_filename(key)
+        assert name == key_filename(key)
+        assert "/" not in name and " " not in name
+        assert name.startswith(key[0])
+        # hex simulation-style keys pass through unchanged
+        assert key_filename("ab" * 32) == "ab" * 32
 
     def test_key_depends_on_every_input(self):
         base = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
@@ -91,13 +125,13 @@ class TestKeys:
             from repro.core.parameters import (
                 ARM_A72, AcceleratorParameters, WorkloadParameters,
             )
-            from repro.serve.keys import evaluation_key
-            print(evaluation_key(
+            from repro.serve.keys import evaluation_key, key_filename
+            print(key_filename(evaluation_key(
                 ARM_A72,
                 AcceleratorParameters(name="t", acceleration=3.0),
                 WorkloadParameters.from_granularity(53, acceleratable_fraction=0.3),
                 TCAMode.L_T,
-            ))
+            )))
             """
         )
         keys = set()
@@ -111,7 +145,7 @@ class TestKeys:
             )
             assert proc.returncode == 0, proc.stderr
             keys.add(proc.stdout.strip())
-        keys.add(evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T))
+        keys.add(key_filename(evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)))
         assert len(keys) == 1, f"keys differ across processes: {keys}"
 
 
@@ -172,6 +206,74 @@ class TestLRUCache:
         assert stats["entries"] <= 64
         assert stats["hits"] + stats["misses"] == 8 * 500
 
+    def test_get_many_preserves_order_and_counts(self):
+        cache = LRUCache(max_entries=8)
+        cache.put("a", 1)
+        cache.put("c", 3)
+        values = cache.get_many(["a", "b", "c", "a"])
+        assert values[0] == 1 and values[2] == 3 and values[3] == 1
+        assert values[1] is MISS
+        stats = cache.stats()
+        assert stats["hits"] == 3 and stats["misses"] == 1
+
+    def test_get_many_on_empty_cache_is_all_misses(self):
+        cache = LRUCache(max_entries=8)
+        assert cache.get_many(["x", "y"]) == [MISS, MISS]
+        assert cache.stats()["misses"] == 2
+
+    def test_put_many_bounds_and_refreshes(self):
+        cache = LRUCache(max_entries=3)
+        cache.put_many([(f"k{i}", i) for i in range(5)])
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["evictions"] == 2
+        # last-written keys survive
+        assert cache.get_many(["k2", "k3", "k4"]) == [2, 3, 4]
+
+    def test_get_many_respects_ttl(self):
+        now = [0.0]
+        cache = LRUCache(max_entries=8, ttl_s=10.0, clock=lambda: now[0])
+        cache.put_many([("a", 1), ("b", 2)])
+        now[0] = 10.1
+        assert cache.get_many(["a", "b"]) == [MISS, MISS]
+        assert cache.stats()["expirations"] == 2
+
+    def test_bulk_ops_thread_safety_under_hammering(self):
+        """get_many/put_many from 8+ threads: bounds hold, counters add up."""
+        cache = LRUCache(max_entries=64)
+        probes_per_worker = 300
+        batch = 10
+
+        def hammer(worker: int) -> int:
+            rounds = 0
+            for i in range(probes_per_worker):
+                keys = [
+                    f"k{(worker * 31 + i * batch + j) % 120}"
+                    for j in range(batch)
+                ]
+                values = cache.get_many(keys)
+                missing = [
+                    (key, key)
+                    for key, value in zip(keys, values)
+                    if value is MISS
+                ]
+                if missing:
+                    cache.put_many(missing)
+                rounds += 1
+                stats = cache.stats()
+                assert stats["entries"] <= 64
+            return rounds
+
+        with ThreadPoolExecutor(max_workers=9) as pool:
+            results = list(pool.map(hammer, range(9)))
+        assert results == [probes_per_worker] * 9
+        stats = cache.stats()
+        assert stats["entries"] <= 64
+        assert stats["hits"] + stats["misses"] == 9 * probes_per_worker * batch
+        # every hit must have returned the value that was stored for it
+        for key in list(cache._entries):
+            assert cache.get(key) == key
+
 
 class TestDiskCache:
     def test_round_trip_and_stats(self, tmp_path):
@@ -210,6 +312,75 @@ class TestDiskCache:
         assert cache.clear() == 2
         assert cache.get("dd" * 32) is MISS
 
+    def test_tuple_keys_round_trip(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        key = evaluation_key(ARM_A72, ACCEL, WORKLOAD, TCAMode.L_T)
+        cache.put(key, 2.25)
+        assert cache.get(key) == 2.25
+        # the entry lands under the deterministic key_filename
+        assert cache._path(key).endswith(key_filename(key) + ".json")
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path))
+        cache.put("aa" * 32, [1.0] * 100)
+        leftovers = [
+            name
+            for _, _, names in os.walk(tmp_path)
+            for name in names
+            if not name.endswith(".json")
+        ]
+        assert leftovers == []
+
+    def test_concurrent_writers_never_expose_partial_json(self, tmp_path):
+        """Regression: entry files are written atomically (temp+rename).
+
+        Several writer *processes* rewrite the same keys with large
+        values while this process reads them in a tight loop.  A
+        non-atomic writer makes reads observe truncated JSON, which
+        :meth:`DiskCache.get` would count in ``errors`` — so the test
+        asserts every read is a miss or a complete value and the error
+        counter stays 0.
+        """
+        root = str(tmp_path)
+        keys = ["ab" * 32, "cd" * 32, "ef" * 32]
+        writer = textwrap.dedent(
+            """
+            import sys
+            from repro.serve.cache import DiskCache
+            root, tag_suffix = sys.argv[1], sys.argv[2]
+            cache = DiskCache(root=root, tag="atomicity-test", fsync=False)
+            keys = ["ab" * 32, "cd" * 32, "ef" * 32]
+            # large enough that a non-atomic write is observable mid-way
+            for round in range(40):
+                for key in keys:
+                    cache.put(key, {"fill": [float(round)] * 2000})
+            """
+        )
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", writer, root, str(i)],
+                env={**os.environ, "PYTHONPATH": "src"},
+            )
+            for i in range(3)
+        ]
+        reader = DiskCache(root=root, tag="atomicity-test", fsync=False)
+        reads = 0
+        try:
+            while any(proc.poll() is None for proc in writers):
+                for key in keys:
+                    value = reader.get(key)
+                    if value is not MISS:
+                        fill = value["fill"]
+                        assert len(fill) == 2000
+                        assert fill == [fill[0]] * 2000  # one write, whole
+                        reads += 1
+        finally:
+            for proc in writers:
+                proc.wait(timeout=120)
+        assert all(proc.returncode == 0 for proc in writers)
+        assert reader.stats()["errors"] == 0
+        assert reads > 0  # the loop actually observed concurrent state
+
 
 class TestEvaluationCache:
     def test_disk_hits_promote_to_memory(self, tmp_path):
@@ -245,3 +416,46 @@ class TestEvaluationCache:
         stats = cache.stats()
         assert set(stats) == {"memory", "disk"}
         json.dumps(stats)  # must be JSON-safe for manifests
+
+    def test_get_many_promotes_disk_hits(self, tmp_path):
+        disk = DiskCache(root=str(tmp_path))
+        disk.put("aa" * 32, 1.5)
+        disk.put("bb" * 32, 2.5)
+        cache = EvaluationCache(disk=disk)
+        values = cache.get_many(["aa" * 32, "nope", "bb" * 32])
+        assert values == [1.5, MISS, 2.5]
+        # promoted: a second bulk probe is answered from memory
+        assert cache.get_many(["aa" * 32, "bb" * 32]) == [1.5, 2.5]
+        assert cache.memory.hits == 2
+
+    def test_put_many_reaches_both_layers(self, tmp_path):
+        disk = DiskCache(root=str(tmp_path))
+        cache = EvaluationCache(disk=disk)
+        cache.put_many([("aa" * 32, 1.0), ("bb" * 32, 2.0)])
+        fresh = EvaluationCache(disk=DiskCache(root=str(tmp_path)))
+        assert fresh.get_many(["aa" * 32, "bb" * 32]) == [1.0, 2.0]
+
+    def test_bulk_ops_match_scalar_ops_under_threads(self, tmp_path):
+        """8 threads mixing bulk and scalar ops: values stay coherent."""
+        cache = EvaluationCache(max_entries=256)
+
+        def hammer(worker: int) -> int:
+            for i in range(200):
+                keys = [f"w{(worker + i + j) % 50}" for j in range(5)]
+                values = cache.get_many(keys)
+                fresh = [
+                    (key, key)
+                    for key, value in zip(keys, values)
+                    if value is MISS
+                ]
+                if fresh:
+                    cache.put_many(fresh)
+                solo = f"w{(worker * 7 + i) % 50}"
+                value = cache.get(solo)
+                assert value is MISS or value == solo
+            return worker
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert sorted(pool.map(hammer, range(8))) == list(range(8))
+        stats = cache.stats()["memory"]
+        assert stats["entries"] <= 256

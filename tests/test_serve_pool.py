@@ -1,0 +1,259 @@
+"""Tests of the pre-forked worker pool (``repro-serve --workers N``).
+
+The pool's contract is operational, so these tests exercise the real
+thing: a ``repro-serve`` subprocess with ``--workers 2``, driven over
+HTTP.  They pin the load-bearing behaviors — the shared listener serves
+while workers come and go, a killed worker is respawned, SIGTERM drains
+in-flight requests before the pool exits — plus the pure helpers
+(strategy resolution, atomic state files) without forking.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.serve.pool import (
+    PoolMember,
+    _read_json,
+    _write_json_atomic,
+    resolve_strategy,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="worker pools require os.fork"
+)
+
+EVALUATE_PAYLOAD = json.dumps(
+    {
+        "core": "a72",
+        "accelerator": {"acceleration": 4.0},
+        "workload": {"granularity": 100, "acceleratable_fraction": 0.4},
+        "modes": ["L_T", "NL_NT"],
+    }
+).encode("utf-8")
+
+
+def _spawn_pool(workers=2, strategy=None, extra_args=()):
+    """A ``repro-serve --workers N`` subprocess on an ephemeral port."""
+    env = dict(os.environ, PYTHONPATH="src")
+    if strategy is not None:
+        env["REPRO_SERVE_POOL_STRATEGY"] = strategy
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.service",
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    assert "repro-serve listening on" in banner, banner
+    port = int(banner.split("http://", 1)[1].split(" ", 1)[0].rsplit(":", 1)[1])
+    return proc, port
+
+
+def _request(port, path, payload=None, timeout=30):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=payload,
+        headers={} if payload is None else {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _terminate(proc, timeout=30):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        return proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+
+
+class TestStrategy:
+    def test_auto_resolves_to_a_concrete_strategy(self):
+        assert resolve_strategy("auto") in ("reuseport", "inherit")
+
+    def test_explicit_strategies_pass_through(self):
+        assert resolve_strategy("inherit") == "inherit"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_strategy("prefork")
+
+
+class TestStateFiles:
+    def test_atomic_write_round_trips(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        _write_json_atomic(path, {"pid": 42})
+        assert _read_json(path) == {"pid": 42}
+        # no leftover temp files from the write
+        assert os.listdir(tmp_path) == ["state.json"]
+
+    def test_read_missing_or_corrupt_is_none(self, tmp_path):
+        assert _read_json(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{mid-replace garbag")
+        assert _read_json(str(bad)) is None
+
+
+@pytest.mark.parametrize("strategy", ["reuseport", "inherit"])
+class TestPoolServing:
+    def test_pool_serves_and_reports_health(self, strategy):
+        if strategy == "reuseport" and not hasattr(socket, "SO_REUSEPORT"):
+            pytest.skip("no SO_REUSEPORT on this platform")
+        proc, port = _spawn_pool(workers=2, strategy=strategy)
+        try:
+            for _ in range(8):
+                status, body = _request(port, "/evaluate", EVALUATE_PAYLOAD)
+                assert status == 200
+                assert body["results"][0]["speedups"]
+            status, health = _request(port, "/healthz")
+            assert status == 200
+            pool = health["pool"]
+            assert pool["size"] == 2
+            assert pool["strategy"] == strategy
+            assert len(pool["workers"]) == 2
+            assert all(worker["alive"] for worker in pool["workers"])
+            merged = pool["cache_merged"]["memory"]
+            assert merged["hits"] + merged["misses"] > 0
+        finally:
+            assert _terminate(proc) == 0
+
+
+def test_killed_worker_is_respawned_without_dropping_listener():
+    proc, port = _spawn_pool(workers=2)
+    try:
+        _, health = _request(port, "/healthz")
+        pids = {w["slot"]: w["pid"] for w in health["pool"]["workers"]}
+        os.kill(pids[0], signal.SIGKILL)
+        deadline = time.monotonic() + 30
+        respawned = False
+        while time.monotonic() < deadline:
+            # the listener must answer throughout the respawn window
+            status, body = _request(port, "/evaluate", EVALUATE_PAYLOAD)
+            assert status == 200
+            _, health = _request(port, "/healthz")
+            pool = health["pool"]
+            slot0 = next(w for w in pool["workers"] if w["slot"] == 0)
+            if slot0["pid"] != pids[0] and slot0["alive"]:
+                assert pool["restarts"]["0"] == 1
+                respawned = True
+                break
+            time.sleep(0.2)
+        assert respawned, "slot 0 was never respawned"
+    finally:
+        assert _terminate(proc) == 0
+
+
+def test_sigterm_drains_in_flight_requests():
+    """A request racing SIGTERM still gets its 200 before the pool exits."""
+    proc, port = _spawn_pool(workers=2)
+    # enough work per request to keep it in flight while SIGTERM lands
+    big = json.dumps(
+        {
+            "queries": [
+                {
+                    "core": "a72",
+                    "accelerator": {"acceleration": float(3 + i % 7)},
+                    "workload": {
+                        "granularity": 10.0 + i,
+                        "acceleratable_fraction": 0.5,
+                    },
+                }
+                for i in range(4000)
+            ]
+        }
+    ).encode("utf-8")
+    outcomes = []
+
+    def fire():
+        try:
+            outcomes.append(_request(port, "/evaluate", big)[0])
+        except Exception as exc:  # pragma: no cover - failure detail
+            outcomes.append(exc)
+
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)  # let the requests reach the workers
+    code = _terminate(proc)
+    for thread in threads:
+        thread.join(timeout=30)
+    assert code == 0
+    assert len(outcomes) == 4
+    # every request either completed with 200 (drained) or was refused
+    # before being accepted — none may die mid-flight with a dropped
+    # connection after acceptance; in practice the 0.05s head start means
+    # they were all in flight, so demand all-200.
+    assert outcomes == [200, 200, 200, 200], outcomes
+
+
+def test_single_worker_flag_stays_single_process():
+    """``--workers 1`` keeps the portable single-process path (no pool)."""
+    proc, port = _spawn_pool(workers=1)
+    try:
+        status, health = _request(port, "/healthz")
+        assert status == 200
+        assert "pool" not in health
+    finally:
+        assert _terminate(proc) == 0
+
+
+def test_pool_member_merges_worker_states(tmp_path):
+    """healthz merging sums cache counters over every worker's report."""
+
+    class FakeCache:
+        def stats(self):
+            return {
+                "memory": {
+                    "hits": 3,
+                    "misses": 1,
+                    "evictions": 0,
+                    "expirations": 0,
+                    "entries": 2,
+                },
+                "disk": None,
+            }
+
+    class FakeApp:
+        cache = FakeCache()
+
+    _write_json_atomic(
+        str(tmp_path / "pool.json"),
+        {
+            "workers": 2,
+            "strategy": "inherit",
+            "supervisor_pid": os.getpid(),
+            "pids": {"0": os.getpid(), "1": os.getpid()},
+            "restarts": {"0": 0, "1": 0},
+        },
+    )
+    member = PoolMember(str(tmp_path), slot=0, app=FakeApp())
+    member.requests = 5
+    other = PoolMember(str(tmp_path), slot=1, app=FakeApp())
+    other.requests = 7
+    other.report(force=True)
+    health = member.healthz()
+    assert health["size"] == 2
+    assert health["requests"] == 12
+    assert health["cache_merged"]["memory"]["hits"] == 6
+    assert health["cache_merged"]["disk"] is None
+    assert [w["alive"] for w in health["workers"]] == [True, True]
