@@ -18,6 +18,15 @@ the numbers to ``BENCH_serve.json``:
 - **cached** — the identical batch repeated against the now-warm cache
   (best-of-:data:`REPEATS`), answered entirely by one bulk lookup.
 
+It also measures what the telemetry layer itself costs: the same
+batched evaluation with tracing **off** (the library default — every
+``span()`` call is a single contextvar read) and **on** (inside a
+:func:`~repro.obs.span.request_scope`, recording the full span tree
+exactly as a ``?debug=trace`` request does).  Both land in the
+``telemetry`` section as ``queries_per_sec`` entries, so
+``benchmarks/perf_gate.py`` gates the instrumented path like any other
+hot path — if spans ever become expensive, CI fails.
+
 With ``--http-requests > 0`` (the default) it then measures the service
 end-to-end: a thread-pool load generator firing ``/evaluate`` requests
 over persistent connections at a single-process server and at a
@@ -63,6 +72,7 @@ from repro.core.parameters import (
     WorkloadParameters,
 )
 from repro.obs.manifest import bench_provenance
+from repro.obs.span import request_scope
 from repro.serve.batch import EvaluationQuery, evaluate_batch
 from repro.serve.cache import EvaluationCache
 
@@ -139,6 +149,40 @@ def best_of(fn, repeats: int = REPEATS):
         result = fn()
         best = min(best, perf_counter() - started)
     return best, result
+
+
+def bench_telemetry(queries: list[EvaluationQuery]) -> dict:
+    """Tracing-off vs tracing-on timings of the batched hot path.
+
+    "Off" is the library default: no request scope is active, so every
+    ``span()`` inside the batch engine is one contextvar read returning
+    the shared null span.  "On" wraps the identical call in a
+    :func:`request_scope`, recording the real span tree — the per-
+    request cost a ``?debug=trace`` (or any served request, since the
+    service always opens a scope) pays.
+    """
+    n = len(queries)
+    off_s, _ = best_of(lambda: evaluate_batch(queries, cache=None))
+
+    def traced():
+        with request_scope("bench.evaluate"):
+            return evaluate_batch(queries, cache=None)
+
+    on_s, _ = best_of(traced)
+
+    def entry(seconds: float) -> dict:
+        return {
+            "seconds": seconds,
+            "queries_per_sec": n / seconds if seconds > 0 else float("inf"),
+        }
+
+    return {
+        "telemetry_off": entry(off_s),
+        "telemetry_on": entry(on_s),
+        "overhead_pct": (
+            100.0 * (on_s - off_s) / off_s if off_s > 0 else 0.0
+        ),
+    }
 
 
 # --- HTTP load-generation section ------------------------------------
@@ -450,6 +494,7 @@ def main(argv: list[str] | None = None) -> int:
         "batched": entry(batch_s),
         "cold_cache_fill": entry(cold_s),
         "cached": entry(cached_s, speedup_vs_cold_fill=cached_speedup),
+        "telemetry": bench_telemetry(queries),
         "cache": cache.stats(),
         "provenance": bench_provenance(),
     }
@@ -480,6 +525,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"  cached vs cold fill: {cached_speedup:.1f}x")
     print(f"  max abs diff vs scalar: {max_abs:.2e}")
+    telemetry = payload["telemetry"]
+    print(
+        f"  telemetry on/off: "
+        f"{telemetry['telemetry_on']['queries_per_sec']:.0f} vs "
+        f"{telemetry['telemetry_off']['queries_per_sec']:.0f} queries/s "
+        f"({telemetry['overhead_pct']:+.1f}% overhead)"
+    )
     if "http" in payload:
         http = payload["http"]
         print(

@@ -51,6 +51,7 @@ from repro.core.sweep import (
     granularity_sweep,
 )
 from repro.isa.trace import Trace
+from repro.obs.span import span
 from repro.obs.tracer import PipelineTracer
 from repro.serve.batch import EvaluationQuery, evaluate_batch
 from repro.serve.cache import MISS, EvaluationCache
@@ -434,27 +435,34 @@ def sweep(
     """
     resolved_modes = _resolve_modes(modes)
     axis = np.asarray(x, dtype=float)
-    if kind == "granularity":
-        if acceleratable_fraction is None:
-            raise ValueError("granularity sweeps require acceleratable_fraction")
-        result = granularity_sweep(
-            core, accelerator, acceleratable_fraction, axis,
-            drain_estimator, resolved_modes,
-        )
-    elif kind == "fraction":
-        if granularity is None:
-            raise ValueError("fraction sweeps require granularity")
-        result = fraction_sweep(
-            core, accelerator, granularity, axis, drain_estimator, resolved_modes
-        )
-    elif kind == "frequency":
-        if granularity is None:
-            raise ValueError("frequency sweeps require granularity")
-        result = frequency_sweep(
-            core, accelerator, granularity, axis, drain_estimator, resolved_modes
-        )
-    else:
-        raise ValueError(f"unknown sweep kind {kind!r}; expected one of {SWEEP_KINDS}")
+    with span(f"api.sweep.{kind}"):
+        if kind == "granularity":
+            if acceleratable_fraction is None:
+                raise ValueError(
+                    "granularity sweeps require acceleratable_fraction"
+                )
+            result = granularity_sweep(
+                core, accelerator, acceleratable_fraction, axis,
+                drain_estimator, resolved_modes,
+            )
+        elif kind == "fraction":
+            if granularity is None:
+                raise ValueError("fraction sweeps require granularity")
+            result = fraction_sweep(
+                core, accelerator, granularity, axis, drain_estimator,
+                resolved_modes,
+            )
+        elif kind == "frequency":
+            if granularity is None:
+                raise ValueError("frequency sweeps require granularity")
+            result = frequency_sweep(
+                core, accelerator, granularity, axis, drain_estimator,
+                resolved_modes,
+            )
+        else:
+            raise ValueError(
+                f"unknown sweep kind {kind!r}; expected one of {SWEEP_KINDS}"
+            )
     return SweepResult.from_core_sweep(kind, result)
 
 

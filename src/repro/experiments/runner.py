@@ -10,7 +10,10 @@ subset of the paper's figures/tables::
 Observability (see ``docs/OBSERVABILITY.md``):
 
 - ``--trace PATH`` records a Chrome ``trace_event`` file of every
-  simulation the chosen experiments run (open in Perfetto);
+  simulation the chosen experiments run (open in Perfetto); under
+  ``--jobs N`` each worker writes its own shard and the shards are
+  merged onto one timeline (per-shard pid offsets) on the way out, so
+  tracing no longer forces serial execution;
 - ``--profile`` prints the metrics registry's per-stage timing table;
 - ``--log-level debug`` enables the package's diagnostic logging;
 - ``--save`` writes JSON records that carry a provenance manifest
@@ -21,7 +24,11 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
+import shutil
 import sys
+import tempfile
+from contextlib import nullcontext
 from time import perf_counter
 from typing import Callable
 
@@ -48,7 +55,7 @@ from repro.experiments.report import ExperimentResult
 from repro.obs.log import get_logger
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import get_registry
-from repro.obs.tracer import PipelineTracer, tracing
+from repro.obs.tracer import PipelineTracer, merge_chrome_trace_files, tracing
 
 # Named explicitly: under ``python -m`` __name__ is "__main__".
 _log = get_logger("experiments.runner")
@@ -88,17 +95,26 @@ def run_experiment(
 
 
 def _run_timed(
-    task: tuple[str, str | None, int]
+    task: tuple[str, str | None, int, str | None]
 ) -> tuple[ExperimentResult, float]:
     """Run one experiment, returning (result, wall seconds).
 
     Module-level so ``--jobs`` pool workers can pickle it; workers pass
     an inner ``jobs`` of 1 (daemonic pool processes cannot nest pools).
+    With a ``trace_shard`` path the experiment runs under its own
+    :class:`PipelineTracer` and writes the recorded runs there — the
+    parent merges every worker's shard onto one timeline afterwards.
     """
-    name, scale, jobs = task
+    name, scale, jobs, trace_shard = task
     started = perf_counter()
-    with get_registry().timer(f"experiment.{name}").time():
-        result = run_experiment(name, scale, jobs=jobs)
+    tracer = PipelineTracer() if trace_shard is not None else None
+    # nullcontext (not tracing(None)) when untraced: the serial path runs
+    # inside the parent's ambient tracer, which must stay in effect.
+    with tracing(tracer) if tracer is not None else nullcontext():
+        with get_registry().timer(f"experiment.{name}").time():
+            result = run_experiment(name, scale, jobs=jobs)
+    if tracer is not None:
+        tracer.write_chrome_trace(trace_shard)
     return result, perf_counter() - started
 
 
@@ -143,52 +159,81 @@ def main(argv: list[str] | None = None) -> int:
 
     registry = get_registry()
     jobs = max(1, args.jobs)
-    tracer = PipelineTracer() if args.trace else None
-    parallel_experiments = jobs > 1 and len(names) > 1 and tracer is None
-    if jobs > 1 and len(names) > 1 and tracer is not None:
-        _log.warning(
-            "--trace cannot capture simulations inside worker processes; "
-            "running experiments serially"
-        )
-    with tracing(tracer):
-        if parallel_experiments:
-            # Fan the experiments themselves out; each worker merges its
-            # metrics back here, so --profile totals match a serial run.
-            outcomes = zip(
-                names,
-                parallel_map(
-                    _run_timed,
-                    [(name, args.scale, 1) for name in names],
-                    jobs=jobs,
-                ),
-            )
-        else:  # lazily, so each experiment prints as soon as it finishes
-            outcomes = (
-                (name, _run_timed((name, args.scale, jobs))) for name in names
-            )
-        for name, (result, duration) in outcomes:
-            _log.info("%s completed in %.2fs", name, duration)
-            print(result.render())
-            print()
-            if args.save:
-                result.manifest = build_manifest(
-                    scale=result.scale,
-                    wall_time_s=duration,
-                    metrics=registry.snapshot(),
+    parallel_experiments = jobs > 1 and len(names) > 1
+    # Serial runs record into one ambient tracer; parallel runs give
+    # every worker its own trace shard (an ambient tracer cannot observe
+    # simulations inside pool processes) and merge the shards afterwards,
+    # so --trace no longer forces serial execution.
+    tracer = PipelineTracer() if args.trace and not parallel_experiments else None
+    shard_dir: str | None = None
+    shards: list[str | None] = [None] * len(names)
+    if args.trace and parallel_experiments:
+        shard_dir = tempfile.mkdtemp(prefix="repro-trace-shards-")
+        shards = [
+            os.path.join(shard_dir, f"shard-{offset:03d}-{name}.json")
+            for offset, name in enumerate(names)
+        ]
+    try:
+        with tracing(tracer):
+            if parallel_experiments:
+                # Fan the experiments themselves out; each worker merges
+                # its metrics back here, so --profile totals match a
+                # serial run.
+                outcomes = zip(
+                    names,
+                    parallel_map(
+                        _run_timed,
+                        [
+                            (name, args.scale, 1, shard)
+                            for name, shard in zip(names, shards)
+                        ],
+                        jobs=jobs,
+                    ),
                 )
-                path = result.save_json()
-                print(f"[saved {path}]")
-    if tracer is not None:
-        count = tracer.write_chrome_trace(args.trace)
-        if not tracer.runs:
-            _log.warning(
-                "no simulations ran under --trace (model-only experiments "
-                "produce empty traces)"
+            else:  # lazily, so each experiment prints as it finishes
+                outcomes = (
+                    (name, _run_timed((name, args.scale, jobs, None)))
+                    for name in names
+                )
+            for name, (result, duration) in outcomes:
+                _log.info("%s completed in %.2fs", name, duration)
+                print(result.render())
+                print()
+                if args.save:
+                    result.manifest = build_manifest(
+                        scale=result.scale,
+                        wall_time_s=duration,
+                        metrics=registry.snapshot(),
+                    )
+                    path = result.save_json()
+                    print(f"[saved {path}]")
+        if tracer is not None:
+            count = tracer.write_chrome_trace(args.trace)
+            if not tracer.runs:
+                _log.warning(
+                    "no simulations ran under --trace (model-only "
+                    "experiments produce empty traces)"
+                )
+            print(
+                f"[trace: {count} events from {len(tracer.runs)} run(s) "
+                f"written to {args.trace}]"
             )
-        print(
-            f"[trace: {count} events from {len(tracer.runs)} run(s) "
-            f"written to {args.trace}]"
-        )
+        elif shard_dir is not None:
+            count = merge_chrome_trace_files(
+                [shard for shard in shards if shard is not None], args.trace
+            )
+            if not count:
+                _log.warning(
+                    "no simulations ran under --trace (model-only "
+                    "experiments produce empty traces)"
+                )
+            print(
+                f"[trace: {count} events merged from {len(names)} worker "
+                f"shard(s) into {args.trace}]"
+            )
+    finally:
+        if shard_dir is not None:
+            shutil.rmtree(shard_dir, ignore_errors=True)
     maybe_print_profile(args)
     return 0
 

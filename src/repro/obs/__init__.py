@@ -7,12 +7,22 @@ through:
   tracing in the simulator, exported as Chrome ``trace_event`` JSON
   (open in ``chrome://tracing`` or Perfetto);
 - :mod:`repro.obs.metrics` — an in-process registry of counters, gauges,
-  and ``perf_counter`` timers (experiment stage timings, simulator
-  throughput, model evaluation counts);
+  ``perf_counter`` timers, and latency histograms (experiment stage
+  timings, simulator throughput, model evaluation counts);
+- :mod:`repro.obs.histogram` — fixed-bucket log-scale histograms with
+  exact counts/sums and estimated p50/p90/p99, mergeable across
+  processes;
+- :mod:`repro.obs.span` — request-scoped span trees propagated through
+  :mod:`contextvars` (``?debug=trace`` payloads, slow-request logs,
+  Chrome trace export);
+- :mod:`repro.obs.prometheus` — text-exposition rendering of a metrics
+  snapshot for ``GET /metrics``;
 - :mod:`repro.obs.log` — per-module structured logging under the
   ``repro`` root logger, configured from the CLIs' ``--log-level``;
 - :mod:`repro.obs.manifest` — provenance manifests (git sha, host,
-  Python, wall time, metrics snapshot) attached to saved results.
+  Python, wall time, metrics snapshot) attached to saved results;
+- :mod:`repro.obs.cli` — the ``repro-obs`` operator tool (slow-log
+  tailing, metrics-snapshot diffing, trace-shard merging).
 
 The module depends only on the standard library and is imported by every
 other layer, so it must never import from ``repro.core``/``repro.sim``
@@ -26,31 +36,59 @@ from repro.obs.log import (
     configure_logging,
     get_logger,
 )
+from repro.obs.histogram import COUNT_BOUNDS, LATENCY_BOUNDS, Histogram
 from repro.obs.manifest import build_manifest, git_revision
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer, get_registry
+from repro.obs.prometheus import render_prometheus
+from repro.obs.span import (
+    RequestTrace,
+    Span,
+    current_request_id,
+    current_trace,
+    new_request_id,
+    request_scope,
+    span,
+    trace_to_chrome_events,
+)
 from repro.obs.tracer import (
     NullTracer,
     PipelineTracer,
     get_active_tracer,
+    merge_chrome_trace_files,
+    merge_chrome_traces,
     set_active_tracer,
     tracing,
 )
 
 __all__ = [
+    "COUNT_BOUNDS",
     "Counter",
     "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS",
     "LOG_LEVELS",
     "MetricsRegistry",
     "NullTracer",
     "PipelineTracer",
+    "RequestTrace",
+    "Span",
     "Timer",
     "add_log_level_argument",
     "build_manifest",
     "configure_logging",
+    "current_request_id",
+    "current_trace",
     "get_active_tracer",
     "get_logger",
     "get_registry",
     "git_revision",
+    "merge_chrome_trace_files",
+    "merge_chrome_traces",
+    "new_request_id",
+    "render_prometheus",
+    "request_scope",
     "set_active_tracer",
+    "span",
+    "trace_to_chrome_events",
     "tracing",
 ]

@@ -1,0 +1,252 @@
+"""``repro-obs``: operator tooling over the telemetry the stack emits.
+
+Three subcommands close the loop from emitted telemetry back to a
+human:
+
+- ``repro-obs tail-slow LOG`` — parse a structured log for the
+  single-line JSON records the service emits above its slow-request
+  threshold (``slow request {...}``) and print a per-request table:
+  request ID, endpoint, total seconds, and the slowest recorded span;
+- ``repro-obs diff-metrics A.json B.json`` — diff two metrics
+  snapshots (raw :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+  dumps, or any JSON carrying one under a ``metrics`` key, e.g. a run
+  manifest): counter deltas, timer deltas, and histogram count/p99
+  movement;
+- ``repro-obs merge-traces --out merged.json SHARD...`` — merge
+  per-worker Chrome trace shards onto one timeline with per-shard pid
+  offsets (see :func:`repro.obs.tracer.merge_chrome_traces`), so a
+  ``--jobs N`` experiment run or a pool of serve workers produces one
+  Perfetto-openable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.cli_common import add_common_arguments, configure_from_args
+from repro.obs.tracer import merge_chrome_trace_files
+
+#: Marker the service prefixes its structured slow-request records with.
+SLOW_MARKER = "slow request "
+
+
+def parse_slow_records(lines: "list[str] | Any") -> list[dict[str, Any]]:
+    """Extract slow-request JSON records from structured-log lines.
+
+    Lines without the marker, or with malformed JSON after it, are
+    skipped — logs interleave many writers and the tail tool must not
+    die on an unrelated line.
+    """
+    records = []
+    for line in lines:
+        marker = line.find(SLOW_MARKER)
+        if marker < 0:
+            continue
+        start = line.find("{", marker)
+        if start < 0:
+            continue
+        try:
+            record = json.loads(line[start:])
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "duration_s" in record:
+            records.append(record)
+    return records
+
+
+def _cmd_tail_slow(args: argparse.Namespace) -> int:
+    """Summarize the slow-request records of a structured log."""
+    if args.logfile == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.logfile, "r", encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+        except OSError as exc:
+            print(f"repro-obs: cannot read {args.logfile!r}: {exc}", file=sys.stderr)
+            return 1
+    records = [
+        r for r in parse_slow_records(lines) if r["duration_s"] >= args.min_s
+    ]
+    if args.last > 0:
+        records = records[-args.last :]
+    if not records:
+        print("no slow-request records found")
+        return 0
+    print(
+        f"{'request_id':<18} {'endpoint':<20} {'seconds':>9}  slowest span"
+    )
+    for record in records:
+        spans = record.get("spans") or []
+        slowest = (
+            f"{spans[0]['name']} ({spans[0]['duration_s']:.3f}s)"
+            if spans
+            else "-"
+        )
+        print(
+            f"{record.get('request_id', '?'):<18} "
+            f"{record.get('name', '?'):<20} "
+            f"{record['duration_s']:>9.3f}  {slowest}"
+        )
+    durations = sorted(r["duration_s"] for r in records)
+    print(
+        f"{len(records)} slow request(s); "
+        f"median {durations[len(durations) // 2]:.3f}s, "
+        f"worst {durations[-1]:.3f}s"
+    )
+    return 0
+
+
+def _load_snapshot(path: str) -> dict[str, Any]:
+    """A metrics snapshot from ``path`` (raw, or under a ``metrics`` key)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if "counters" in payload or "timers" in payload:
+        return payload
+    for key in ("metrics", "manifest"):
+        nested = payload.get(key)
+        if isinstance(nested, dict):
+            if "counters" in nested or "timers" in nested:
+                return nested
+            deeper = nested.get("metrics")
+            if isinstance(deeper, dict):
+                return deeper
+    raise ValueError(f"{path}: no metrics snapshot found")
+
+
+def _cmd_diff_metrics(args: argparse.Namespace) -> int:
+    """Print the instrument-level differences between two snapshots."""
+    try:
+        before = _load_snapshot(args.before)
+        after = _load_snapshot(args.after)
+    except (OSError, ValueError) as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 1
+    rows: list[str] = []
+
+    counters_before = before.get("counters", {})
+    counters_after = after.get("counters", {})
+    for name in sorted(set(counters_before) | set(counters_after)):
+        delta = counters_after.get(name, 0) - counters_before.get(name, 0)
+        if delta:
+            rows.append(f"  counter    {name:<36} {delta:>+14}")
+
+    timers_before = before.get("timers", {})
+    timers_after = after.get("timers", {})
+    for name in sorted(set(timers_before) | set(timers_after)):
+        a = timers_before.get(name, {})
+        b = timers_after.get(name, {})
+        d_count = b.get("count", 0) - a.get("count", 0)
+        d_total = b.get("total_s", 0.0) - a.get("total_s", 0.0)
+        if d_count or abs(d_total) > 1e-12:
+            rows.append(
+                f"  timer      {name:<36} {d_count:>+14} calls "
+                f"{d_total:>+12.4f}s"
+            )
+
+    hists_before = before.get("histograms", {})
+    hists_after = after.get("histograms", {})
+    for name in sorted(set(hists_before) | set(hists_after)):
+        a = hists_before.get(name, {})
+        b = hists_after.get(name, {})
+        d_count = b.get("count", 0) - a.get("count", 0)
+        if d_count or a.get("p99") != b.get("p99"):
+            rows.append(
+                f"  histogram  {name:<36} {d_count:>+14} samples "
+                f"p99 {a.get('p99', 0.0):.4g} -> {b.get('p99', 0.0):.4g}"
+            )
+
+    gauges_before = before.get("gauges", {})
+    gauges_after = after.get("gauges", {})
+    for name in sorted(set(gauges_before) | set(gauges_after)):
+        a_value = gauges_before.get(name, 0.0)
+        b_value = gauges_after.get(name, 0.0)
+        if a_value != b_value:
+            rows.append(
+                f"  gauge      {name:<36} {a_value:>14.4g} -> {b_value:.4g}"
+            )
+
+    if not rows:
+        print("snapshots are identical (no instrument moved)")
+        return 0
+    print(f"metrics diff ({args.before} -> {args.after}):")
+    for row in rows:
+        print(row)
+    return 0
+
+
+def _cmd_merge_traces(args: argparse.Namespace) -> int:
+    """Merge Chrome trace shards onto one timeline."""
+    count = merge_chrome_trace_files(list(args.shards), args.out)
+    print(
+        f"[merged {len(args.shards)} shard(s), {count} events "
+        f"-> {args.out}]"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``repro-obs``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect the telemetry the repro stack emits: slow-"
+        "request logs, metrics snapshots, Chrome trace shards.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tail = subparsers.add_parser(
+        "tail-slow", help="summarize slow-request records in a structured log"
+    )
+    tail.add_argument("logfile", help="log file path, or '-' for stdin")
+    tail.add_argument(
+        "--last",
+        type=int,
+        default=20,
+        metavar="N",
+        help="show only the most recent N records (0 = all; default: 20)",
+    )
+    tail.add_argument(
+        "--min-s",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="ignore records faster than S seconds (default: 0)",
+    )
+    add_common_arguments(tail)
+    tail.set_defaults(func=_cmd_tail_slow)
+
+    diff = subparsers.add_parser(
+        "diff-metrics",
+        help="diff two metrics snapshots (raw or inside a manifest)",
+    )
+    diff.add_argument("before", help="earlier snapshot JSON")
+    diff.add_argument("after", help="later snapshot JSON")
+    add_common_arguments(diff)
+    diff.set_defaults(func=_cmd_diff_metrics)
+
+    merge = subparsers.add_parser(
+        "merge-traces",
+        help="merge per-worker Chrome trace shards onto one timeline",
+    )
+    merge.add_argument("shards", nargs="+", help="shard JSON paths, in order")
+    merge.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="merged Chrome trace output path",
+    )
+    add_common_arguments(merge)
+    merge.set_defaults(func=_cmd_merge_traces)
+
+    args = parser.parse_args(argv)
+    configure_from_args(args)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

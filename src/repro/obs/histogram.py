@@ -1,0 +1,278 @@
+"""Fixed-bucket log-scale histograms with exact counts and tail estimates.
+
+Counters and timers answer *how much* and *how long on average*; they
+cannot answer "what is the p99?" — the question a serving tier lives or
+dies by.  :class:`Histogram` fills that gap with the classic
+fixed-bucket design (the same shape Prometheus scrapes):
+
+- a fixed, ascending tuple of **bucket upper bounds** chosen at
+  construction (log-spaced by default, so one layout spans microseconds
+  to tens of seconds, or single-instruction runs to multi-million-
+  instruction ones);
+- one integer counter per bucket plus an implicit overflow bucket, so
+  ``observe`` is a bisect and an integer add — cheap enough for hot
+  paths;
+- **exact** ``count``/``sum``/``min``/``max`` alongside the buckets, so
+  means never suffer bucketing error;
+- quantile *estimates* (:meth:`percentile`, :attr:`p50`/`p90`/`p99`) by
+  log-linear interpolation inside the containing bucket, clamped to the
+  observed ``[min, max]``.
+
+Two histograms **merge** exactly (bucket counts add) when their bounds
+are identical; merging mismatched layouts raises — silently resampling
+would corrupt the tails the histogram exists to report.
+
+The bucket layouts are shared module constants so every process in a
+worker pool bins identically, which is what makes the pool-wide
+``/metrics`` aggregation (:mod:`repro.obs.prometheus`) exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import sqrt
+from typing import Any, Iterable
+
+__all__ = [
+    "COUNT_BOUNDS",
+    "LATENCY_BOUNDS",
+    "Histogram",
+    "log_bounds",
+]
+
+
+def log_bounds(
+    lo: float, hi: float, per_decade: int = 5
+) -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds from ``lo`` to at least ``hi``.
+
+    ``per_decade`` buckets per factor of 10; the first bound is ``lo``
+    and bounds grow geometrically until one reaches or exceeds ``hi``.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    ratio = 10.0 ** (1.0 / per_decade)
+    bounds = [lo]
+    while bounds[-1] < hi:
+        bounds.append(bounds[-1] * ratio)
+    return tuple(bounds)
+
+
+#: Default layout for wall-time observations in seconds: 1 µs .. ~16 s,
+#: 5 buckets per decade (36 buckets).  Covers a cache probe and a
+#: multi-second simulation request on one axis.
+LATENCY_BOUNDS: tuple[float, ...] = log_bounds(1e-6, 16.0, per_decade=5)
+
+#: Default layout for discrete size observations (batch group sizes,
+#: instructions per simulation run): 1 .. 10M, 4 buckets per decade.
+COUNT_BOUNDS: tuple[float, ...] = log_bounds(1.0, 1e7, per_decade=4)
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact count/sum and tail estimates.
+
+    Args:
+        name: instrument name (dotted, like every registry instrument).
+        bounds: ascending bucket upper bounds.  A sample lands in the
+            first bucket whose bound is ``>= value``; larger samples land
+            in the implicit overflow bucket.  Defaults to
+            :data:`LATENCY_BOUNDS`.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> None:
+        resolved = (
+            LATENCY_BOUNDS if bounds is None else tuple(float(b) for b in bounds)
+        )
+        if not resolved or any(
+            b <= a for a, b in zip(resolved, resolved[1:])
+        ):
+            raise ValueError("bounds must be a non-empty ascending sequence")
+        self.name = name
+        self.bounds = resolved
+        # one slot per bound plus the overflow bucket
+        self.counts = [0] * (len(resolved) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all samples (0 when never sampled)."""
+        if self.count == 0:
+            return 0.0
+        return self.sum / self.count
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]), clamped to [min, max].
+
+        The containing bucket is found from the cumulative counts; the
+        position inside it is log-interpolated between the bucket's
+        edges (geometric-mean fallback where an edge is open), which
+        matches the log-spaced layouts the registry uses.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                lo, hi = self._bucket_edges(index)
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                fraction = min(1.0, max(0.0, fraction))
+                if lo > 0 and hi > lo:
+                    estimate = lo * (hi / lo) ** fraction
+                else:  # degenerate edge (lo == 0): fall back to linear
+                    estimate = lo + (hi - lo) * fraction
+                return min(self.max, max(self.min, estimate))
+        return self.max  # pragma: no cover - unreachable (count > 0)
+
+    def _bucket_edges(self, index: int) -> tuple[float, float]:
+        """(lower, upper) interpolation edges of bucket ``index``.
+
+        The first bucket's open lower edge extrapolates the layout's
+        ratio downward; the overflow bucket's open upper edge is the
+        observed max.
+        """
+        if index == 0:
+            upper = self.bounds[0]
+            ratio = self.bounds[1] / self.bounds[0] if len(self.bounds) > 1 else 10.0
+            lower = min(upper / ratio, self.min if self.min > 0 else upper)
+            return lower, upper
+        if index == len(self.bounds):
+            lower = self.bounds[-1]
+            return lower, max(self.max, lower)
+        return self.bounds[index - 1], self.bounds[index]
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """Estimated 90th percentile."""
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th percentile."""
+        return self.percentile(0.99)
+
+    def merge(self, other: "Histogram | dict[str, Any]") -> None:
+        """Fold another histogram (or its :meth:`as_dict` form) into this one.
+
+        Raises:
+            ValueError: when the bucket layouts differ — adding counts
+                across mismatched bounds would silently corrupt every
+                quantile, so it is refused outright.
+        """
+        if isinstance(other, Histogram):
+            bounds: tuple[float, ...] = other.bounds
+            counts = other.counts
+            count, total = other.count, other.sum
+            lo, hi = other.min, other.max
+        else:
+            bounds = tuple(float(b) for b in other["bounds"])
+            counts = [int(c) for c in other["counts"]]
+            count, total = int(other["count"]), float(other["sum"])
+            lo = float(other.get("min_value", float("inf")))
+            hi = float(other.get("max_value", float("-inf")))
+        if bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket layouts differ "
+                f"({len(bounds)} incoming bounds vs {len(self.bounds)} — "
+                "merging across layouts would corrupt quantiles)"
+            )
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: malformed counts "
+                f"(expected {len(self.counts)} buckets, got {len(counts)})"
+            )
+        if count == 0:
+            return
+        for index, value in enumerate(counts):
+            self.counts[index] += value
+        self.count += count
+        self.sum += total
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
+    def reset(self) -> None:
+        """Zero every bucket and the exact aggregates."""
+        for index in range(len(self.counts)):
+            self.counts[index] = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe dump: exact aggregates, estimates, and the buckets.
+
+        The ``bounds``/``counts`` pair makes the dict a complete wire
+        form — :meth:`merge` accepts it across process boundaries, and
+        :mod:`repro.obs.prometheus` renders it as cumulative
+        ``_bucket{le=...}`` series.
+        """
+        sampled = self.count > 0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min_value": self.min if sampled else 0.0,
+            "max_value": self.max if sampled else 0.0,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+    def summary(self) -> dict[str, float | int]:
+        """The compact human block (``/healthz`` latency summaries)."""
+        sampled = self.count > 0
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.max if sampled else 0.0,
+        }
+
+    def stddev(self) -> float:
+        """Rough within-bucket-blind spread estimate (for diff tooling)."""
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        # Approximate second moment from bucket midpoints (geometric).
+        acc = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            lo, hi = self._bucket_edges(index)
+            mid = sqrt(lo * hi) if lo > 0 and hi > 0 else (lo + hi) / 2.0
+            acc += bucket_count * (mid - mean) ** 2
+        return sqrt(acc / (self.count - 1))

@@ -1,4 +1,4 @@
-"""Lightweight metrics registry: counters, gauges, wall-clock timers.
+"""Lightweight metrics registry: counters, gauges, timers, histograms.
 
 The registry records what the reproduction's own machinery costs —
 per-experiment stage timings, simulator throughput (cycles/sec,
@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
+
+from repro.obs.histogram import Histogram
 
 
 class Counter:
@@ -95,7 +97,7 @@ class Timer:
 
 
 class MetricsRegistry:
-    """Named counters, gauges, timers, and structured info blobs.
+    """Named counters, gauges, timers, histograms, and info blobs.
 
     Instruments are created on first use and cached, so call sites can
     simply ``registry.counter("sim.runs").inc()`` with no registration
@@ -107,6 +109,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._info: dict[str, Any] = {}
 
     # ---------------------------------------------------------- instruments
@@ -135,6 +138,42 @@ class MetricsRegistry:
             instrument = self._timers[name] = Timer(name)
             return instrument
 
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``bounds`` fixes the bucket layout on first use (default:
+        :data:`~repro.obs.histogram.LATENCY_BOUNDS`); later calls may
+        omit it or must pass the identical layout — requesting the same
+        name with different bounds raises rather than silently binning
+        new samples into the wrong buckets.
+        """
+        try:
+            instrument = self._histograms[name]
+        except KeyError:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+            return instrument
+        if bounds is not None and tuple(float(b) for b in bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with a different "
+                "bucket layout"
+            )
+        return instrument
+
+    def histogram_summaries(self, prefix: str = "") -> dict[str, dict[str, float]]:
+        """Compact :meth:`Histogram.summary` per histogram, sorted by name.
+
+        ``prefix`` filters by instrument name — e.g.
+        ``histogram_summaries("serve.latency.")`` is what ``/healthz``
+        embeds as its per-endpoint percentile block.
+        """
+        return {
+            name: h.summary()
+            for name, h in sorted(self._histograms.items())
+            if name.startswith(prefix)
+        }
+
     def set_info(self, name: str, value: Any) -> None:
         """Attach a JSON-safe structured value under ``name``."""
         self._info[name] = value
@@ -148,10 +187,17 @@ class MetricsRegistry:
 
         - **counters** add;
         - **timers** add ``total``/``count`` and widen ``min``/``max``;
+        - **histograms** add bucket counts and exact aggregates —
+          mismatched bucket layouts raise :class:`ValueError` rather
+          than corrupting quantiles (see :meth:`Histogram.merge`);
         - **gauges** take the incoming value when it is non-zero (last
           write wins; a snapshot cannot distinguish "never set" from an
           explicit 0.0, so zero-valued incoming gauges are skipped);
         - **info** entries overwrite same-named keys.
+
+        Snapshot sections other than the four instrument kinds and
+        ``info`` (e.g. from a newer schema) are ignored, never guessed
+        at.
         """
         snapshot = other.snapshot() if isinstance(other, MetricsRegistry) else other
         for name, value in snapshot.get("counters", {}).items():
@@ -170,22 +216,36 @@ class MetricsRegistry:
                 timer.min = sample["min_s"]
             if sample["max_s"] > timer.max:
                 timer.max = sample["max_s"]
+        for name, sample in snapshot.get("histograms", {}).items():
+            self.histogram(name, sample["bounds"]).merge(sample)
         for name, value in snapshot.get("info", {}).items():
             self.set_info(name, value)
 
     # -------------------------------------------------------------- exports
 
     def snapshot(self) -> dict[str, Any]:
-        """JSON-safe dump of every instrument's current state."""
+        """JSON-safe dump of every instrument's current state.
+
+        Instruments appear in sorted-name order within each section, so
+        serialized snapshots (logs, manifests, worker state files, test
+        fixtures) are byte-deterministic regardless of creation order.
+        """
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
             "timers": {n: t.as_dict() for n, t in sorted(self._timers.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
             "info": dict(sorted(self._info.items())),
         }
 
     def render_table(self) -> str:
-        """Human-readable per-stage timing/counter table (``--profile``)."""
+        """Human-readable per-stage timing/counter table (``--profile``).
+
+        Rows are emitted in sorted-name order per section, so the table
+        is deterministic across runs and directly diffable.
+        """
         lines = ["metrics:"]
         if self._timers:
             lines.append(
@@ -196,6 +256,16 @@ class MetricsRegistry:
                 lines.append(
                     f"  {name:<32} {t.count:>7} {t.total:>10.3f} "
                     f"{t.mean:>10.4f} {t.max:>10.3f}"
+                )
+        if self._histograms:
+            lines.append(
+                f"  {'histogram':<32} {'count':>7} {'mean':>10} "
+                f"{'p50':>10} {'p90':>10} {'p99':>10}"
+            )
+            for name, h in sorted(self._histograms.items()):
+                lines.append(
+                    f"  {name:<32} {h.count:>7} {h.mean:>10.4g} "
+                    f"{h.p50:>10.4g} {h.p90:>10.4g} {h.p99:>10.4g}"
                 )
         if self._counters:
             lines.append(f"  {'counter':<32} {'value':>10}")
@@ -220,6 +290,8 @@ class MetricsRegistry:
             t.count = 0
             t.min = float("inf")
             t.max = 0.0
+        for h in self._histograms.values():
+            h.reset()
         self._info.clear()
 
 

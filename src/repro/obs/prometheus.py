@@ -1,0 +1,114 @@
+"""Prometheus text-exposition rendering of a metrics snapshot.
+
+``GET /metrics`` on the serving tier speaks the Prometheus text format
+(version 0.0.4 — the one every scraper accepts), generated from the
+plain :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict so it
+works identically on a live registry, a worker's state file, or a
+pool-merged aggregate:
+
+- counters  → ``repro_<name>_total`` (``# TYPE ... counter``);
+- gauges    → ``repro_<name>``       (``# TYPE ... gauge``);
+- timers    → ``repro_<name>_seconds`` rendered as a summary-less pair
+  of ``_sum``/``_count`` series plus ``_min``/``_max`` gauges;
+- histograms → classic ``repro_<name>_bucket{le="..."}`` cumulative
+  series ending in ``le="+Inf"``, plus ``_sum`` and ``_count`` — which
+  is exactly what ``histogram_quantile()`` consumes in PromQL.
+
+Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots and
+dashes become underscores); series within a metric and metrics within
+the page are emitted in sorted order, so two snapshots with equal state
+render byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+__all__ = ["render_prometheus", "sanitize_metric_name"]
+
+#: Prefix every exported series carries.
+NAMESPACE = "repro"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A legal Prometheus metric name for a dotted instrument name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = f"_{sanitized}"
+    return f"{NAMESPACE}_{sanitized}"
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus-legal sample value (``+Inf``/``-Inf``/``NaN`` forms)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    """An ``le`` label value (stable, locale-free)."""
+    return "+Inf" if math.isinf(bound) else repr(float(bound))
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """The text-exposition page for one metrics snapshot.
+
+    Args:
+        snapshot: a :meth:`MetricsRegistry.snapshot` dict (``info``
+            entries are not exported — they are structured provenance,
+            not time series).
+
+    Returns:
+        The full page, newline-terminated.
+    """
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = f"{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric} {_format_value(snapshot['counters'][name])}"
+        )
+
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
+
+    for name in sorted(snapshot.get("timers", {})):
+        sample = snapshot["timers"][name]
+        metric = f"{sanitize_metric_name(name)}_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {_format_value(sample['total_s'])}")
+        lines.append(f"{metric}_count {_format_value(sample['count'])}")
+        lines.append(f"# TYPE {metric}_min gauge")
+        lines.append(f"{metric}_min {_format_value(sample['min_s'])}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_format_value(sample['max_s'])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        sample = snapshot["histograms"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(sample["bounds"], sample["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_bound(bound)}"}} '
+                f"{_format_value(cumulative)}"
+            )
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {_format_value(sample["count"])}'
+        )
+        lines.append(f"{metric}_sum {_format_value(sample['sum'])}")
+        lines.append(f"{metric}_count {_format_value(sample['count'])}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,264 @@
+"""Request-scoped span trees: ``with span("serve.batch.evaluate"):``.
+
+Counters say *what* a process did; a span tree says *where one request's
+wall time went*.  This module is the request-tracing half of the
+telemetry layer:
+
+- :func:`request_scope` opens a **root span** for one unit of work (an
+  HTTP request, a CLI invocation) and binds it to the current execution
+  context via :mod:`contextvars` — so it propagates into the nested call
+  stack (and across ``await``/thread-pool boundaries that copy context)
+  without threading a tracer argument through every layer;
+- :func:`span` opens a **child span** under whatever span is currently
+  active.  When *no* scope is active — the default for library callers —
+  it returns a shared no-op object, so instrumented hot paths pay one
+  contextvar read and nothing else;
+- the finished tree renders as a nested JSON dict (attached to HTTP
+  responses under ``?debug=trace``), as a single-line summary (the
+  slow-request log), or as Chrome ``trace_event`` dicts that merge onto
+  the same timeline as the simulator's pipeline traces
+  (``repro-obs merge-traces``).
+
+Spans measure wall time with ``perf_counter`` and record strictly
+nested trees; they are deliberately *not* a general async tracer —
+one request, one thread of handling, which is exactly the service's
+execution model.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Any, Iterator
+
+__all__ = [
+    "RequestTrace",
+    "Span",
+    "current_request_id",
+    "current_trace",
+    "new_request_id",
+    "request_scope",
+    "span",
+    "trace_to_chrome_events",
+]
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request ID (random, collision-negligible)."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed node in a request's span tree.
+
+    Use as a context manager::
+
+        with span("serve.batch.evaluate"):
+            ...
+
+    Attributes:
+        name: dotted stage name.
+        started: ``perf_counter`` at entry (absolute, process-local).
+        duration_s: wall seconds between entry and exit (0 while open).
+        children: nested spans, in start order.
+    """
+
+    __slots__ = ("name", "started", "duration_s", "children", "_token")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.started = 0.0
+        self.duration_s = 0.0
+        self.children: list["Span"] = []
+        self._token: Any = None
+
+    def __enter__(self) -> "Span":
+        parent = _ACTIVE_SPAN.get()
+        if parent is not None:
+            parent.children.append(self)
+        self._token = _ACTIVE_SPAN.set(self)
+        self.started = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.duration_s = perf_counter() - self.started
+        _ACTIVE_SPAN.reset(self._token)
+
+    def to_dict(self, origin: float | None = None) -> dict[str, Any]:
+        """Nested JSON form; offsets are relative to ``origin`` (or self)."""
+        base = self.started if origin is None else origin
+        node: dict[str, Any] = {
+            "name": self.name,
+            "start_s": self.started - base,
+            "duration_s": self.duration_s,
+        }
+        if self.children:
+            node["children"] = [c.to_dict(base) for c in self.children]
+        return node
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NullSpan:
+    """The shared no-op span handed out when no request scope is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The innermost open span of the current execution context, or ``None``
+#: when tracing is inactive (the library default).
+_ACTIVE_SPAN: ContextVar[Span | None] = ContextVar("repro_active_span", default=None)
+
+#: The enclosing request trace (carries the request ID), or ``None``.
+_ACTIVE_TRACE: ContextVar["RequestTrace | None"] = ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def span(name: str) -> Span | _NullSpan:
+    """A child span under the active one, or a no-op outside any scope.
+
+    The disabled path is one contextvar read and an identity return —
+    cheap enough to leave in hot paths unconditionally.
+    """
+    if _ACTIVE_SPAN.get() is None:
+        return _NULL_SPAN
+    return Span(name)
+
+
+def current_request_id() -> str | None:
+    """The active request's ID, or ``None`` outside a request scope."""
+    trace = _ACTIVE_TRACE.get()
+    return trace.request_id if trace is not None else None
+
+
+def current_trace() -> "RequestTrace | None":
+    """The active request trace, or ``None`` outside a request scope."""
+    return _ACTIVE_TRACE.get()
+
+
+class RequestTrace:
+    """A root span plus request identity — one traced unit of work.
+
+    Normally entered via :func:`request_scope`.  After exit,
+    :attr:`root` holds the completed span tree and :meth:`to_dict` /
+    :meth:`to_chrome_events` / :meth:`summary_line` render it.
+    """
+
+    __slots__ = ("request_id", "root", "_trace_token")
+
+    def __init__(self, name: str, request_id: str | None = None) -> None:
+        self.request_id = request_id or new_request_id()
+        self.root = Span(name)
+        self._trace_token: Any = None
+
+    def __enter__(self) -> "RequestTrace":
+        self._trace_token = _ACTIVE_TRACE.set(self)
+        self.root.__enter__()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.root.__exit__(*exc)
+        _ACTIVE_TRACE.reset(self._trace_token)
+
+    @property
+    def duration_s(self) -> float:
+        """Total wall seconds of the root span."""
+        return self.root.duration_s
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form: request ID plus the nested span tree."""
+        return {
+            "request_id": self.request_id,
+            "root": self.root.to_dict(self.root.started),
+        }
+
+    def to_chrome_events(self, pid: int = 1, tid: int = 0) -> list[dict[str, Any]]:
+        """The span tree as Chrome ``trace_event`` dicts (µs timeline)."""
+        return trace_to_chrome_events(self, pid=pid, tid=tid)
+
+    def summary_line(self, top: int = 3) -> dict[str, Any]:
+        """Compact JSON-safe summary for the slow-request log.
+
+        ``spans`` lists the ``top`` largest non-root spans by duration
+        (name + seconds), which localizes a slow request to a stage
+        without shipping the whole tree into the log.
+        """
+        slowest = sorted(
+            (s for s in self.root.walk() if s is not self.root),
+            key=lambda s: s.duration_s,
+            reverse=True,
+        )[:top]
+        return {
+            "request_id": self.request_id,
+            "name": self.root.name,
+            "duration_s": self.duration_s,
+            "spans": [
+                {"name": s.name, "duration_s": s.duration_s} for s in slowest
+            ],
+        }
+
+
+def request_scope(
+    name: str, request_id: str | None = None
+) -> RequestTrace:
+    """Open a traced scope: every :func:`span` inside lands in its tree.
+
+    ::
+
+        with request_scope("serve.evaluate", request_id=rid) as trace:
+            handle()
+        payload["trace"] = trace.to_dict()
+    """
+    return RequestTrace(name, request_id)
+
+
+def trace_to_chrome_events(
+    trace: RequestTrace, pid: int = 1, tid: int = 0
+) -> list[dict[str, Any]]:
+    """Render a finished request trace as Chrome ``trace_event`` dicts.
+
+    One wall microsecond = one trace microsecond; timestamps are
+    relative to the root span's start.  The events carry the request ID
+    in ``args`` and nest naturally as stacked ``X`` slices, so a file of
+    them merges onto the same Perfetto timeline as the simulator's
+    pipeline traces (see ``repro-obs merge-traces``).
+    """
+    origin = trace.root.started
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"request {trace.request_id}"},
+        }
+    ]
+    for node in trace.root.walk():
+        events.append(
+            {
+                "name": node.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": int((node.started - origin) * 1e6),
+                "dur": max(1, int(node.duration_s * 1e6)),
+                "pid": pid,
+                "tid": tid,
+                "args": {"request_id": trace.request_id},
+            }
+        )
+    return events

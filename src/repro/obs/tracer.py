@@ -310,6 +310,76 @@ class NullTracer(PipelineTracer):
         """Discard the run boundary."""
 
 
+# ------------------------------------------------------------- shard merging
+
+
+def merge_chrome_traces(documents: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge several Chrome trace documents onto one timeline.
+
+    Each document's ``pid`` values are offset past the previous
+    documents' maximum, so runs recorded by different worker processes
+    (``--trace`` shards under ``--jobs``, per-worker serve traces) land
+    on distinct process rows instead of colliding.  Events keep their
+    relative order and timestamps; document order is preserved, so
+    shards merged in worker offset order render deterministically.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare-array form; returns the object form.
+    """
+    merged_events: list[dict[str, Any]] = []
+    runs = 0
+    pid_offset = 0
+    for document in documents:
+        events = (
+            document.get("traceEvents", [])
+            if isinstance(document, dict)
+            else document
+        )
+        max_pid = 0
+        for event in events:
+            shifted = dict(event)
+            pid = int(shifted.get("pid", 0))
+            shifted["pid"] = pid + pid_offset
+            if pid > max_pid:
+                max_pid = pid
+            merged_events.append(shifted)
+        pid_offset += max_pid
+        if isinstance(document, dict):
+            other = document.get("otherData", {})
+            runs += int(other.get("runs", max_pid))
+        else:
+            runs += max_pid
+    return {
+        "traceEvents": merged_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.tracer",
+            "merged_shards": len(documents),
+            "runs": runs,
+        },
+    }
+
+
+def merge_chrome_trace_files(paths: list[str], out_path: str) -> int:
+    """Merge trace files (in order) into ``out_path``; returns event count.
+
+    Unreadable or empty shard files are skipped — a worker that ran only
+    model-code produces a valid empty shard, and a crashed worker should
+    not take the surviving shards' trace with it.
+    """
+    documents = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                documents.append(json.load(handle))
+        except (OSError, ValueError):
+            continue
+    merged = merge_chrome_traces(documents)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, separators=(",", ":"))
+    return len(merged["traceEvents"])
+
+
 # ----------------------------------------------------------- ambient tracer
 
 #: The ambient (session) tracer consulted by ``CoreSim`` when no explicit

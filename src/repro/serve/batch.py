@@ -48,7 +48,9 @@ from repro.core.parameters import (
     CoreParameters,
     WorkloadParameters,
 )
+from repro.obs.histogram import COUNT_BOUNDS
 from repro.obs.metrics import get_registry
+from repro.obs.span import span
 from repro.serve.cache import MISS, EvaluationCache
 from repro.serve.keys import EvaluationKey, evaluation_group_key
 
@@ -128,14 +130,18 @@ def evaluate_batch(
     Batch-layer metrics land in the default registry:
     ``serve.batch.queries`` (total queries), ``serve.batch.groups``
     (vectorized calls issued), ``serve.batch.evaluated`` (cells actually
-    computed), and the ``serve.batch`` timer.
+    computed), the ``serve.batch`` timer, and the
+    ``serve.batch.group_size`` histogram (cells per vectorized call).
+    Inside a request scope the phases record spans
+    (``serve.batch.partition`` / ``.cache_probe`` / ``.evaluate``).
     """
     registry = get_registry()
     registry.counter("serve.batch.queries").inc(len(queries))
+    group_sizes = registry.histogram("serve.batch.group_size", COUNT_BOUNDS)
     n = len(queries)
     entries: list[BatchEntry | None] = [None] * n
 
-    with registry.timer("serve.batch").time():
+    with registry.timer("serve.batch").time(), span("serve.batch"):
         # --- Phase 1: partition by what speedup_grid holds fixed. ----
         # Grouping is by object identity (plus the drain-time-presence
         # flag), which is both cheap and safe: equal-but-distinct
@@ -147,60 +153,65 @@ def evaluate_batch(
             list[tuple[int, EvaluationQuery, float, float, float | None]],
         ] = {}
         groups_get = groups.get
-        for index, query in enumerate(queries):
-            workload = query.workload
-            drain_time = workload.drain_time
-            group_key = (
-                id(query.core),
-                id(query.accelerator),
-                query.mode,
-                id(query.drain_estimator),
-                # Explicit drain times override the estimator per cell;
-                # speedup_grid applies that precedence per call, so mixed
-                # explicit/estimated workloads may not share a group.
-                drain_time is not None,
-            )
-            members = groups_get(group_key)
-            if members is None:
-                members = groups[group_key] = []
-            members.append(
-                (
-                    index,
-                    query,
-                    workload.acceleratable_fraction,
-                    workload.invocation_frequency,
-                    drain_time,
+        with span("serve.batch.partition"):
+            for index, query in enumerate(queries):
+                workload = query.workload
+                drain_time = workload.drain_time
+                group_key = (
+                    id(query.core),
+                    id(query.accelerator),
+                    query.mode,
+                    id(query.drain_estimator),
+                    # Explicit drain times override the estimator per
+                    # cell; speedup_grid applies that precedence per
+                    # call, so mixed explicit/estimated workloads may
+                    # not share a group.
+                    drain_time is not None,
                 )
-            )
+                members = groups_get(group_key)
+                if members is None:
+                    members = groups[group_key] = []
+                members.append(
+                    (
+                        index,
+                        query,
+                        workload.acceleratable_fraction,
+                        workload.invocation_frequency,
+                        drain_time,
+                    )
+                )
 
         # --- Phase 2: keys + bulk cache probe (skipped uncached). ----
         use_cache = cache is not None
         if use_cache:
-            keys: list[EvaluationKey] = [None] * n  # type: ignore[list-item]
-            for members in groups.values():
-                digest: str | None = None
-                for index, query, a, v, drain_time in members:
-                    key = query.__dict__.get("_key")
-                    if key is None:
-                        if digest is None:
-                            first = members[0][1]
-                            digest = evaluation_group_key(
-                                first.core,
-                                first.accelerator,
-                                first.mode,
-                                first.drain_estimator,
-                            )
-                        key = (digest, a, v, drain_time)
-                        object.__setattr__(query, "_key", key)
-                    elif digest is None:
-                        digest = key[0]
-                    keys[index] = key
-            values = cache.get_many(keys)
-            any_hits = False
-            for index, value in enumerate(values):
-                if value is not MISS:
-                    entries[index] = BatchEntry(float(value), True, keys[index])
-                    any_hits = True
+            with span("serve.batch.cache_probe"):
+                keys: list[EvaluationKey] = [None] * n  # type: ignore[list-item]
+                for members in groups.values():
+                    digest: str | None = None
+                    for index, query, a, v, drain_time in members:
+                        key = query.__dict__.get("_key")
+                        if key is None:
+                            if digest is None:
+                                first = members[0][1]
+                                digest = evaluation_group_key(
+                                    first.core,
+                                    first.accelerator,
+                                    first.mode,
+                                    first.drain_estimator,
+                                )
+                            key = (digest, a, v, drain_time)
+                            object.__setattr__(query, "_key", key)
+                        elif digest is None:
+                            digest = key[0]
+                        keys[index] = key
+                values = cache.get_many(keys)
+                any_hits = False
+                for index, value in enumerate(values):
+                    if value is not MISS:
+                        entries[index] = BatchEntry(
+                            float(value), True, keys[index]
+                        )
+                        any_hits = True
         else:
             keys = None  # type: ignore[assignment]
             any_hits = False
@@ -210,39 +221,46 @@ def evaluate_batch(
         fresh_append = fresh.append
         issued = 0
         evaluated = 0
-        for members in groups.values():
-            if any_hits:
-                members = [m for m in members if entries[m[0]] is None]
-                if not members:
-                    continue
-            issued += 1
-            evaluated += len(members)
-            _, first, _, _, _ = members[0]
-            _indices, _queries, aa, vv, dd = zip(*members)
-            has_drain = dd[0] is not None
-            grid = speedup_grid(
-                first.core,
-                first.accelerator,
-                np.asarray(aa),
-                np.asarray(vv),
-                first.mode,
-                first.drain_estimator,
-                drain_time=np.asarray(dd) if has_drain else None,
-            )
-            results = np.atleast_1d(grid).tolist()
-            # --- Phase 4: scatter in request order, feed the cache. --
-            if use_cache:
-                for (index, _query, _a, _v, _d), value in zip(members, results):
-                    key = keys[index]
-                    entries[index] = BatchEntry(value, False, key)
-                    fresh_append((key, value))
-            else:
-                for (index, _query, _a, _v, _d), value in zip(members, results):
-                    entries[index] = BatchEntry(value, False, None)
+        with span("serve.batch.evaluate"):
+            for members in groups.values():
+                if any_hits:
+                    members = [m for m in members if entries[m[0]] is None]
+                    if not members:
+                        continue
+                issued += 1
+                evaluated += len(members)
+                group_sizes.observe(len(members))
+                _, first, _, _, _ = members[0]
+                _indices, _queries, aa, vv, dd = zip(*members)
+                has_drain = dd[0] is not None
+                grid = speedup_grid(
+                    first.core,
+                    first.accelerator,
+                    np.asarray(aa),
+                    np.asarray(vv),
+                    first.mode,
+                    first.drain_estimator,
+                    drain_time=np.asarray(dd) if has_drain else None,
+                )
+                results = np.atleast_1d(grid).tolist()
+                # --- Phase 4: scatter in request order, feed cache. --
+                if use_cache:
+                    for (index, _query, _a, _v, _d), value in zip(
+                        members, results
+                    ):
+                        key = keys[index]
+                        entries[index] = BatchEntry(value, False, key)
+                        fresh_append((key, value))
+                else:
+                    for (index, _query, _a, _v, _d), value in zip(
+                        members, results
+                    ):
+                        entries[index] = BatchEntry(value, False, None)
         registry.counter("serve.batch.groups").inc(issued)
         registry.counter("serve.batch.evaluated").inc(evaluated)
         if use_cache and fresh:
-            cache.put_many(fresh)
+            with span("serve.batch.store"):
+                cache.put_many(fresh)
 
     assert all(entry is not None for entry in entries)
     return entries  # type: ignore[return-value]

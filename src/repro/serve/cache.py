@@ -32,6 +32,7 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs.log import get_logger
@@ -353,6 +354,11 @@ class EvaluationCache:
     ``serve.cache.disk_writes`` values persisted to disk
     ========================  ============================================
 
+    plus the ``serve.cache.lookup`` latency histogram: one sample per
+    :meth:`get` call and one per :meth:`get_many` batch (the whole
+    probe, both layers), feeding the p50/p90/p99 lookup-cost view in
+    ``/metrics``.
+
     Args:
         max_entries: in-memory LRU bound.
         ttl_s: optional in-memory TTL (the disk layer has none: its
@@ -382,6 +388,7 @@ class EvaluationCache:
         self._expired = registry.counter("serve.cache.expired")
         self._disk_hits = registry.counter("serve.cache.disk_hits")
         self._disk_writes = registry.counter("serve.cache.disk_writes")
+        self._lookup = registry.histogram("serve.cache.lookup")
         self._evictions_seen = 0
         self._expired_seen = 0
 
@@ -399,21 +406,25 @@ class EvaluationCache:
 
     def get(self, key: str) -> Any:
         """The cached value from memory or disk, or :data:`MISS`."""
-        value = self.memory.get(key)
-        self._sync_memory_counters()
-        if value is not MISS:
-            self._hits.inc()
-            return value
-        if self.disk is not None:
-            value = self.disk.get(key)
+        started = perf_counter()
+        try:
+            value = self.memory.get(key)
+            self._sync_memory_counters()
             if value is not MISS:
-                self.memory.put(key, value)
-                self._sync_memory_counters()
                 self._hits.inc()
-                self._disk_hits.inc()
                 return value
-        self._misses.inc()
-        return MISS
+            if self.disk is not None:
+                value = self.disk.get(key)
+                if value is not MISS:
+                    self.memory.put(key, value)
+                    self._sync_memory_counters()
+                    self._hits.inc()
+                    self._disk_hits.inc()
+                    return value
+            self._misses.inc()
+            return MISS
+        finally:
+            self._lookup.observe(perf_counter() - started)
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` in memory and (when enabled) on disk."""
@@ -431,6 +442,7 @@ class EvaluationCache:
         memory misses consult the disk layer, and disk hits are promoted
         exactly as in :meth:`get`.
         """
+        started = perf_counter()
         values = self.memory.get_many(keys)
         self._sync_memory_counters()
         hits = sum(1 for value in values if value is not MISS)
@@ -454,6 +466,7 @@ class EvaluationCache:
             self._hits.inc(hits)
         if misses:
             self._misses.inc(misses)
+        self._lookup.observe(perf_counter() - started)
         return values
 
     def put_many(self, items: Sequence[tuple[Any, Any]]) -> None:

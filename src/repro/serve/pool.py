@@ -29,10 +29,18 @@ per-process.
 Cross-process observability runs over a small state directory of
 atomically-replaced JSON files: the supervisor maintains ``pool.json``
 (size, strategy, per-slot pids and restart counts) and every worker
-periodically rewrites ``worker-<slot>.json`` (pid, request count, cache
-counters).  ``GET /healthz`` on any worker folds all of it into a
-``pool`` block: pool size, per-worker liveness, and the merged cache
-counters across workers.
+periodically rewrites ``worker-<slot>.json`` (pid, request count,
+uptime, last-request timestamp, cache counters, and a full metrics
+snapshot — counters, gauges, timers, latency histograms).  ``GET
+/healthz`` on any worker folds all of it into a ``pool`` block: pool
+size, per-worker liveness/uptime/last-request, and the merged cache
+counters across workers.  ``GET /metrics`` merges every worker's
+snapshot into one registry (histogram buckets add exactly — all
+processes share the same layouts) and renders the pool-wide Prometheus
+page, so a scrape of the shared port is complete no matter which worker
+accepted it.  The report throttle is tunable via
+``REPRO_SERVE_REPORT_INTERVAL_S`` (seconds; tests and CI lower it for
+deterministic flushing).
 
 POSIX only (``os.fork``); ``--workers 1`` keeps the portable
 single-process path.
@@ -51,7 +59,7 @@ import time
 from typing import Any, Callable, TYPE_CHECKING
 
 from repro.obs.log import get_logger
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> pool)
     from repro.serve.service import ServeApp
@@ -66,6 +74,18 @@ DEFAULT_BACKOFF_S = 0.5
 
 #: Workers rewrite their state file at most this often under load.
 _REPORT_INTERVAL_S = 0.25
+
+
+def report_interval_s() -> float:
+    """The state-file throttle: ``$REPRO_SERVE_REPORT_INTERVAL_S`` or 0.25s.
+
+    Tests and CI set the variable (``0`` = flush on every request) so
+    scrapes of a freshly-exercised pool are deterministic.
+    """
+    try:
+        return float(os.environ.get("REPRO_SERVE_REPORT_INTERVAL_S", ""))
+    except ValueError:
+        return _REPORT_INTERVAL_S
 
 #: Cache counters summed across workers for the merged /healthz view.
 _MERGED_MEMORY_FIELDS = ("hits", "misses", "evictions", "expirations", "entries")
@@ -135,6 +155,9 @@ class PoolMember:
         self.slot = slot
         self.app = app
         self.requests = 0
+        self.started = time.monotonic()
+        self.last_request_unix: float | None = None
+        self.report_interval_s = report_interval_s()
         self._last_report = 0.0
         self._report_lock = threading.Lock()
 
@@ -146,22 +169,27 @@ class PoolMember:
     def after_request(self) -> None:
         """Per-request hook installed on the worker's HTTP server."""
         self.requests += 1
+        self.last_request_unix = time.time()
         self.report()
 
     def report(self, force: bool = False) -> None:
         """Rewrite this worker's state file (throttled unless forced)."""
         now = time.monotonic()
         with self._report_lock:
-            if not force and now - self._last_report < _REPORT_INTERVAL_S:
+            if not force and now - self._last_report < self.report_interval_s:
                 return
             self._last_report = now
-        counters = get_registry().snapshot()["counters"]
+        metrics = get_registry().snapshot()
+        metrics.pop("info", None)  # structured blobs stay process-local
         payload = {
             "slot": self.slot,
             "pid": os.getpid(),
             "requests": self.requests,
+            "uptime_s": now - self.started,
+            "last_request_unix": self.last_request_unix,
             "cache": self.app.cache.stats(),
-            "counters": {k: v for k, v in counters.items() if v},
+            "counters": {k: v for k, v in metrics["counters"].items() if v},
+            "metrics": metrics,
             "updated_unix": time.time(),
         }
         try:
@@ -192,6 +220,8 @@ class PoolMember:
                     "pid": pid,
                     "alive": _pid_alive(pid),
                     "requests": state.get("requests", 0),
+                    "uptime_s": state.get("uptime_s"),
+                    "last_request_ts": state.get("last_request_unix"),
                     # a stale file from a replaced worker is still useful
                     # for counters but should not claim freshness
                     "stale": reported_pid is not None and reported_pid != pid,
@@ -222,6 +252,37 @@ class PoolMember:
             },
         }
 
+    # -- metrics -------------------------------------------------------
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """A fresh registry holding every worker's metrics, merged.
+
+        The serving worker flushes its own state file first, then folds
+        in each worker's last-reported snapshot — counters add, timers
+        add and widen, histogram buckets add exactly (every process bins
+        with the same shared layouts).  Installed as
+        ``ServeApp.pool_metrics``, which makes ``GET /metrics`` and the
+        ``/healthz`` latency block pool-wide.
+        """
+        self.report(force=True)
+        registry = MetricsRegistry()
+        pool = _read_json(os.path.join(self.state_dir, "pool.json")) or {}
+        slots = sorted(int(s) for s in (pool.get("pids") or {}))
+        if not slots:
+            slots = [self.slot]
+        for slot in slots:
+            state = _read_json(self._state_path(slot)) or {}
+            metrics = state.get("metrics")
+            if not metrics:
+                continue
+            try:
+                registry.merge(metrics)
+            except ValueError as exc:  # pragma: no cover - layout drift
+                _log.warning(
+                    "skipping slot %d metrics in pool merge: %s", slot, exc
+                )
+        return registry
+
 
 class WorkerPool:
     """Supervisor for a pre-forked pool of serving workers.
@@ -241,6 +302,8 @@ class WorkerPool:
         backoff_s: initial respawn backoff, doubled per consecutive
             restart of the same slot and capped at 5 s.
         strategy: ``auto`` (default), ``reuseport``, or ``inherit``.
+        slow_request_s: per-worker slow-request log threshold, as in
+            :class:`~repro.serve.service.ServeServer`.
     """
 
     def __init__(
@@ -254,6 +317,7 @@ class WorkerPool:
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         backoff_s: float = DEFAULT_BACKOFF_S,
         strategy: str = "auto",
+        slow_request_s: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -274,6 +338,7 @@ class WorkerPool:
         self.max_restarts = max_restarts
         self.backoff_s = backoff_s
         self.strategy = resolve_strategy(strategy)
+        self.slow_request_s = slow_request_s
         self._listen_sock: socket.socket | None = None
         self._pids: dict[int, int] = {}  # slot -> pid
         self._restarts: dict[int, int] = {}  # slot -> unexpected deaths
@@ -471,14 +536,21 @@ class WorkerPool:
         if own_socket and self._listen_sock is not None:
             self._listen_sock.close()
 
+        # The forked child inherits whatever the supervisor's registry
+        # accumulated before the fork; zero it so state files — and the
+        # pool-wide /metrics merge built from them — count each worker's
+        # own work exactly once.
+        get_registry().reset()
         app = self.app_factory()
         member = PoolMember(self.state_dir, slot, app)
         app.pool_info = member.healthz
+        app.pool_metrics = member.merged_metrics
         server = ServeServer(
             (self.host, self.port),
             app,
             max_request_bytes=self.max_request_bytes,
             sock=sock,
+            slow_request_s=self.slow_request_s,
         )
         server.after_request = member.after_request
 
@@ -512,6 +584,7 @@ def run_pool(
     max_request_bytes: int | None = None,
     state_dir: str | None = None,
     strategy: str = "auto",
+    slow_request_s: float | None = None,
 ) -> int:
     """Start a pool, print the listening line, and supervise until exit.
 
@@ -532,6 +605,7 @@ def run_pool(
         max_request_bytes=max_request_bytes,
         state_dir=state_dir,
         strategy=strategy,
+        slow_request_s=slow_request_s,
     )
     bound_host, bound_port = pool.start()
     print(

@@ -18,21 +18,31 @@ dependencies to install):
   fingerprint-keyed LRU, so repeat requests skip the trace-static
   analysis pass (the hit counter surfaces in ``/healthz``);
 - ``GET /healthz`` — liveness, version/schema tags, cache and
-  compiled-trace LRU statistics, and a provenance manifest.
+  compiled-trace LRU statistics, per-endpoint latency percentile
+  summaries, and a provenance manifest;
+- ``GET /metrics`` — the metrics registry in Prometheus text-exposition
+  format; on a pooled worker the page is aggregated across every
+  worker's state file, so one scrape sees the whole pool.
 
 Operational behavior: requests are size-bounded (413 beyond
 ``--max-request-bytes``), malformed input yields a structured 400 (see
-:class:`repro.serve.params.RequestError`), every request is timed into
-the metrics registry (``serve.request`` timer, per-endpoint counters),
-and ``SIGTERM``/``SIGINT`` trigger a graceful shutdown that drains
-in-flight requests before the process exits.  ``docs/SERVING.md`` walks
-through a full client session.
+:class:`repro.serve.params.RequestError`), and every request runs under
+a traced request scope: a request ID (client-supplied ``X-Request-Id``
+or generated) echoed in the response headers, a span tree covering the
+handler (returned inline under ``?debug=trace``), a per-endpoint
+latency histogram sample, and — above ``--slow-request-s`` — a
+single-line JSON record in the ``repro.serve.slow`` log that
+``repro-obs tail-slow`` parses.  ``SIGTERM``/``SIGINT`` trigger a
+graceful shutdown that drains in-flight requests before the process
+exits.  ``docs/SERVING.md`` walks through a full client session;
+``docs/OBSERVABILITY.md`` documents the telemetry.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import socket
 import sys
@@ -41,6 +51,7 @@ from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic
 from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs
 
 from repro import api
 from repro.cli_common import (
@@ -52,6 +63,8 @@ from repro.core.parallel import parallel_map
 from repro.obs.log import get_logger
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import get_registry
+from repro.obs.prometheus import render_prometheus
+from repro.obs.span import new_request_id, request_scope, span
 from repro.serve.batch import EvaluationQuery, evaluate_batch
 from repro.serve.cache import DEFAULT_MAX_ENTRIES, MISS, DiskCache, EvaluationCache
 from repro.serve.keys import schema_tag, simulation_key
@@ -72,10 +85,26 @@ from repro.sim.stats import SimStats
 
 _log = get_logger("serve.service")
 
+#: Structured slow-request records land here, one JSON line each, so
+#: they can be filtered/parsed independently of the access log
+#: (``repro-obs tail-slow`` consumes this format).
+_slow_log = get_logger("serve.slow")
+
 #: Default bound on request body size (bytes) — ample for 10k-query
 #: batches and multi-thousand-instruction traces, small enough that a
 #: misbehaving client cannot balloon memory.
 DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
+
+#: Content type every Prometheus scraper sends in ``Accept``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def default_slow_request_s() -> float:
+    """The slow-request log threshold: ``$REPRO_SLOW_REQUEST_S`` or 1s."""
+    try:
+        return float(os.environ.get("REPRO_SLOW_REQUEST_S", ""))
+    except ValueError:
+        return 1.0
 
 #: Default bound on the per-process :class:`CompiledTrace` LRU.  Clients
 #: that hammer ``/simulate`` typically rotate over a handful of traces
@@ -129,6 +158,11 @@ class ServeApp:
         #: returning the pool block for ``/healthz`` (size, per-worker
         #: liveness, merged cache counters).  ``None`` = single process.
         self.pool_info: Callable[[], dict[str, Any]] | None = None
+        #: Set by :mod:`repro.serve.pool` on pooled workers: a callable
+        #: returning a :class:`~repro.obs.metrics.MetricsRegistry` merged
+        #: across every worker's state file.  ``None`` = single process
+        #: (``/metrics`` renders the process-wide registry directly).
+        self.pool_metrics: Callable[[], Any] | None = None
         self._compiled: "OrderedDict[str, Any]" = OrderedDict()
         self._compiled_lock = threading.Lock()
         self._compiled_max = max(1, compiled_traces)
@@ -168,6 +202,23 @@ class ServeApp:
                 "misses": self._compiled_misses,
             }
 
+    def _metrics_registry(self) -> Any:
+        """The registry telemetry endpoints read: pool-merged or local."""
+        if self.pool_metrics is not None:
+            return self.pool_metrics()
+        return get_registry()
+
+    def render_metrics(self) -> str:
+        """``GET /metrics``: the Prometheus text-exposition page.
+
+        On a pooled worker the serving process first flushes its own
+        state file, then merges every live worker's snapshot — so one
+        scrape of the shared port sees pool-wide counters and exact
+        pool-wide latency histograms regardless of which worker accepted
+        the connection.
+        """
+        return render_prometheus(self._metrics_registry().snapshot())
+
     def handle_evaluate(self, payload: Any) -> dict[str, Any]:
         """``POST /evaluate``: batched analytical-model queries.
 
@@ -178,45 +229,51 @@ class ServeApp:
         """
         specs = []
         queries: list[EvaluationQuery] = []
-        spans: list[tuple[int, int]] = []  # queries[i] -> slice of `queries`
-        for index, spec in iter_queries(payload):
-            core = parse_core(spec.get("core"), _field("queries", index, "core"))
-            accelerator = parse_accelerator(
-                spec.get("accelerator"), _field("queries", index, "accelerator")
-            )
-            workload = parse_workload(
-                spec.get("workload"), _field("queries", index, "workload")
-            )
-            modes = parse_modes(
-                spec.get("modes", spec.get("mode")),
-                _field("queries", index, "modes"),
-            )
-            drain = parse_drain(
-                spec.get("drain"), _field("queries", index, "drain")
-            )
-            start = len(queries)
-            queries.extend(
-                EvaluationQuery(core, accelerator, workload, mode, drain)
-                for mode in modes
-            )
-            spans.append((start, len(queries)))
-            specs.append((core, accelerator, workload, modes))
+        slices: list[tuple[int, int]] = []  # queries[i] -> slice of `queries`
+        with span("serve.evaluate.parse"):
+            for index, spec in iter_queries(payload):
+                core = parse_core(
+                    spec.get("core"), _field("queries", index, "core")
+                )
+                accelerator = parse_accelerator(
+                    spec.get("accelerator"),
+                    _field("queries", index, "accelerator"),
+                )
+                workload = parse_workload(
+                    spec.get("workload"), _field("queries", index, "workload")
+                )
+                modes = parse_modes(
+                    spec.get("modes", spec.get("mode")),
+                    _field("queries", index, "modes"),
+                )
+                drain = parse_drain(
+                    spec.get("drain"), _field("queries", index, "drain")
+                )
+                start = len(queries)
+                queries.extend(
+                    EvaluationQuery(core, accelerator, workload, mode, drain)
+                    for mode in modes
+                )
+                slices.append((start, len(queries)))
+                specs.append((core, accelerator, workload, modes))
         entries = evaluate_batch(queries, cache=self.cache)
         results = []
-        for (core, accelerator, workload, modes), (start, stop) in zip(
-            specs, spans
-        ):
-            span = entries[start:stop]
-            result = api.EvaluationResult(
-                core=core,
-                accelerator=accelerator,
-                workload=workload,
-                speedups={
-                    mode: entry.speedup for mode, entry in zip(modes, span)
-                },
-                cached=all(entry.cached for entry in span),
-            )
-            results.append(result.to_dict())
+        with span("serve.evaluate.assemble"):
+            for (core, accelerator, workload, modes), (start, stop) in zip(
+                specs, slices
+            ):
+                chunk = entries[start:stop]
+                result = api.EvaluationResult(
+                    core=core,
+                    accelerator=accelerator,
+                    workload=workload,
+                    speedups={
+                        mode: entry.speedup
+                        for mode, entry in zip(modes, chunk)
+                    },
+                    cached=all(entry.cached for entry in chunk),
+                )
+                results.append(result.to_dict())
         return {"results": results, "cache": self.cache.stats()}
 
     def handle_sweep(self, payload: Any) -> dict[str, Any]:
@@ -273,44 +330,51 @@ class ServeApp:
         else:
             runs = [(None, payload)]
         parsed = []
-        for index, spec in runs:
-            if not isinstance(spec, Mapping):
-                raise RequestError(
-                    "each run must be an object", field=_field("runs", index, "")
+        with span("serve.simulate.parse"):
+            for index, spec in runs:
+                if not isinstance(spec, Mapping):
+                    raise RequestError(
+                        "each run must be an object",
+                        field=_field("runs", index, ""),
+                    )
+                trace = parse_trace(
+                    spec.get("trace"), _field("runs", index, "trace")
                 )
-            trace = parse_trace(
-                spec.get("trace"), _field("runs", index, "trace")
-            )
-            config = parse_sim_config(
-                spec.get("config", "a72"), _field("runs", index, "config")
-            )
-            warm = parse_warm_ranges(
-                spec.get("warm_ranges"), _field("runs", index, "warm_ranges")
-            )
-            # Compiled form for every run — result-cache hits still count
-            # an LRU hit, and uncached runs ship the precompiled trace to
-            # the worker pool instead of recompiling per process.
-            parsed.append((self._compiled_for(trace), config, warm))
+                config = parse_sim_config(
+                    spec.get("config", "a72"), _field("runs", index, "config")
+                )
+                warm = parse_warm_ranges(
+                    spec.get("warm_ranges"), _field("runs", index, "warm_ranges")
+                )
+                # Compiled form for every run — result-cache hits still
+                # count an LRU hit, and uncached runs ship the precompiled
+                # trace to the worker pool instead of recompiling per
+                # process.
+                parsed.append((self._compiled_for(trace), config, warm))
 
         results: list[dict[str, Any] | None] = [None] * len(parsed)
         fresh: list[tuple[int, tuple[Any, Any, Any], str]] = []
-        for i, (trace, config, warm) in enumerate(parsed):
-            key = simulation_key(config, trace, warm)
-            value = self.cache.get(key)
-            if value is not MISS:
-                results[i] = api.SimulationResult(
-                    trace_name=trace.name,
-                    config_name=config.name,
-                    mode=config.tca_mode,
-                    stats=SimStats.from_dict(value["stats"]),
-                    cached=True,
-                ).to_dict()
-            else:
-                fresh.append((i, (trace, config, warm), key))
+        with span("serve.simulate.cache_probe"):
+            for i, (trace, config, warm) in enumerate(parsed):
+                key = simulation_key(config, trace, warm)
+                value = self.cache.get(key)
+                if value is not MISS:
+                    results[i] = api.SimulationResult(
+                        trace_name=trace.name,
+                        config_name=config.name,
+                        mode=config.tca_mode,
+                        stats=SimStats.from_dict(value["stats"]),
+                        cached=True,
+                    ).to_dict()
+                else:
+                    fresh.append((i, (trace, config, warm), key))
         if fresh:
-            stats_dicts = parallel_map(
-                _simulate_run, [item for _, item, _ in fresh], jobs=self.jobs
-            )
+            with span("serve.simulate.run"):
+                stats_dicts = parallel_map(
+                    _simulate_run,
+                    [item for _, item, _ in fresh],
+                    jobs=self.jobs,
+                )
             for (i, (trace, config, warm), key), stats in zip(
                 fresh, stats_dicts
             ):
@@ -334,16 +398,26 @@ class ServeApp:
     def handle_healthz(self) -> dict[str, Any]:
         """``GET /healthz``: liveness plus provenance and cache state.
 
-        On a pooled worker (``--workers N``) the response also carries a
-        ``pool`` block: pool size and strategy, per-worker pid/liveness/
-        request counts, and cache counters merged across all workers.
+        ``latency`` summarizes the per-endpoint request-latency
+        histograms (count/mean/p50/p90/p99/max, pool-merged on pooled
+        workers).  On a pooled worker (``--workers N``) the response
+        also carries a ``pool`` block: pool size and strategy,
+        per-worker pid/liveness/request counts/uptime/last-request
+        timestamps, and cache counters merged across all workers.
         """
+        prefix = "serve.latency."
         body = {
             "status": "ok",
             "schema": schema_tag(),
             "uptime_s": monotonic() - self.started_at,
             "cache": self.cache.stats(),
             "compiled_traces": self.compiled_trace_stats(),
+            "latency": {
+                name[len(prefix) :]: summary
+                for name, summary in self._metrics_registry()
+                .histogram_summaries(prefix)
+                .items()
+            },
             "manifest": build_manifest(
                 metrics=get_registry().snapshot(), cache=self.cache.stats()
             ),
@@ -368,10 +442,28 @@ class _Handler(BaseHTTPRequestHandler):
         """Route http.server's chatter into the package logger."""
         _log.info("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        request_id: str | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(
+        self, status: int, text: str, content_type: str, request_id: str
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("X-Request-Id", request_id)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -390,53 +482,87 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise RequestError(f"request body is not valid JSON: {exc}") from exc
 
-    def _dispatch(self, endpoint: str, handler_name: str | None) -> None:
+    def _dispatch(
+        self, endpoint: str, handler_name: str | None, query: str = ""
+    ) -> None:
+        """Run one request under a traced scope and send the response.
+
+        The request scope opens before the handler and closes before the
+        bytes go out, so the root span covers effectively all of the
+        handler wall time; its duration feeds the per-endpoint latency
+        histogram, the slow-request log, and — when the client asked
+        with ``?debug=trace`` — the ``trace`` block of the JSON body.
+        """
         registry = get_registry()
-        registry.counter(f"serve.requests.{endpoint.lstrip('/')}").inc()
-        try:
-            with registry.timer("serve.request").time():
-                if handler_name is None:  # healthz
-                    response = self.server.app.handle_healthz()
-                else:
-                    payload = self._read_body()
-                    response = getattr(self.server.app, handler_name)(payload)
-        except _TooLarge as exc:
-            registry.counter("serve.requests.rejected").inc()
-            self._send_json(
-                413,
-                {
+        name = endpoint.lstrip("/")
+        registry.counter(f"serve.requests.{name}").inc()
+        want_trace = "trace" in parse_qs(query).get("debug", [])
+        request_id = self.headers.get("X-Request-Id") or new_request_id()
+        status = 200
+        payload: dict[str, Any] = {}
+        metrics_page: str | None = None
+        with request_scope(f"serve.{name}", request_id) as trace:
+            try:
+                with registry.timer("serve.request").time():
+                    if endpoint == "/metrics":
+                        metrics_page = self.server.app.render_metrics()
+                    elif handler_name is None:  # healthz
+                        payload = self.server.app.handle_healthz()
+                    else:
+                        with span("serve.read_body"):
+                            body = self._read_body()
+                        payload = getattr(self.server.app, handler_name)(body)
+            except _TooLarge as exc:
+                registry.counter("serve.requests.rejected").inc()
+                status = 413
+                payload = {
                     "error": f"request body of {exc.length} bytes exceeds "
                     f"the {self.server.max_request_bytes}-byte limit"
-                },
+                }
+            except RequestError as exc:
+                registry.counter("serve.requests.bad").inc()
+                status, payload = 400, exc.to_payload()
+            except Exception:
+                registry.counter("serve.requests.errors").inc()
+                _log.exception("unhandled error serving %s", endpoint)
+                status, payload = 500, {"error": "internal server error"}
+        registry.histogram(f"serve.latency.{name}").observe(trace.duration_s)
+        slow_after = self.server.slow_request_s
+        if slow_after is not None and trace.duration_s >= slow_after:
+            _slow_log.warning(
+                "slow request %s",
+                json.dumps(trace.summary_line(), sort_keys=True),
             )
-        except RequestError as exc:
-            registry.counter("serve.requests.bad").inc()
-            self._send_json(400, exc.to_payload())
-        except Exception:
-            registry.counter("serve.requests.errors").inc()
-            _log.exception("unhandled error serving %s", endpoint)
-            self._send_json(500, {"error": "internal server error"})
-        else:
-            self._send_json(200, response)
+        try:
+            if metrics_page is not None:
+                self._send_text(
+                    status, metrics_page, PROMETHEUS_CONTENT_TYPE, request_id
+                )
+            else:
+                if want_trace:
+                    payload["trace"] = trace.to_dict()
+                self._send_json(status, payload, request_id)
         finally:
             hook = self.server.after_request
             if hook is not None:
                 hook()
 
     def do_GET(self) -> None:
-        """Serve ``GET /healthz`` (anything else is a 404)."""
-        if self.path == "/healthz":
-            self._dispatch("/healthz", None)
+        """Serve ``GET /healthz`` and ``GET /metrics`` (else a 404)."""
+        path, _, query = self.path.partition("?")
+        if path in ("/healthz", "/metrics"):
+            self._dispatch(path, None, query)
         else:
             self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
 
     def do_POST(self) -> None:
         """Serve the evaluation endpoints (anything else is a 404)."""
-        handler_name = self.ROUTES.get(("POST", self.path))
+        path, _, query = self.path.partition("?")
+        handler_name = self.ROUTES.get(("POST", path))
         if handler_name is None:
             self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
             return
-        self._dispatch(self.path, handler_name)
+        self._dispatch(path, handler_name, query)
 
 
 class _TooLarge(Exception):
@@ -465,6 +591,7 @@ class ServeServer(ThreadingHTTPServer):
         app: ServeApp,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         sock: socket.socket | None = None,
+        slow_request_s: float | None = None,
     ) -> None:
         if sock is None:
             super().__init__(address, _Handler)
@@ -480,6 +607,11 @@ class ServeServer(ThreadingHTTPServer):
             self.server_port = port
         self.app = app
         self.max_request_bytes = max_request_bytes
+        #: Requests at or above this many wall seconds emit a structured
+        #: record to the ``repro.serve.slow`` log (``None`` disables).
+        self.slow_request_s: float | None = (
+            default_slow_request_s() if slow_request_s is None else slow_request_s
+        )
         #: Optional post-request hook (pool workers report state here).
         self.after_request: Callable[[], None] | None = None
 
@@ -501,6 +633,7 @@ def make_server(
     port: int = 0,
     app: ServeApp | None = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    slow_request_s: float | None = None,
 ) -> ServeServer:
     """A ready-to-run server (port 0 = ephemeral, for tests).
 
@@ -508,7 +641,10 @@ def make_server(
     ``shutdown()`` + ``server_close()`` to stop.
     """
     return ServeServer(
-        (host, port), app if app is not None else ServeApp(), max_request_bytes
+        (host, port),
+        app if app is not None else ServeApp(),
+        max_request_bytes,
+        slow_request_s=slow_request_s,
     )
 
 
@@ -548,6 +684,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="BYTES",
         help="reject request bodies larger than this (default: %(default)s)",
     )
+    parser.add_argument(
+        "--slow-request-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a structured slow-request record for requests at or "
+        "above this many seconds (default: $REPRO_SLOW_REQUEST_S or 1.0)",
+    )
     add_common_arguments(parser, jobs=True, workers=True)
     args = parser.parse_args(argv)
     configure_from_args(args)
@@ -574,13 +718,18 @@ def main(argv: list[str] | None = None) -> int:
             args.workers,
             app_factory,
             max_request_bytes=args.max_request_bytes,
+            slow_request_s=args.slow_request_s,
         )
         maybe_print_profile(args)
         return code
 
     app = app_factory()
     server = make_server(
-        args.host, args.port, app, max_request_bytes=args.max_request_bytes
+        args.host,
+        args.port,
+        app,
+        max_request_bytes=args.max_request_bytes,
+        slow_request_s=args.slow_request_s,
     )
 
     def _request_shutdown(signum: int, frame: Any) -> None:

@@ -13,8 +13,10 @@ from time import perf_counter
 
 from repro.core.modes import TCAMode
 from repro.isa.trace import Trace
+from repro.obs.histogram import COUNT_BOUNDS
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.span import span
 from repro.obs.tracer import PipelineTracer, get_active_tracer
 from repro.sim.compile import CompiledTrace, compile_trace
 from repro.sim.config import SimConfig
@@ -60,8 +62,10 @@ def simulate(
     """Execute ``trace`` on ``config`` and return the result.
 
     Wall time, simulated cycles, and committed instructions are recorded
-    in the default metrics registry (``sim.*``), so sweeps report
-    simulator throughput for free.
+    in the default metrics registry (``sim.*``, including the
+    ``sim.instructions_per_run`` histogram), so sweeps report simulator
+    throughput for free; inside a request scope the run also records a
+    ``sim.run`` span.
 
     Args:
         trace: dynamic instruction stream — a :class:`~repro.isa.trace.Trace`
@@ -81,8 +85,9 @@ def simulate(
     else:
         active = None
     started = perf_counter()
-    sim = CoreSim(config, compiled, warm_ranges=warm_ranges, tracer=active)
-    stats = sim.run()
+    with span("sim.run"):
+        sim = CoreSim(config, compiled, warm_ranges=warm_ranges, tracer=active)
+        stats = sim.run()
     elapsed = perf_counter() - started
     if active is not None:
         active.end_run(stats.to_dict())
@@ -92,6 +97,9 @@ def simulate(
     registry.counter("sim.cycles").inc(stats.cycles)
     registry.counter("sim.instructions").inc(stats.instructions)
     registry.timer("sim.run").record(elapsed)
+    registry.histogram("sim.instructions_per_run", COUNT_BOUNDS).observe(
+        stats.instructions
+    )
     if elapsed > 0:
         registry.gauge("sim.cycles_per_sec").set(stats.cycles / elapsed)
         registry.gauge("sim.instructions_per_sec").set(

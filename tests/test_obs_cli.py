@@ -1,0 +1,154 @@
+"""Tests for the ``repro-obs`` operator CLI (tail-slow, diff-metrics,
+merge-traces)."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main, parse_slow_records
+from repro.obs.metrics import MetricsRegistry
+
+SLOW_LINE = (
+    "2026-08-09 12:00:00 WARNING repro.serve.slow: slow request "
+    '{"request_id": "abc123abc123abc1", "name": "serve.simulate", '
+    '"duration_s": 2.5, "spans": [{"name": "serve.simulate.run", '
+    '"duration_s": 2.4}]}'
+)
+
+
+class TestParseSlowRecords:
+    def test_extracts_json_after_marker(self):
+        records = parse_slow_records([SLOW_LINE])
+        assert len(records) == 1
+        assert records[0]["request_id"] == "abc123abc123abc1"
+        assert records[0]["duration_s"] == 2.5
+
+    def test_skips_noise_lines(self):
+        lines = [
+            "plain info line",
+            "slow request not-json",
+            'slow request {"no_duration": true}',
+            SLOW_LINE,
+            "",
+        ]
+        records = parse_slow_records(lines)
+        assert len(records) == 1
+
+
+class TestTailSlow:
+    def test_renders_table_and_footer(self, tmp_path, capsys):
+        log = tmp_path / "serve.log"
+        log.write_text(SLOW_LINE + "\nunrelated line\n" + SLOW_LINE + "\n")
+        assert main(["tail-slow", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "abc123abc123abc1" in out
+        assert "serve.simulate" in out
+        assert "serve.simulate.run" in out
+        assert "2 slow request(s)" in out
+
+    def test_min_s_filters(self, tmp_path, capsys):
+        log = tmp_path / "serve.log"
+        log.write_text(SLOW_LINE + "\n")
+        assert main(["tail-slow", str(log), "--min-s", "10"]) == 0
+        assert "no slow-request records" in capsys.readouterr().out
+
+    def test_last_limits_output(self, tmp_path, capsys):
+        log = tmp_path / "serve.log"
+        log.write_text((SLOW_LINE + "\n") * 5)
+        assert main(["tail-slow", str(log), "--last", "2"]) == 0
+        assert "2 slow request(s)" in capsys.readouterr().out
+
+    def test_missing_file_errors_cleanly(self, tmp_path, capsys):
+        assert main(["tail-slow", str(tmp_path / "nope.log")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestDiffMetrics:
+    def _write(self, path, registry, nest=None):
+        snapshot = registry.snapshot()
+        payload = snapshot if nest is None else {nest: snapshot}
+        path.write_text(json.dumps(payload))
+
+    def test_reports_moved_instruments(self, tmp_path, capsys):
+        before = MetricsRegistry()
+        before.counter("serve.requests.evaluate").inc(2)
+        before.timer("serve.batch").record(0.5)
+        before.histogram("serve.latency.evaluate").observe(0.1)
+        after = MetricsRegistry()
+        after.counter("serve.requests.evaluate").inc(7)
+        after.counter("serve.requests.simulate").inc(1)
+        after.timer("serve.batch").record(0.5)
+        after.timer("serve.batch").record(0.25)
+        after.histogram("serve.latency.evaluate").observe(0.1)
+        after.histogram("serve.latency.evaluate").observe(3.0)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, before)
+        self._write(b, after)
+        assert main(["diff-metrics", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.requests.evaluate" in out and "+5" in out
+        assert "serve.requests.simulate" in out
+        assert "serve.batch" in out and "+1 calls" in out
+        assert "serve.latency.evaluate" in out and "+1 samples" in out
+
+    def test_identical_snapshots(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, registry)
+        self._write(b, registry)
+        assert main(["diff-metrics", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_accepts_manifest_nesting(self, tmp_path, capsys):
+        before = MetricsRegistry()
+        before.counter("c").inc(1)
+        after = MetricsRegistry()
+        after.counter("c").inc(4)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, before, nest="metrics")
+        # the run-manifest shape: {"manifest": {"metrics": {...}}}
+        b.write_text(json.dumps({"manifest": {"metrics": after.snapshot()}}))
+        assert main(["diff-metrics", str(a), str(b)]) == 0
+        assert "+3" in capsys.readouterr().out
+
+    def test_rejects_non_snapshot_json(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps({"unrelated": True}))
+        assert main(["diff-metrics", str(a), str(a)]) == 1
+        assert "no metrics snapshot" in capsys.readouterr().err
+
+
+class TestMergeTraces:
+    def _shard(self, path, pids, base_name):
+        events = [
+            {"name": f"{base_name}-{i}", "cat": "sim", "ph": "X",
+             "ts": i * 10, "dur": 5, "pid": pid, "tid": 0}
+            for i, pid in enumerate(pids)
+        ]
+        path.write_text(
+            json.dumps({"traceEvents": events, "otherData": {"runs": len(pids)}})
+        )
+
+    def test_merges_shards_with_pid_offsets(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        out = tmp_path / "merged.json"
+        self._shard(a, [1, 1], "a")
+        self._shard(b, [1, 2], "b")
+        assert main(["merge-traces", str(a), str(b), "--out", str(out)]) == 0
+        assert "4 events" in capsys.readouterr().out
+        merged = json.loads(out.read_text())
+        events = merged["traceEvents"]
+        assert len(events) == 4
+        # shard B's pids were offset past shard A's, so the two shards
+        # occupy disjoint process rows on the merged timeline
+        a_pids = {e["pid"] for e in events if e["name"].startswith("a")}
+        b_pids = {e["pid"] for e in events if e["name"].startswith("b")}
+        assert a_pids.isdisjoint(b_pids)
+        assert merged["otherData"]["merged_shards"] == 2
+
+
+@pytest.mark.parametrize("argv", [[], ["unknown-sub"]])
+def test_usage_errors_exit_nonzero(argv):
+    with pytest.raises(SystemExit):
+        main(argv)

@@ -1,0 +1,201 @@
+"""Unit tests for fixed-bucket log-scale histograms (repro.obs.histogram)."""
+
+import json
+
+import pytest
+
+from repro.obs.histogram import (
+    COUNT_BOUNDS,
+    LATENCY_BOUNDS,
+    Histogram,
+    log_bounds,
+)
+
+
+class TestLogBounds:
+    def test_spans_requested_range(self):
+        bounds = log_bounds(1e-6, 16.0, per_decade=5)
+        assert bounds[0] == 1e-6
+        assert bounds[-1] >= 16.0
+
+    def test_geometric_spacing(self):
+        bounds = log_bounds(1.0, 1000.0, per_decade=1)
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        for ratio in ratios:
+            assert ratio == pytest.approx(10.0)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_bounds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(1.0, 10.0, per_decade=0)
+
+    def test_shared_layouts_are_ascending(self):
+        for layout in (LATENCY_BOUNDS, COUNT_BOUNDS):
+            assert all(a < b for a, b in zip(layout, layout[1:]))
+        # the default latency layout covers a cache probe and a
+        # multi-second request on one axis
+        assert LATENCY_BOUNDS[0] <= 1e-6
+        assert LATENCY_BOUNDS[-1] >= 16.0
+
+
+class TestObserve:
+    def test_exact_aggregates(self):
+        h = Histogram("t")
+        for value in (0.001, 0.01, 0.1):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.111)
+        assert h.mean == pytest.approx(0.037)
+        assert h.min == 0.001
+        assert h.max == 0.1
+
+    def test_bucket_placement(self):
+        h = Histogram("t", bounds=(1.0, 10.0, 100.0))
+        h.observe(0.5)   # first bucket (<= 1.0)
+        h.observe(1.0)   # boundary lands in its own bucket
+        h.observe(5.0)   # second bucket
+        h.observe(1e6)   # overflow bucket
+        assert h.counts == [2, 1, 0, 1]
+        assert sum(h.counts) == h.count
+
+    def test_unsampled_is_safe(self):
+        h = Histogram("t")
+        assert h.mean == 0.0
+        assert h.percentile(0.99) == 0.0
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["min_value"] == 0.0 and d["max_value"] == 0.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=(2.0, 1.0))
+
+
+class TestPercentiles:
+    def test_estimates_clamped_to_observed_range(self):
+        h = Histogram("t")
+        for value in (0.002, 0.003, 0.004, 0.005):
+            h.observe(value)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.min <= h.percentile(q) <= h.max
+
+    def test_uniform_samples_order(self):
+        h = Histogram("t")
+        for i in range(1, 101):
+            h.observe(i / 1000.0)  # 1ms .. 100ms
+        assert h.p50 < h.p90 < h.p99
+        # log-interpolated estimates stay near the exact quantiles
+        assert h.p50 == pytest.approx(0.050, rel=0.35)
+        assert h.p99 == pytest.approx(0.099, rel=0.35)
+
+    def test_single_sample_all_quantiles_equal(self):
+        h = Histogram("t")
+        h.observe(0.25)
+        assert h.p50 == h.p90 == h.p99 == 0.25
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("t")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+
+class TestMerge:
+    def test_merge_objects_is_exact(self):
+        a = Histogram("t")
+        b = Histogram("t")
+        for value in (0.001, 0.01):
+            a.observe(value)
+        for value in (0.1, 1.0, 10.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 5
+        assert a.sum == pytest.approx(11.111)
+        assert a.min == 0.001
+        assert a.max == 10.0
+        reference = Histogram("t")
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+            reference.observe(value)
+        assert a.counts == reference.counts
+
+    def test_merge_wire_form_roundtrips(self):
+        a = Histogram("t")
+        b = Histogram("t")
+        b.observe(0.5)
+        b.observe(2.0)
+        a.merge(json.loads(json.dumps(b.as_dict())))
+        assert a.count == 2
+        assert a.counts == b.counts
+        assert a.min == 0.5 and a.max == 2.0
+
+    def test_merge_empty_is_noop(self):
+        a = Histogram("t")
+        a.observe(1.0)
+        before = a.as_dict()
+        a.merge(Histogram("t"))
+        assert a.as_dict() == before
+
+    def test_mismatched_layouts_raise(self):
+        a = Histogram("t", bounds=(1.0, 10.0))
+        b = Histogram("t", bounds=(1.0, 10.0, 100.0))
+        b.observe(5.0)
+        with pytest.raises(ValueError, match="layouts differ"):
+            a.merge(b)
+        with pytest.raises(ValueError, match="layouts differ"):
+            a.merge({"bounds": [2.0, 20.0], "counts": [1, 0, 0],
+                     "count": 1, "sum": 5.0})
+
+    def test_malformed_counts_raise(self):
+        a = Histogram("t", bounds=(1.0, 10.0))
+        with pytest.raises(ValueError, match="malformed counts"):
+            a.merge({"bounds": [1.0, 10.0], "counts": [1],
+                     "count": 1, "sum": 0.5})
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self):
+        h = Histogram("t")
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert all(c == 0 for c in h.counts)
+        h.observe(2.0)  # still usable after reset
+        assert h.count == 1 and h.min == 2.0
+
+
+class TestExports:
+    def test_as_dict_is_json_safe_and_complete(self):
+        h = Histogram("t")
+        h.observe(0.01)
+        d = json.loads(json.dumps(h.as_dict()))
+        assert set(d) == {
+            "count", "sum", "mean", "min_value", "max_value",
+            "p50", "p90", "p99", "bounds", "counts",
+        }
+        assert len(d["counts"]) == len(d["bounds"]) + 1  # overflow bucket
+
+    def test_summary_block(self):
+        h = Histogram("t")
+        h.observe(0.2)
+        summary = h.summary()
+        assert set(summary) == {"count", "mean", "p50", "p90", "p99", "max"}
+        assert summary["count"] == 1
+        assert summary["max"] == 0.2
+
+    def test_stddev_rough_estimate(self):
+        h = Histogram("t")
+        assert h.stddev() == 0.0
+        h.observe(0.1)
+        assert h.stddev() == 0.0  # < 2 samples
+        h.observe(10.0)
+        assert h.stddev() > 0.0

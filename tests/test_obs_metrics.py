@@ -180,6 +180,138 @@ class TestMerge:
         parent.merge(child.snapshot())
         assert json.loads(json.dumps(parent.snapshot()))["counters"]["c"] == 1
 
+    def test_merge_empty_registry_is_noop(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(3)
+        parent.timer("t").record(1.0)
+        parent.histogram("h").observe(0.5)
+        before = json.dumps(parent.snapshot())
+        parent.merge(MetricsRegistry())
+        parent.merge({})  # empty snapshot dict, same contract
+        assert json.dumps(parent.snapshot()) == before
+
+    def test_merge_into_empty_registry(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.counter("c").inc(2)
+        child.histogram("h").observe(0.25)
+        parent.merge(child)
+        assert parent.counter("c").value == 2
+        assert parent.histogram("h").count == 1
+
+    def test_merge_ignores_unknown_metric_kinds(self):
+        # a snapshot from a newer schema must merge what is understood
+        # and skip what is not — never guess
+        parent = MetricsRegistry()
+        parent.merge(
+            {
+                "counters": {"c": 4},
+                "exemplars": {"c": {"trace_id": "abc"}},
+                "sketches": [1, 2, 3],
+            }
+        )
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["c"] == 4
+        assert "exemplars" not in snapshot
+        assert "sketches" not in snapshot
+
+    def test_histograms_merge_exactly(self):
+        parent = MetricsRegistry()
+        parent.histogram("h").observe(0.001)
+        child = MetricsRegistry()
+        child.histogram("h").observe(1.0)
+        child.histogram("h").observe(4.0)
+        parent.merge(child.snapshot())
+        merged = parent.histogram("h")
+        assert merged.count == 3
+        assert merged.min == 0.001
+        assert merged.max == 4.0
+
+    def test_mismatched_histogram_layouts_raise(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", bounds=(1.0, 10.0)).observe(2.0)
+        child = MetricsRegistry()
+        child.histogram("h", bounds=(1.0, 10.0, 100.0)).observe(2.0)
+        with pytest.raises(ValueError):
+            parent.merge(child.snapshot())
+
+
+class TestHistogramAccessor:
+    def test_created_on_first_use_with_layout(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", bounds=(1.0, 10.0))
+        assert registry.histogram("h") is h  # later calls may omit bounds
+        assert registry.histogram("h", bounds=(1.0, 10.0)) is h
+
+    def test_conflicting_layout_request_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0, 10.0))
+        with pytest.raises(ValueError, match="different"):
+            registry.histogram("h", bounds=(2.0, 20.0))
+
+    def test_histogram_summaries_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.histogram("serve.latency.evaluate").observe(0.1)
+        registry.histogram("serve.latency.simulate").observe(0.2)
+        registry.histogram("sim.instructions_per_run").observe(100)
+        summaries = registry.histogram_summaries("serve.latency.")
+        assert sorted(summaries) == [
+            "serve.latency.evaluate",
+            "serve.latency.simulate",
+        ]
+        assert summaries["serve.latency.evaluate"]["count"] == 1
+
+    def test_reset_includes_histograms(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        h.observe(0.5)
+        registry.reset()
+        assert h.count == 0
+        assert registry.histogram("h") is h
+
+
+class TestDeterministicOrder:
+    def test_snapshot_sections_sorted_by_name(self):
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.counter(name).inc()
+            registry.gauge(name).set(1.0)
+            registry.timer(name).record(0.1)
+            registry.histogram(name).observe(0.1)
+        snapshot = registry.snapshot()
+        for section in ("counters", "gauges", "timers", "histograms"):
+            assert list(snapshot[section]) == ["alpha", "mid", "zeta"]
+
+    def test_snapshot_byte_identical_across_creation_order(self):
+        a = MetricsRegistry()
+        a.counter("x").inc(1)
+        a.counter("b").inc(2)
+        b = MetricsRegistry()
+        b.counter("b").inc(2)
+        b.counter("x").inc(1)
+        assert json.dumps(a.snapshot()) == json.dumps(b.snapshot())
+
+    def test_render_table_rows_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        registry.timer("z.t").record(0.1)
+        registry.timer("a.t").record(0.1)
+        registry.histogram("z.h").observe(0.1)
+        registry.histogram("a.h").observe(0.1)
+        table = registry.render_table()
+        assert table.index("a.first") < table.index("z.last")
+        assert table.index("a.t") < table.index("z.t")
+        assert table.index("a.h") < table.index("z.h")
+
+    def test_render_table_includes_histogram_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("serve.latency.evaluate").observe(0.1)
+        table = registry.render_table()
+        assert "histogram" in table
+        assert "serve.latency.evaluate" in table
+        assert "p99" in table
+
 
 class TestHeatmapCellAccounting:
     def test_counts_only_evaluated_cells_and_tracks_skips(self):

@@ -1,0 +1,113 @@
+"""Unit tests for Prometheus text-exposition rendering (repro.obs.prometheus)."""
+
+import re
+
+from repro.obs.histogram import Histogram
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import render_prometheus, sanitize_metric_name
+
+#: One sample or # TYPE line of the 0.0.4 text format.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,"
+    r"[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram)$"
+)
+
+
+def assert_valid_exposition(page: str) -> None:
+    """Every line must be a legal # TYPE comment or sample line."""
+    assert page.endswith("\n")
+    for line in page.splitlines():
+        if not line:
+            continue
+        assert TYPE_RE.match(line) or SAMPLE_RE.match(line), line
+
+
+class TestSanitize:
+    def test_dots_become_underscores_with_namespace(self):
+        assert sanitize_metric_name("serve.batch.queries") == (
+            "repro_serve_batch_queries"
+        )
+
+    def test_leading_digit_guarded(self):
+        name = sanitize_metric_name("9lives")
+        assert re.match(r"^[a-zA-Z_:]", name.removeprefix("repro_") or "_")
+        assert SAMPLE_RE.match(f"{name} 1")
+
+
+class TestRender:
+    def test_counter_gauge_timer_series(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests.evaluate").inc(3)
+        registry.gauge("sim.cycles_per_sec").set(1.5e6)
+        registry.timer("serve.batch").record(0.25)
+        page = render_prometheus(registry.snapshot())
+        assert_valid_exposition(page)
+        assert "# TYPE repro_serve_requests_evaluate_total counter" in page
+        assert "repro_serve_requests_evaluate_total 3" in page
+        assert "repro_sim_cycles_per_sec 1500000" in page
+        assert "repro_serve_batch_seconds_sum 0.25" in page
+        assert "repro_serve_batch_seconds_count 1" in page
+        assert "repro_serve_batch_seconds_min 0.25" in page
+        assert "repro_serve_batch_seconds_max 0.25" in page
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("serve.latency.evaluate", bounds=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            h.observe(value)
+        page = render_prometheus(registry.snapshot())
+        assert_valid_exposition(page)
+        metric = "repro_serve_latency_evaluate"
+        assert f"# TYPE {metric} histogram" in page
+        buckets = re.findall(
+            rf'{metric}_bucket{{le="([^"]+)"}} (\d+)', page
+        )
+        assert [b[0] for b in buckets] == ["0.01", "0.1", "1.0", "+Inf"]
+        counts = [int(b[1]) for b in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 4  # +Inf carries the total count
+        assert f"{metric}_count 4" in page
+        assert f"{metric}_sum 5.555" in page
+
+    def test_info_not_exported(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.set_info("sim.last_run", {"trace": "x"})
+        page = render_prometheus(registry.snapshot())
+        assert "last_run" not in page
+
+    def test_deterministic_regardless_of_creation_order(self):
+        a = MetricsRegistry()
+        a.counter("z").inc(1)
+        a.counter("a").inc(2)
+        a.timer("m").record(0.5)
+        b = MetricsRegistry()
+        b.timer("m").record(0.5)
+        b.counter("a").inc(2)
+        b.counter("z").inc(1)
+        assert render_prometheus(a.snapshot()) == render_prometheus(b.snapshot())
+
+    def test_empty_snapshot_renders_empty_page(self):
+        page = render_prometheus(MetricsRegistry().snapshot())
+        assert page == "\n"
+
+    def test_special_values(self):
+        snapshot = {"gauges": {"g": float("inf")}}
+        assert "repro_g +Inf" in render_prometheus(snapshot)
+
+    def test_renders_wire_form_snapshot(self):
+        # the pool path: render a snapshot that crossed a process
+        # boundary as JSON, not a live registry
+        h = Histogram("serve.latency.evaluate")
+        h.observe(0.02)
+        snapshot = {
+            "counters": {"serve.requests.evaluate": 1},
+            "histograms": {"serve.latency.evaluate": h.as_dict()},
+        }
+        page = render_prometheus(snapshot)
+        assert_valid_exposition(page)
+        assert "repro_serve_latency_evaluate_count 1" in page

@@ -76,15 +76,42 @@ class TestJobsFlag:
         # both experiments rendered, in request order
         assert out.index("=== fig2:") < out.index("=== fig7:")
 
-    def test_trace_with_jobs_falls_back_to_serial(self, tmp_path, capsys):
+    def test_trace_with_jobs_merges_worker_shards(self, tmp_path, capsys):
+        # Regression: --trace used to force serial execution under
+        # --jobs N; now each worker writes its own shard and the parent
+        # merges them onto one timeline.
         trace_path = tmp_path / "t.json"
         code = main(
             ["fig2", "fig5", "--scale", "smoke", "--jobs", "2",
              "--trace", str(trace_path)]
         )
         assert code == 0
+        out = capsys.readouterr().out
+        assert "merged from 2 worker shard(s)" in out
         document = json.loads(trace_path.read_text())
-        assert document["otherData"]["runs"] > 0  # fig5 sims still traced
+        events = document["traceEvents"]
+        assert events  # fig5's simulations were traced inside the pool
+        for event in events:
+            assert REQUIRED_CHROME_KEYS <= set(event)
+        # fig5 smoke: 2 sweep points x (1 baseline + 4 modes); fig2 is
+        # model-only and contributes an empty shard
+        assert document["otherData"]["runs"] == 10
+        assert document["otherData"]["merged_shards"] == 2
+        assert get_active_tracer() is None
+
+    def test_trace_with_jobs_single_experiment_stays_serial(
+        self, tmp_path, capsys
+    ):
+        # one experiment has nothing to fan out — the ambient-tracer
+        # path still applies and writes a normal (unmerged) trace
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["fig5", "--scale", "smoke", "--jobs", "2",
+             "--trace", str(trace_path)]
+        ) == 0
+        document = json.loads(trace_path.read_text())
+        assert document["otherData"]["runs"] == 10
+        assert "merged_shards" not in document["otherData"]
 
 
 class TestManifestOnSave:

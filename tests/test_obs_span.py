@@ -1,0 +1,146 @@
+"""Unit tests for request-scoped span trees (repro.obs.span)."""
+
+import json
+import time
+
+from repro.obs.span import (
+    _NULL_SPAN,
+    current_request_id,
+    current_trace,
+    new_request_id,
+    request_scope,
+    span,
+    trace_to_chrome_events,
+)
+
+REQUIRED_CHROME_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+class TestRequestId:
+    def test_shape_and_uniqueness(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        for rid in ids:
+            assert len(rid) == 16
+            int(rid, 16)  # hex
+
+
+class TestDisabledPath:
+    def test_span_outside_scope_is_shared_noop(self):
+        assert span("anything") is _NULL_SPAN
+        with span("still.noop"):
+            pass  # must not raise, must not record
+
+    def test_no_ambient_state_outside_scope(self):
+        assert current_request_id() is None
+        assert current_trace() is None
+
+
+class TestNesting:
+    def test_tree_records_structure_and_durations(self):
+        with request_scope("serve.evaluate") as trace:
+            with span("parse"):
+                time.sleep(0.002)
+            with span("batch"):
+                with span("batch.evaluate"):
+                    time.sleep(0.002)
+        root = trace.root
+        assert root.name == "serve.evaluate"
+        assert [c.name for c in root.children] == ["parse", "batch"]
+        assert [c.name for c in root.children[1].children] == [
+            "batch.evaluate"
+        ]
+        assert root.duration_s >= 0.004
+        for node in root.walk():
+            assert node.duration_s >= 0.0
+        # children nest within the parent's wall time
+        for child in root.children:
+            assert child.duration_s <= root.duration_s + 1e-9
+
+    def test_sibling_spans_dont_nest(self):
+        with request_scope("r") as trace:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert [c.name for c in trace.root.children] == ["a", "b"]
+        assert not trace.root.children[0].children
+
+    def test_ambient_identity_inside_scope(self):
+        with request_scope("r", request_id="deadbeefdeadbeef") as trace:
+            assert current_request_id() == "deadbeefdeadbeef"
+            assert current_trace() is trace
+        assert current_request_id() is None
+
+    def test_scopes_restore_on_exit_even_after_exception(self):
+        try:
+            with request_scope("r"):
+                with span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace() is None
+        assert span("after") is _NULL_SPAN
+
+    def test_generated_request_id_when_none_given(self):
+        with request_scope("r") as trace:
+            assert len(trace.request_id) == 16
+
+
+class TestExports:
+    def _traced(self):
+        with request_scope("serve.simulate", request_id="cafe0000cafe0000") as t:
+            with span("parse"):
+                pass
+            with span("run"):
+                time.sleep(0.002)
+        return t
+
+    def test_to_dict_nested_json(self):
+        trace = self._traced()
+        d = json.loads(json.dumps(trace.to_dict()))
+        assert d["request_id"] == "cafe0000cafe0000"
+        root = d["root"]
+        assert root["name"] == "serve.simulate"
+        assert root["start_s"] == 0.0  # offsets relative to the root
+        names = [c["name"] for c in root["children"]]
+        assert names == ["parse", "run"]
+        for child in root["children"]:
+            assert 0.0 <= child["start_s"] <= root["duration_s"]
+
+    def test_summary_line_lists_slowest_spans(self):
+        trace = self._traced()
+        line = trace.summary_line(top=1)
+        assert line["request_id"] == "cafe0000cafe0000"
+        assert line["name"] == "serve.simulate"
+        assert line["duration_s"] == trace.duration_s
+        assert len(line["spans"]) == 1
+        assert line["spans"][0]["name"] == "run"  # slept, so the slowest
+        json.dumps(line)  # JSON-safe
+
+    def test_chrome_events_are_well_formed(self):
+        trace = self._traced()
+        events = trace.to_chrome_events(pid=7, tid=2)
+        assert trace_to_chrome_events(trace, pid=7, tid=2) == events
+        meta, *slices = events
+        assert meta["ph"] == "M"
+        assert "cafe0000cafe0000" in meta["args"]["name"]
+        assert len(slices) == 3  # root + 2 children
+        for event in slices:
+            assert REQUIRED_CHROME_KEYS <= set(event)
+            assert event["ph"] == "X"
+            assert event["pid"] == 7 and event["tid"] == 2
+            assert event["dur"] >= 1
+            assert event["args"]["request_id"] == "cafe0000cafe0000"
+
+
+class TestRootCoverage:
+    def test_root_covers_the_work_it_wraps(self):
+        """The contract /metrics consumers rely on: the root span's
+        duration accounts for (>= 95% of) the wall time of the scope."""
+        started = time.perf_counter()
+        with request_scope("r") as trace:
+            with span("work"):
+                time.sleep(0.01)
+        elapsed = time.perf_counter() - started
+        assert trace.duration_s >= 0.95 * elapsed
