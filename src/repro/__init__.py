@@ -74,6 +74,7 @@ from repro.sim import (
     ARM_A72_SIM,
     HIGH_PERF_SIM,
     LOW_PERF_SIM,
+    SamplingConfig,
     SimConfig,
 )
 from repro.api import (
@@ -88,7 +89,7 @@ from repro.api import (
 )
 from repro.serve import EvaluationCache
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ARM_A72",
@@ -109,6 +110,7 @@ __all__ = [
     "OpClass",
     "PipelineTracer",
     "PowerLawDrain",
+    "SamplingConfig",
     "SimConfig",
     "SimulationResult",
     "SweepResult",

@@ -60,6 +60,11 @@ from repro.sim import simulator as _simulator
 from repro.sim.compile import CompiledTrace
 from repro.sim.compile import compile_trace as _compile_trace
 from repro.sim.config import SimConfig
+from repro.sim.sample import (
+    SamplingConfig,
+    ambient_sampling,
+    coerce_sampling,
+)
 from repro.sim.stats import SimStats
 
 __all__ = [
@@ -269,6 +274,10 @@ class SimulationResult:
         stats: full simulation statistics.
         cached: whether the result was served from the content-addressed
             cache rather than simulated.
+        sampling: sampling report when interval sampling was requested
+            (``{"mode": "sampled", ...}`` or ``{"mode": "exact",
+            "forced_exact": reason, ...}``); ``None`` for a plain exact
+            run.
     """
 
     trace_name: str
@@ -276,6 +285,7 @@ class SimulationResult:
     mode: TCAMode
     stats: SimStats
     cached: bool = False
+    sampling: dict | None = None
 
     @property
     def cycles(self) -> int:
@@ -287,25 +297,38 @@ class SimulationResult:
         """Committed instructions per cycle."""
         return self.stats.ipc
 
+    @property
+    def sim_mode(self) -> str:
+        """``"sampled"`` when stats were extrapolated, else ``"exact"``."""
+        if self.sampling is not None and self.sampling.get("mode") == "sampled":
+            return "sampled"
+        return "exact"
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dump (stats via :meth:`SimStats.to_dict`)."""
-        return {
+        payload: dict[str, Any] = {
             "trace_name": self.trace_name,
             "config_name": self.config_name,
             "mode": self.mode.value,
+            "sim_mode": self.sim_mode,
             "stats": self.stats.to_dict(),
             "cached": self.cached,
         }
+        if self.sampling is not None:
+            payload["sampling"] = self.sampling
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationResult":
         """Rebuild from a :meth:`to_dict` payload."""
+        sampling = payload.get("sampling")
         return cls(
             trace_name=str(payload["trace_name"]),
             config_name=str(payload["config_name"]),
             mode=TCAMode(payload["mode"]),
             stats=SimStats.from_dict(payload["stats"]),
             cached=bool(payload.get("cached", False)),
+            sampling=dict(sampling) if sampling is not None else None,
         )
 
 
@@ -472,6 +495,7 @@ def simulate(
     warm_ranges: list[tuple[int, int]] | None = None,
     tracer: PipelineTracer | None = None,
     cache: EvaluationCache | None = None,
+    sampling: "SamplingConfig | dict | str | None" = None,
 ) -> SimulationResult:
     """Execute ``trace`` on ``config`` through the cycle-level simulator.
 
@@ -479,32 +503,53 @@ def simulate(
     (including accepting a pre-built
     :class:`~repro.sim.compile.CompiledTrace`), plus content-addressed
     memoization: with a ``cache``, a previously simulated
-    ``(config, trace fingerprint, warm ranges)`` combination returns its
-    recorded :class:`~repro.sim.stats.SimStats` without running the
-    simulator (pipeline tracing is skipped for cached runs — nothing
-    executes to trace).
+    ``(config, trace fingerprint, warm ranges, sampling)`` combination
+    returns its recorded :class:`~repro.sim.stats.SimStats` without
+    running the simulator (pipeline tracing is skipped for cached runs —
+    nothing executes to trace).
+
+    ``sampling`` opts into interval sampling (see
+    :mod:`repro.sim.sample`); ``None`` falls back to the ambient config
+    installed by :func:`repro.sim.sample.sampling_scope`.  Sampled and
+    exact results key separately in the cache — an explicit
+    ``mode="exact"`` keys identically to no sampling, since the exact
+    engine produces byte-identical stats either way.
     """
+    effective = coerce_sampling(sampling)
+    if effective is None:
+        effective = ambient_sampling()
     key = None
     if cache is not None:
-        key = simulation_key(config, trace, warm_ranges)
+        key = simulation_key(config, trace, warm_ranges, sampling=effective)
         value = cache.get(key)
         if value is not MISS:
+            cached_sampling = value.get("sampling")
             return SimulationResult(
                 trace_name=trace.name,
                 config_name=config.name,
                 mode=config.tca_mode,
                 stats=SimStats.from_dict(value["stats"]),
                 cached=True,
+                sampling=cached_sampling,
             )
-    raw = _simulator.simulate(trace, config, warm_ranges=warm_ranges, tracer=tracer)
+    raw = _simulator.simulate(
+        trace,
+        config,
+        warm_ranges=warm_ranges,
+        tracer=tracer,
+        sampling=effective,
+    )
     if cache is not None and key is not None:
-        cache.put(key, {"stats": raw.stats.to_dict()})
+        cache.put(
+            key, {"stats": raw.stats.to_dict(), "sampling": raw.sampling}
+        )
     return SimulationResult(
         trace_name=raw.trace_name,
         config_name=raw.config_name,
         mode=raw.mode,
         stats=raw.stats,
         cached=False,
+        sampling=raw.sampling,
     )
 
 
@@ -516,6 +561,7 @@ def compare(
     warm_ranges: list[tuple[int, int]] | None = None,
     tracer: PipelineTracer | None = None,
     cache: EvaluationCache | None = None,
+    sampling: "SamplingConfig | dict | str | None" = None,
 ) -> ComparisonResult:
     """Run the paper's validation experiment shape, cache-aware.
 
@@ -523,7 +569,8 @@ def compare(
     requested mode (same core otherwise), all through :func:`simulate` so
     a cache can short-circuit any leg individually.  Both traces are
     compiled at most once — the accelerated trace's analysis is shared
-    by every uncached mode run.
+    by every uncached mode run.  ``sampling`` applies to every leg
+    uniformly (sampled speedups divide two extrapolated cycle counts).
 
     Returns:
         A :class:`ComparisonResult` with per-mode speedups.
@@ -532,7 +579,12 @@ def compare(
     baseline = _compile_trace(baseline)
     accelerated = _compile_trace(accelerated)
     base = simulate(
-        baseline, config, warm_ranges=warm_ranges, tracer=tracer, cache=cache
+        baseline,
+        config,
+        warm_ranges=warm_ranges,
+        tracer=tracer,
+        cache=cache,
+        sampling=sampling,
     )
     per_mode = {
         mode: simulate(
@@ -541,6 +593,7 @@ def compare(
             warm_ranges=warm_ranges,
             tracer=tracer,
             cache=cache,
+            sampling=sampling,
         )
         for mode in requested
     }

@@ -56,6 +56,7 @@ from repro.obs.log import get_logger
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import PipelineTracer, merge_chrome_trace_files, tracing
+from repro.sim.sample import SamplingConfig, parse_sampling_spec, sampling_scope
 
 # Named explicitly: under ``python -m`` __name__ is "__main__".
 _log = get_logger("experiments.runner")
@@ -95,7 +96,7 @@ def run_experiment(
 
 
 def _run_timed(
-    task: tuple[str, str | None, int, str | None]
+    task: tuple[str, str | None, int, str | None, SamplingConfig | None]
 ) -> tuple[ExperimentResult, float]:
     """Run one experiment, returning (result, wall seconds).
 
@@ -104,15 +105,19 @@ def _run_timed(
     With a ``trace_shard`` path the experiment runs under its own
     :class:`PipelineTracer` and writes the recorded runs there — the
     parent merges every worker's shard onto one timeline afterwards.
+    ``sampling`` rides in the task (not ambient state) because
+    :func:`~repro.sim.sample.sampling_scope` context does not cross the
+    process boundary; the worker re-enters the scope itself.
     """
-    name, scale, jobs, trace_shard = task
+    name, scale, jobs, trace_shard, sampling = task
     started = perf_counter()
     tracer = PipelineTracer() if trace_shard is not None else None
     # nullcontext (not tracing(None)) when untraced: the serial path runs
     # inside the parent's ambient tracer, which must stay in effect.
     with tracing(tracer) if tracer is not None else nullcontext():
-        with get_registry().timer(f"experiment.{name}").time():
-            result = run_experiment(name, scale, jobs=jobs)
+        with sampling_scope(sampling) if sampling is not None else nullcontext():
+            with get_registry().timer(f"experiment.{name}").time():
+                result = run_experiment(name, scale, jobs=jobs)
     if tracer is not None:
         tracer.write_chrome_trace(trace_shard)
     return result, perf_counter() - started
@@ -140,6 +145,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write JSON records (with provenance manifests) under results/",
     )
+    parser.add_argument(
+        "--sample-sim",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "run every cycle-level simulation under interval sampling: "
+            "'sampled', 'exact', or 'interval=1000,period=10,...' (see "
+            "repro.sim.sample.parse_sampling_spec); traces below the "
+            "sampling thresholds still run exact"
+        ),
+    )
     add_common_arguments(parser, jobs=True, trace=True)
     args = parser.parse_args(argv)
     configure_from_args(args)
@@ -148,6 +164,12 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}")
+    sampling = None
+    if args.sample_sim is not None:
+        try:
+            sampling = parse_sampling_spec(args.sample_sim)
+        except ValueError as exc:
+            parser.error(f"--sample-sim: {exc}")
     if args.trace:
         # Fail fast on an unwritable trace path rather than after the
         # experiments have burned their wall time.
@@ -184,7 +206,7 @@ def main(argv: list[str] | None = None) -> int:
                     parallel_map(
                         _run_timed,
                         [
-                            (name, args.scale, 1, shard)
+                            (name, args.scale, 1, shard, sampling)
                             for name, shard in zip(names, shards)
                         ],
                         jobs=jobs,
@@ -192,7 +214,7 @@ def main(argv: list[str] | None = None) -> int:
                 )
             else:  # lazily, so each experiment prints as it finishes
                 outcomes = (
-                    (name, _run_timed((name, args.scale, jobs, None)))
+                    (name, _run_timed((name, args.scale, jobs, None, sampling)))
                     for name in names
                 )
             for name, (result, duration) in outcomes:

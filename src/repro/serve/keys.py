@@ -184,13 +184,22 @@ def simulation_key(
     config: SimConfig,
     trace: Trace,
     warm_ranges: Iterable[tuple[int, int]] | None = None,
+    sampling: "Any | None" = None,
 ) -> str:
     """Content-addressed key of one cycle-level simulation.
 
     Covers the full core configuration (including its TCA mode), the
     trace's content fingerprint (:meth:`repro.isa.trace.Trace.fingerprint`),
-    the cache warm-up ranges, and the schema tag.
+    the cache warm-up ranges, the sampling configuration, and the schema
+    tag.  ``sampling`` accepts a
+    :class:`~repro.sim.sample.SamplingConfig` or ``None``; exact mode —
+    requested explicitly or by passing no sampling — normalizes to
+    ``None`` (see :func:`repro.sim.sample.canonical_sampling`), because
+    the exact engine produces byte-identical stats either way and should
+    share one cache entry.
     """
+    from repro.sim.sample import canonical_sampling
+
     return sha256_key(
         {
             "kind": "simulate",
@@ -202,5 +211,6 @@ def simulation_key(
                 if warm_ranges is None
                 else [[int(lo), int(hi)] for lo, hi in warm_ranges]
             ),
+            "sampling": canonical_sampling(sampling),
         }
     )

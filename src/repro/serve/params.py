@@ -36,6 +36,7 @@ from repro.core.parameters import (
 from repro.isa.trace import Trace
 from repro.isa.trace_io import load_trace_stream
 from repro.sim.config import ARM_A72_SIM, HIGH_PERF_SIM, LOW_PERF_SIM, SimConfig
+from repro.sim.sample import SamplingConfig, coerce_sampling
 
 #: Core presets accepted wherever a ``core`` spec may be a string.
 CORE_PRESETS: dict[str, CoreParameters] = {
@@ -341,6 +342,32 @@ def parse_warm_ranges(
             )
         ranges.append((pair[0], pair[1]))
     return ranges
+
+
+def parse_sampling(
+    spec: Any, field: str = "sampling"
+) -> SamplingConfig | None:
+    """A :class:`~repro.sim.sample.SamplingConfig` from a request field.
+
+    Accepts ``None`` (exact simulation, no sampling requested), the
+    strings ``"exact"``/``"sampled"`` or a ``key=value`` spec string
+    (see :func:`repro.sim.sample.parse_sampling_spec`), or an object of
+    :class:`SamplingConfig` fields; unknown keys and invalid values are
+    rejected with the offending field path.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, (str, Mapping)):
+        raise RequestError(
+            "sampling must be a string mode/spec or an object of "
+            "sampling fields (mode/interval/period/warmup/head/"
+            "min_instructions/min_windows)",
+            field=field,
+        )
+    try:
+        return coerce_sampling(spec)
+    except (ValueError, TypeError) as exc:
+        raise RequestError(f"bad sampling config: {exc}", field=field) from exc
 
 
 def iter_queries(payload: Any) -> Iterable[tuple[int | None, Mapping[str, Any]]]:

@@ -75,6 +75,7 @@ from repro.serve.params import (
     parse_core,
     parse_drain,
     parse_modes,
+    parse_sampling,
     parse_sim_config,
     parse_trace,
     parse_warm_ranges,
@@ -117,15 +118,48 @@ def _field(base: str, index: int | None, leaf: str) -> str:
     return leaf if index is None else f"{base}[{index}].{leaf}"
 
 
-def _simulate_run(item: tuple[Any, Any, Any]) -> dict[str, Any]:
+def _json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with RFC 8259 sentinels.
+
+    ``json.dumps`` defaults to ``allow_nan=True``, which emits the bare
+    tokens ``NaN``/``Infinity``/``-Infinity`` — Python-specific
+    extensions that strict parsers (browsers, jq, Go, Rust, ...)
+    reject, so a single infeasible sweep cell used to make the whole
+    response unparseable.  At the response boundary NaN (the model's
+    infeasibility marker) becomes ``null`` and infinities (e.g. a
+    speedup over a zero-cycle baseline) become the strings
+    ``"Infinity"``/``"-Infinity"``, preserving the distinction for
+    clients that care.
+    """
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return None
+        if value == float("inf"):
+            return "Infinity"
+        if value == float("-inf"):
+            return "-Infinity"
+        return value
+    if isinstance(value, Mapping):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def _simulate_run(item: tuple[Any, Any, Any, Any]) -> dict[str, Any]:
     """One simulator run for :func:`parallel_map` workers.
 
     Module-level so pool processes can pickle it; returns the stats dict
-    (the picklable, cacheable part of the result).
+    plus the sampling report (the picklable, cacheable parts of the
+    result).  ``sampling`` rides in the work item — ambient
+    :func:`~repro.sim.sample.sampling_scope` state does not cross the
+    process boundary.
     """
-    trace, config, warm_ranges = item
-    result = api.simulate(trace, config, warm_ranges=warm_ranges)
-    return result.stats.to_dict()
+    trace, config, warm_ranges, sampling = item
+    result = api.simulate(
+        trace, config, warm_ranges=warm_ranges, sampling=sampling
+    )
+    return {"stats": result.stats.to_dict(), "sampling": result.sampling}
 
 
 class ServeApp:
@@ -313,10 +347,15 @@ class ServeApp:
     def handle_simulate(self, payload: Any) -> dict[str, Any]:
         """``POST /simulate``: cycle-level simulation of posted traces.
 
-        Accepts one run object (``trace``/``config``/``warm_ranges``) or
+        Accepts one run object
+        (``trace``/``config``/``warm_ranges``/``sampling``) or
         ``{"runs": [...]}``.  Cached runs are answered immediately; the
         remainder fan out over the configured worker processes, each
         shipping the precompiled trace from the fingerprint-keyed LRU.
+        ``sampling`` opts a run into interval-sampled estimation (see
+        :mod:`repro.sim.sample`); each result reports ``sim_mode``
+        (``"exact"`` or ``"sampled"``) and, when sampled, the sampling
+        report with per-stat confidence intervals.
         """
         if not isinstance(payload, Mapping):
             raise RequestError("expected a simulate object", field="request")
@@ -346,17 +385,23 @@ class ServeApp:
                 warm = parse_warm_ranges(
                     spec.get("warm_ranges"), _field("runs", index, "warm_ranges")
                 )
+                sampling = parse_sampling(
+                    spec.get("sampling"), _field("runs", index, "sampling")
+                )
                 # Compiled form for every run — result-cache hits still
                 # count an LRU hit, and uncached runs ship the precompiled
                 # trace to the worker pool instead of recompiling per
                 # process.
-                parsed.append((self._compiled_for(trace), config, warm))
+                parsed.append(
+                    (self._compiled_for(trace), config, warm, sampling)
+                )
 
+        registry = get_registry()
         results: list[dict[str, Any] | None] = [None] * len(parsed)
-        fresh: list[tuple[int, tuple[Any, Any, Any], str]] = []
+        fresh: list[tuple[int, tuple[Any, Any, Any, Any], str]] = []
         with span("serve.simulate.cache_probe"):
-            for i, (trace, config, warm) in enumerate(parsed):
-                key = simulation_key(config, trace, warm)
+            for i, (trace, config, warm, sampling) in enumerate(parsed):
+                key = simulation_key(config, trace, warm, sampling=sampling)
                 value = self.cache.get(key)
                 if value is not MISS:
                     results[i] = api.SimulationResult(
@@ -365,27 +410,34 @@ class ServeApp:
                         mode=config.tca_mode,
                         stats=SimStats.from_dict(value["stats"]),
                         cached=True,
+                        sampling=value.get("sampling"),
                     ).to_dict()
                 else:
-                    fresh.append((i, (trace, config, warm), key))
+                    fresh.append((i, (trace, config, warm, sampling), key))
         if fresh:
             with span("serve.simulate.run"):
-                stats_dicts = parallel_map(
+                run_dicts = parallel_map(
                     _simulate_run,
                     [item for _, item, _ in fresh],
                     jobs=self.jobs,
                 )
-            for (i, (trace, config, warm), key), stats in zip(
-                fresh, stats_dicts
+            for (i, (trace, config, warm, sampling), key), run in zip(
+                fresh, run_dicts
             ):
-                self.cache.put(key, {"stats": stats})
+                self.cache.put(
+                    key, {"stats": run["stats"], "sampling": run["sampling"]}
+                )
                 results[i] = api.SimulationResult(
                     trace_name=trace.name,
                     config_name=config.name,
                     mode=config.tca_mode,
-                    stats=SimStats.from_dict(stats),
+                    stats=SimStats.from_dict(run["stats"]),
                     cached=False,
+                    sampling=run["sampling"],
                 ).to_dict()
+        for result in results:
+            mode = result.get("sim_mode", "exact") if result else "exact"
+            registry.counter(f"serve.simulate.{mode}_runs").inc()
         body = {
             "results": results,
             "cache": self.cache.stats(),
@@ -448,7 +500,16 @@ class _Handler(BaseHTTPRequestHandler):
         payload: dict[str, Any],
         request_id: str | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # Fast path first: allow_nan=False raises on any non-finite
+        # float, so the (overwhelmingly common) all-finite response pays
+        # nothing; only a payload that actually carries NaN/inf takes
+        # the _json_safe rebuild.
+        try:
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        except ValueError:
+            body = json.dumps(
+                _json_safe(payload), allow_nan=False
+            ).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         if request_id is not None:

@@ -31,6 +31,16 @@ from repro.sim.config import (
     FunctionalUnitConfig,
     SimConfig,
 )
+from repro.sim.sample import (
+    SamplingConfig,
+    SimCheckpoint,
+    advance_checkpoint,
+    begin_checkpoint,
+    merge_stats,
+    sampling_scope,
+    simulate_sampled,
+    simulate_sharded,
+)
 from repro.sim.simulator import SimulationResult, simulate, simulate_modes
 from repro.sim.stats import SimStats, StallReason
 
@@ -43,11 +53,19 @@ __all__ = [
     "CacheLevelStats",
     "CompiledTrace",
     "FunctionalUnitConfig",
+    "SamplingConfig",
+    "SimCheckpoint",
     "SimConfig",
     "SimStats",
     "SimulationResult",
     "StallReason",
+    "advance_checkpoint",
+    "begin_checkpoint",
     "compile_trace",
+    "merge_stats",
+    "sampling_scope",
     "simulate",
     "simulate_modes",
+    "simulate_sampled",
+    "simulate_sharded",
 ]

@@ -124,6 +124,22 @@ class _CacheLevel:
         """Invalidate all lines (stats preserved)."""
         self._sets.clear()
 
+    def export_state(self) -> dict[int, list[int]]:
+        """Resident line tags per set, MRU-first (JSON/pickle-safe copy)."""
+        return {idx: list(tags) for idx, tags in self._sets.items() if tags}
+
+    def load_state(self, state: "dict[int | str, list[int]]") -> None:
+        """Replace residency with an :meth:`export_state` snapshot.
+
+        Set indices arriving as strings (a snapshot round-tripped through
+        JSON) are accepted; stats counters are untouched.
+        """
+        self._sets = {
+            int(idx): [int(tag) for tag in tags]
+            for idx, tags in state.items()
+            if tags
+        }
+
 
 class CacheHierarchy:
     """L1-D + L2 + DRAM with additive miss latency.
@@ -168,6 +184,8 @@ class CacheHierarchy:
         """
         worst = 0
         missed = False
+        if size <= 0:  # an empty range touches no lines (any alignment)
+            return worst, missed
         line = self._line
         first = addr - (addr % line)
         last = addr + size - 1
@@ -221,6 +239,8 @@ class CacheHierarchy:
         Stores drain from the store buffer at commit; the core does not wait
         for them, so the hierarchy only updates residency/LRU state.
         """
+        if size <= 0:
+            return
         line = self._line
         first = addr - (addr % line)
         last = addr + size - 1
@@ -245,6 +265,8 @@ class CacheHierarchy:
 
     def warm(self, addr: int, size: int) -> None:
         """Pre-load a byte range into both levels without counting stats."""
+        if size <= 0:
+            return
         saved_l1 = (self.l1.stats.accesses, self.l1.stats.misses)
         saved_l2 = (self.l2.stats.accesses, self.l2.stats.misses)
         line = self._line
@@ -261,3 +283,18 @@ class CacheHierarchy:
         """Invalidate both levels."""
         self.l1.flush()
         self.l2.flush()
+
+    def export_state(self) -> dict[str, dict[int, list[int]]]:
+        """Snapshot of both levels' residency (the checkpoint payload).
+
+        The snapshot is a plain nested dict of ints — picklable for
+        ``parallel_map`` shards and JSON-safe (via string set indices)
+        for serialized :class:`~repro.sim.sample.SimCheckpoint` forms.
+        Hit/miss counters are not part of the snapshot.
+        """
+        return {"l1": self.l1.export_state(), "l2": self.l2.export_state()}
+
+    def load_state(self, state: "dict[str, Any]") -> None:
+        """Adopt an :meth:`export_state` snapshot (replaces residency)."""
+        self.l1.load_state(state.get("l1", {}))
+        self.l2.load_state(state.get("l2", {}))

@@ -63,7 +63,14 @@ _WARM_MEMO_MAX = 256
 
 
 def lines_for_range(addr: int, size: int) -> tuple[int, ...]:
-    """Cache-line addresses touched by ``[addr, addr + size)``, in probe order."""
+    """Cache-line addresses touched by ``[addr, addr + size)``, in probe order.
+
+    A zero-size (empty) range touches no lines regardless of alignment;
+    instructions reject non-positive access sizes, so this case only
+    arises from user-supplied warm ranges.
+    """
+    if size <= 0:
+        return ()
     first = addr - (addr % CACHE_LINE_BYTES)
     return tuple(range(first, addr + size, CACHE_LINE_BYTES))
 
@@ -84,8 +91,13 @@ def warm_lines(warm_ranges) -> tuple[int, ...]:
     for addr, size in key:
         out.extend(lines_for_range(addr, size))
     result = tuple(out)
-    if len(_WARM_LINE_MEMO) < _WARM_MEMO_MAX:
-        _WARM_LINE_MEMO[key] = result
+    # FIFO eviction: a long-lived serving process that has seen many
+    # distinct range lists keeps admitting new ones instead of degrading
+    # to uncached expansion forever (dicts preserve insertion order, so
+    # the first key out of the iterator is the oldest).
+    while len(_WARM_LINE_MEMO) >= _WARM_MEMO_MAX:
+        del _WARM_LINE_MEMO[next(iter(_WARM_LINE_MEMO))]
+    _WARM_LINE_MEMO[key] = result
     return result
 
 

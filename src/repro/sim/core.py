@@ -132,6 +132,24 @@ class CoreSim:
             :func:`repro.obs.tracer.tracing` (``None`` = tracing off).
             Disabled tracers are normalised to ``None`` so the hot loop
             pays exactly one attribute check per event site.
+        start: first trace index to execute (segment runs; see below).
+        stop: one past the last trace index to execute (default: the
+            trace end).
+        cache_state: a :meth:`CacheHierarchy.export_state` snapshot
+            loaded into the hierarchy before the run (applied after
+            ``warm_ranges``), letting a segment resume with the cache
+            residency a preceding segment left behind.
+
+    **Segment runs** (``start``/``stop``/``cache_state``) execute the
+    half-open index window ``[start, stop)`` of the compiled trace: the
+    pipeline starts empty at ``start`` (instructions before it are
+    treated as architecturally complete — register producers below
+    ``start`` carry no dependence, earlier stores are assumed drained)
+    and runs until every instruction below ``stop`` has committed.  A
+    full run (``start=0``, ``stop=None``) takes exactly the historical
+    code path and stays byte-identical to the reference engine; segment
+    runs are the substrate of :mod:`repro.sim.sample`'s interval
+    sampling and resumable checkpoints.
 
     ``run()`` executes once; construct a fresh ``CoreSim`` per run (the
     compiled trace is shared, so repeat construction is cheap).
@@ -143,11 +161,23 @@ class CoreSim:
         trace: Trace | CompiledTrace,
         warm_ranges: list[tuple[int, int]] | None = None,
         tracer: PipelineTracer | None = None,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+        cache_state: dict | None = None,
     ) -> None:
         compiled = compile_trace(trace)
         self.config = config
         self.compiled = compiled
         self.trace = compiled.source
+        resolved_stop = compiled.length if stop is None else stop
+        if not 0 <= start <= resolved_stop <= compiled.length:
+            raise ValueError(
+                f"invalid segment [{start}, {resolved_stop}) for a "
+                f"{compiled.length}-instruction trace"
+            )
+        self._start = start
+        self._stop = resolved_stop
         if tracer is None:
             tracer = get_active_tracer()
         if tracer is not None and not tracer.enabled:
@@ -164,26 +194,36 @@ class CoreSim:
         )
         if warm_ranges:
             self.cache.warm_lines(warm_lines(warm_ranges))
+        if cache_state is not None:
+            self.cache.load_state(cache_state)
 
     # ------------------------------------------------------------------ run
 
     def run(self) -> SimStats:
-        """Execute the trace to completion and return statistics."""
+        """Execute the (segment of the) trace and return statistics."""
         compiled = self.compiled
+        start = self._start
         state = compiled.acquire_state()
-        stats = self._run(compiled, state)
+        if start:
+            # Producers below the segment are architecturally complete.
+            # The pool may hand back a block whose completed[] prefix was
+            # lazily dirtied by a differently-bounded earlier run, so the
+            # prefix is stamped explicitly (a bytearray slice assign — a
+            # C-level fill, cheap even for million-instruction traces).
+            state.completed[:start] = b"\x01" * start
+        stats = self._run(compiled, state, start, self._stop)
         # A run that raised leaves the state block dirty; only clean
         # completions recycle it (RunState reuse relies on the run's
         # self-cleaning invariants).
         compiled.release_state(state)
         return stats
 
-    def _run(self, ct: CompiledTrace, st) -> SimStats:
+    def _run(self, ct: CompiledTrace, st, start: int = 0, stop: int | None = None) -> SimStats:
         config = self.config
         stats = self.stats
         tracer = self._tracer
         cache = self.cache
-        trace_len = ct.length
+        trace_len = ct.length if stop is None else stop
 
         # Compiled (trace-static) tables.
         kind = ct.kind
@@ -281,8 +321,8 @@ class CoreSim:
         tca_active: list[int] = []
         tca_pending = 0  # started TCAs with reads still to issue
 
-        pc = 0
-        committed = 0
+        pc = start
+        committed = start
         barrier = -1
         redirect_seq = -1
         mshr_out = 0

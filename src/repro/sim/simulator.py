@@ -21,6 +21,12 @@ from repro.obs.tracer import PipelineTracer, get_active_tracer
 from repro.sim.compile import CompiledTrace, compile_trace
 from repro.sim.config import SimConfig
 from repro.sim.core import CoreSim
+from repro.sim.sample import (
+    SamplingConfig,
+    ambient_sampling,
+    coerce_sampling,
+    simulate_sampled,
+)
 from repro.sim.stats import SimStats
 
 _log = get_logger(__name__)
@@ -35,12 +41,16 @@ class SimulationResult:
         config_name: name of the core configuration.
         mode: TCA integration mode in effect.
         stats: full simulation statistics.
+        sampling: sampling report when interval sampling ran (see
+            :func:`repro.sim.sample.simulate_sampled`); ``None`` for an
+            exact run with no sampling requested.
     """
 
     trace_name: str
     config_name: str
     mode: TCAMode
     stats: SimStats
+    sampling: dict | None = None
 
     @property
     def cycles(self) -> int:
@@ -52,12 +62,20 @@ class SimulationResult:
         """Committed instructions per cycle."""
         return self.stats.ipc
 
+    @property
+    def sim_mode(self) -> str:
+        """``"sampled"`` when stats were extrapolated, else ``"exact"``."""
+        if self.sampling is not None and self.sampling.get("mode") == "sampled":
+            return "sampled"
+        return "exact"
+
 
 def simulate(
     trace: Trace | CompiledTrace,
     config: SimConfig,
     warm_ranges: list[tuple[int, int]] | None = None,
     tracer: PipelineTracer | None = None,
+    sampling: "SamplingConfig | dict | str | None" = None,
 ) -> SimulationResult:
     """Execute ``trace`` on ``config`` and return the result.
 
@@ -76,9 +94,31 @@ def simulate(
         config: core configuration (its ``tca_mode`` governs TCA semantics).
         warm_ranges: byte ranges pre-loaded into the caches.
         tracer: optional pipeline event tracer; defaults to the ambient
-            tracer (see :func:`repro.obs.tracer.tracing`).
+            tracer (see :func:`repro.obs.tracer.tracing`).  Ignored when
+            sampling runs — extrapolated windows have no meaningful
+            per-instruction event stream.
+        sampling: opt-in interval sampling — a
+            :class:`~repro.sim.sample.SamplingConfig`, a mapping/spec
+            string for one, or ``None``.  ``None`` falls back to the
+            ambient config installed by
+            :func:`~repro.sim.sample.sampling_scope` (and runs exact if
+            there is none); the result's ``sampling`` report says what
+            actually happened.
     """
     compiled = compile_trace(trace)
+    effective = coerce_sampling(sampling)
+    if effective is None:
+        effective = ambient_sampling()
+
+    if effective is not None:
+        started = perf_counter()
+        with span("sim.run"):
+            stats, report = simulate_sampled(
+                compiled, config, effective, warm_ranges=warm_ranges
+            )
+        elapsed = perf_counter() - started
+        return _record_run(compiled, config, stats, elapsed, report)
+
     active = tracer if tracer is not None else get_active_tracer()
     if active is not None and active.enabled:
         active.begin_run(compiled.name, config.name, config.tca_mode.value)
@@ -91,9 +131,25 @@ def simulate(
     elapsed = perf_counter() - started
     if active is not None:
         active.end_run(stats.to_dict())
+    return _record_run(compiled, config, stats, elapsed, None)
 
+
+def _record_run(
+    compiled: CompiledTrace,
+    config: SimConfig,
+    stats: SimStats,
+    elapsed: float,
+    sampling: dict | None,
+) -> SimulationResult:
+
+    sim_mode = (
+        "sampled"
+        if sampling is not None and sampling.get("mode") == "sampled"
+        else "exact"
+    )
     registry = get_registry()
     registry.counter("sim.runs").inc()
+    registry.counter(f"sim.{sim_mode}_mode_runs").inc()
     registry.counter("sim.cycles").inc(stats.cycles)
     registry.counter("sim.instructions").inc(stats.instructions)
     registry.timer("sim.run").record(elapsed)
@@ -111,16 +167,18 @@ def simulate(
             "trace": compiled.name,
             "config": config.name,
             "mode": config.tca_mode.value,
+            "sim_mode": sim_mode,
             "wall_time_s": elapsed,
             "stats": stats.to_dict(),
         },
     )
     _log.debug(
-        "simulated %s on %s [%s]: %d cycles, %d instructions, %.3fs "
+        "simulated %s on %s [%s, %s]: %d cycles, %d instructions, %.3fs "
         "(%.0f cycles/s)",
         compiled.name,
         config.name,
         config.tca_mode.value,
+        sim_mode,
         stats.cycles,
         stats.instructions,
         elapsed,
@@ -131,6 +189,7 @@ def simulate(
         config_name=config.name,
         mode=config.tca_mode,
         stats=stats,
+        sampling=sampling,
     )
 
 

@@ -108,6 +108,26 @@ class TestPercentiles:
         with pytest.raises(ValueError):
             h.percentile(1.5)
 
+    def test_extreme_quantiles_hit_observed_extremes(self):
+        h = Histogram("t")
+        for value in (0.002, 0.013, 0.170):
+            h.observe(value)
+        # q=0.0 clamps to the observed min; q=1.0 to the observed max —
+        # interpolation must never extrapolate past either edge.
+        assert h.percentile(0.0) == h.min == 0.002
+        assert h.percentile(1.0) == h.max == 0.170
+
+    def test_all_mass_in_overflow_bucket(self):
+        h = Histogram("t", bounds=(1.0, 2.0))
+        for value in (50.0, 80.0, 120.0):
+            h.observe(value)
+        assert h.counts[-1] == 3  # everything past the last bound
+        # The overflow bucket's open upper edge is the observed max, so
+        # estimates stay inside [lower bound, max] instead of diverging.
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert 2.0 <= h.percentile(q) <= 120.0
+        assert h.percentile(1.0) == 120.0
+
 
 class TestMerge:
     def test_merge_objects_is_exact(self):

@@ -238,6 +238,35 @@ class TestLRUCache:
         assert cache.get_many(["a", "b"]) == [MISS, MISS]
         assert cache.stats()["expirations"] == 2
 
+    def test_get_many_ttl_counters_match_individual_gets(self):
+        """Bulk and scalar probes must account identically.
+
+        One batch mixing hits, plain misses, and TTL expirations vs the
+        same probes as individual ``get`` calls on an identically aged
+        twin cache: every counter (hits, misses, expirations) and the
+        surviving entry set must come out the same.
+        """
+        def build():
+            now = [0.0]
+            cache = LRUCache(max_entries=8, ttl_s=10.0, clock=lambda: now[0])
+            cache.put("old", 1)      # will expire
+            now[0] = 5.0
+            cache.put("fresh", 2)    # still live at probe time
+            now[0] = 10.5            # "old" is 10.5s old, "fresh" 5.5s
+            return cache
+
+        keys = ["old", "fresh", "absent", "fresh"]
+        bulk = build()
+        bulk_out = bulk.get_many(keys)
+        scalar = build()
+        scalar_out = [scalar.get(key) for key in keys]
+        assert bulk_out == scalar_out == [MISS, 2, MISS, 2]
+        for counter in ("hits", "misses", "expirations", "entries"):
+            assert bulk.stats()[counter] == scalar.stats()[counter], counter
+        assert bulk.stats()["hits"] == 2
+        assert bulk.stats()["misses"] == 2
+        assert bulk.stats()["expirations"] == 1
+
     def test_bulk_ops_thread_safety_under_hammering(self):
         """get_many/put_many from 8+ threads: bounds hold, counters add up."""
         cache = LRUCache(max_entries=64)

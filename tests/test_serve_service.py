@@ -264,3 +264,149 @@ class TestLimitsAndRouting:
         before = registry.counter("serve.requests.evaluate").value
         _request(server_port, "/evaluate", EVALUATE_QUERY)
         assert registry.counter("serve.requests.evaluate").value == before + 1
+
+
+def _strict_loads(raw: bytes):
+    """Parse as an RFC 8259-strict client would: bare NaN/Infinity fail."""
+
+    def _reject(token):
+        raise ValueError(f"non-standard JSON constant {token!r}")
+
+    return json.loads(raw, parse_constant=_reject)
+
+
+def _heap_trace_text():
+    from repro.workloads import HeapWorkloadSpec, generate_heap_program
+
+    program = generate_heap_program(HeapWorkloadSpec(slots=100, seed=7))
+    buffer = io.StringIO()
+    dump_trace(program.baseline, buffer)
+    return buffer.getvalue()
+
+
+class TestStrictJson:
+    """Every response must parse under a strict (non-Python) JSON reader.
+
+    ``json.dumps`` defaults to emitting bare ``NaN``/``Infinity`` tokens
+    for non-finite floats — the model emits ``inf`` speedups for
+    degenerate cells (zero-latency accelerator at full coverage), which
+    used to make the whole ``/sweep`` response unparseable outside
+    Python.
+    """
+
+    def test_sweep_with_infinite_cells_is_strict_json(self, server_port):
+        payload = {
+            "kind": "fraction",
+            "x": [0.5, 1.0],
+            "granularity": 1,
+            "core": "a72",
+            "accelerator": {"latency": 0.0},
+        }
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{server_port}/sweep",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            raw = resp.read()
+            assert resp.status == 200
+        body = _strict_loads(raw)  # must not hit a bare Infinity token
+        speedups = body["result"]["speedups"]
+        flat = [value for series in speedups.values() for value in series]
+        assert "Infinity" in flat  # the sentinel string survives
+        assert all(
+            isinstance(value, (int, float)) or value == "Infinity"
+            for value in flat
+        )
+
+    def test_json_safe_sanitizes_every_nonfinite_shape(self):
+        from repro.serve.service import _json_safe
+
+        payload = {
+            "nan": float("nan"),
+            "nested": [{"inf": float("inf")}, (float("-inf"), 1.5)],
+        }
+        safe = _json_safe(payload)
+        assert safe["nan"] is None
+        assert safe["nested"][0]["inf"] == "Infinity"
+        assert safe["nested"][1] == ["-Infinity", 1.5]
+        # allow_nan=False round-trips cleanly once sanitized
+        _strict_loads(json.dumps(safe, allow_nan=False).encode("utf-8"))
+
+
+class TestSimulateSampling:
+    SAMPLING = {
+        "interval": 200,
+        "period": 4,
+        "warmup": 100,
+        "head": 400,
+        "min_instructions": 1000,
+    }
+
+    def test_sampled_run_reports_mode_and_confidence(self, server_port):
+        text = _heap_trace_text()
+        payload = {
+            "runs": [
+                {"trace": text, "config": "a72"},
+                {"trace": text, "config": "a72", "sampling": self.SAMPLING},
+                {"trace": text, "config": "a72", "sampling": "exact"},
+            ]
+        }
+        status, body = _request(server_port, "/simulate", payload)
+        assert status == 200
+        exact, sampled, forced = body["results"]
+        assert exact["sim_mode"] == forced["sim_mode"] == "exact"
+        assert sampled["sim_mode"] == "sampled"
+        assert sampled["sampling"]["windows"] >= 2
+        assert sampled["sampling"]["confidence"]["cycles"]["ci95"] >= 0
+        # explicit exact-mode sampling is byte-identical to the default
+        assert forced["stats"] == exact["stats"]
+        # the sampled estimate lands near the oracle even on this short
+        # trace (the tight acceptance bound lives in test_sim_sample)
+        truth = exact["stats"]["cycles"]
+        assert abs(sampled["stats"]["cycles"] - truth) / truth < 0.10
+
+    def test_sampled_results_cache_with_their_mode(self, server_port):
+        text = _heap_trace_text()
+        run = {"trace": text, "config": "a72", "sampling": self.SAMPLING}
+        status1, body1 = _request(server_port, "/simulate", run)
+        status2, body2 = _request(server_port, "/simulate", run)
+        assert status1 == status2 == 200
+        assert body2["result"]["cached"]
+        assert body2["result"]["sim_mode"] == "sampled"
+        assert body2["result"]["sampling"] == body1["result"]["sampling"]
+
+    def test_exact_sampling_shares_cache_with_default(self, server_port):
+        text = _trace_text("share-check")
+        _request(server_port, "/simulate", {"trace": text, "config": "a72"})
+        status, body = _request(
+            server_port,
+            "/simulate",
+            {"trace": text, "config": "a72", "sampling": "exact"},
+        )
+        assert status == 200
+        assert body["result"]["cached"]  # exact mode keys like no sampling
+
+    def test_bad_sampling_spec_is_structured_400(self, server_port):
+        status, body = _request(
+            server_port,
+            "/simulate",
+            {
+                "trace": _trace_text(),
+                "config": "a72",
+                "sampling": {"interval": 0},
+            },
+        )
+        assert status == 400
+        assert body["field"] == "sampling"
+
+    def test_mode_counters_reach_metrics(self, server_port):
+        text = _trace_text("metrics-mode")
+        _request(server_port, "/simulate", {"trace": text, "config": "a72"})
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{server_port}/metrics", method="GET"
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            page = resp.read().decode("utf-8")
+        assert "serve_simulate_exact_runs" in page

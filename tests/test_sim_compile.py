@@ -121,3 +121,49 @@ class TestWarmLines:
     def test_memoized(self):
         ranges = ((0, 256),)
         assert warm_lines(ranges) is warm_lines(ranges)
+
+
+class TestLinesForRange:
+    def test_zero_size_touches_no_lines(self):
+        from repro.sim.compile import lines_for_range
+
+        # A zero-length range touches nothing — regardless of whether
+        # the address is line-aligned (the aligned case used to return
+        # the containing line).
+        assert lines_for_range(0, 0) == ()
+        assert lines_for_range(64, 0) == ()
+        assert lines_for_range(65, 0) == ()
+        assert lines_for_range(64, -1) == ()
+
+    def test_single_byte_touches_its_line(self):
+        from repro.sim.compile import lines_for_range
+
+        assert lines_for_range(0, 1) == (0,)
+        assert lines_for_range(127, 1) == (64,)
+
+    def test_zero_size_warm_range_is_a_no_op(self):
+        assert warm_lines([(4096, 0)]) == ()
+        assert warm_lines([(0, 64), (4096, 0)]) == (0,)
+
+
+class TestWarmMemoEviction:
+    def test_memo_keeps_admitting_past_the_bound(self):
+        from repro.sim import compile as compile_mod
+
+        original = dict(compile_mod._WARM_LINE_MEMO)
+        compile_mod._WARM_LINE_MEMO.clear()
+        try:
+            bound = compile_mod._WARM_MEMO_MAX
+            for i in range(bound + 10):
+                warm_lines([(i * 64, 1)])
+            # FIFO eviction: the bound holds, the newest entries are
+            # still memoized (the memo used to stop admitting entirely
+            # once full, losing memoization for every new range list).
+            assert len(compile_mod._WARM_LINE_MEMO) <= bound
+            newest = ((bound + 9) * 64, 1)
+            assert (newest,) in compile_mod._WARM_LINE_MEMO
+            oldest = (0, 1)
+            assert (oldest,) not in compile_mod._WARM_LINE_MEMO
+        finally:
+            compile_mod._WARM_LINE_MEMO.clear()
+            compile_mod._WARM_LINE_MEMO.update(original)
