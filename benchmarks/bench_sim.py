@@ -11,7 +11,16 @@ throughputs to ``BENCH_sim.json``:
   the first-ever simulation of a trace;
 - **precompiled** — ``CoreSim.run`` against a reused
   :class:`~repro.sim.compile.CompiledTrace` (mode comparisons, sweeps,
-  and the serving LRU all hit this path).
+  and the serving LRU all hit this path);
+- **native** — the same reused compiled trace driven through the
+  selected :mod:`repro.sim.backend` kernel (numba or C), i.e. what
+  ``CoreSim.run`` actually does by default on hosts with a native
+  backend available.  The section records which backend ran; it is
+  omitted when only the pure-Python engine is available.
+
+The seed/cold/precompiled sections are pinned to the pure-Python hot
+loop (``use_backend("python")``) so their meaning is stable across
+hosts; only the ``native`` section exercises the compiled kernels.
 
 It also times the end-to-end four-mode experiment shape
 (:func:`repro.sim.simulator.simulate_modes`: baseline + four mode runs,
@@ -40,6 +49,7 @@ from time import perf_counter
 from repro.core.modes import TCAMode
 from repro.isa.trace import Trace, TraceBuilder
 from repro.obs.manifest import bench_provenance
+from repro.sim import backend as sim_backend
 from repro.sim.config import ARM_A72_SIM, HIGH_PERF_SIM
 from repro.sim.compile import compile_trace
 from repro.sim.core import CoreSim
@@ -110,16 +120,17 @@ def _bench_single(trace, config, warm) -> dict:
     seed_s, seed_stats = _best_of(
         lambda: ReferenceCoreSim(config, trace, warm_ranges=warm).run()
     )
-    cold_s, cold_stats = _best_of(
-        lambda: CoreSim(
-            config, compile_trace(_fresh(trace), cache=False), warm_ranges=warm
-        ).run()
-    )
-    compiled = compile_trace(trace, cache=False)
-    pre_s, pre_stats = _best_of(
-        lambda: CoreSim(config, compiled, warm_ranges=warm).run()
-    )
     expected = json.dumps(seed_stats.to_dict())
+    compiled = compile_trace(trace, cache=False)
+    with sim_backend.use_backend("python"):
+        cold_s, cold_stats = _best_of(
+            lambda: CoreSim(
+                config, compile_trace(_fresh(trace), cache=False), warm_ranges=warm
+            ).run()
+        )
+        pre_s, pre_stats = _best_of(
+            lambda: CoreSim(config, compiled, warm_ranges=warm).run()
+        )
     for label, stats in (("cold", cold_stats), ("precompiled", pre_stats)):
         if json.dumps(stats.to_dict()) != expected:
             raise AssertionError(f"{label}: stats diverge from the seed engine")
@@ -134,13 +145,36 @@ def _bench_single(trace, config, warm) -> dict:
             "speedup_vs_seed": seed_s / seconds if seconds > 0 else float("inf"),
         }
 
-    return {
+    row = {
         "instructions": instructions,
         "cycles": seed_stats.cycles,
         "seed": entry(seed_s),
         "cold": entry(cold_s),
         "precompiled": entry(pre_s),
     }
+
+    backend_name = sim_backend.effective_backend()
+    if backend_name != "python":
+        # Every timed native run is cross-checked in the loop, not just
+        # the last one: the speedup claim is only as good as per-run
+        # byte-identical stats.
+        def native_run():
+            stats = CoreSim(config, compiled, warm_ranges=warm).run()
+            if json.dumps(stats.to_dict()) != expected:
+                raise AssertionError(
+                    f"native ({backend_name}): stats diverge from the seed engine"
+                )
+            return stats
+
+        native_s, _ = _best_of(native_run)
+        row["native"] = dict(
+            entry(native_s),
+            backend=backend_name,
+            speedup_vs_precompiled=(
+                pre_s / native_s if native_s > 0 else float("inf")
+            ),
+        )
+    return row
 
 
 def _bench_four_mode(scale: str) -> dict:
@@ -180,10 +214,11 @@ def _bench_four_mode(scale: str) -> dict:
     compiled_accel = compile_trace(accelerated, cache=False)
 
     seed_s, seed_results = _best_of(seed_runs)
-    cold_s, cold_results = _best_of(cold_runs)
-    reused_s, reused_results = _best_of(
-        lambda: pipeline_runs(compiled_base, compiled_accel)
-    )
+    with sim_backend.use_backend("python"):
+        cold_s, cold_results = _best_of(cold_runs)
+        reused_s, reused_results = _best_of(
+            lambda: pipeline_runs(compiled_base, compiled_accel)
+        )
     expected = [json.dumps(stats.to_dict()) for stats in seed_results]
     for label, results in (("cold", cold_results), ("reused", reused_results)):
         got = [json.dumps(stats.to_dict()) for stats in results]
@@ -233,10 +268,11 @@ def _bench_sampled(scale: str) -> dict:
     )
 
     compiled = compile_trace(trace, cache=False)
-    exact_s, exact_stats = _best_of(lambda: CoreSim(config, compiled).run())
-    sampled_s, (sampled_stats, report) = _best_of(
-        lambda: simulate_sampled(compiled, config, sampling)
-    )
+    with sim_backend.use_backend("python"):
+        exact_s, exact_stats = _best_of(lambda: CoreSim(config, compiled).run())
+        sampled_s, (sampled_stats, report) = _best_of(
+            lambda: simulate_sampled(compiled, config, sampling)
+        )
     if report["mode"] != "sampled":
         raise AssertionError(f"sampling fell back to exact: {report}")
     if sampled_stats.instructions != exact_stats.instructions:
@@ -304,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         "scale": args.scale,
         "repeats": REPEATS,
         "identical_stats": True,  # _bench_* raise on any divergence
+        "native_backend": sim_backend.effective_backend(),
         "workloads": workloads,
         "four_mode": four_mode,
         "sampled": sampled,
@@ -312,15 +349,26 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
 
-    print(f"sim bench (scale={args.scale}, best of {REPEATS}):")
+    print(
+        f"sim bench (scale={args.scale}, best of {REPEATS}, "
+        f"native backend: {payload['native_backend']}):"
+    )
     for label, row in workloads.items():
         print(f"  {label} ({row['instructions']} instructions):")
-        for approach in ("seed", "cold", "precompiled"):
-            entry = row[approach]
+        for approach in ("seed", "cold", "precompiled", "native"):
+            entry = row.get(approach)
+            if entry is None:
+                continue
+            suffix = (
+                f"  [{entry['backend']}, "
+                f"{entry['speedup_vs_precompiled']:.2f}x vs precompiled]"
+                if approach == "native"
+                else ""
+            )
             print(
                 f"    {approach:<12} {entry['seconds']:>9.4f}s  "
                 f"{entry['instructions_per_sec']:>12.0f} inst/s  "
-                f"{entry['speedup_vs_seed']:>6.2f}x vs seed"
+                f"{entry['speedup_vs_seed']:>6.2f}x vs seed{suffix}"
             )
     print(
         f"  four-mode {four_mode['workload']} ({four_mode['runs']} runs, "

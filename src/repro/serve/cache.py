@@ -49,6 +49,24 @@ DEFAULT_MAX_ENTRIES = 100_000
 #: Sentinel returned by ``get`` on a miss, so ``None`` stays storable.
 MISS: Any = object()
 
+#: Default on-disk cache bound (bytes); ``$REPRO_DISK_CACHE_BYTES``
+#: overrides, ``0`` disables the bound entirely.
+DEFAULT_DISK_CACHE_BYTES = 1024 * 1024 * 1024
+
+
+def default_disk_cache_bytes() -> int | None:
+    """The disk-cache size bound: ``$REPRO_DISK_CACHE_BYTES`` or 1 GiB.
+
+    ``0`` (or any non-positive value) means unbounded — the pre-bound
+    behavior, for operators who manage the cache directory themselves.
+    """
+    raw = os.environ.get("REPRO_DISK_CACHE_BYTES", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_DISK_CACHE_BYTES
+    return value if value > 0 else None
+
 
 class LRUCache:
     """A thread-safe, size- and TTL-bounded least-recently-used map.
@@ -229,6 +247,15 @@ class DiskCache:
     errors and corrupt files degrade to misses: the cache never takes
     down the computation it fronts.
 
+    The store is **size-bounded**: once its entries exceed ``max_bytes``
+    the least-recently-used ones are deleted (recency is file mtime,
+    which :meth:`get` refreshes on every hit — safe under concurrent
+    workers because deleting a just-recreated file is merely a cache
+    miss later).  Eviction runs after a put crosses the bound and clears
+    down to 90% of it, so a steady write load amortizes the directory
+    walk; ``evictions``/``evicted_bytes`` counters surface in
+    :meth:`stats` and ``/healthz``.
+
     Args:
         root: cache root (default :func:`default_cache_dir`).
         tag: schema tag namespace (default :func:`~repro.serve.keys.schema_tag`);
@@ -236,21 +263,36 @@ class DiskCache:
             how schema bumps invalidate stale results.
         fsync: force written entries to stable storage before renaming
             (default on; tests and throwaway stores can turn it off).
+        max_bytes: total-entry-size bound; ``None`` defers to
+            :func:`default_disk_cache_bytes` (``$REPRO_DISK_CACHE_BYTES``
+            or 1 GiB), ``0`` disables the bound.
     """
+
+    #: Eviction clears down to this fraction of ``max_bytes``.
+    _LOW_WATER = 0.9
 
     def __init__(
         self,
         root: str | None = None,
         tag: str | None = None,
         fsync: bool = True,
+        max_bytes: int | None = None,
     ) -> None:
         self.tag = tag if tag is not None else schema_tag()
         self.root = os.path.join(root or default_cache_dir(), _sanitize_tag(self.tag))
         self.fsync = fsync
+        if max_bytes is None:
+            self.max_bytes: int | None = default_disk_cache_bytes()
+        else:
+            self.max_bytes = max_bytes if max_bytes > 0 else None
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.errors = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self._size_lock = threading.Lock()
+        self._total_bytes: int | None = None  # lazy; None = not yet walked
 
     def _path(self, key: Any) -> str:
         name = key_filename(key)
@@ -271,6 +313,11 @@ class DiskCache:
             self.misses += 1
             _log.warning("disk cache entry %s unreadable: %s", path, exc)
             return MISS
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)  # refresh recency for LRU eviction
+            except OSError:
+                pass
         self.hits += 1
         return value
 
@@ -300,6 +347,11 @@ class DiskCache:
                     if self.fsync:
                         handle.flush()
                         os.fsync(handle.fileno())
+                written = os.path.getsize(tmp)
+                try:
+                    replaced = os.path.getsize(path)
+                except OSError:
+                    replaced = 0
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -312,6 +364,66 @@ class DiskCache:
             _log.warning("disk cache write %s failed: %s", path, exc)
             return
         self.writes += 1
+        if self.max_bytes is not None:
+            self._account_write(written - replaced)
+
+    # -- size bounding -------------------------------------------------
+
+    def _walk_entries(self) -> list[tuple[float, int, str]]:
+        """Every entry as ``(mtime, size, path)`` (best-effort)."""
+        entries: list[tuple[float, int, str]] = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((info.st_mtime, info.st_size, path))
+        return entries
+
+    def _account_write(self, delta: int) -> None:
+        """Track the running total and evict once it crosses the bound.
+
+        The total is measured with one directory walk on the first
+        bounded write (picking up entries from previous runs) and
+        maintained incrementally after that.  Concurrent workers each
+        keep their own estimate; the walk that starts an eviction
+        refreshes it, so multi-process drift self-corrects exactly when
+        it matters.
+        """
+        assert self.max_bytes is not None
+        with self._size_lock:
+            if self._total_bytes is None:
+                self._total_bytes = sum(
+                    size for _mtime, size, _path in self._walk_entries()
+                )
+            else:
+                self._total_bytes += delta
+            if self._total_bytes <= self.max_bytes:
+                return
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        """Delete LRU entries down to the low-water mark (lock held)."""
+        assert self.max_bytes is not None
+        entries = self._walk_entries()
+        total = sum(size for _mtime, size, _path in entries)
+        target = int(self.max_bytes * self._LOW_WATER)
+        entries.sort()  # oldest mtime first = least recently used
+        for _mtime, size, path in entries:
+            if total <= target:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # another worker evicted it first
+            total -= size
+            self.evictions += 1
+            self.evicted_bytes += size
+        self._total_bytes = total
 
     def clear(self) -> int:
         """Delete this tag's entries; returns the number removed."""
@@ -324,10 +436,14 @@ class DiskCache:
                         removed += 1
                     except OSError:
                         pass
+        with self._size_lock:
+            self._total_bytes = None  # re-measure on the next bounded write
         return removed
 
     def stats(self) -> dict[str, Any]:
         """JSON-safe snapshot of location and access counters."""
+        with self._size_lock:
+            total = self._total_bytes
         return {
             "root": self.root,
             "tag": self.tag,
@@ -335,6 +451,10 @@ class DiskCache:
             "misses": self.misses,
             "writes": self.writes,
             "errors": self.errors,
+            "max_bytes": self.max_bytes,
+            "total_bytes": total,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
         }
 
 
@@ -352,6 +472,8 @@ class EvaluationCache:
     ``serve.cache.expired``   TTL expirations
     ``serve.cache.disk_hits``   answered from disk (subset of hits)
     ``serve.cache.disk_writes`` values persisted to disk
+    ``serve.cache.shared_hits``   answered from shared memory (subset)
+    ``serve.cache.shared_writes`` values published to shared memory
     ========================  ============================================
 
     plus the ``serve.cache.lookup`` latency histogram: one sample per
@@ -366,6 +488,10 @@ class EvaluationCache:
         disk: ``True`` for the default on-disk store, a
             :class:`DiskCache` instance, or ``None``/``False`` for
             memory-only.
+        shared: optional :class:`~repro.serve.shm.SharedBlobStore` —
+            the zero-copy cross-worker hot tier of a pre-forked pool.
+            Lookup order becomes memory, shared, disk; shared hits are
+            promoted into memory, disk hits into both.
     """
 
     def __init__(
@@ -373,6 +499,7 @@ class EvaluationCache:
         max_entries: int = DEFAULT_MAX_ENTRIES,
         ttl_s: float | None = None,
         disk: "DiskCache | bool | None" = None,
+        shared: Any = None,
     ) -> None:
         self.memory = LRUCache(max_entries=max_entries, ttl_s=ttl_s)
         if disk is True:
@@ -381,6 +508,7 @@ class EvaluationCache:
             self.disk = disk
         else:
             self.disk = None
+        self.shared = shared
         registry = get_registry()
         self._hits = registry.counter("serve.cache.hits")
         self._misses = registry.counter("serve.cache.misses")
@@ -388,9 +516,33 @@ class EvaluationCache:
         self._expired = registry.counter("serve.cache.expired")
         self._disk_hits = registry.counter("serve.cache.disk_hits")
         self._disk_writes = registry.counter("serve.cache.disk_writes")
+        self._shared_hits = registry.counter("serve.cache.shared_hits")
+        self._shared_writes = registry.counter("serve.cache.shared_writes")
         self._lookup = registry.histogram("serve.cache.lookup")
         self._evictions_seen = 0
         self._expired_seen = 0
+
+    def _shared_get(self, key: Any) -> Any:
+        """Probe the shared-memory tier; unreadable blobs degrade to MISS."""
+        from repro.serve import shm
+        from repro.serve.keys import key_filename
+
+        blob = self.shared.get(key_filename(key))
+        if blob is None:
+            return MISS
+        try:
+            return shm.unpickle_blob(blob)
+        except Exception as exc:  # pragma: no cover - corrupt blob
+            _log.warning("shared cache entry for %r unreadable: %s", key, exc)
+            return MISS
+
+    def _shared_put(self, key: Any, value: Any) -> None:
+        """Publish to the shared tier (rejections are silently local)."""
+        from repro.serve import shm
+        from repro.serve.keys import key_filename
+
+        if self.shared.put(key_filename(key), shm.pickle_blob(value)):
+            self._shared_writes.inc()
 
     def _sync_memory_counters(self) -> None:
         # Evictions/expirations happen inside the LRU; forward the deltas
@@ -413,11 +565,21 @@ class EvaluationCache:
             if value is not MISS:
                 self._hits.inc()
                 return value
+            if self.shared is not None:
+                value = self._shared_get(key)
+                if value is not MISS:
+                    self.memory.put(key, value)
+                    self._sync_memory_counters()
+                    self._hits.inc()
+                    self._shared_hits.inc()
+                    return value
             if self.disk is not None:
                 value = self.disk.get(key)
                 if value is not MISS:
                     self.memory.put(key, value)
                     self._sync_memory_counters()
+                    if self.shared is not None:
+                        self._shared_put(key, value)
                     self._hits.inc()
                     self._disk_hits.inc()
                     return value
@@ -427,9 +589,11 @@ class EvaluationCache:
             self._lookup.observe(perf_counter() - started)
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` in memory and (when enabled) on disk."""
+        """Store ``value`` in memory and the enabled outer tiers."""
         self.memory.put(key, value)
         self._sync_memory_counters()
+        if self.shared is not None:
+            self._shared_put(key, value)
         if self.disk is not None:
             self.disk.put(key, value)
             self._disk_writes.inc()
@@ -446,6 +610,21 @@ class EvaluationCache:
         values = self.memory.get_many(keys)
         self._sync_memory_counters()
         hits = sum(1 for value in values if value is not MISS)
+        if self.shared is not None:
+            promoted = []
+            for position, value in enumerate(values):
+                if value is not MISS:
+                    continue
+                shared_value = self._shared_get(keys[position])
+                if shared_value is MISS:
+                    continue
+                values[position] = shared_value
+                promoted.append((keys[position], shared_value))
+            if promoted:
+                self.memory.put_many(promoted)
+                self._sync_memory_counters()
+                hits += len(promoted)
+                self._shared_hits.inc(len(promoted))
         if self.disk is not None:
             promoted = []
             for position, value in enumerate(values):
@@ -459,6 +638,9 @@ class EvaluationCache:
             if promoted:
                 self.memory.put_many(promoted)
                 self._sync_memory_counters()
+                if self.shared is not None:
+                    for key, value in promoted:
+                        self._shared_put(key, value)
                 hits += len(promoted)
                 self._disk_hits.inc(len(promoted))
         misses = len(keys) - hits
@@ -470,9 +652,12 @@ class EvaluationCache:
         return values
 
     def put_many(self, items: Sequence[tuple[Any, Any]]) -> None:
-        """Bulk :meth:`put`: memory in one lock round-trip, then disk."""
+        """Bulk :meth:`put`: memory in one lock round-trip, then outward."""
         self.memory.put_many(items)
         self._sync_memory_counters()
+        if self.shared is not None:
+            for key, value in items:
+                self._shared_put(key, value)
         if self.disk is not None:
             for key, value in items:
                 self.disk.put(key, value)
@@ -492,5 +677,6 @@ class EvaluationCache:
         """
         return {
             "memory": self.memory.stats(),
+            "shared": self.shared.stats() if self.shared is not None else None,
             "disk": self.disk.stats() if self.disk is not None else None,
         }

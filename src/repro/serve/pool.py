@@ -20,11 +20,16 @@ pre-fork supervisor (nginx/gunicorn shape, stdlib only):
   (the socket is non-blocking, so a worker that loses the race simply
   returns to its poll loop).
 
-Workers share *results* through the multi-process on-disk store
-(:class:`~repro.serve.cache.DiskCache` — atomic
-write-to-temp + ``os.replace`` entries, safe for concurrent writers)
-when the service runs with ``--disk-cache``; in-memory LRUs stay
-per-process.
+Workers share their hot state through zero-copy shared-memory segments
+(:mod:`repro.serve.shm`): the supervisor creates a compiled-trace store
+and a hot result tier *before* forking, every worker (including crash
+respawns, which also fork from the supervisor) inherits the mapping,
+and the supervisor unlinks the segments after the drain — so a trace is
+compiled once per pool and a repeated query is answered from any
+worker.  With ``--disk-cache``, results additionally persist through
+the multi-process on-disk store (:class:`~repro.serve.cache.DiskCache`
+— atomic write-to-temp + ``os.replace`` entries, safe for concurrent
+writers); per-process in-memory LRUs remain the innermost tier.
 
 Cross-process observability runs over a small state directory of
 atomically-replaced JSON files: the supervisor maintains ``pool.json``
@@ -89,7 +94,7 @@ def report_interval_s() -> float:
 
 #: Cache counters summed across workers for the merged /healthz view.
 _MERGED_MEMORY_FIELDS = ("hits", "misses", "evictions", "expirations", "entries")
-_MERGED_DISK_FIELDS = ("hits", "misses", "writes", "errors")
+_MERGED_DISK_FIELDS = ("hits", "misses", "writes", "errors", "evictions")
 
 
 def _write_json_atomic(path: str, payload: dict[str, Any]) -> None:
@@ -304,6 +309,13 @@ class WorkerPool:
         strategy: ``auto`` (default), ``reuseport``, or ``inherit``.
         slow_request_s: per-worker slow-request log threshold, as in
             :class:`~repro.serve.service.ServeServer`.
+        shared_state: optional
+            :class:`~repro.serve.shm.PoolSharedState` created by the
+            caller *before* the pool forks.  Workers inherit the mapped
+            segments across ``fork`` (initial spawns and crash respawns
+            alike — respawns fork from the supervisor too) and record
+            their attachment at startup; the pool unlinks the segments
+            after the supervise loop drains.
     """
 
     def __init__(
@@ -318,6 +330,7 @@ class WorkerPool:
         backoff_s: float = DEFAULT_BACKOFF_S,
         strategy: str = "auto",
         slow_request_s: float | None = None,
+        shared_state: Any = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -339,6 +352,7 @@ class WorkerPool:
         self.backoff_s = backoff_s
         self.strategy = resolve_strategy(strategy)
         self.slow_request_s = slow_request_s
+        self.shared_state = shared_state
         self._listen_sock: socket.socket | None = None
         self._pids: dict[int, int] = {}  # slot -> pid
         self._restarts: dict[int, int] = {}  # slot -> unexpected deaths
@@ -480,6 +494,11 @@ class WorkerPool:
         if self._listen_sock is not None:
             self._listen_sock.close()
             self._listen_sock = None
+        if self.shared_state is not None:
+            # Every worker has been reaped; the supervisor is the last
+            # process mapping the segments, so unlinking here frees them.
+            self.shared_state.destroy()
+            self.shared_state = None
         return self._exit_code
 
     def _handle_signal(self, signum: int, frame: Any) -> None:
@@ -541,6 +560,11 @@ class WorkerPool:
         # pool-wide /metrics merge built from them — count each worker's
         # own work exactly once.
         get_registry().reset()
+        if self.shared_state is not None:
+            # The mapping itself rode across fork (initial spawn or
+            # respawn — both fork from the supervisor); this is pure
+            # bookkeeping so /healthz can prove the re-attach happened.
+            self.shared_state.attach_worker()
         app = self.app_factory()
         member = PoolMember(self.state_dir, slot, app)
         app.pool_info = member.healthz
@@ -585,6 +609,7 @@ def run_pool(
     state_dir: str | None = None,
     strategy: str = "auto",
     slow_request_s: float | None = None,
+    shared_state: Any = None,
 ) -> int:
     """Start a pool, print the listening line, and supervise until exit.
 
@@ -606,6 +631,7 @@ def run_pool(
         state_dir=state_dir,
         strategy=strategy,
         slow_request_s=slow_request_s,
+        shared_state=shared_state,
     )
     bound_host, bound_port = pool.start()
     print(

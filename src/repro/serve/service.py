@@ -177,6 +177,14 @@ class ServeApp:
             (keyed by :meth:`~repro.isa.trace.Trace.fingerprint`); repeat
             requests for a known trace skip the trace-static analysis
             pass entirely.
+        shared_traces: optional
+            :class:`~repro.serve.shm.SharedBlobStore` of pickled
+            compiled traces shared by every worker of a pre-forked
+            pool.  On a local LRU miss the store is probed before
+            compiling, and fresh compilations are published back — so a
+            trace posted to any worker is compiled once per pool, not
+            once per worker (the ``compiles`` counter in ``/healthz``
+            proves it: after warmup it stays flat across workers).
     """
 
     def __init__(
@@ -184,6 +192,7 @@ class ServeApp:
         cache: EvaluationCache | None = None,
         jobs: int = 1,
         compiled_traces: int = DEFAULT_COMPILED_TRACES,
+        shared_traces: Any = None,
     ) -> None:
         self.cache = cache if cache is not None else EvaluationCache()
         self.jobs = max(1, jobs)
@@ -197,15 +206,21 @@ class ServeApp:
         #: across every worker's state file.  ``None`` = single process
         #: (``/metrics`` renders the process-wide registry directly).
         self.pool_metrics: Callable[[], Any] | None = None
+        self.shared_traces = shared_traces
         self._compiled: "OrderedDict[str, Any]" = OrderedDict()
         self._compiled_lock = threading.Lock()
         self._compiled_max = max(1, compiled_traces)
         self._compiled_hits = 0
         self._compiled_misses = 0
+        self._compiled_shared_hits = 0
+        self._compiles = 0
 
     def _compiled_for(self, trace: Any) -> Any:
         """The :class:`CompiledTrace` for ``trace``, via the LRU.
 
+        Lookup order: the process-local LRU, then (pooled workers) the
+        pool's shared-memory store, then an actual compile — which is
+        published back to the shared store so sibling workers skip it.
         Compilation happens outside the lock (it is pure), so concurrent
         first requests for the same trace may both compile; the second
         insert simply refreshes the entry.
@@ -218,7 +233,31 @@ class ServeApp:
                 self._compiled_hits += 1
                 return cached
             self._compiled_misses += 1
-        compiled = compile_trace(trace, cache=False)
+        compiled = None
+        if self.shared_traces is not None:
+            from repro.serve import shm
+
+            blob = self.shared_traces.get(fingerprint)
+            if blob is not None:
+                try:
+                    compiled = shm.unpickle_blob(blob)
+                except Exception as exc:  # pragma: no cover - corrupt blob
+                    _log.warning(
+                        "shared compiled trace %s unreadable: %s",
+                        fingerprint,
+                        exc,
+                    )
+        if compiled is not None:
+            with self._compiled_lock:
+                self._compiled_shared_hits += 1
+        else:
+            compiled = compile_trace(trace, cache=False)
+            with self._compiled_lock:
+                self._compiles += 1
+            if self.shared_traces is not None:
+                from repro.serve import shm
+
+                self.shared_traces.put(fingerprint, shm.pickle_blob(compiled))
         with self._compiled_lock:
             self._compiled[fingerprint] = compiled
             self._compiled.move_to_end(fingerprint)
@@ -227,13 +266,22 @@ class ServeApp:
         return compiled
 
     def compiled_trace_stats(self) -> dict[str, Any]:
-        """JSON-safe snapshot of the compiled-trace LRU counters."""
+        """JSON-safe snapshot of the compiled-trace LRU counters.
+
+        ``compiles`` counts actual trace-static analysis passes run by
+        *this* process — on a pooled worker with a shared trace store it
+        stays at the number of traces this worker compiled first,
+        regardless of request volume; ``shared_hits`` counts LRU misses
+        answered by a sibling worker's published compilation.
+        """
         with self._compiled_lock:
             return {
                 "entries": len(self._compiled),
                 "max_entries": self._compiled_max,
                 "hits": self._compiled_hits,
                 "misses": self._compiled_misses,
+                "shared_hits": self._compiled_shared_hits,
+                "compiles": self._compiles,
             }
 
     def _metrics_registry(self) -> Any:
@@ -474,6 +522,13 @@ class ServeApp:
                 metrics=get_registry().snapshot(), cache=self.cache.stats()
             ),
         }
+        shared: dict[str, Any] = {}
+        if self.shared_traces is not None:
+            shared["traces"] = self.shared_traces.stats()
+        if getattr(self.cache, "shared", None) is not None:
+            shared["results"] = self.cache.shared.stats()
+        if shared:
+            body["shared"] = shared
         if self.pool_info is not None:
             body["pool"] = self.pool_info()
         return body
@@ -739,6 +794,23 @@ def main(argv: list[str] | None = None) -> int:
         "(or $REPRO_CACHE_DIR), versioned by schema tag",
     )
     parser.add_argument(
+        "--disk-cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU-evict disk-cache entries beyond this total size "
+        "(0 = unbounded; default: $REPRO_DISK_CACHE_BYTES or 1073741824)",
+    )
+    parser.add_argument(
+        "--shared-mem-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="size of the pool's zero-copy shared cache segments "
+        "(compiled traces + hot results; --workers >= 2 only; 0 "
+        "disables; default: $REPRO_SERVE_SHM_BYTES or 33554432)",
+    )
+    parser.add_argument(
         "--max-request-bytes",
         type=int,
         default=DEFAULT_MAX_REQUEST_BYTES,
@@ -753,21 +825,51 @@ def main(argv: list[str] | None = None) -> int:
         help="log a structured slow-request record for requests at or "
         "above this many seconds (default: $REPRO_SLOW_REQUEST_S or 1.0)",
     )
-    add_common_arguments(parser, jobs=True, workers=True)
+    add_common_arguments(parser, jobs=True, workers=True, sim_backend=True)
     args = parser.parse_args(argv)
     configure_from_args(args)
 
+    shared_state = None
+    if args.workers > 1:
+        shm_bytes = args.shared_mem_bytes
+        if shm_bytes is None:
+            try:
+                shm_bytes = int(os.environ.get("REPRO_SERVE_SHM_BYTES", ""))
+            except ValueError:
+                shm_bytes = None
+        if shm_bytes is None:
+            from repro.serve.shm import DEFAULT_SHM_BYTES
+
+            shm_bytes = DEFAULT_SHM_BYTES
+        if shm_bytes > 0:
+            from repro.serve.shm import PoolSharedState
+
+            try:
+                shared_state = PoolSharedState.create(shm_bytes)
+            except (OSError, ValueError) as exc:
+                _log.warning(
+                    "shared cache segments unavailable (%s); "
+                    "workers fall back to per-process caches",
+                    exc,
+                )
+
     def app_factory() -> ServeApp:
         # Called in each worker process (after fork) so every worker
-        # owns fresh in-memory caches; the disk layer — shared by path,
-        # with atomic per-entry writes — is what workers share.
+        # owns fresh in-memory caches; workers share the zero-copy
+        # shared-memory segments (inherited across fork) and — with
+        # --disk-cache — the on-disk store (shared by path, with atomic
+        # per-entry writes).
         return ServeApp(
             cache=EvaluationCache(
                 max_entries=args.cache_entries,
                 ttl_s=args.cache_ttl,
-                disk=DiskCache() if args.disk_cache else None,
+                disk=DiskCache(max_bytes=args.disk_cache_bytes)
+                if args.disk_cache
+                else None,
+                shared=shared_state.results if shared_state else None,
             ),
             jobs=args.jobs,
+            shared_traces=shared_state.traces if shared_state else None,
         )
 
     if args.workers > 1:
@@ -780,6 +882,7 @@ def main(argv: list[str] | None = None) -> int:
             app_factory,
             max_request_bytes=args.max_request_bytes,
             slow_request_s=args.slow_request_s,
+            shared_state=shared_state,
         )
         maybe_print_profile(args)
         return code

@@ -1,0 +1,913 @@
+"""Backend-neutral CoreSim kernel over flat int64 arrays.
+
+This module is the *reference implementation* of the native simulation
+kernel: a line-for-line port of :meth:`repro.sim.core.CoreSim._run` onto
+plain numpy arrays, written in the numba-compatible subset of Python (no
+dicts, no tuples-of-tuples, no Python objects — just scalar loops over
+preallocated int64/uint8 arrays).
+
+Three execution modes share this exact code:
+
+- **interpreted** — the functions run as ordinary Python.  Slow, but it
+  is the equivalence oracle for the compiled forms and what the
+  ``REPRO_SIM_BACKEND=numba`` tests fall back to when numba is absent.
+- **numba** — :func:`repro.sim.backend._build_numba_kernel` wraps every
+  function below with ``@njit(cache=True, nogil=True)``.
+- **C** — ``repro/sim/_native/coresim.c`` is a hand-maintained
+  translation of this module with the same argument order and the same
+  return codes, compiled on demand with the system C compiler and driven
+  through ``ctypes``.  When editing the pipeline semantics here, mirror
+  the change there (the cross-backend equivalence suite will catch a
+  divergence).
+
+Array packing is performed by :class:`repro.sim.backend.PackedTrace`.
+Events and ready entries are packed ints exactly like the pure-Python
+hot loop, but with a 32-bit cycle shift so they fit in int64:
+
+- event: ``(when << 32) | (seq << 2) | kind``
+- ready: ``(cycle << 32) | seq``
+
+The driver guarantees ``seq < 2**30`` and ``when < 2**31`` (it falls
+back to the pure-Python engine otherwise), so the packing cannot
+overflow and orders identically to the reference tuples.
+"""
+
+from __future__ import annotations
+
+# --- cfg[] slot indices (shared with backend.py and coresim.c) ---------
+CFG_DISPATCH_W = 0
+CFG_ISSUE_W = 1
+CFG_COMMIT_W = 2
+CFG_ROB = 3
+CFG_IQ = 4
+CFG_LQ = 5
+CFG_SQ = 6
+CFG_FRONTEND = 7
+CFG_COMMIT_LAT = 8
+CFG_REDIRECT = 9
+CFG_LPORTS = 10
+CFG_SPORTS = 11
+CFG_FWD_LAT = 12
+CFG_MSHRS = 13
+CFG_MAX_CYCLES = 14
+CFG_LEADING = 15
+CFG_TRAILING = 16
+CFG_PARTIAL = 17
+CFG_TCA_UNITS = 18
+CFG_L1_LAT = 19
+CFG_L2_LAT = 20
+CFG_MEM_LAT = 21
+CFG_PREFETCH = 22
+CFG_L1_SETS = 23
+CFG_L1_ASSOC = 24
+CFG_L2_SETS = 25
+CFG_L2_ASSOC = 26
+CFG_LINE_SHIFT = 27
+CFG_START = 28
+CFG_STOP = 29
+CFG_EVENTS_CAP = 30
+CFG_READY_CAP = 31
+CFG_N_FU = 32
+CFG_LINE = 33
+CFG_WRITERS_CAP = 34
+CFG_LOWCONF_CAP = 35
+CFG_LEN = 36
+
+# --- stats[] slot indices ----------------------------------------------
+ST_CYCLES = 0
+ST_INSTR = 1
+ST_DISPATCHED = 2
+ST_LOADS = 3
+ST_STORES = 4
+ST_BRANCHES = 5
+ST_MISPRED = 6
+ST_TCA_INV = 7
+ST_TCA_READS = 8
+ST_TCA_WRITES = 9
+ST_TCA_WAIT = 10
+ST_TCA_EXEC = 11
+ST_ROB_SUM = 12
+ST_ROB_SAMPLES = 13
+ST_MAX_ROB = 14
+ST_ERR_CYCLE = 15
+ST_ERR_COMMITTED = 16
+ST_ERR_PC = 17
+ST_STALL_BASE = 20  # 9 StallReason slots: [20, 29)
+ST_LEN = 32
+
+# --- cache-stats[] slot indices ----------------------------------------
+CS_L1_ACC = 0
+CS_L1_MISS = 1
+CS_L2_ACC = 2
+CS_L2_MISS = 3
+CS_PREFETCHES = 4
+CS_LEN = 8
+
+# --- return codes ------------------------------------------------------
+RC_OK = 0
+RC_CAPACITY = -2  # scratch array overflow: driver re-runs on the python path
+RC_WATCHDOG = -3  # exceeded max_cycles
+RC_DEADLOCK = -4  # no progress possible
+
+# Stall-reason flat indices (StallReason definition order).
+_S_NONE = 0
+_S_FRONTEND_FILL = 1
+_S_TCA_BARRIER = 2
+_S_BRANCH_REDIRECT = 3
+_S_ROB_FULL = 4
+_S_IQ_FULL = 5
+_S_LQ_FULL = 6
+_S_SQ_FULL = 7
+_S_TRACE_DRAINED = 8
+
+# Packed-int layout (see module docstring).
+_EV_SHIFT = 32
+_SEQ_MASK = (1 << 30) - 1
+_READY_MASK = (1 << 32) - 1
+
+
+def _heap_push(heap, n, value):
+    """Push ``value`` onto the binary min-heap ``heap[:n]``; returns new n."""
+    heap[n] = value
+    i = n
+    while i > 0:
+        parent = (i - 1) >> 1
+        if heap[parent] <= heap[i]:
+            break
+        tmp = heap[parent]
+        heap[parent] = heap[i]
+        heap[i] = tmp
+        i = parent
+    return n + 1
+
+
+def _heap_pop(heap, n):
+    """Pop the min off ``heap[:n]`` (caller read ``heap[0]``); returns new n."""
+    n -= 1
+    last = heap[n]
+    if n == 0:
+        return 0
+    heap[0] = last
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= n:
+            break
+        small = left
+        right = left + 1
+        if right < n and heap[right] < heap[left]:
+            small = right
+        if heap[small] >= heap[i]:
+            break
+        tmp = heap[small]
+        heap[small] = heap[i]
+        heap[i] = tmp
+        i = small
+    return n
+
+
+def _level_access(tags, cnt, num_sets, assoc, tag):
+    """LRU access of one cache level; returns 1 on hit (mirrors _CacheLevel)."""
+    set_idx = tag % num_sets
+    base = set_idx * assoc
+    count = cnt[set_idx]
+    for j in range(count):
+        if tags[base + j] == tag:
+            for m in range(j, 0, -1):
+                tags[base + m] = tags[base + m - 1]
+            tags[base] = tag
+            return 1
+    new_count = count + 1
+    if new_count > assoc:
+        new_count = assoc
+    for m in range(new_count - 1, 0, -1):
+        tags[base + m] = tags[base + m - 1]
+    tags[base] = tag
+    cnt[set_idx] = new_count
+    return 0
+
+
+def _level_contains(tags, cnt, num_sets, assoc, tag):
+    """Residency probe without LRU update; returns 1 when resident."""
+    set_idx = tag % num_sets
+    base = set_idx * assoc
+    for j in range(cnt[set_idx]):
+        if tags[base + j] == tag:
+            return 1
+    return 0
+
+
+def _access_line(
+    l1_tags, l1_cnt, l2_tags, l2_cnt, cstats,
+    l1_sets, l1_assoc, l2_sets, l2_assoc,
+    l1_lat, l2_lat, mem_lat, shift, line_addr,
+):
+    """CacheHierarchy._access_line: additive L1/L2/DRAM latency + counters."""
+    tag = line_addr >> shift
+    cstats[CS_L1_ACC] += 1
+    if _level_access(l1_tags, l1_cnt, l1_sets, l1_assoc, tag):
+        return l1_lat
+    cstats[CS_L1_MISS] += 1
+    cstats[CS_L2_ACC] += 1
+    if _level_access(l2_tags, l2_cnt, l2_sets, l2_assoc, tag):
+        return l1_lat + l2_lat
+    cstats[CS_L2_MISS] += 1
+    return l1_lat + l2_lat + mem_lat
+
+
+def kernel(
+    cfg,
+    fu_used, fu_ports, fu_latency, fu_pipelined, fu_left, busy_start, fu_busy,
+    kind, fu_cls, lat_over, mispred, lowconf_flag,
+    mem_addr, mem_size, ml_start, ml_lines,
+    cw_start, cw_lines,
+    wr_start, wr_addr, wr_size, writer_lo, writer_hi,
+    re_start, edge_prod, edge_cons, rp_start, rp_prod, mem_edge_base,
+    tr_start, tr_addr, tr_size, trl_start, trl_lines,
+    tca_read_count, tca_write_count, tca_comp_lat,
+    completed, forwarded, complete_cycle, deps, first_ready,
+    tca_read_index, tca_reads_left, tca_start_cycle, dep_head, edge_next,
+    l1_tags, l1_cnt, l2_tags, l2_cnt, cstats,
+    events, ready, deferred, writers, lowconf, tca_active, attached,
+    stats,
+):
+    """Execute the trace segment; returns an ``RC_*`` code.
+
+    The body is a faithful port of ``CoreSim._run`` — every branch
+    corresponds to a line there, in the same order, so the two produce
+    byte-identical ``SimStats``.
+    """
+    dispatch_width = cfg[CFG_DISPATCH_W]
+    issue_width = cfg[CFG_ISSUE_W]
+    commit_width = cfg[CFG_COMMIT_W]
+    rob_size = cfg[CFG_ROB]
+    iq_size = cfg[CFG_IQ]
+    lq_size = cfg[CFG_LQ]
+    sq_size = cfg[CFG_SQ]
+    frontend_depth = cfg[CFG_FRONTEND]
+    commit_latency = cfg[CFG_COMMIT_LAT]
+    redirect_penalty = cfg[CFG_REDIRECT]
+    load_ports_n = cfg[CFG_LPORTS]
+    store_ports_n = cfg[CFG_SPORTS]
+    forward_latency = cfg[CFG_FWD_LAT]
+    mshr_limit = cfg[CFG_MSHRS]
+    max_cycles = cfg[CFG_MAX_CYCLES]
+    mode_leading = cfg[CFG_LEADING]
+    mode_trailing = cfg[CFG_TRAILING]
+    partial_spec = cfg[CFG_PARTIAL]
+    tca_units = cfg[CFG_TCA_UNITS]
+    l1_lat = cfg[CFG_L1_LAT]
+    l2_lat = cfg[CFG_L2_LAT]
+    mem_lat = cfg[CFG_MEM_LAT]
+    prefetch = cfg[CFG_PREFETCH]
+    l1_sets = cfg[CFG_L1_SETS]
+    l1_assoc = cfg[CFG_L1_ASSOC]
+    l2_sets = cfg[CFG_L2_SETS]
+    l2_assoc = cfg[CFG_L2_ASSOC]
+    shift = cfg[CFG_LINE_SHIFT]
+    start = cfg[CFG_START]
+    trace_len = cfg[CFG_STOP]
+    events_cap = cfg[CFG_EVENTS_CAP]
+    ready_cap = cfg[CFG_READY_CAP]
+    n_fu_used = cfg[CFG_N_FU]
+    line = cfg[CFG_LINE]
+    writers_cap = cfg[CFG_WRITERS_CAP]
+    lowconf_cap = cfg[CFG_LOWCONF_CAP]
+
+    events_n = 0
+    ready_n = 0
+    writers_n = 0
+    writers_start = 0
+    lowconf_n = 0
+    tca_n = 0
+    tca_pending = 0
+
+    pc = start
+    committed = start
+    barrier = -1
+    redirect_seq = -1
+    mshr_out = 0
+    iq_occ = 0
+    lq_count = 0
+    sq_count = 0
+    last_stall = _S_NONE
+
+    s_dispatched = 0
+    s_instructions = 0
+    s_loads = 0
+    s_stores = 0
+    s_branches = 0
+    s_mispredicts = 0
+    s_tca_inv = 0
+    s_tca_reads = 0
+    s_tca_writes = 0
+    s_tca_wait = 0
+    s_tca_exec = 0
+    rob_occ_sum = 0
+    rob_samples = 0
+    max_rob = 0
+
+    cycle = 0
+    while committed < trace_len:
+        if cycle > max_cycles:
+            stats[ST_ERR_CYCLE] = cycle
+            stats[ST_ERR_COMMITTED] = committed
+            stats[ST_ERR_PC] = pc
+            return RC_WATCHDOG
+        progress = 0
+
+        # ------------------------------------------------- completions
+        ready_key = cycle << _EV_SHIFT
+        while events_n > 0 and (events[0] >> _EV_SHIFT) <= cycle:
+            ev = events[0]
+            events_n = _heap_pop(events, events_n)
+            ekind = ev & 3
+            s = (ev >> 2) & _SEQ_MASK
+            progress += 1
+            if ekind == 0:  # _EV_OP
+                completed[s] = 1
+                complete_cycle[s] = cycle
+                e = dep_head[s]
+                while e >= 0:
+                    c = edge_cons[e]
+                    d = deps[c] - 1
+                    deps[c] = d
+                    if d == 0:
+                        first_ready[c] = cycle
+                        if ready_n >= ready_cap:
+                            return RC_CAPACITY
+                        ready_n = _heap_push(ready, ready_n, ready_key | c)
+                    e = edge_next[e]
+                dep_head[s] = -1
+                if kind[s] == 2:  # TCA
+                    for i in range(tca_n):
+                        if tca_active[i] == s:
+                            for m in range(i, tca_n - 1):
+                                tca_active[m] = tca_active[m + 1]
+                            tca_n -= 1
+                            break
+                    s_tca_exec += cycle - tca_start_cycle[s]
+            elif ekind == 1:  # _EV_TCA_READ
+                r = tca_reads_left[s] - 1
+                tca_reads_left[s] = r
+                if r == 0 and tca_read_index[s] >= tca_read_count[s]:
+                    if events_n >= events_cap:
+                        return RC_CAPACITY
+                    events_n = _heap_push(
+                        events, events_n,
+                        ((cycle + tca_comp_lat[s]) << _EV_SHIFT) | (s << 2),
+                    )
+            else:  # _EV_MSHR
+                mshr_out -= 1
+
+        # ------------------------------------------------------ commit
+        commits = 0
+        while commits < commit_width and committed < pc:
+            h = committed
+            if completed[h] == 0 or cycle < complete_cycle[h] + commit_latency:
+                break
+            hk = kind[h]
+            if hk == 0:  # LOAD
+                lq_count -= 1
+                s_loads += 1
+            elif hk == 1:  # STORE
+                sq_count -= 1
+                for li in range(cw_start[h], cw_start[h + 1]):
+                    _access_line(
+                        l1_tags, l1_cnt, l2_tags, l2_cnt, cstats,
+                        l1_sets, l1_assoc, l2_sets, l2_assoc,
+                        l1_lat, l2_lat, mem_lat, shift, cw_lines[li],
+                    )
+                s_stores += 1
+            elif hk == 3:  # BRANCH
+                s_branches += 1
+                if mispred[h] != 0:
+                    s_mispredicts += 1
+            elif hk == 2:  # TCA
+                if tca_write_count[h] > 0:
+                    for li in range(cw_start[h], cw_start[h + 1]):
+                        _access_line(
+                            l1_tags, l1_cnt, l2_tags, l2_cnt, cstats,
+                            l1_sets, l1_assoc, l2_sets, l2_assoc,
+                            l1_lat, l2_lat, mem_lat, shift, cw_lines[li],
+                        )
+                    s_tca_writes += tca_write_count[h]
+                s_tca_inv += 1
+            if barrier == h:
+                barrier = -1
+            committed = h + 1
+            s_instructions += 1
+            commits += 1
+        progress += commits
+
+        # ------------------------------------------------------- issue
+        issued = 0
+        ready_limit = (cycle + 1) << _EV_SHIFT
+        if (ready_n > 0 and ready[0] < ready_limit) or tca_pending > 0:
+            for ui in range(n_fu_used):
+                cls = fu_used[ui]
+                if fu_pipelined[cls] != 0:
+                    fu_left[cls] = fu_ports[cls]
+                else:
+                    n_free = 0
+                    for bi in range(busy_start[cls], busy_start[cls + 1]):
+                        if fu_busy[bi] <= cycle:
+                            n_free += 1
+                    fu_left[cls] = n_free
+            issue_left = issue_width
+            lports = load_ports_n
+            sports = store_ports_n
+            deferred_n = 0
+            tca_reads_allowed = 1
+            while issue_left > 0:
+                atca = -1
+                if tca_reads_allowed != 0 and tca_n > 0:
+                    for i in range(tca_n):
+                        t = tca_active[i]
+                        if tca_read_index[t] < tca_read_count[t]:
+                            atca = t
+                            break
+                cand = -1
+                if ready_n > 0 and ready[0] < ready_limit:
+                    cand = ready[0] & _READY_MASK
+                if atca >= 0 and (cand < 0 or atca < cand):
+                    # Older TCA read request competes for a load port
+                    # first (age-based arbitration, paper §IV).
+                    did_read = 0
+                    if lports > 0:
+                        idx = tca_read_index[atca]
+                        g = tr_start[atca] + idx
+                        blocked = 0
+                        if mshr_out >= mshr_limit:
+                            for li in range(trl_start[g], trl_start[g + 1]):
+                                tag = trl_lines[li] >> shift
+                                if _level_contains(
+                                    l1_tags, l1_cnt, l1_sets, l1_assoc, tag
+                                ) == 0:
+                                    blocked = 1
+                                    break
+                        if blocked == 0:
+                            worst = 0
+                            missed = 0
+                            for li in range(trl_start[g], trl_start[g + 1]):
+                                la = trl_lines[li]
+                                lat = _access_line(
+                                    l1_tags, l1_cnt, l2_tags, l2_cnt, cstats,
+                                    l1_sets, l1_assoc, l2_sets, l2_assoc,
+                                    l1_lat, l2_lat, mem_lat, shift, la,
+                                )
+                                if lat > worst:
+                                    worst = lat
+                                if lat > l1_lat:
+                                    missed = 1
+                                if prefetch != 0:
+                                    ntag = (la + line) >> shift
+                                    if _level_contains(
+                                        l1_tags, l1_cnt, l1_sets, l1_assoc, ntag
+                                    ) == 0:
+                                        _access_line(
+                                            l1_tags, l1_cnt, l2_tags, l2_cnt,
+                                            cstats, l1_sets, l1_assoc,
+                                            l2_sets, l2_assoc,
+                                            l1_lat, l2_lat, mem_lat, shift,
+                                            la + line,
+                                        )
+                                        cstats[CS_PREFETCHES] += 1
+                            tca_read_index[atca] = idx + 1
+                            tca_reads_left[atca] += 1
+                            if idx + 1 == tca_read_count[atca]:
+                                tca_pending -= 1
+                            ev = ((cycle + worst) << _EV_SHIFT) | (atca << 2)
+                            if events_n + 2 > events_cap:
+                                return RC_CAPACITY
+                            events_n = _heap_push(events, events_n, ev | 1)
+                            if missed != 0:
+                                mshr_out += 1
+                                events_n = _heap_push(events, events_n, ev | 2)
+                            s_tca_reads += 1
+                            did_read = 1
+                    if did_read != 0:
+                        lports -= 1
+                        issue_left -= 1
+                        issued += 1
+                        continue
+                    tca_reads_allowed = 0
+                    continue
+                if cand < 0:
+                    break
+                ready_n = _heap_pop(ready, ready_n)
+                k = cand
+                kk = kind[k]
+                if kk == 2:  # TCA start
+                    ok = 1
+                    if mode_leading == 0:
+                        if partial_spec != 0:
+                            # Confidence-gated speculation (paper §VIII):
+                            # start once every older low-confidence
+                            # branch has resolved.
+                            blocked = 0
+                            if lowconf_n > 0:
+                                live_n = 0
+                                for bi in range(lowconf_n):
+                                    b = lowconf[bi]
+                                    if completed[b] != 0:
+                                        continue
+                                    lowconf[live_n] = b
+                                    live_n += 1
+                                    if b < k:
+                                        blocked = 1
+                                lowconf_n = live_n
+                            if blocked != 0:
+                                ok = 0
+                        elif committed != k:
+                            # Non-speculative TCA: wait for every leading
+                            # instruction to commit (ROB drain).
+                            ok = 0
+                    if ok != 0 and tca_n >= tca_units:
+                        ok = 0
+                    if ok != 0:
+                        pos = tca_n
+                        for i in range(tca_n):
+                            if tca_active[i] > k:
+                                pos = i
+                                break
+                        for m in range(tca_n, pos, -1):
+                            tca_active[m] = tca_active[m - 1]
+                        tca_active[pos] = k
+                        tca_n += 1
+                        tca_start_cycle[k] = cycle
+                        s_tca_wait += cycle - first_ready[k]
+                        iq_occ -= 1
+                        if tca_read_count[k] == 0:
+                            if events_n >= events_cap:
+                                return RC_CAPACITY
+                            events_n = _heap_push(
+                                events, events_n,
+                                ((cycle + tca_comp_lat[k]) << _EV_SHIFT)
+                                | (k << 2),
+                            )
+                        else:
+                            tca_pending += 1
+                        issued += 1
+                        issue_left -= 1
+                    else:
+                        deferred[deferred_n] = k
+                        deferred_n += 1
+                    continue
+                if kk == 0:  # LOAD
+                    if lports <= 0:
+                        deferred[deferred_n] = k
+                        deferred_n += 1
+                        continue
+                    if forwarded[k] != 0:
+                        lat = forward_latency
+                    else:
+                        if mshr_out >= mshr_limit:
+                            wm = 0
+                            for li in range(ml_start[k], ml_start[k + 1]):
+                                tag = ml_lines[li] >> shift
+                                if _level_contains(
+                                    l1_tags, l1_cnt, l1_sets, l1_assoc, tag
+                                ) == 0:
+                                    wm = 1
+                                    break
+                            if wm != 0:
+                                deferred[deferred_n] = k
+                                deferred_n += 1
+                                continue
+                        worst = 0
+                        missed = 0
+                        for li in range(ml_start[k], ml_start[k + 1]):
+                            la = ml_lines[li]
+                            alat = _access_line(
+                                l1_tags, l1_cnt, l2_tags, l2_cnt, cstats,
+                                l1_sets, l1_assoc, l2_sets, l2_assoc,
+                                l1_lat, l2_lat, mem_lat, shift, la,
+                            )
+                            if alat > worst:
+                                worst = alat
+                            if alat > l1_lat:
+                                missed = 1
+                            if prefetch != 0:
+                                ntag = (la + line) >> shift
+                                if _level_contains(
+                                    l1_tags, l1_cnt, l1_sets, l1_assoc, ntag
+                                ) == 0:
+                                    _access_line(
+                                        l1_tags, l1_cnt, l2_tags, l2_cnt,
+                                        cstats, l1_sets, l1_assoc,
+                                        l2_sets, l2_assoc,
+                                        l1_lat, l2_lat, mem_lat, shift,
+                                        la + line,
+                                    )
+                                    cstats[CS_PREFETCHES] += 1
+                        lat = worst
+                        if missed != 0:
+                            mshr_out += 1
+                            if events_n >= events_cap:
+                                return RC_CAPACITY
+                            events_n = _heap_push(
+                                events, events_n,
+                                ((cycle + lat) << _EV_SHIFT) | (k << 2) | 2,
+                            )
+                    iq_occ -= 1
+                    if events_n >= events_cap:
+                        return RC_CAPACITY
+                    events_n = _heap_push(
+                        events, events_n,
+                        ((cycle + lat) << _EV_SHIFT) | (k << 2),
+                    )
+                    issued += 1
+                    issue_left -= 1
+                    lports -= 1
+                    continue
+                if kk == 1:  # STORE
+                    if sports <= 0:
+                        deferred[deferred_n] = k
+                        deferred_n += 1
+                        continue
+                    iq_occ -= 1
+                    if events_n >= events_cap:
+                        return RC_CAPACITY
+                    events_n = _heap_push(
+                        events, events_n,
+                        ((cycle + 1) << _EV_SHIFT) | (k << 2),
+                    )
+                    issued += 1
+                    issue_left -= 1
+                    sports -= 1
+                    continue
+                # Functional-unit op.
+                cls = fu_cls[k]
+                if fu_left[cls] <= 0:
+                    deferred[deferred_n] = k
+                    deferred_n += 1
+                    continue
+                fu_left[cls] -= 1
+                lat = lat_over[k]
+                if lat < 0:
+                    lat = fu_latency[cls]
+                if fu_pipelined[cls] == 0:
+                    for bi in range(busy_start[cls], busy_start[cls + 1]):
+                        if fu_busy[bi] <= cycle:
+                            fu_busy[bi] = cycle + lat
+                            break
+                iq_occ -= 1
+                if events_n >= events_cap:
+                    return RC_CAPACITY
+                events_n = _heap_push(
+                    events, events_n,
+                    ((cycle + lat) << _EV_SHIFT) | (k << 2),
+                )
+                issued += 1
+                issue_left -= 1
+            for di in range(deferred_n):
+                if ready_n >= ready_cap:
+                    return RC_CAPACITY
+                ready_n = _heap_push(ready, ready_n, ready_limit | deferred[di])
+        progress += issued
+
+        # ---------------------------------------------------- dispatch
+        dispatched = 0
+        last_stall = _S_NONE
+        while dispatched < dispatch_width:
+            if pc >= trace_len:
+                if dispatched == 0:
+                    last_stall = _S_TRACE_DRAINED
+                break
+            if cycle < frontend_depth:
+                last_stall = _S_FRONTEND_FILL
+                break
+            if barrier >= 0:
+                last_stall = _S_TCA_BARRIER
+                break
+            if redirect_seq >= 0:
+                if (
+                    completed[redirect_seq] != 0
+                    and cycle >= complete_cycle[redirect_seq] + redirect_penalty
+                ):
+                    redirect_seq = -1
+                else:
+                    last_stall = _S_BRANCH_REDIRECT
+                    break
+            if pc - committed >= rob_size:
+                last_stall = _S_ROB_FULL
+                break
+            k = pc
+            kk = kind[k]
+            if iq_occ >= iq_size:
+                last_stall = _S_IQ_FULL
+                break
+            if kk == 0 and lq_count >= lq_size:
+                last_stall = _S_LQ_FULL
+                break
+            if kk == 1 and sq_count >= sq_size:
+                last_stall = _S_SQ_FULL
+                break
+            pc = k + 1
+            completed[k] = 0
+            ndeps = 0
+            for e in range(re_start[k], re_start[k + 1]):
+                p = edge_prod[e]
+                if completed[p] != 0:
+                    continue
+                ndeps += 1
+                edge_next[e] = dep_head[p]
+                dep_head[p] = e
+            if kk == 0:  # LOAD: conservative disambiguation + forwarding
+                addr = mem_addr[k]
+                end = addr + mem_size[k]
+                while writers_start < writers_n and (
+                    writers[writers_start] < committed
+                ):
+                    writers_start += 1
+                w = -1
+                for i in range(writers_n - 1, writers_start - 1, -1):
+                    ws = writers[i]
+                    if completed[ws] != 0:
+                        continue
+                    if writer_lo[ws] < end and addr < writer_hi[ws]:
+                        for ri in range(wr_start[ws], wr_start[ws + 1]):
+                            wa = wr_addr[ri]
+                            if wa < end and addr < wa + wr_size[ri]:
+                                w = ws
+                                break
+                        if w >= 0:
+                            break
+                if w >= 0:
+                    forwarded[k] = 1
+                    in_rp = 0
+                    for ri in range(rp_start[k], rp_start[k + 1]):
+                        if rp_prod[ri] == w:
+                            in_rp = 1
+                            break
+                    if in_rp == 0:
+                        ndeps += 1
+                        e = mem_edge_base[k]
+                        edge_next[e] = dep_head[w]
+                        dep_head[w] = e
+                else:
+                    forwarded[k] = 0
+                lq_count += 1
+            elif kk == 1:  # STORE
+                sq_count += 1
+                if writers_n >= writers_cap:
+                    return RC_CAPACITY
+                writers[writers_n] = k
+                writers_n += 1
+            elif kk == 2:  # TCA
+                tca_read_index[k] = 0
+                tca_reads_left[k] = 0
+                if tr_start[k + 1] > tr_start[k]:
+                    while writers_start < writers_n and (
+                        writers[writers_start] < committed
+                    ):
+                        writers_start += 1
+                    mem_e = mem_edge_base[k]
+                    n_attached = 0
+                    for gi in range(tr_start[k], tr_start[k + 1]):
+                        ra = tr_addr[gi]
+                        rend = ra + tr_size[gi]
+                        w = -1
+                        for i in range(writers_n - 1, writers_start - 1, -1):
+                            ws = writers[i]
+                            if completed[ws] != 0:
+                                continue
+                            if writer_lo[ws] < rend and ra < writer_hi[ws]:
+                                for ri in range(wr_start[ws], wr_start[ws + 1]):
+                                    wa = wr_addr[ri]
+                                    if wa < rend and ra < wa + wr_size[ri]:
+                                        w = ws
+                                        break
+                                if w >= 0:
+                                    break
+                        if w >= 0:
+                            in_rp = 0
+                            for ri in range(rp_start[k], rp_start[k + 1]):
+                                if rp_prod[ri] == w:
+                                    in_rp = 1
+                                    break
+                            if in_rp == 0:
+                                for ai in range(n_attached):
+                                    if attached[ai] == w:
+                                        in_rp = 1
+                                        break
+                            if in_rp == 0:
+                                attached[n_attached] = w
+                                ndeps += 1
+                                e = mem_e + n_attached
+                                n_attached += 1
+                                edge_next[e] = dep_head[w]
+                                dep_head[w] = e
+                if wr_start[k + 1] > wr_start[k]:
+                    if writers_n >= writers_cap:
+                        return RC_CAPACITY
+                    writers[writers_n] = k
+                    writers_n += 1
+            if lowconf_flag[k] != 0:
+                if lowconf_n >= lowconf_cap:
+                    return RC_CAPACITY
+                lowconf[lowconf_n] = k
+                lowconf_n += 1
+            iq_occ += 1
+            deps[k] = ndeps
+            if ndeps == 0:
+                first_ready[k] = cycle + 1
+                if ready_n >= ready_cap:
+                    return RC_CAPACITY
+                ready_n = _heap_push(
+                    ready, ready_n, ((cycle + 1) << _EV_SHIFT) | k
+                )
+            dispatched += 1
+            s_dispatched += 1
+            if kk == 2 and mode_trailing == 0:
+                # NT modes: the TCA is a dispatch barrier until commit.
+                barrier = k
+                break
+            if mispred[k] != 0:
+                redirect_seq = k
+                break
+        progress += dispatched
+
+        # ------------------------------------------------- end of cycle
+        rob_len = pc - committed
+        if rob_len > max_rob:
+            max_rob = rob_len
+        if dispatched == 0 and last_stall != _S_NONE:
+            stats[ST_STALL_BASE + last_stall] += 1
+        rob_occ_sum += rob_len
+        rob_samples += 1
+
+        if progress > 0:
+            cycle += 1
+            continue
+
+        # Fast-forward to the next cycle at which any pipeline event can
+        # occur (see CoreSim._run for the sterile-cycle argument).
+        target = -1
+        if events_n > 0:
+            target = events[0] >> _EV_SHIFT
+        if redirect_seq >= 0 and completed[redirect_seq] != 0:
+            t2 = complete_cycle[redirect_seq] + redirect_penalty
+            if target < 0 or t2 < target:
+                target = t2
+        if committed < pc and completed[committed] != 0:
+            t2 = complete_cycle[committed] + commit_latency
+            if target < 0 or t2 < target:
+                target = t2
+        if cycle < frontend_depth:
+            if target < 0 or frontend_depth < target:
+                target = frontend_depth
+        if target < 0:
+            if ready_n > 0:
+                target = cycle + 1
+            else:
+                stats[ST_ERR_CYCLE] = cycle
+                stats[ST_ERR_COMMITTED] = committed
+                stats[ST_ERR_PC] = pc
+                return RC_DEADLOCK
+        if target < cycle + 1:
+            target = cycle + 1
+        if target > max_cycles + 1:
+            target = max_cycles + 1
+        skipped = target - cycle - 1
+        if skipped > 0:
+            if last_stall != _S_NONE:
+                stats[ST_STALL_BASE + last_stall] += skipped
+            rob_occ_sum += rob_len * skipped
+            rob_samples += skipped
+            if ready_n > 0:
+                # Every entry is keyed exactly cycle + 1; the uniform
+                # re-key preserves the heap invariant.
+                target_key = target << _EV_SHIFT
+                for ri in range(ready_n):
+                    ready[ri] = target_key | (ready[ri] & _READY_MASK)
+        cycle = target
+
+    stats[ST_CYCLES] = cycle
+    stats[ST_INSTR] = s_instructions
+    stats[ST_DISPATCHED] = s_dispatched
+    stats[ST_LOADS] = s_loads
+    stats[ST_STORES] = s_stores
+    stats[ST_BRANCHES] = s_branches
+    stats[ST_MISPRED] = s_mispredicts
+    stats[ST_TCA_INV] = s_tca_inv
+    stats[ST_TCA_READS] = s_tca_reads
+    stats[ST_TCA_WRITES] = s_tca_writes
+    stats[ST_TCA_WAIT] = s_tca_wait
+    stats[ST_TCA_EXEC] = s_tca_exec
+    stats[ST_ROB_SUM] = rob_occ_sum
+    stats[ST_ROB_SAMPLES] = rob_samples
+    stats[ST_MAX_ROB] = max_rob
+    return RC_OK
+
+
+#: Functions to jit, in dependency order (kernel last).
+JIT_ORDER = (
+    "_heap_push",
+    "_heap_pop",
+    "_level_access",
+    "_level_contains",
+    "_access_line",
+    "kernel",
+)

@@ -185,6 +185,7 @@ class CompiledTrace:
         "fu_used",
         "n_edges",
         "_pool",
+        "_packed",
     )
 
     def __init__(self, trace: Trace) -> None:
@@ -351,6 +352,7 @@ class CompiledTrace:
         self.fu_used = tuple(sorted(fu_used_set))
         self.n_edges = base
         self._pool: list[RunState] = []
+        self._packed = None  # repro.sim.backend.PackedTrace memo (not pickled)
 
     # ------------------------------------------------------- trace protocol
 
@@ -382,13 +384,16 @@ class CompiledTrace:
 
     def __getstate__(self) -> dict[str, object]:
         return {
-            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_pool"
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_pool", "_packed")
         }
 
     def __setstate__(self, state: dict[str, object]) -> None:
         for slot, value in state.items():
             object.__setattr__(self, slot, value)
         self._pool = []
+        self._packed = None
 
 
 def compile_trace(trace: Trace | CompiledTrace, cache: bool = True) -> CompiledTrace:

@@ -201,6 +201,12 @@ class CoreSim:
 
     def run(self) -> SimStats:
         """Execute the (segment of the) trace and return statistics."""
+        if self._tracer is None:
+            from repro.sim import backend
+
+            stats = backend.try_run_native(self)
+            if stats is not None:
+                return stats
         compiled = self.compiled
         start = self._start
         state = compiled.acquire_state()

@@ -116,6 +116,103 @@ class TestGate:
             perf_gate.main([_write(tmp_path, "current.json", BASELINE)])
 
 
+class TestMetricTolerance:
+    def test_override_tightens_one_metric(self, tmp_path):
+        # 0.4x passes the blanket 3x everywhere, but a 2x override on
+        # the scalar section makes exactly that metric fail.
+        current = dict(BASELINE, scalar={"queries_per_sec": 80_000.0})
+        args = [
+            _write(tmp_path, "current.json", current),
+            _write(tmp_path, "baseline.json", BASELINE),
+            "--metric-tolerance",
+            "scalar.*=2.0",
+        ]
+        assert perf_gate.main(args) == 1
+        # same files, override scoped to an unaffected section: passes
+        args[-1] = "batched.*=2.0"
+        assert perf_gate.main(args) == 0
+
+    def test_first_matching_override_wins(self):
+        overrides = perf_gate.parse_overrides(["scalar.*=1.5", "*=2.5"])
+        assert perf_gate.tolerance_for(
+            "scalar.queries_per_sec", overrides, 3.0
+        ) == 1.5
+        assert perf_gate.tolerance_for(
+            "batched.queries_per_sec", overrides, 3.0
+        ) == 2.5
+
+    def test_unmatched_metric_keeps_the_blanket(self):
+        overrides = perf_gate.parse_overrides(["native.*=2.0"])
+        assert perf_gate.tolerance_for("scalar.x_per_sec", overrides, 3.0) == 3.0
+
+    @pytest.mark.parametrize("spec", ["scalar.*", "=2.0", "scalar.*=0.5", "x=y"])
+    def test_malformed_override_rejected(self, spec, tmp_path):
+        with pytest.raises(SystemExit):
+            perf_gate.main(
+                [
+                    _write(tmp_path, "c.json", BASELINE),
+                    _write(tmp_path, "b.json", BASELINE),
+                    "--metric-tolerance",
+                    spec,
+                ]
+            )
+
+
+class TestCpuMismatch:
+    def test_refuses_baseline_from_wildly_different_host(self, tmp_path):
+        current = dict(BASELINE, provenance={"cpu_count": 64})
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),  # cpu_count 8
+            ]
+        )
+        assert rc == 1
+
+    def test_within_2x_is_comparable(self, tmp_path):
+        current = dict(BASELINE, provenance={"cpu_count": 16})
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),  # cpu_count 8
+            ]
+        )
+        assert rc == 0
+
+    def test_missing_provenance_is_not_judged(self, tmp_path):
+        current = {k: v for k, v in BASELINE.items() if k != "provenance"}
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),
+            ]
+        )
+        assert rc == 0
+
+    def test_allow_flag_overrides_the_refusal(self, tmp_path):
+        current = dict(BASELINE, provenance={"cpu_count": 64})
+        rc = perf_gate.main(
+            [
+                _write(tmp_path, "current.json", current),
+                _write(tmp_path, "baseline.json", BASELINE),
+                "--allow-cpu-mismatch",
+            ]
+        )
+        assert rc == 0
+
+    def test_helper_reports_both_counts(self):
+        mismatch = perf_gate.cpu_count_mismatch(
+            {"provenance": {"cpu_count": 2}}, {"provenance": {"cpu_count": 48}}
+        )
+        assert mismatch == (2, 48)
+        assert (
+            perf_gate.cpu_count_mismatch(
+                {"provenance": {"cpu_count": 4}}, {"provenance": {"cpu_count": 8}}
+            )
+            is None
+        )
+
+
 class TestCommittedBaselines:
     """The baselines the repo actually ships must satisfy the gate's needs."""
 

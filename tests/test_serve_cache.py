@@ -11,6 +11,7 @@ import os
 import subprocess
 import sys
 import textwrap
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -411,6 +412,75 @@ class TestDiskCache:
         assert reads > 0  # the loop actually observed concurrent state
 
 
+class TestDiskCacheSizeBound:
+    """Regression: ``--disk-cache`` used to grow without bound."""
+
+    def _entry_size(self, tmp_path):
+        probe = DiskCache(root=str(tmp_path / "probe"), fsync=False, max_bytes=0)
+        probe.put("aa" * 32, {"v": 1.0})
+        (_, _, names), *_ = [
+            (d, s, [os.path.join(d, n) for n in f])
+            for d, s, f in os.walk(probe.root)
+            if f
+        ]
+        return os.path.getsize(names[0])
+
+    def test_put_beyond_bound_evicts_lru(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = DiskCache(root=str(tmp_path), fsync=False, max_bytes=size * 4)
+        for i in range(8):
+            cache.put(f"{i:02d}" * 32, {"v": 1.0})
+        stats = cache.stats()
+        assert stats["evictions"] > 0
+        assert stats["evicted_bytes"] >= stats["evictions"] * size
+        assert stats["total_bytes"] <= size * 4
+        # newest entries survive, oldest were the ones evicted
+        assert cache.get("07" * 32) is not MISS
+        assert cache.get("00" * 32) is MISS
+
+    def test_get_refreshes_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = DiskCache(root=str(tmp_path), fsync=False, max_bytes=size * 10)
+        for i in range(10):
+            cache.put(f"{i:02d}" * 32, {"v": 1.0})
+            time.sleep(0.01)  # distinct mtimes
+        assert cache.get("00" * 32) is not MISS  # touch: 00 is now newest
+        time.sleep(0.01)
+        cache.put("aa" * 32, {"v": 2.0})  # crosses the bound -> evicts
+        assert cache.stats()["evictions"] > 0
+        # the touched entry outlived the untouched older ones
+        assert cache.get("00" * 32) is not MISS
+        assert cache.get("01" * 32) is MISS
+
+    def test_bound_counts_preexisting_entries(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        unbounded = DiskCache(root=str(tmp_path), fsync=False, max_bytes=0)
+        for i in range(8):
+            unbounded.put(f"{i:02d}" * 32, {"v": 1.0})
+        assert unbounded.stats()["evictions"] == 0
+        bounded = DiskCache(root=str(tmp_path), fsync=False, max_bytes=size * 4)
+        bounded.put("ff" * 32, {"v": 2.0})  # first write walks, then evicts
+        stats = bounded.stats()
+        assert stats["evictions"] >= 4
+        assert stats["total_bytes"] <= size * 4
+
+    def test_zero_disables_the_bound(self, tmp_path):
+        cache = DiskCache(root=str(tmp_path), fsync=False, max_bytes=0)
+        assert cache.max_bytes is None
+        for i in range(16):
+            cache.put(f"{i:02d}" * 32, {"v": 1.0})
+        assert cache.stats()["evictions"] == 0
+        assert cache.stats()["max_bytes"] is None
+
+    def test_env_default_applies(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE_BYTES", "12345")
+        assert DiskCache(root=str(tmp_path)).max_bytes == 12345
+        monkeypatch.setenv("REPRO_DISK_CACHE_BYTES", "0")
+        assert DiskCache(root=str(tmp_path)).max_bytes is None
+        monkeypatch.delenv("REPRO_DISK_CACHE_BYTES")
+        assert DiskCache(root=str(tmp_path)).max_bytes == 1024 * 1024 * 1024
+
+
 class TestEvaluationCache:
     def test_disk_hits_promote_to_memory(self, tmp_path):
         disk = DiskCache(root=str(tmp_path))
@@ -443,7 +513,7 @@ class TestEvaluationCache:
     def test_stats_shape_matches_manifest_contract(self, tmp_path):
         cache = EvaluationCache(disk=DiskCache(root=str(tmp_path)))
         stats = cache.stats()
-        assert set(stats) == {"memory", "disk"}
+        assert set(stats) == {"memory", "shared", "disk"}
         json.dumps(stats)  # must be JSON-safe for manifests
 
     def test_get_many_promotes_disk_hits(self, tmp_path):

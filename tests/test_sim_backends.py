@@ -1,0 +1,240 @@
+"""Tests of the selectable sim backends (:mod:`repro.sim.backend`).
+
+Three layers: selection semantics (environment parsing, programmatic
+overrides, the availability-fallback chain), the representability
+guards that route unsupported runs back to the Python oracle, and
+byte-identical equivalence of the compiled kernels against the
+pure-Python hot loop.  The ``interpreted`` backend exercises the
+numba-compatible kernel on hosts without numba; the ``c`` backend runs
+whenever a system C compiler is present.
+"""
+
+import dataclasses
+import importlib.util
+import json
+import shutil
+
+import pytest
+
+from repro.core.modes import TCAMode
+from repro.sim import backend
+from repro.sim.compile import compile_trace
+from repro.sim.config import HIGH_PERF_SIM, LOW_PERF_SIM
+from repro.sim.core import CoreSim, DeadlockError
+from repro.workloads.heap import HeapWorkloadSpec, generate_heap_program
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic_program
+
+HAS_NUMBA = importlib.util.find_spec("numba") is not None
+HAS_CC = any(shutil.which(cc) for cc in ("cc", "gcc", "clang"))
+
+MODES = TCAMode.all_modes()
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend_selection():
+    """Leave the module-level backend selection exactly as we found it."""
+    previous = backend._requested
+    yield
+    backend.set_backend(previous)
+
+
+def _cases():
+    heap = generate_heap_program(
+        HeapWorkloadSpec(slots=48, call_probability=0.3, seed=7)
+    )
+    synth = generate_synthetic_program(
+        SyntheticSpec(total_instructions=900, num_invocations=3)
+    )
+    return [
+        ("heap-base", heap.baseline, heap.baseline.metadata.get("warm_ranges")),
+        ("heap-accel", heap.accelerated(), heap.baseline.metadata.get("warm_ranges")),
+        ("synth-accel", synth.accelerated(), None),
+    ]
+
+
+CASES = _cases()
+
+
+def _dump(stats) -> str:
+    return json.dumps(stats.to_dict(), sort_keys=False)
+
+
+def _run(backend_name, config, trace, warm_ranges=None):
+    with backend.use_backend(backend_name):
+        return CoreSim(config, trace, warm_ranges=warm_ranges).run()
+
+
+# =================================================================== selection
+
+
+class TestSelection:
+    def test_env_request_parses_valid_values(self, monkeypatch):
+        for name in backend.VALID_BACKENDS:
+            monkeypatch.setenv("REPRO_SIM_BACKEND", name.upper() + " ")
+            assert backend._env_request() == name
+
+    def test_unknown_env_value_warns_and_uses_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "fortran")
+        backend.set_backend(None)
+        with pytest.warns(RuntimeWarning, match="unknown REPRO_SIM_BACKEND"):
+            assert backend.requested_backend() == "auto"
+
+    def test_set_backend_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown sim backend"):
+            backend.set_backend("fortran")
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "python")
+        backend.set_backend("interpreted")
+        assert backend.requested_backend() == "interpreted"
+        backend.set_backend(None)
+        assert backend.requested_backend() == "python"
+
+    def test_use_backend_restores_on_exit(self):
+        backend.set_backend("python")
+        with backend.use_backend("interpreted"):
+            assert backend.requested_backend() == "interpreted"
+        assert backend.requested_backend() == "python"
+
+    def test_python_backend_resolves_to_no_impl(self):
+        backend.set_backend("python")
+        assert backend.effective_backend() == "python"
+        assert backend._impl() is None
+
+    def test_interpreted_backend_is_always_available(self):
+        backend.set_backend("interpreted")
+        assert backend.effective_backend() == "interpreted"
+        assert callable(backend._impl())
+
+    def test_cython_request_warns_and_falls_through_auto(self):
+        backend.set_backend("cython")
+        with pytest.warns(RuntimeWarning, match="no Cython backend"):
+            effective = backend.effective_backend()
+        assert effective != "cython"
+        assert effective in ("numba", "c", "python")
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba is installed here")
+    def test_numba_request_without_numba_warns_and_falls_back(self):
+        backend.set_backend("numba")
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            effective = backend.effective_backend()
+        assert effective in ("c", "python")
+
+    def test_auto_prefers_a_native_backend_when_available(self):
+        backend.set_backend("auto")
+        effective = backend.effective_backend()
+        if HAS_NUMBA:
+            assert effective == "numba"
+        elif HAS_CC:
+            assert effective == "c"
+        else:
+            assert effective == "python"
+
+    @pytest.mark.skipif(not HAS_CC, reason="no C compiler on this host")
+    def test_c_backend_resolves_when_compiler_present(self):
+        backend.set_backend("c")
+        assert backend.effective_backend() == "c"
+
+    def test_packed_trace_is_memoized_on_the_compiled_trace(self):
+        compiled = compile_trace(CASES[0][1])
+        assert backend.get_packed(compiled) is backend.get_packed(compiled)
+
+
+# ====================================================== representability guards
+
+
+class TestNativeGuards:
+    def _sim(self, **config_overrides):
+        config = dataclasses.replace(HIGH_PERF_SIM, **config_overrides)
+        return CoreSim(config, CASES[0][1])
+
+    def test_python_backend_never_runs_native(self):
+        backend.set_backend("python")
+        assert backend.try_run_native(self._sim()) is None
+
+    def test_when_packing_bound_routes_to_the_oracle(self):
+        backend.set_backend("interpreted")
+        sim = self._sim(max_cycles=backend._WHEN_LIMIT)
+        assert backend.try_run_native(sim) is None
+
+    def test_oversized_cache_snapshot_routes_to_the_oracle(self):
+        # A loaded residency snapshot wider than the configured ways
+        # cannot live in the kernels' fixed-way arrays.
+        backend.set_backend("interpreted")
+        sim = self._sim()
+        assoc = sim.cache.l1.config.assoc
+        sim.cache.l1._sets[0] = list(range(assoc + 1))
+        assert backend.try_run_native(sim) is None
+
+    def test_guard_fallback_leaves_the_run_exact(self):
+        # A run that trips a guard must produce stats identical to an
+        # unguarded python run: the fallback path is the same oracle.
+        trace = CASES[0][1]
+        config = dataclasses.replace(HIGH_PERF_SIM, max_cycles=backend._WHEN_LIMIT)
+        expected = _run("python", config, trace)
+        actual = _run("interpreted", config, trace)
+        assert _dump(actual) == _dump(expected)
+
+    def test_watchdog_maps_to_deadlock_error(self):
+        config = dataclasses.replace(HIGH_PERF_SIM, max_cycles=40)
+        with pytest.raises(DeadlockError):
+            _run("python", config, CASES[0][1])
+        with pytest.raises(DeadlockError, match="max_cycles"):
+            _run("interpreted", config, CASES[0][1])
+
+
+# ================================================================= equivalence
+
+
+class TestInterpretedEquivalence:
+    """Reduced matrix: the kernel itself, exercised without a jit."""
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_matches_python(self, mode):
+        config = dataclasses.replace(HIGH_PERF_SIM, tca_mode=mode)
+        label, trace, warm = CASES[1]
+        expected = _run("python", config, trace, warm)
+        actual = _run("interpreted", config, trace, warm)
+        assert _dump(actual) == _dump(expected), label
+
+
+@pytest.mark.skipif(not HAS_CC, reason="no C compiler on this host")
+class TestCEquivalence:
+    """Full matrix on the compiled C kernel (fast enough to afford it)."""
+
+    @pytest.mark.parametrize("config_name", ["high", "low"])
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("case", CASES, ids=[label for label, _, _ in CASES])
+    @pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+    def test_matches_python(self, config_name, mode, case, warm):
+        label, trace, warm_ranges = case
+        if warm and not warm_ranges:
+            pytest.skip(f"{label} has no warm ranges")
+        base = HIGH_PERF_SIM if config_name == "high" else LOW_PERF_SIM
+        config = dataclasses.replace(base, tca_mode=mode)
+        ranges = warm_ranges if warm else None
+        expected = _run("python", config, trace, ranges)
+        actual = _run("c", config, trace, ranges)
+        assert _dump(actual) == _dump(expected), label
+
+    def test_repeated_runs_reuse_pooled_state(self):
+        _, trace, _ = CASES[0]
+        compiled = compile_trace(trace)
+        with backend.use_backend("c"):
+            first = CoreSim(HIGH_PERF_SIM, compiled).run()
+            second = CoreSim(HIGH_PERF_SIM, compiled).run()
+        assert _dump(first) == _dump(second)
+        assert backend.get_packed(compiled)._pool  # state block returned
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestNumbaEquivalence:
+    """Smoke equivalence for the jitted kernel (CI's numba matrix leg)."""
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_matches_python(self, mode):
+        config = dataclasses.replace(HIGH_PERF_SIM, tca_mode=mode)
+        label, trace, warm = CASES[1]
+        expected = _run("python", config, trace, warm)
+        actual = _run("numba", config, trace, warm)
+        assert _dump(actual) == _dump(expected), label

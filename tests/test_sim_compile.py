@@ -70,14 +70,34 @@ class TestRunStatePool:
 
     def test_pooled_runs_are_deterministic(self):
         # Back-to-back runs reuse the pooled mutable block; any residue
-        # would change the stats.
+        # would change the stats.  Pinned to the python backend — native
+        # backends pool their own arrays (covered below).
+        from repro.sim import backend
+
         compiled = compile_trace(_trace(), cache=False)
-        dumps = {
-            json.dumps(CoreSim(HIGH_PERF_SIM, compiled).run().to_dict())
-            for _ in range(4)
-        }
+        with backend.use_backend("python"):
+            dumps = {
+                json.dumps(CoreSim(HIGH_PERF_SIM, compiled).run().to_dict())
+                for _ in range(4)
+            }
         assert len(dumps) == 1
         assert len(compiled._pool) == 1
+
+    def test_native_state_pool_reuses_blocks(self):
+        # The native driver's per-run arrays pool mirrors the RunState
+        # pool: clean runs recycle one block, and reuse leaves no residue.
+        from repro.sim import backend
+
+        compiled = compile_trace(_trace(), cache=False)
+        with backend.use_backend("interpreted"):
+            dumps = set()
+            for _ in range(4):
+                sim = CoreSim(HIGH_PERF_SIM, compiled)
+                stats = backend.try_run_native(sim)
+                assert stats is not None
+                dumps.add(json.dumps(stats.to_dict()))
+        assert len(dumps) == 1
+        assert len(compiled._packed._pool) == 1
 
 
 class TestPickling:
