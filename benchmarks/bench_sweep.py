@@ -19,6 +19,14 @@ Run it directly (defaults to the paper's full-scale grid)::
 throughput number.  The script also cross-checks that all three paths
 produce identical NaN masks and values within 1e-9, so the speedup
 numbers can't silently come from computing something different.
+
+A second section benchmarks the **streaming Pareto engine**
+(:func:`repro.core.pareto.sweep_pareto`): a million-cell
+core × mode × tech × (a, v) lattice reduced to its
+speedup/energy/area frontier in bounded memory, cross-checked for
+*exact* frontier equality against the scalar per-point oracle on a
+seeded reduced grid, with the tracemalloc peak asserted against a
+block-size-proportional budget.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import argparse
 import json
 import os
 import sys
+import tracemalloc
 from time import perf_counter
 
 import numpy as np
@@ -34,6 +43,11 @@ import numpy as np
 from repro.core.modes import TCAMode
 from repro.core.parallel import parallel_map
 from repro.core.parameters import HIGH_PERF, LOW_PERF, AcceleratorParameters
+from repro.core.pareto import (
+    ParetoSweepSpec,
+    sweep_pareto,
+    sweep_pareto_scalar,
+)
 from repro.core.sweep import speedup_heatmap, speedup_heatmap_scalar
 from repro.experiments.fig7_heatmap import _GRID, _MODE_ORDER, _panel
 from repro.obs.manifest import bench_provenance
@@ -42,6 +56,34 @@ from repro.obs.manifest import bench_provenance
 REPEATS = 3
 
 ACCELERATOR = AcceleratorParameters(name="bench", acceleration=1.5)
+
+#: Pareto lattice per scale: (fractions, frequencies).  Combined with
+#: 2 cores x 4 modes x 2 tech nodes, "full" covers 16 x 260 x 250 =
+#: 1.04M lattice cells — the million-point target.
+PARETO_GRID = {"full": (260, 250), "smoke": (16, 16)}
+
+#: Reduced seeded grid for the scalar-oracle cross-check (the oracle is
+#: O(points^2) in its dominance filter; keep it honest but affordable).
+PARETO_ORACLE_GRID = {"full": (12, 12), "smoke": (8, 8)}
+
+PARETO_TECH = ("cmos-hp-45", "finfet-hp-20")
+
+#: tracemalloc peak budget per lattice cell of one evaluation block.
+#: A block touches a few dozen float64 temporaries (speedup grid,
+#: energy grid, masks, column stack); 64 doublewords/cell bounds that
+#: with headroom while still catching an accidentally O(total) path.
+PARETO_PEAK_BYTES_PER_CELL = 64 * 8
+
+
+def _pareto_spec(scale: str, oracle: bool = False) -> ParetoSweepSpec:
+    n_frac, n_freq = (PARETO_ORACLE_GRID if oracle else PARETO_GRID)[scale]
+    return ParetoSweepSpec(
+        cores=(HIGH_PERF, LOW_PERF),
+        accelerator=ACCELERATOR,
+        fractions=tuple(np.linspace(0.02, 1.0, n_frac)),
+        frequencies=tuple(np.logspace(-5, -0.5, n_freq)),
+        tech=PARETO_TECH,
+    )
 
 
 def _tasks(scale: str) -> list[tuple]:
@@ -95,6 +137,71 @@ def _verify(reference, candidates, label: str) -> float:
     return worst
 
 
+def _bench_pareto(scale: str) -> dict:
+    """Time the streaming Pareto reduction and cross-check the oracle."""
+    spec = _pareto_spec(scale)
+
+    vector_s = float("inf")
+    accumulator = None
+    for _ in range(REPEATS):
+        started = perf_counter()
+        accumulator = sweep_pareto(spec)
+        vector_s = min(vector_s, perf_counter() - started)
+
+    # Exact frontier equality against the scalar per-point oracle on the
+    # seeded reduced grid (same axes, coarser resolution).
+    oracle_spec = _pareto_spec(scale, oracle=True)
+    scalar_s = float("inf")
+    oracle_points = None
+    for _ in range(REPEATS):
+        started = perf_counter()
+        oracle_points = sweep_pareto_scalar(oracle_spec)
+        scalar_s = min(scalar_s, perf_counter() - started)
+    if sweep_pareto(oracle_spec).points() != oracle_points:
+        raise AssertionError(
+            "pareto: streamed frontier differs from the scalar oracle"
+        )
+
+    # Peak memory must scale with the block, never the lattice.
+    tracemalloc.start()
+    sweep_pareto(spec)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    budget_bytes = spec.block_size * PARETO_PEAK_BYTES_PER_CELL
+    if peak_bytes > budget_bytes:
+        raise AssertionError(
+            f"pareto: tracemalloc peak {peak_bytes / 1e6:.1f}MB exceeds the "
+            f"block-proportional budget {budget_bytes / 1e6:.1f}MB "
+            f"({spec.block_size} cells x {PARETO_PEAK_BYTES_PER_CELL}B)"
+        )
+
+    vector_pps = spec.total_points / vector_s if vector_s > 0 else float("inf")
+    scalar_pps = (
+        oracle_spec.total_points / scalar_s if scalar_s > 0 else float("inf")
+    )
+    return {
+        "lattice_points": spec.total_points,
+        "feasible_points": accumulator.points_seen,
+        "frontier_size": accumulator.size,
+        "block_size": spec.block_size,
+        "oracle_match": True,
+        "peak_memory_mb": peak_bytes / 1e6,
+        "peak_budget_mb": budget_bytes / 1e6,
+        "vectorized": {
+            "seconds": vector_s,
+            "points_per_sec": vector_pps,
+        },
+        "scalar_sample": {
+            "lattice_points": oracle_spec.total_points,
+            "seconds": scalar_s,
+            "points_per_sec": scalar_pps,
+        },
+        "speedup_vs_scalar": (
+            vector_pps / scalar_pps if scalar_pps > 0 else float("inf")
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -141,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
             **extra,
         }
 
+    pareto = _bench_pareto(args.scale)
+
     payload = {
         "bench": "sweep",
         "scale": args.scale,
@@ -155,6 +264,7 @@ def main(argv: list[str] | None = None) -> int:
         "scalar": entry(scalar_s),
         "vectorized": entry(vector_s),
         "jobs": entry(jobs_s, n=args.jobs),
+        "pareto": pareto,
         "provenance": bench_provenance(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -172,6 +282,21 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['speedup_vs_scalar']:>7.1f}x vs scalar"
         )
     print(f"  max rel diff vs scalar: {max_rel:.2e}")
+    print(
+        f"pareto bench ({pareto['lattice_points']} lattice points, "
+        f"{pareto['feasible_points']} feasible, frontier "
+        f"{pareto['frontier_size']}):"
+    )
+    print(
+        f"  streamed     {pareto['vectorized']['seconds']:>9.4f}s  "
+        f"{pareto['vectorized']['points_per_sec']:>12.0f} points/s  "
+        f"{pareto['speedup_vs_scalar']:>7.1f}x vs scalar oracle"
+    )
+    print(
+        f"  peak memory  {pareto['peak_memory_mb']:.1f}MB "
+        f"(budget {pareto['peak_budget_mb']:.1f}MB for block size "
+        f"{pareto['block_size']})"
+    )
     print(f"[written {args.out}]")
     return 0
 

@@ -4,8 +4,8 @@ Accelerators* (Schlais, Zhuo, Lipasti — ISPASS 2020).
 The package provides:
 
 - :mod:`repro.api` — the public façade: :func:`evaluate`, :func:`sweep`,
-  :func:`simulate`, and :func:`compare`, returning typed
-  JSON-round-trippable results (``docs/API.md``);
+  :func:`pareto_sweep`, :func:`simulate`, and :func:`compare`, returning
+  typed JSON-round-trippable results (``docs/API.md``);
 - :mod:`repro.core` — the paper's analytical TCA performance model
   (four leading/trailing concurrency modes, drain/fill/barrier penalties,
   sweeps, heatmaps, concurrency limits, design-space tools);
@@ -80,16 +80,19 @@ from repro.sim import (
 from repro.api import (
     ComparisonResult,
     EvaluationResult,
+    ParetoPoint,
+    ParetoSweepResult,
     SimulationResult,
     SweepResult,
     compare,
     evaluate,
+    pareto_sweep,
     simulate,
     sweep,
 )
 from repro.serve import EvaluationCache
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ARM_A72",
@@ -108,6 +111,8 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "OpClass",
+    "ParetoPoint",
+    "ParetoSweepResult",
     "PipelineTracer",
     "PowerLawDrain",
     "SamplingConfig",
@@ -127,6 +132,7 @@ __all__ = [
     "evaluate",
     "get_logger",
     "get_registry",
+    "pareto_sweep",
     "predict_speedups",
     "simulate",
     "simulate_modes",

@@ -7,6 +7,10 @@ JSON-round-trippable result:
   for one (core, accelerator, workload) point, optionally cached;
 - :func:`sweep` — "how does that change across a design axis?" —
   granularity/fraction/frequency sweeps through the vectorized path;
+- :func:`pareto_sweep` — "which designs are worth building?" — a
+  streaming multi-objective sweep over cores × modes × tech nodes ×
+  an ``(a, v)`` lattice, reduced to its speedup/energy/area Pareto
+  frontier in bounded memory (:mod:`repro.core.pareto`);
 - :func:`simulate` — "what does the cycle-level simulator say?" — one
   trace on one configuration, optionally cached by content;
 - :func:`compare` — "model vs. silicon-stand-in" — a baseline trace plus
@@ -38,7 +42,16 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.drain import DrainEstimator
+from repro.core.energy import EnergyParameters
 from repro.core.modes import TCAMode
+from repro.core.pareto import (
+    DEFAULT_BLOCK_SIZE,
+    PARETO_MAXIMIZE,
+    PARETO_OBJECTIVES,
+    ParetoSweepSpec,
+    sweep_pareto,
+)
+from repro.core.tech import DEFAULT_TECH
 from repro.core.parameters import (
     AcceleratorParameters,
     CoreParameters,
@@ -70,10 +83,13 @@ from repro.sim.stats import SimStats
 __all__ = [
     "ComparisonResult",
     "EvaluationResult",
+    "ParetoPoint",
+    "ParetoSweepResult",
     "SimulationResult",
     "SweepResult",
     "compare",
     "evaluate",
+    "pareto_sweep",
     "simulate",
     "sweep",
 ]
@@ -257,6 +273,171 @@ class SweepResult:
             core=_core_from_dict(payload["core"]),
             accelerator=_accelerator_from_dict(payload["accelerator"]),
         )
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier design from a :func:`pareto_sweep`.
+
+    Attributes:
+        core: name of the processor parameter set.
+        mode: TCA integration mode.
+        tech: technology-node name.
+        acceleratable_fraction: workload ``a`` at this point.
+        invocation_frequency: workload ``v`` at this point.
+        speedup: predicted program speedup (maximized).
+        energy_ratio: mode energy over baseline energy (minimized).
+        area: tech-scaled relative hardware area (minimized).
+        efficiency: speedup per unit area (derived; NaN-safe).
+    """
+
+    core: str
+    mode: TCAMode
+    tech: str
+    acceleratable_fraction: float
+    invocation_frequency: float
+    speedup: float
+    energy_ratio: float
+    area: float
+    efficiency: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (mode by its string value)."""
+        return {
+            "core": self.core,
+            "mode": self.mode.value,
+            "tech": self.tech,
+            "acceleratable_fraction": self.acceleratable_fraction,
+            "invocation_frequency": self.invocation_frequency,
+            "speedup": self.speedup,
+            "energy_ratio": self.energy_ratio,
+            "area": self.area,
+            "efficiency": self.efficiency,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ParetoPoint":
+        """Rebuild from a :meth:`to_dict` payload (or a
+        :meth:`repro.core.pareto.ParetoAccumulator.points` row)."""
+        return cls(
+            core=str(payload["core"]),
+            mode=TCAMode(payload["mode"]),
+            tech=str(payload["tech"]),
+            acceleratable_fraction=float(payload["acceleratable_fraction"]),
+            invocation_frequency=float(payload["invocation_frequency"]),
+            speedup=float(payload["speedup"]),
+            energy_ratio=float(payload["energy_ratio"]),
+            area=float(payload["area"]),
+            efficiency=float(payload["efficiency"]),
+        )
+
+
+@dataclass(frozen=True)
+class ParetoSweepResult:
+    """The Pareto frontier of a multi-objective design-space sweep.
+
+    Attributes:
+        frontier: the non-dominated designs, in the canonical order of
+            :meth:`repro.core.pareto.ParetoAccumulator.points` (best
+            speedup first, ties broken deterministically).
+        points_seen: feasible design points streamed through the
+            reduction.
+        total_points: lattice cells the sweep covered (including
+            infeasible ``a < v`` cells that produce no point).
+    """
+
+    frontier: tuple[ParetoPoint, ...]
+    points_seen: int
+    total_points: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump."""
+        return {
+            "objectives": list(PARETO_OBJECTIVES),
+            "maximize": list(PARETO_MAXIMIZE),
+            "frontier": [point.to_dict() for point in self.frontier],
+            "frontier_size": len(self.frontier),
+            "points_seen": self.points_seen,
+            "total_points": self.total_points,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ParetoSweepResult":
+        """Rebuild from a :meth:`to_dict` payload."""
+        return cls(
+            frontier=tuple(
+                ParetoPoint.from_dict(point) for point in payload["frontier"]
+            ),
+            points_seen=int(payload["points_seen"]),
+            total_points=int(payload["total_points"]),
+        )
+
+
+def pareto_sweep(
+    cores: CoreParameters | Sequence[CoreParameters],
+    accelerator: AcceleratorParameters,
+    fractions: Sequence[float] | np.ndarray,
+    frequencies: Sequence[float] | np.ndarray,
+    *,
+    modes: TCAMode | Iterable[TCAMode] | None = None,
+    tech: str | Sequence[str] | None = None,
+    energy: EnergyParameters | None = None,
+    drain_estimator: DrainEstimator | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    jobs: int = 1,
+) -> ParetoSweepResult:
+    """Reduce a design-space lattice to its Pareto frontier, streaming.
+
+    Sweeps ``cores × modes × tech × fractions × frequencies``, scoring
+    every feasible cell on speedup (max), energy ratio (min), and
+    tech-scaled area (min), in blocks of at most ``block_size`` cells —
+    memory stays bounded no matter how many points the lattice holds.
+
+    Args:
+        cores: one or more processor parameter sets.
+        accelerator: TCA parameters.
+        fractions: acceleratable-fraction axis.
+        frequencies: invocation-frequency axis.
+        modes: one mode, an iterable, or ``None`` for all four.
+        tech: technology-node name(s); default the 45nm reference.
+        energy: reference-node energy parameters (default
+            :class:`~repro.core.energy.EnergyParameters`).
+        drain_estimator: NL-mode drain strategy (default power law).
+        block_size: max grid cells per streamed evaluation block.
+        jobs: worker processes for chunk fan-out (1 = in-process).
+
+    Returns:
+        A :class:`ParetoSweepResult`; identical for every ``jobs`` and
+        ``block_size`` value.
+    """
+    if isinstance(cores, CoreParameters):
+        cores = (cores,)
+    if tech is None:
+        tech = (DEFAULT_TECH,)
+    elif isinstance(tech, str):
+        tech = (tech,)
+    spec = ParetoSweepSpec(
+        cores=tuple(cores),
+        accelerator=accelerator,
+        fractions=tuple(float(a) for a in np.asarray(fractions, dtype=float)),
+        frequencies=tuple(
+            float(v) for v in np.asarray(frequencies, dtype=float)
+        ),
+        modes=_resolve_modes(modes),
+        tech=tuple(tech),
+        energy=energy or EnergyParameters(),
+        drain_estimator=drain_estimator,
+        block_size=block_size,
+    )
+    with span("api.sweep.pareto"):
+        accumulator = sweep_pareto(spec, jobs=jobs)
+    return ParetoSweepResult(
+        frontier=tuple(
+            ParetoPoint.from_dict(point) for point in accumulator.points()
+        ),
+        points_seen=accumulator.points_seen,
+        total_points=spec.total_points,
+    )
 
 
 @dataclass(frozen=True)

@@ -15,10 +15,14 @@ import sys
 
 from repro.cli_common import (
     add_common_arguments,
+    add_tech_argument,
     configure_from_args,
     maybe_print_profile,
 )
 from repro.core.design_space import recommend_mode
+from repro.core.energy import EnergyModel, EnergyParameters
+from repro.core.modes import MODE_COSTS
+from repro.core.tech import get_tech_node
 from repro.core.interval import interval_timeline, render_timeline
 from repro.core.model import TCAModel
 from repro.core.modes import TCAMode
@@ -96,6 +100,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--timeline", action="store_true", help="print Fig.3-style timelines"
     )
+    parser.add_argument(
+        "--energy",
+        action="store_true",
+        help="print per-mode energy ratios and tech-scaled hardware area "
+        "(paper §VII; combine with --tech for a non-reference node)",
+    )
+    add_tech_argument(parser)
     add_common_arguments(parser)
     args = parser.parse_args(argv)
     configure_from_args(args)
@@ -131,6 +142,23 @@ def main(argv: list[str] | None = None) -> int:
                 f"non_accel={b.non_accel:8.1f}  accel={b.accel:7.1f}  "
                 f"drain={b.drain:6.1f}  commit={b.commit:5.1f}  "
                 f"rob_full={b.rob_full_stall:7.1f}"
+            )
+    if args.energy:
+        node = get_tech_node(args.tech)
+        energy = EnergyModel(model, node.scale_energy(EnergyParameters()))
+        print()
+        print(
+            f"energy @ {node.name} (freq x{node.frequency_scale}, "
+            f"dyn x{node.dynamic_energy_scale}, "
+            f"leak x{node.static_power_scale}, area x{node.area_scale})"
+        )
+        for mode in TCAMode.all_modes():
+            ratio = energy.energy_ratio(mode)
+            area = node.scale_area(MODE_COSTS[mode].total)
+            marker = "  <-- loses energy" if ratio > 1.0 else ""
+            print(
+                f"  {mode.value:<6} energy={ratio:6.3f}x baseline  "
+                f"area={area:5.2f}{marker}"
             )
     if args.timeline:
         print()

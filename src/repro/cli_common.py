@@ -77,6 +77,24 @@ def add_common_arguments(
         )
 
 
+def add_tech_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--tech`` technology-node flag.
+
+    Choices come from the bundled node table
+    (:func:`repro.core.tech.tech_node_names`), so a new node in
+    ``core/data/tech_nodes.json`` shows up in every CLI automatically.
+    """
+    from repro.core.tech import DEFAULT_TECH, tech_node_names
+
+    parser.add_argument(
+        "--tech",
+        choices=tech_node_names(),
+        default=DEFAULT_TECH,
+        help="technology node for energy/area scaling "
+        "(default: %(default)s, the 45nm CMOS reference)",
+    )
+
+
 def configure_from_args(args: argparse.Namespace) -> None:
     """Apply the common flags right after ``parse_args``.
 

@@ -34,9 +34,16 @@ from repro.core.design_space import (
     ModeRecommendation,
     design_points,
     pareto_frontier,
+    pareto_frontier_quadratic,
     recommend_mode,
 )
-from repro.core.energy import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.core.energy import (
+    EnergyBreakdown,
+    EnergyGrid,
+    EnergyModel,
+    EnergyParameters,
+    energy_grid,
+)
 from repro.core.explain import (
     PenaltyComparison,
     PenaltyExplanation,
@@ -57,9 +64,32 @@ from repro.core.interval import (
     interval_timeline,
     render_timeline,
 )
-from repro.core.model import ModeBreakdown, TCAModel, predict_speedups, speedup_grid
+from repro.core.model import (
+    ModeBreakdown,
+    TCAModel,
+    mode_time_grid,
+    predict_speedups,
+    speedup_grid,
+)
 from repro.core.parallel import parallel_map
+from repro.core.pareto import (
+    ParetoAccumulator,
+    ParetoChunk,
+    ParetoSweepSpec,
+    efficiency_values,
+    evaluate_pareto_chunk,
+    non_dominated_mask,
+    sweep_pareto,
+    sweep_pareto_scalar,
+)
 from repro.core.modes import MODE_COSTS, ModeHardwareCost, TCAMode
+from repro.core.tech import (
+    DEFAULT_TECH,
+    TechNode,
+    get_tech_node,
+    load_tech_nodes,
+    tech_node_names,
+)
 from repro.core.partial import PartialSpeculationModel, PartialSpeculationResult
 from repro.core.parameters import (
     ARM_A72,
@@ -89,6 +119,7 @@ from repro.core.validation import (
 
 __all__ = [
     "ARM_A72",
+    "DEFAULT_TECH",
     "HIGH_PERF",
     "LOW_PERF",
     "MODE_COSTS",
@@ -100,6 +131,7 @@ __all__ = [
     "DesignPoint",
     "DrainEstimator",
     "EnergyBreakdown",
+    "EnergyGrid",
     "EnergyModel",
     "EnergyParameters",
     "ExplicitDrain",
@@ -108,6 +140,9 @@ __all__ = [
     "ModeBreakdown",
     "ModeHardwareCost",
     "ModeRecommendation",
+    "ParetoAccumulator",
+    "ParetoChunk",
+    "ParetoSweepSpec",
     "PenaltyComparison",
     "PenaltyExplanation",
     "PartialSpeculationModel",
@@ -119,6 +154,7 @@ __all__ = [
     "TCAComponent",
     "TCAModel",
     "TCAMode",
+    "TechNode",
     "ValidationRecord",
     "ValidationReport",
     "WorkloadParameters",
@@ -127,19 +163,27 @@ __all__ = [
     "concurrency_curve",
     "core_parameters_from_sim",
     "design_points",
+    "efficiency_values",
+    "energy_grid",
     "estimate_tca_latency",
+    "evaluate_pareto_chunk",
     "explain_all_modes",
     "explain_mode",
     "find_peaks",
     "fraction_sweep",
     "frequency_sweep",
+    "get_tech_node",
     "granularity_sweep",
     "ideal_lt_speedup",
     "interval_timeline",
+    "load_tech_nodes",
     "max_speedup_limit",
+    "mode_time_grid",
+    "non_dominated_mask",
     "optimal_fraction",
     "parallel_map",
     "pareto_frontier",
+    "pareto_frontier_quadratic",
     "predict_speedups",
     "recommend_mode",
     "render_timeline",
@@ -148,6 +192,9 @@ __all__ = [
     "speedup_grid",
     "speedup_heatmap",
     "speedup_heatmap_scalar",
+    "sweep_pareto",
+    "sweep_pareto_scalar",
+    "tech_node_names",
     "validate_composite",
     "validate_workload",
 ]

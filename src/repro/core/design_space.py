@@ -34,7 +34,16 @@ class DesignPoint:
 
     @property
     def efficiency(self) -> float:
-        """Speedup per unit of hardware cost."""
+        """Speedup per unit of hardware cost.
+
+        NaN when the cost is zero, negative, or NaN, or the speedup is
+        NaN — undefined operating points propagate as NaN rather than
+        raising.  Infinite speedup over a positive finite cost stays
+        infinite.  The grid counterpart is
+        :func:`repro.core.pareto.efficiency_values`.
+        """
+        if not (self.hardware_cost > 0) or self.speedup != self.speedup:
+            return float("nan")
         return self.speedup / self.hardware_cost
 
 
@@ -58,7 +67,45 @@ def pareto_frontier(points: tuple[DesignPoint, ...]) -> tuple[DesignPoint, ...]:
     """The pareto-optimal subset: no other point is both cheaper-or-equal
     and faster-or-equal (with at least one strict improvement).
 
+    O(n log n) sort-and-scan; exact duplicates in (cost, speedup) are
+    all kept, and points with NaN cost or speedup are never dominated
+    (and never dominate) — identical output, order included, to
+    :func:`pareto_frontier_quadratic`.
+
     Returned in ascending hardware-cost order.
+    """
+    items = list(points)
+    keep = [True] * len(items)  # NaN-coordinate points always survive
+    clean = [
+        (i, p)
+        for i, p in enumerate(items)
+        if p.hardware_cost == p.hardware_cost and p.speedup == p.speedup
+    ]
+    clean.sort(key=lambda item: (item[1].hardware_cost, -item[1].speedup))
+    best_cheaper = float("-inf")  # max speedup among strictly cheaper points
+    i = 0
+    while i < len(clean):
+        j = i
+        cost = clean[i][1].hardware_cost
+        while j < len(clean) and clean[j][1].hardware_cost == cost:
+            j += 1
+        group_max = clean[i][1].speedup  # sorted fastest-first within group
+        for index, p in clean[i:j]:
+            if best_cheaper >= p.speedup or group_max > p.speedup:
+                keep[index] = False
+        best_cheaper = max(best_cheaper, group_max)
+        i = j
+    frontier = [p for i, p in enumerate(items) if keep[i]]
+    return tuple(sorted(frontier, key=lambda p: (p.hardware_cost, -p.speedup)))
+
+
+def pareto_frontier_quadratic(
+    points: tuple[DesignPoint, ...]
+) -> tuple[DesignPoint, ...]:
+    """Reference O(n²) pairwise-dominance frontier.
+
+    The obviously-correct oracle :func:`pareto_frontier` is regression-
+    tested against; prefer :func:`pareto_frontier` everywhere else.
     """
     frontier = [
         p

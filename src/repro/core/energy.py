@@ -22,8 +22,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.model import TCAModel
+import numpy as np
+
+from repro.core.drain import DrainEstimator
+from repro.core.model import TCAModel, mode_time_grid
 from repro.core.modes import TCAMode
+from repro.core.parameters import AcceleratorParameters, CoreParameters
+from repro.obs.metrics import get_registry
+
+# Counts energy-grid cells evaluated, the energy counterpart of
+# model.evaluations — million-point Pareto sweeps stay honest about how
+# much closed-form work they burn.
+_ENERGY_CELLS = get_registry().counter("model.energy_cells")
 
 
 @dataclass(frozen=True)
@@ -54,6 +64,17 @@ class EnergyParameters:
         ):
             if getattr(self, field_name) < 0:
                 raise ValueError(f"{field_name} must be non-negative")
+
+    def to_canonical_dict(self) -> dict[str, float]:
+        """All fields as a stable, JSON-safe dict (cache keys, wire)."""
+        return {
+            "core_static_power": float(self.core_static_power),
+            "core_dynamic_energy": float(self.core_dynamic_energy),
+            "accelerator_invocation_energy": float(
+                self.accelerator_invocation_energy
+            ),
+            "accelerator_static_power": float(self.accelerator_static_power),
+        }
 
 
 @dataclass(frozen=True)
@@ -153,3 +174,137 @@ class EnergyModel:
             self.mode_energy(mode).core_static
             - self.baseline_energy().core_static
         )
+
+
+@dataclass(frozen=True)
+class EnergyGrid:
+    """Per-interval energy of one mode over an ``(a, v)`` grid.
+
+    The array counterpart of :class:`EnergyBreakdown` plus the baseline
+    and the ratio, all with the broadcast shape of the inputs.  Masking
+    follows :func:`~repro.core.model.speedup_grid`: infeasible cells are
+    NaN everywhere; no-invocation cells (``a == 0`` or ``v == 0``) have
+    ``ratio`` 1.0 (no accelerator — the baseline *is* the mode) but NaN
+    absolute energies, because per-interval quantities are undefined
+    without invocations (the scalar :class:`EnergyModel` raises there).
+
+    Attributes:
+        mode: the TCA integration mode evaluated.
+        total: total mode energy per interval.
+        core_static: core static energy (power × interval time).
+        core_dynamic: dynamic energy of core-executed instructions.
+        accelerator: accelerator dynamic + static energy.
+        baseline_total: total software-baseline energy per interval.
+        ratio: ``total / baseline_total`` (< 1.0 = the TCA saves energy).
+    """
+
+    mode: TCAMode
+    total: np.ndarray
+    core_static: np.ndarray
+    core_dynamic: np.ndarray
+    accelerator: np.ndarray
+    baseline_total: np.ndarray
+    ratio: np.ndarray
+
+    def losing_mask(self) -> np.ndarray:
+        """Cells where this mode *increases* total energy (ratio > 1)."""
+        with np.errstate(invalid="ignore"):
+            return self.ratio > 1.0
+
+
+def energy_grid(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    params: EnergyParameters,
+    a: np.ndarray | float,
+    v: np.ndarray | float,
+    mode: TCAMode,
+    drain_estimator: DrainEstimator | None = None,
+    drain_time: float | np.ndarray | None = None,
+) -> EnergyGrid:
+    """Closed-form NumPy evaluation of the §VII energy model over grids.
+
+    The array-native counterpart of :class:`EnergyModel`: ``a``
+    (acceleratable fraction) and ``v`` (invocation frequency) broadcast
+    against each other exactly like
+    :func:`~repro.core.model.speedup_grid`, and every active cell is
+    evaluated in one pass of vectorized arithmetic.  Interval times come
+    from the same :func:`~repro.core.model.mode_time_grid` arithmetic
+    the speedup grid uses, so active cells match the scalar
+    :class:`EnergyModel` (the pinned oracle) term by term.
+
+    Masking semantics per cell:
+
+    - values outside ``[0, 1]`` or ``0 < a < v`` (infeasible): NaN in
+      every array, including ``ratio``;
+    - ``a == 0`` or ``v == 0`` (no invocations): ``ratio`` 1.0, absolute
+      energies NaN (undefined per-interval, the scalar model raises);
+    - otherwise: the §VII terms, with ``ratio = total / baseline``.
+
+    Args:
+        core: processor parameters.
+        accelerator: TCA parameters (explicit ``latency`` wins over
+            ``A``, as everywhere in the model).
+        params: energy parameters (tech-scale them first via
+            :meth:`repro.core.tech.TechNode.scale_energy` for a
+            non-reference technology node).
+        a: acceleratable fraction(s), broadcastable against ``v``.
+        v: invocation frequency(s), broadcastable against ``a``.
+        mode: the TCA integration mode to evaluate.
+        drain_estimator: NL-mode drain strategy (default power law).
+        drain_time: explicit per-workload drain time (scalar or array),
+            taking precedence over the estimator.
+
+    Returns:
+        An :class:`EnergyGrid` with the broadcast shape of ``(a, v)``.
+    """
+    a, v = np.broadcast_arrays(
+        np.asarray(a, dtype=float), np.asarray(v, dtype=float)
+    )
+    in_range = (a >= 0.0) & (a <= 1.0) & (v >= 0.0) & (v <= 1.0)
+    no_invocations = in_range & ((a == 0.0) | (v == 0.0))
+    active = in_range & (a > 0.0) & (v > 0.0) & (a >= v)
+    _ENERGY_CELLS.inc(int(active.sum()) + int(no_invocations.sum()))
+
+    # Feasible substitutes at masked cells keep the arithmetic finite
+    # and warning-free; masked results are overwritten below.
+    sa = np.where(active, a, 1.0)
+    sv = np.where(active, v, 1.0)
+
+    time = mode_time_grid(
+        core, accelerator, sa, sv, mode, drain_estimator, drain_time
+    )
+    t_base = 1.0 / (sv * core.ipc)  # eq. (1)
+    instructions = 1.0 / sv  # baseline instructions per interval
+
+    base_static = params.core_static_power * t_base
+    base_dynamic = params.core_dynamic_energy * instructions
+    baseline_total = base_static + base_dynamic
+
+    core_static = params.core_static_power * time
+    core_dynamic = params.core_dynamic_energy * (instructions * (1.0 - sa))
+    accel = (
+        params.accelerator_invocation_energy
+        + params.accelerator_static_power * time
+    )
+    total = core_static + core_dynamic + accel
+    # All-zero energy parameters give a zero baseline; the ratio is
+    # undefined there (NaN), never a divide error.
+    positive = baseline_total > 0.0
+    ratio = np.where(
+        positive, total / np.where(positive, baseline_total, 1.0), np.nan
+    )
+
+    def _mask(values: np.ndarray, no_invocation_fill: float) -> np.ndarray:
+        out = np.where(no_invocations, no_invocation_fill, np.nan)
+        return np.where(active, values, out)
+
+    return EnergyGrid(
+        mode=mode,
+        total=_mask(total, np.nan),
+        core_static=_mask(core_static, np.nan),
+        core_dynamic=_mask(core_dynamic, np.nan),
+        accelerator=_mask(accel, np.nan),
+        baseline_total=_mask(baseline_total, np.nan),
+        ratio=_mask(ratio, 1.0),
+    )

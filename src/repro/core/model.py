@@ -301,6 +301,59 @@ class TCAModel:
         return instructions / self.core.ipc
 
 
+def mode_time_grid(
+    core: CoreParameters,
+    accelerator: AcceleratorParameters,
+    sa: np.ndarray,
+    sv: np.ndarray,
+    mode: TCAMode,
+    drain_estimator: DrainEstimator | None = None,
+    drain_time: float | np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-interval mode execution time (eqs. (2)–(9)) over value grids.
+
+    The vectorized counterpart of :meth:`TCAModel.execution_time` and
+    the arithmetic shared by :func:`speedup_grid` and
+    :func:`repro.core.energy.energy_grid` — one implementation, so the
+    two grids can never disagree about what a cell's interval time is.
+
+    ``sa`` and ``sv`` must already be broadcast to a common shape and
+    hold *feasible* values at every cell (callers substitute a feasible
+    dummy at masked cells before calling; see :func:`speedup_grid`).
+    Every operation mirrors the scalar model step for step, so active
+    cells match :class:`TCAModel` bit for bit.
+    """
+    ipc = core.ipc
+    if accelerator.latency is not None:
+        t_accl = np.full(sa.shape, float(accelerator.latency))  # eq. (2)
+    else:
+        assert accelerator.acceleration is not None
+        t_accl = sa / (sv * accelerator.acceleration * ipc)  # eq. (2)
+    t_non = (1.0 - sa) / (sv * ipc)  # eq. (3)
+    t_commit = core.commit_stall
+    t_fill = core.rob_fill_time
+
+    if mode is TCAMode.NL_NT:
+        t_drain = resolve_drain_grid(
+            core, drain_time, drain_estimator, t_non, sa, sv
+        )
+        return t_non + t_accl + t_drain + 2.0 * t_commit  # eq. (4)
+    if mode is TCAMode.L_NT:
+        return t_non + t_accl + t_commit  # eq. (5)
+    if mode is TCAMode.NL_T:
+        t_drain = resolve_drain_grid(
+            core, drain_time, drain_estimator, t_non, sa, sv
+        )
+        rob_full = np.maximum(
+            0.0, t_drain + t_accl + t_commit - t_fill
+        )  # eq. (6)
+        return np.maximum(t_non + rob_full, t_accl + t_drain + t_commit)  # eq. (7)
+    if mode is TCAMode.L_T:
+        rob_full = np.maximum(0.0, t_accl - t_fill)  # eq. (8)
+        return np.maximum(t_non + rob_full, t_accl)  # eq. (9)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
 def speedup_grid(
     core: CoreParameters,
     accelerator: AcceleratorParameters,
@@ -353,37 +406,10 @@ def speedup_grid(
     sa = np.where(active, a, 1.0)
     sv = np.where(active, v, 1.0)
 
-    ipc = core.ipc
-    t_base = 1.0 / (sv * ipc)  # eq. (1)
-    if accelerator.latency is not None:
-        t_accl = np.full(sa.shape, float(accelerator.latency))  # eq. (2)
-    else:
-        assert accelerator.acceleration is not None
-        t_accl = sa / (sv * accelerator.acceleration * ipc)  # eq. (2)
-    t_non = (1.0 - sa) / (sv * ipc)  # eq. (3)
-    t_commit = core.commit_stall
-    t_fill = core.rob_fill_time
-
-    if mode is TCAMode.NL_NT:
-        t_drain = resolve_drain_grid(
-            core, drain_time, drain_estimator, t_non, sa, sv
-        )
-        time = t_non + t_accl + t_drain + 2.0 * t_commit  # eq. (4)
-    elif mode is TCAMode.L_NT:
-        time = t_non + t_accl + t_commit  # eq. (5)
-    elif mode is TCAMode.NL_T:
-        t_drain = resolve_drain_grid(
-            core, drain_time, drain_estimator, t_non, sa, sv
-        )
-        rob_full = np.maximum(
-            0.0, t_drain + t_accl + t_commit - t_fill
-        )  # eq. (6)
-        time = np.maximum(t_non + rob_full, t_accl + t_drain + t_commit)  # eq. (7)
-    elif mode is TCAMode.L_T:
-        rob_full = np.maximum(0.0, t_accl - t_fill)  # eq. (8)
-        time = np.maximum(t_non + rob_full, t_accl)  # eq. (9)
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
+    t_base = 1.0 / (sv * core.ipc)  # eq. (1)
+    time = mode_time_grid(
+        core, accelerator, sa, sv, mode, drain_estimator, drain_time
+    )
 
     speedup = np.where(
         time > 0.0, t_base / np.where(time > 0.0, time, 1.0), np.inf

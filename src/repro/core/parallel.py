@@ -23,6 +23,7 @@ functions, plain data).  Results preserve item order.
 from __future__ import annotations
 
 import math
+import threading
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
@@ -93,7 +94,12 @@ def parallel_map(
     chunks = chunked(items, chunk_size)
     registry = get_registry()
     out: list[R] = []
-    ctx = get_context()
+    # fork is fast and the right default for single-threaded CLI tools,
+    # but forking a multi-threaded process (a serving worker's handler
+    # threads, say) can inherit a lock mid-acquisition and deadlock the
+    # child before it reaches any work; use spawn there instead.
+    method = "spawn" if threading.active_count() > 1 else None
+    ctx = get_context(method)
     with ctx.Pool(processes=jobs, initializer=_worker_init) as pool:
         for results, snapshot in pool.imap(
             _run_chunk, [(fn, chunk) for chunk in chunks]

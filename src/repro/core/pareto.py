@@ -1,0 +1,637 @@
+"""Streaming multi-objective Pareto-frontier extraction at sweep scale.
+
+The paper's future-work pareto analysis (four ``DesignPoint``\\ s per
+workload) generalizes here to the regime the ROADMAP asks for: millions
+of ``(core, mode, tech, a, v)`` design points scored on three objectives
+— **speedup** (maximize), **energy ratio** (minimize), and **area**
+(minimize) — with the frontier extracted *while streaming*, so memory
+stays bounded by the block size plus the frontier, never the point
+count.
+
+Three layers:
+
+- :func:`non_dominated_mask` — the vectorized dominance kernel: one
+  boolean mask over a block of candidate points, keeping exact ties
+  (the same semantics as :func:`repro.core.design_space.pareto_frontier`);
+- :class:`ParetoAccumulator` — a streaming frontier: feed it blocks of
+  ~100k points, it reduces each block against the running frontier in
+  O(block + frontier) memory; partial accumulators **merge**, and the
+  merge is independent of how the points were partitioned, so
+  :func:`~repro.core.parallel.parallel_map` workers can each reduce a
+  shard and the supervisor combines the shards;
+- :class:`ParetoSweepSpec` / :func:`sweep_pareto` — the TCA sweep
+  engine: a cross product of cores × modes × tech nodes × an ``(a, v)``
+  lattice, chunked so no intermediate grid exceeds ``block_size`` cells,
+  evaluated through :func:`~repro.core.model.speedup_grid` and
+  :func:`~repro.core.energy.energy_grid`, with per-node scaling from
+  :mod:`repro.core.tech`.
+
+:func:`sweep_pareto_scalar` is the oracle: per-point
+:class:`~repro.core.model.TCAModel` / :class:`~repro.core.energy.EnergyModel`
+evaluation and a quadratic dominance pass — slow, obviously correct, and
+what the vectorized engine is tested against point for point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.drain import DrainEstimator, PowerLawDrain
+from repro.core.energy import EnergyModel, EnergyParameters, energy_grid
+from repro.core.model import TCAModel, speedup_grid
+from repro.core.modes import MODE_COSTS, TCAMode
+from repro.core.parallel import parallel_map
+from repro.core.parameters import (
+    AcceleratorParameters,
+    CoreParameters,
+    WorkloadParameters,
+)
+from repro.core.tech import DEFAULT_TECH, get_tech_node
+from repro.obs.metrics import get_registry
+
+#: Default cells per streamed evaluation block (~100k points keeps the
+#: working set a few MB regardless of total sweep size).
+DEFAULT_BLOCK_SIZE = 100_000
+
+#: The TCA sweep's objectives, in column order, and their senses.
+PARETO_OBJECTIVES = ("speedup", "energy_ratio", "area")
+PARETO_MAXIMIZE = (True, False, False)
+
+#: Per-point annotation columns the TCA sweep carries to the frontier.
+PARETO_COLUMNS = (
+    "core",
+    "mode",
+    "tech",
+    "acceleratable_fraction",
+    "invocation_frequency",
+    "efficiency",
+)
+
+_PARETO_POINTS = get_registry().counter("model.pareto_points")
+
+
+def non_dominated_mask(
+    values: np.ndarray, maximize: Sequence[bool]
+) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of ``values``.
+
+    A row is dominated when some other row is at least as good in every
+    objective and strictly better in at least one.  Exact ties — rows
+    equal in *all* objectives — are all kept, matching
+    :func:`repro.core.design_space.pareto_frontier`.  Rows containing
+    NaN in any objective are never on the frontier (and never dominate);
+    ``±inf`` objectives participate normally.
+
+    Args:
+        values: ``(n, k)`` objective matrix.
+        maximize: per-column sense, length ``k`` (False = minimize).
+
+    Returns:
+        Length-``n`` boolean mask, True at frontier rows.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {values.shape}")
+    n, k = values.shape
+    if len(maximize) != k:
+        raise ValueError(
+            f"maximize has {len(maximize)} senses for {k} objectives"
+        )
+    mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return mask
+    signs = np.where(np.asarray(maximize, dtype=bool), 1.0, -1.0)
+    z = values * signs  # maximization form
+    finite = ~np.isnan(z).any(axis=1)
+    ids = np.flatnonzero(finite)
+    if ids.size == 0:
+        return mask
+    zf = z[ids]
+    # Descending sort on the first objective (ties broken by the rest)
+    # lets early reference points eliminate large swaths immediately,
+    # keeping the compaction loop at O(frontier) iterations.
+    with np.errstate(invalid="ignore"):
+        order = np.lexsort(tuple(-zf[:, c] for c in range(k - 1, -1, -1)))
+    zf = zf[order]
+    ids = ids[order]
+    i = 0
+    while i < len(zf):
+        ref = zf[i]
+        # Survivors: strictly better somewhere, or tied everywhere.
+        keep = np.any(zf > ref, axis=1) | np.all(zf == ref, axis=1)
+        keep[i] = True
+        i = int(np.count_nonzero(keep[: i + 1]))
+        zf = zf[keep]
+        ids = ids[keep]
+    mask[ids] = True
+    return mask
+
+
+def efficiency_values(
+    speedup: np.ndarray | float, cost: np.ndarray | float
+) -> np.ndarray:
+    """Speedup per unit cost, NaN-masked — the grid form of
+    :attr:`repro.core.design_space.DesignPoint.efficiency`.
+
+    Zero, negative, or NaN costs and NaN speedups yield NaN (never a
+    divide error or warning); infinite speedups over finite positive
+    costs stay infinite.
+    """
+    s, c = np.broadcast_arrays(
+        np.asarray(speedup, dtype=float), np.asarray(cost, dtype=float)
+    )
+    valid = (c > 0) & ~np.isnan(s)
+    return np.where(valid, s / np.where(valid, c, 1.0), np.nan)
+
+
+def _canonical_point_json(point: Mapping[str, Any]) -> str:
+    """Deterministic JSON of one point dict (total-order tie-break)."""
+    return json.dumps(
+        point, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def canonical_points(
+    values: np.ndarray,
+    columns: Mapping[str, np.ndarray],
+    objectives: Sequence[str] = PARETO_OBJECTIVES,
+    maximize: Sequence[bool] = PARETO_MAXIMIZE,
+) -> list[dict[str, Any]]:
+    """Point rows as dicts in the canonical (deterministic) order.
+
+    The order sorts best-first by sense-adjusted objectives and breaks
+    exact objective ties by the canonical JSON of the whole point, so
+    the result is a pure function of the point *set* — identical no
+    matter how many workers or blocks produced it.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.shape[0]
+    signs = np.where(np.asarray(maximize, dtype=bool), 1.0, -1.0)
+    rows: list[tuple[tuple, dict[str, Any]]] = []
+    for i in range(n):
+        point: dict[str, Any] = {
+            name: float(values[i, j]) for j, name in enumerate(objectives)
+        }
+        for name, col in columns.items():
+            item = col[i]
+            point[name] = item.item() if hasattr(item, "item") else item
+        key = tuple(float(-signs[j] * values[i, j]) for j in range(len(objectives)))
+        rows.append((key + (_canonical_point_json(point),), point))
+    rows.sort(key=lambda row: row[0])
+    return [point for _, point in rows]
+
+
+class ParetoAccumulator:
+    """A streaming, mergeable Pareto frontier.
+
+    Feed blocks of candidate points with :meth:`add`; the accumulator
+    keeps only the non-dominated subset of everything seen, so memory is
+    O(block + frontier).  Partial accumulators combine with
+    :meth:`merge`, and because a point survives the union exactly when
+    no point anywhere dominates it, the merged frontier is independent
+    of how points were partitioned into blocks or workers.
+
+    Args:
+        objectives: objective column names, in ``values`` column order.
+        maximize: per-objective sense (False = minimize).
+        columns: names of per-point annotation columns carried along.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[str] = PARETO_OBJECTIVES,
+        maximize: Sequence[bool] = PARETO_MAXIMIZE,
+        columns: Sequence[str] = PARETO_COLUMNS,
+    ) -> None:
+        if len(objectives) != len(maximize):
+            raise ValueError("objectives and maximize must align")
+        self.objectives = tuple(objectives)
+        self.maximize = tuple(bool(m) for m in maximize)
+        self.column_names = tuple(columns)
+        self._values = np.empty((0, len(self.objectives)), dtype=float)
+        self._columns: dict[str, np.ndarray] = {
+            name: np.empty((0,), dtype=object) for name in self.column_names
+        }
+        self.points_seen = 0
+
+    @property
+    def size(self) -> int:
+        """Current frontier size."""
+        return self._values.shape[0]
+
+    def add(
+        self,
+        values: np.ndarray,
+        columns: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        """Stream one block of candidate points into the frontier.
+
+        Args:
+            values: ``(n, k)`` objective matrix (NaN rows are counted
+                but can never reach the frontier).
+            columns: per-point annotation arrays, one length-``n`` entry
+                per configured column name.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(self.objectives):
+            raise ValueError(
+                f"expected (n, {len(self.objectives)}) values, "
+                f"got shape {values.shape}"
+            )
+        n = values.shape[0]
+        columns = columns or {}
+        if set(columns) != set(self.column_names):
+            raise ValueError(
+                f"columns {sorted(columns)} != expected "
+                f"{sorted(self.column_names)}"
+            )
+        cols = {}
+        for name in self.column_names:
+            col = np.asarray(columns[name])
+            if col.shape != (n,):
+                raise ValueError(
+                    f"column {name!r} has shape {col.shape}, expected ({n},)"
+                )
+            cols[name] = col
+        self.points_seen += n
+        if n:
+            self._absorb(values, cols)
+
+    def _absorb(
+        self, values: np.ndarray, columns: Mapping[str, np.ndarray]
+    ) -> None:
+        cand = np.concatenate([self._values, values])
+        mask = non_dominated_mask(cand, self.maximize)
+        self._values = cand[mask]
+        self._columns = {
+            name: np.concatenate(
+                [
+                    self._columns[name],
+                    np.asarray(columns[name], dtype=object),
+                ]
+            )[mask]
+            for name in self.column_names
+        }
+
+    def merge(self, other: "ParetoAccumulator | Mapping[str, Any]") -> None:
+        """Fold another (partial) accumulator or its :meth:`state` in.
+
+        Jobs-invariant: merging per-shard partials yields exactly the
+        frontier a single accumulator over all points would hold.
+        """
+        if isinstance(other, Mapping):
+            other = ParetoAccumulator.from_state(other)
+        if (
+            other.objectives != self.objectives
+            or other.maximize != self.maximize
+            or other.column_names != self.column_names
+        ):
+            raise ValueError("cannot merge accumulators with different schemas")
+        self.points_seen += other.points_seen
+        if other.size:
+            self._absorb(other._values, other._columns)
+
+    def state(self) -> dict[str, Any]:
+        """JSON-safe snapshot: cacheable, picklable, mergeable.
+
+        Floats round-trip exactly (Python ``repr`` semantics); ``inf``
+        is permitted — states are internal artifacts, serialized with
+        ``allow_nan=True`` like every cache payload.
+        """
+        return {
+            "objectives": list(self.objectives),
+            "maximize": list(self.maximize),
+            "columns": {
+                name: np.asarray(col).tolist()
+                for name, col in self._columns.items()
+            },
+            "values": self._values.tolist(),
+            "points_seen": int(self.points_seen),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ParetoAccumulator":
+        """Rebuild from a :meth:`state` snapshot."""
+        acc = cls(
+            objectives=tuple(state["objectives"]),
+            maximize=tuple(bool(m) for m in state["maximize"]),
+            columns=tuple(state["columns"]),
+        )
+        values = np.asarray(state["values"], dtype=float).reshape(
+            -1, len(acc.objectives)
+        )
+        acc._values = values
+        acc._columns = {
+            name: np.asarray(list(col), dtype=object)
+            for name, col in state["columns"].items()
+        }
+        acc.points_seen = int(state["points_seen"])
+        return acc
+
+    def points(self) -> list[dict[str, Any]]:
+        """The frontier as dicts in canonical, partition-independent order."""
+        return canonical_points(
+            self._values, self._columns, self.objectives, self.maximize
+        )
+
+
+# --------------------------------------------------------------- sweeps
+
+
+@dataclass(frozen=True)
+class ParetoSweepSpec:
+    """A multi-objective TCA design-space sweep.
+
+    The swept lattice is the cross product ``cores × modes × tech ×
+    fractions × frequencies``; each feasible cell becomes one candidate
+    point scored on :data:`PARETO_OBJECTIVES`.  ``block_size`` bounds
+    the cells any single vectorized evaluation materializes.
+
+    Attributes:
+        cores: processor parameter sets to sweep.
+        accelerator: the TCA under study.
+        fractions: acceleratable-fraction axis (``a``).
+        frequencies: invocation-frequency axis (``v``).
+        modes: integration modes to sweep (default: all four).
+        tech: technology-node names (see :mod:`repro.core.tech`).
+        energy: reference-node energy parameters (tech-scaled per node).
+        drain_estimator: NL-mode drain strategy (default power law).
+        block_size: max grid cells per streamed evaluation block.
+    """
+
+    cores: tuple[CoreParameters, ...]
+    accelerator: AcceleratorParameters
+    fractions: tuple[float, ...]
+    frequencies: tuple[float, ...]
+    modes: tuple[TCAMode, ...] = TCAMode.all_modes()
+    tech: tuple[str, ...] = (DEFAULT_TECH,)
+    energy: EnergyParameters = field(default_factory=EnergyParameters)
+    drain_estimator: DrainEstimator | None = None
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        for name in ("cores", "fractions", "frequencies", "modes", "tech"):
+            if not getattr(self, name):
+                raise ValueError(f"{name} must be non-empty")
+        if self.block_size < 1:
+            raise ValueError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+        for node in self.tech:
+            get_tech_node(node)  # fail fast on unknown names
+
+    @property
+    def panel_count(self) -> int:
+        """Number of (core, mode, tech) grid panels."""
+        return len(self.cores) * len(self.modes) * len(self.tech)
+
+    @property
+    def total_points(self) -> int:
+        """Total lattice cells (feasible or not) the sweep covers."""
+        return self.panel_count * len(self.fractions) * len(self.frequencies)
+
+    def to_canonical_dict(self) -> dict[str, Any]:
+        """Everything a result is a function of, as stable JSON types.
+
+        Cache keys build on this; ``block_size`` is excluded — chunking
+        changes how the frontier is computed, never what it is — but
+        per-chunk keys append their own axis slice (see
+        :func:`repro.serve.stream.pareto_chunk_key`).
+        """
+        return {
+            "cores": [core.to_canonical_dict() for core in self.cores],
+            "accelerator": self.accelerator.to_canonical_dict(),
+            "fractions": [float(a) for a in self.fractions],
+            "frequencies": [float(v) for v in self.frequencies],
+            "modes": [mode.value for mode in self.modes],
+            "tech": list(self.tech),
+            "energy": self.energy.to_canonical_dict(),
+            "drain": (self.drain_estimator or PowerLawDrain()).cache_config(),
+        }
+
+    def chunks(self) -> Iterator["ParetoChunk"]:
+        """The sweep as self-contained evaluation chunks, in order.
+
+        Each (core, mode, tech) panel's fraction axis is sliced so a
+        chunk never materializes more than ``block_size`` grid cells —
+        the invariant the peak-memory guarantee rests on.
+        """
+        rows = max(1, self.block_size // len(self.frequencies))
+        index = 0
+        for core in self.cores:
+            for mode in self.modes:
+                for tech in self.tech:
+                    for start in range(0, len(self.fractions), rows):
+                        stop = min(start + rows, len(self.fractions))
+                        yield ParetoChunk(
+                            index=index,
+                            core=core,
+                            accelerator=self.accelerator,
+                            energy=self.energy,
+                            mode=mode,
+                            tech=tech,
+                            fractions=self.fractions[start:stop],
+                            frequencies=self.frequencies,
+                            a_start=start,
+                            a_stop=stop,
+                            drain_estimator=self.drain_estimator,
+                        )
+                        index += 1
+
+
+@dataclass(frozen=True)
+class ParetoChunk:
+    """One self-contained, picklable unit of sweep work.
+
+    A (core, mode, tech) panel restricted to a slice of the fraction
+    axis — everything :func:`evaluate_pareto_chunk` needs, so chunks
+    fan out to :func:`~repro.core.parallel.parallel_map` workers
+    without shared state.
+    """
+
+    index: int
+    core: CoreParameters
+    accelerator: AcceleratorParameters
+    energy: EnergyParameters
+    mode: TCAMode
+    tech: str
+    fractions: tuple[float, ...]
+    frequencies: tuple[float, ...]
+    a_start: int
+    a_stop: int
+    drain_estimator: DrainEstimator | None = None
+
+    @property
+    def lattice_points(self) -> int:
+        """Grid cells this chunk covers (feasible or not)."""
+        return len(self.fractions) * len(self.frequencies)
+
+
+def _feasible_mask(a: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Cells that form a valid, invoking workload (the design points)."""
+    return (
+        (a > 0.0) & (a <= 1.0) & (v > 0.0) & (v <= 1.0) & (a >= v)
+    )
+
+
+def evaluate_pareto_chunk(chunk: ParetoChunk) -> ParetoAccumulator:
+    """Evaluate one chunk's grid and reduce it to a partial frontier.
+
+    Vectorized end to end: one :func:`~repro.core.model.speedup_grid`
+    call, one :func:`~repro.core.energy.energy_grid` call (with the
+    chunk's tech node scaling the energy parameters), then one
+    dominance reduction over the feasible cells.
+    """
+    node = get_tech_node(chunk.tech)
+    a = np.asarray(chunk.fractions, dtype=float)[:, np.newaxis]
+    v = np.asarray(chunk.frequencies, dtype=float)[np.newaxis, :]
+    speedup = speedup_grid(
+        chunk.core,
+        chunk.accelerator,
+        a,
+        v,
+        chunk.mode,
+        drain_estimator=chunk.drain_estimator,
+    )
+    grid = energy_grid(
+        chunk.core,
+        chunk.accelerator,
+        node.scale_energy(chunk.energy),
+        a,
+        v,
+        chunk.mode,
+        drain_estimator=chunk.drain_estimator,
+    )
+    area = float(node.scale_area(MODE_COSTS[chunk.mode].total))
+    big_a, big_v = np.broadcast_arrays(a, v)
+    feasible = _feasible_mask(big_a, big_v)
+
+    acc = ParetoAccumulator()
+    s = speedup[feasible]
+    n = s.size
+    if n:
+        areas = np.full(n, area)
+        values = np.column_stack([s, grid.ratio[feasible], areas])
+        columns = {
+            "core": np.full(n, chunk.core.name, dtype=object),
+            "mode": np.full(n, chunk.mode.value, dtype=object),
+            "tech": np.full(n, chunk.tech, dtype=object),
+            "acceleratable_fraction": big_a[feasible],
+            "invocation_frequency": big_v[feasible],
+            "efficiency": efficiency_values(s, areas),
+        }
+        acc.add(values, columns)
+    _PARETO_POINTS.inc(int(n))
+    return acc
+
+
+def _reduce_chunk_state(chunk: ParetoChunk) -> dict[str, Any]:
+    """Worker entry point: one chunk reduced to its frontier state."""
+    return evaluate_pareto_chunk(chunk).state()
+
+
+def sweep_pareto(spec: ParetoSweepSpec, jobs: int = 1) -> ParetoAccumulator:
+    """Run the full sweep and return the merged streaming frontier.
+
+    With ``jobs > 1`` chunks fan out over
+    :func:`~repro.core.parallel.parallel_map` worker processes, each
+    reducing its chunks to small partial-frontier states; the supervisor
+    merges them in deterministic chunk order.  The result — including
+    :meth:`ParetoAccumulator.points` order — is identical for every
+    ``jobs`` value.
+    """
+    chunks = list(spec.chunks())
+    states = parallel_map(_reduce_chunk_state, chunks, jobs=jobs)
+    acc = ParetoAccumulator()
+    for state in states:
+        acc.merge(state)
+    return acc
+
+
+def _dominates(p: Sequence[float], q: Sequence[float], maximize: Sequence[bool]) -> bool:
+    """Scalar dominance: ``p`` at least ties ``q`` everywhere, beats it once."""
+    at_least_as_good = True
+    strictly_better = False
+    for pv, qv, bigger in zip(p, q, maximize):
+        if pv != pv or qv != qv:  # NaN never dominates / is never beaten
+            return False
+        better = pv > qv if bigger else pv < qv
+        worse = pv < qv if bigger else pv > qv
+        if worse:
+            at_least_as_good = False
+            break
+        if better:
+            strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+def sweep_pareto_scalar(spec: ParetoSweepSpec) -> list[dict[str, Any]]:
+    """The scalar oracle: per-point models plus quadratic dominance.
+
+    Evaluates every feasible lattice cell through the scalar
+    :class:`~repro.core.model.TCAModel` and
+    :class:`~repro.core.energy.EnergyModel`, then removes dominated
+    points by exhaustive pairwise comparison.  Output format and order
+    match :meth:`ParetoAccumulator.points` exactly.  O(points²) — for
+    tests and benchmark cross-checks at modest scale only.
+    """
+    rows: list[tuple[tuple[float, float, float], dict[str, Any]]] = []
+    for core in spec.cores:
+        for mode in spec.modes:
+            for tech in spec.tech:
+                node = get_tech_node(tech)
+                params = node.scale_energy(spec.energy)
+                area = float(node.scale_area(MODE_COSTS[mode].total))
+                for a in spec.fractions:
+                    for v in spec.frequencies:
+                        if not bool(
+                            _feasible_mask(np.float64(a), np.float64(v))
+                        ):
+                            continue
+                        model = TCAModel(
+                            core,
+                            spec.accelerator,
+                            WorkloadParameters(float(a), float(v)),
+                            drain_estimator=spec.drain_estimator,
+                        )
+                        speedup = model.speedup(mode)
+                        ratio = EnergyModel(model, params).energy_ratio(mode)
+                        efficiency = (
+                            speedup / area if area > 0 else float("nan")
+                        )
+                        rows.append(
+                            (
+                                (speedup, ratio, area),
+                                {
+                                    "speedup": float(speedup),
+                                    "energy_ratio": float(ratio),
+                                    "area": area,
+                                    "core": core.name,
+                                    "mode": mode.value,
+                                    "tech": tech,
+                                    "acceleratable_fraction": float(a),
+                                    "invocation_frequency": float(v),
+                                    "efficiency": float(efficiency),
+                                },
+                            )
+                        )
+    frontier = [
+        point
+        for objectives, point in rows
+        if not any(
+            _dominates(other, objectives, PARETO_MAXIMIZE)
+            for other, _ in rows
+        )
+    ]
+    signs = [1.0 if m else -1.0 for m in PARETO_MAXIMIZE]
+    frontier.sort(
+        key=lambda point: tuple(
+            -s * point[name] for s, name in zip(signs, PARETO_OBJECTIVES)
+        )
+        + (_canonical_point_json(point),)
+    )
+    return frontier

@@ -1,0 +1,176 @@
+"""Technology-node scaling for energy/area/frequency (lumos-style).
+
+The paper's §VII energy argument is made at one technology point; real
+design-space exploration compares TCA integrations *across* process
+nodes — a 45nm planar-CMOS design against 22nm CMOS/TFET or 20nm FinFET
+shrinks, each with its own frequency, dynamic-energy, leakage, and area
+characteristics.  Following the lumos exemplars' per-node BCE parameter
+tables, this module carries those characteristics as **scale factors
+relative to a 45nm CMOS reference**, loaded from a data file
+(``core/data/tech_nodes.json``) so new nodes are a data edit, not a code
+change.
+
+The model's times are in *cycles* and its energies in arbitrary
+consistent units, so node scaling is applied as parameter and array
+transforms rather than by re-deriving the equations:
+
+- dynamic energies (per instruction, per invocation) scale by
+  ``dynamic_energy_scale``;
+- static *powers* are per-cycle energies in the model, so they scale by
+  ``static_power_scale / frequency_scale`` — a faster clock splits the
+  same leakage wattage over more cycles;
+- cycle counts convert to wall-clock via ``frequency_scale``
+  (:meth:`TechNode.wall_time`);
+- hardware areas/costs scale by ``area_scale``
+  (:meth:`TechNode.scale_area`).
+
+:func:`get_tech_node` resolves names for the Pareto sweep engine
+(:mod:`repro.core.pareto`) and the serving layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.energy import EnergyParameters
+
+#: Bundled per-node scale-factor table.
+TECH_DATA_FILE = Path(__file__).parent / "data" / "tech_nodes.json"
+
+#: The reference node every scale factor is expressed against.
+DEFAULT_TECH = "cmos-hp-45"
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One process node's scale factors vs the 45nm CMOS reference.
+
+    Attributes:
+        name: node identifier (``"finfet-hp-20"``-style).
+        family: device family (``cmos``/``tfet``/``finfet``).
+        tech_nm: feature size in nanometres.
+        frequency_scale: achievable clock frequency multiplier.
+        dynamic_energy_scale: per-operation dynamic-energy multiplier.
+        static_power_scale: leakage-power multiplier.
+        area_scale: area multiplier for an identical design.
+    """
+
+    name: str
+    family: str
+    tech_nm: int
+    frequency_scale: float
+    dynamic_energy_scale: float
+    static_power_scale: float
+    area_scale: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "frequency_scale",
+            "dynamic_energy_scale",
+            "static_power_scale",
+            "area_scale",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(
+                    f"{self.name}: {field_name} must be positive, "
+                    f"got {getattr(self, field_name)}"
+                )
+
+    def scale_energy(self, params: EnergyParameters) -> EnergyParameters:
+        """Energy parameters re-expressed at this node.
+
+        Dynamic energies take ``dynamic_energy_scale`` directly; the
+        static *powers* are per-cycle energies, so they take
+        ``static_power_scale / frequency_scale`` — the leakage wattage
+        scaling divided by how many more cycles fit in a second.
+        """
+        static = self.static_power_scale / self.frequency_scale
+        return replace(
+            params,
+            core_static_power=params.core_static_power * static,
+            core_dynamic_energy=(
+                params.core_dynamic_energy * self.dynamic_energy_scale
+            ),
+            accelerator_invocation_energy=(
+                params.accelerator_invocation_energy
+                * self.dynamic_energy_scale
+            ),
+            accelerator_static_power=(
+                params.accelerator_static_power * static
+            ),
+        )
+
+    def scale_area(self, area: float | np.ndarray) -> float | np.ndarray:
+        """Area/hardware-cost values shrunk (or grown) to this node."""
+        return area * self.area_scale
+
+    def wall_time(self, cycles: float | np.ndarray) -> float | np.ndarray:
+        """Cycle counts as wall-clock time in reference-node cycle units."""
+        return cycles / self.frequency_scale
+
+    def to_canonical_dict(self) -> dict[str, Any]:
+        """All fields as a stable, JSON-safe dict (cache keys, wire)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "tech_nm": int(self.tech_nm),
+            "frequency_scale": float(self.frequency_scale),
+            "dynamic_energy_scale": float(self.dynamic_energy_scale),
+            "static_power_scale": float(self.static_power_scale),
+            "area_scale": float(self.area_scale),
+        }
+
+
+_NODES: dict[str, TechNode] | None = None
+
+
+def load_tech_nodes(path: str | Path | None = None) -> dict[str, TechNode]:
+    """The node table from ``path`` (default: the bundled data file).
+
+    The bundled table is parsed once and cached; explicit paths are
+    re-read every call (they are a tool for tests and experiments).
+    """
+    global _NODES
+    if path is None and _NODES is not None:
+        return dict(_NODES)
+    data_path = TECH_DATA_FILE if path is None else Path(path)
+    payload = json.loads(data_path.read_text(encoding="utf-8"))
+    nodes: dict[str, TechNode] = {}
+    for entry in payload["nodes"]:
+        node = TechNode(
+            name=str(entry["name"]),
+            family=str(entry["family"]),
+            tech_nm=int(entry["tech_nm"]),
+            frequency_scale=float(entry["frequency_scale"]),
+            dynamic_energy_scale=float(entry["dynamic_energy_scale"]),
+            static_power_scale=float(entry["static_power_scale"]),
+            area_scale=float(entry["area_scale"]),
+        )
+        if node.name in nodes:
+            raise ValueError(f"duplicate tech node {node.name!r} in {data_path}")
+        nodes[node.name] = node
+    if path is None:
+        _NODES = dict(nodes)
+    return nodes
+
+
+def tech_node_names() -> tuple[str, ...]:
+    """Names of every bundled node, sorted."""
+    return tuple(sorted(load_tech_nodes()))
+
+
+def get_tech_node(name: str) -> TechNode:
+    """The bundled node called ``name`` (raises with the known names)."""
+    nodes = load_tech_nodes()
+    try:
+        return nodes[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown tech node {name!r}; expected one of "
+            f"{sorted(nodes)}"
+        ) from None

@@ -18,13 +18,18 @@ from __future__ import annotations
 import io
 from typing import Any, Iterable, Mapping
 
+import numpy as np
+
 from repro.core.drain import (
     BalancedWindowDrain,
     DrainEstimator,
     ExplicitDrain,
     PowerLawDrain,
 )
+from repro.core.energy import EnergyParameters
 from repro.core.modes import TCAMode
+from repro.core.pareto import DEFAULT_BLOCK_SIZE, ParetoSweepSpec
+from repro.core.tech import DEFAULT_TECH, tech_node_names
 from repro.core.parameters import (
     ARM_A72,
     HIGH_PERF,
@@ -368,6 +373,167 @@ def parse_sampling(
         return coerce_sampling(spec)
     except (ValueError, TypeError) as exc:
         raise RequestError(f"bad sampling config: {exc}", field=field) from exc
+
+
+#: Upper bound on one generated axis — two maxed axes give a 10-billion
+#: cell lattice per panel, far beyond anything the service should accept.
+MAX_AXIS_POINTS = 100_000
+
+
+def parse_axis(spec: Any, field: str = "axis") -> tuple[float, ...]:
+    """A sweep-axis value tuple from a list or a generator object.
+
+    Accepts an explicit non-empty number list, or a compact range spec
+    ``{"start": lo, "stop": hi, "num": n, "space"?: "linear"|"log"}`` so
+    a million-point request ships a few numbers, not a million.  Log
+    spacing requires strictly positive endpoints.
+    """
+    if isinstance(spec, (list, tuple)):
+        if not spec:
+            raise RequestError("axis list must be non-empty", field=field)
+        if any(
+            isinstance(v, bool) or not isinstance(v, (int, float))
+            for v in spec
+        ):
+            raise RequestError(
+                "axis list must contain only numbers", field=field
+            )
+        return tuple(float(v) for v in spec)
+    spec = _require_mapping(spec, field)
+    start = _number(spec, "start", field)
+    stop = _number(spec, "stop", field)
+    num = int(_number(spec, "num", field))
+    if not 1 <= num <= MAX_AXIS_POINTS:
+        raise RequestError(
+            f"num must be between 1 and {MAX_AXIS_POINTS}",
+            field=f"{field}.num",
+        )
+    space = spec.get("space", "linear")
+    if space == "linear":
+        values = np.linspace(start, stop, num)
+    elif space == "log":
+        if start <= 0 or stop <= 0:
+            raise RequestError(
+                "log-spaced axes need positive start and stop", field=field
+            )
+        values = np.geomspace(start, stop, num)
+    else:
+        raise RequestError(
+            f"unknown axis space {space!r}; expected 'linear' or 'log'",
+            field=f"{field}.space",
+        )
+    return tuple(float(v) for v in values)
+
+
+def parse_tech(spec: Any, field: str = "tech") -> tuple[str, ...]:
+    """Technology-node names from ``None`` (= reference), one, or a list."""
+    if spec is None:
+        return (DEFAULT_TECH,)
+    if isinstance(spec, str):
+        spec = [spec]
+    if not isinstance(spec, (list, tuple)) or not spec:
+        raise RequestError(
+            "tech must be a node name or a non-empty list of them",
+            field=field,
+        )
+    known = tech_node_names()
+    names = []
+    for i, name in enumerate(spec):
+        if not isinstance(name, str) or name not in known:
+            raise RequestError(
+                f"unknown tech node {name!r}; expected one of {list(known)}",
+                field=f"{field}[{i}]",
+            )
+        names.append(name)
+    return tuple(names)
+
+
+def parse_energy(spec: Any, field: str = "energy") -> EnergyParameters:
+    """An :class:`EnergyParameters` from an object of overrides.
+
+    ``None`` gives the defaults; objects may set any subset of the four
+    fields (``core_static_power``/``core_dynamic_energy``/
+    ``accelerator_invocation_energy``/``accelerator_static_power``).
+    """
+    if spec is None:
+        return EnergyParameters()
+    spec = _require_mapping(spec, field)
+    defaults = EnergyParameters()
+    known = set(defaults.to_canonical_dict())
+    unknown = set(spec) - known
+    if unknown:
+        raise RequestError(
+            f"unknown energy field(s) {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}",
+            field=field,
+        )
+    try:
+        return EnergyParameters(
+            **{
+                key: _number(spec, key, field)
+                for key in known
+                if key in spec
+            }
+        )
+    except ValueError as exc:
+        if isinstance(exc, RequestError):
+            raise
+        raise RequestError(str(exc), field=field) from exc
+
+
+def parse_pareto_sweep(spec: Mapping[str, Any]) -> tuple[ParetoSweepSpec, bool]:
+    """A ``kind: "pareto"`` ``/sweep`` request as a sweep spec.
+
+    Request shape: ``cores`` (list of core specs, or a single ``core``),
+    ``accelerator``, ``fractions``/``frequencies`` axes (lists or range
+    objects, see :func:`parse_axis`), plus optional ``modes``, ``tech``,
+    ``energy``, ``drain``, ``block_size``, and ``stream`` (default true:
+    the response is chunked NDJSON).
+
+    Returns:
+        ``(spec, stream)``.
+    """
+    if "cores" in spec:
+        raw_cores = spec["cores"]
+        if not isinstance(raw_cores, (list, tuple)) or not raw_cores:
+            raise RequestError(
+                "cores must be a non-empty list", field="cores"
+            )
+        cores = tuple(
+            parse_core(core, f"cores[{i}]")
+            for i, core in enumerate(raw_cores)
+        )
+    else:
+        cores = (parse_core(spec.get("core")),)
+    block_size = spec.get("block_size", DEFAULT_BLOCK_SIZE)
+    if (
+        isinstance(block_size, bool)
+        or not isinstance(block_size, int)
+        or block_size < 1
+    ):
+        raise RequestError(
+            "block_size must be a positive integer", field="block_size"
+        )
+    stream = spec.get("stream", True)
+    if not isinstance(stream, bool):
+        raise RequestError("stream must be a boolean", field="stream")
+    try:
+        sweep_spec = ParetoSweepSpec(
+            cores=cores,
+            accelerator=parse_accelerator(spec.get("accelerator")),
+            fractions=parse_axis(spec.get("fractions"), "fractions"),
+            frequencies=parse_axis(spec.get("frequencies"), "frequencies"),
+            modes=parse_modes(spec.get("modes", spec.get("mode"))),
+            tech=parse_tech(spec.get("tech")),
+            energy=parse_energy(spec.get("energy")),
+            drain_estimator=parse_drain(spec.get("drain")),
+            block_size=block_size,
+        )
+    except ValueError as exc:
+        if isinstance(exc, RequestError):
+            raise
+        raise RequestError(str(exc), field="request") from exc
+    return sweep_spec, stream
 
 
 def iter_queries(payload: Any) -> Iterable[tuple[int | None, Mapping[str, Any]]]:

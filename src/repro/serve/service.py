@@ -10,7 +10,12 @@ dependencies to install):
   (:func:`repro.serve.batch.evaluate_batch`), so heterogeneous queries
   coalesce into vectorized :func:`~repro.core.model.speedup_grid` calls
   and repeated ones are answered from the content-addressed cache;
-- ``POST /sweep`` — a 1-D design-space sweep via :func:`repro.api.sweep`;
+- ``POST /sweep`` — a 1-D design-space sweep via :func:`repro.api.sweep`,
+  or (``kind: "pareto"``) a streaming multi-objective sweep: chunks of
+  the cores × modes × tech × (a, v) lattice are evaluated through the
+  vectorized engine (:mod:`repro.core.pareto`), individually cache-keyed,
+  and the response streams as NDJSON — one progress line per chunk, then
+  the merged Pareto frontier (``"stream": false`` for one JSON object);
 - ``POST /simulate`` — cycle-level simulation of posted traces, fanned
   out over ``--jobs`` worker processes for multi-run requests and
   memoized by trace fingerprint; traces are compiled once into
@@ -75,11 +80,17 @@ from repro.serve.params import (
     parse_core,
     parse_drain,
     parse_modes,
+    parse_pareto_sweep,
     parse_sampling,
     parse_sim_config,
     parse_trace,
     parse_warm_ranges,
     parse_workload,
+)
+from repro.serve.stream import (
+    NDJSONStream,
+    collect_pareto_sweep,
+    stream_pareto_records,
 )
 from repro.sim.compile import compile_trace
 from repro.sim.stats import SimStats
@@ -358,12 +369,29 @@ class ServeApp:
                 results.append(result.to_dict())
         return {"results": results, "cache": self.cache.stats()}
 
-    def handle_sweep(self, payload: Any) -> dict[str, Any]:
-        """``POST /sweep``: a 1-D design-space sweep."""
+    def handle_sweep(self, payload: Any) -> "dict[str, Any] | NDJSONStream":
+        """``POST /sweep``: a design-space sweep.
+
+        ``kind: "granularity"/"fraction"/"frequency"`` runs the classic
+        1-D sweep and returns one JSON object.  ``kind: "pareto"`` runs
+        the chunked multi-objective engine (:mod:`repro.serve.stream`):
+        by default the response streams as NDJSON — one progress line
+        per evaluated chunk, then a final ``{"summary": ...}`` line with
+        the merged frontier; ``"stream": false`` returns the same data
+        as a single JSON object.  Chunks are individually cache-keyed,
+        so repeated or overlapping pareto sweeps replay from the cache.
+        """
         spec = payload if isinstance(payload, Mapping) else None
         if spec is None:
             raise RequestError("expected a sweep object", field="request")
         kind = spec.get("kind")
+        if kind == "pareto":
+            sweep_spec, stream = parse_pareto_sweep(spec)
+            if stream:
+                return NDJSONStream(
+                    stream_pareto_records(sweep_spec, self.cache, self.jobs)
+                )
+            return collect_pareto_sweep(sweep_spec, self.cache, self.jobs)
         x = spec.get("x")
         if not isinstance(x, (list, tuple)) or not x:
             raise RequestError("x must be a non-empty number list", field="x")
@@ -573,6 +601,47 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_ndjson(self, stream: NDJSONStream, request_id: str) -> None:
+        """Stream an NDJSON response, one flushed JSON line per record.
+
+        The default HTTP/1.0 protocol version delimits the body by
+        connection close, so no Content-Length is needed — records go
+        out as they are produced.  Mid-stream failures (after headers
+        are committed) emit a final ``{"error": ...}`` line rather than
+        a status change; a vanished client just ends the stream.
+        """
+        # The body is delimited by connection close; make sure no
+        # keep-alive path ever leaves the client waiting for EOF.
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", stream.content_type)
+        self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        registry = get_registry()
+        try:
+            for record in stream.records:
+                try:
+                    line = json.dumps(record, allow_nan=False)
+                except ValueError:
+                    line = json.dumps(_json_safe(record), allow_nan=False)
+                self.wfile.write(line.encode("utf-8") + b"\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            registry.counter("serve.requests.disconnected").inc()
+            _log.info("client disconnected mid-stream")
+        except Exception:
+            registry.counter("serve.requests.errors").inc()
+            _log.exception("error while streaming response")
+            try:
+                self.wfile.write(
+                    json.dumps({"error": "internal server error"}).encode(
+                        "utf-8"
+                    )
+                    + b"\n"
+                )
+            except OSError:  # pragma: no cover - client already gone
+                pass
+
     def _send_text(
         self, status: int, text: str, content_type: str, request_id: str
     ) -> None:
@@ -617,6 +686,7 @@ class _Handler(BaseHTTPRequestHandler):
         status = 200
         payload: dict[str, Any] = {}
         metrics_page: str | None = None
+        streamed = False
         with request_scope(f"serve.{name}", request_id) as trace:
             try:
                 with registry.timer("serve.request").time():
@@ -627,7 +697,16 @@ class _Handler(BaseHTTPRequestHandler):
                     else:
                         with span("serve.read_body"):
                             body = self._read_body()
-                        payload = getattr(self.server.app, handler_name)(body)
+                        result = getattr(self.server.app, handler_name)(body)
+                        if isinstance(result, NDJSONStream):
+                            # Stream inside the scope: the records are
+                            # produced lazily, so writing them IS the
+                            # handler work and must be covered by the
+                            # latency span.  _send_ndjson never raises.
+                            self._send_ndjson(result, request_id)
+                            streamed = True
+                        else:
+                            payload = result
             except _TooLarge as exc:
                 registry.counter("serve.requests.rejected").inc()
                 status = 413
@@ -650,7 +729,9 @@ class _Handler(BaseHTTPRequestHandler):
                 json.dumps(trace.summary_line(), sort_keys=True),
             )
         try:
-            if metrics_page is not None:
+            if streamed:
+                pass  # response already written line by line
+            elif metrics_page is not None:
                 self._send_text(
                     status, metrics_page, PROMETHEUS_CONTENT_TYPE, request_id
                 )

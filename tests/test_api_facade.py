@@ -112,6 +112,47 @@ class TestSweep:
             api.sweep("granularity", ARM_A72, ACCEL, [1.0])
 
 
+class TestParetoSweep:
+    def test_matches_scalar_oracle_and_round_trips(self):
+        from repro.core.pareto import ParetoSweepSpec, sweep_pareto_scalar
+
+        fractions = np.linspace(0.0, 1.0, 9)
+        frequencies = np.geomspace(1e-3, 1.0, 5)
+        result = api.pareto_sweep(
+            ARM_A72, ACCEL, fractions, frequencies, tech="finfet-hp-20"
+        )
+        oracle = sweep_pareto_scalar(
+            ParetoSweepSpec(
+                cores=(ARM_A72,),
+                accelerator=ACCEL,
+                fractions=tuple(fractions),
+                frequencies=tuple(frequencies),
+                tech=("finfet-hp-20",),
+            )
+        )
+        assert [p.to_dict() for p in result.frontier] == oracle
+        assert result.total_points == 4 * 9 * 5
+
+        back = api.ParetoSweepResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert back == result
+
+    def test_jobs_do_not_change_the_frontier(self):
+        axis = np.linspace(0.05, 1.0, 6)
+        one = api.pareto_sweep(ARM_A72, ACCEL, axis, axis, jobs=1)
+        two = api.pareto_sweep(ARM_A72, ACCEL, axis, axis, jobs=2)
+        assert one == two
+
+    def test_single_mode_and_default_tech(self):
+        result = api.pareto_sweep(
+            ARM_A72, ACCEL, [0.5], [0.1], modes=TCAMode.L_T
+        )
+        assert result.points_seen == 1
+        assert all(p.mode is TCAMode.L_T for p in result.frontier)
+        assert all(p.tech == "cmos-hp-45" for p in result.frontier)
+
+
 class TestSimulateAndCompare:
     def test_simulate_matches_simulator_and_caches(self):
         baseline, _ = _traces()

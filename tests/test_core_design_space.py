@@ -1,11 +1,15 @@
 """Unit tests for design-space exploration."""
 
+import math
+import random
+
 import pytest
 
 from repro.core.design_space import (
     DesignPoint,
     design_points,
     pareto_frontier,
+    pareto_frontier_quadratic,
     recommend_mode,
 )
 from repro.core.model import TCAModel
@@ -34,6 +38,21 @@ class TestDesignPoints:
     def test_efficiency(self):
         point = DesignPoint(TCAMode.L_T, speedup=2.6, hardware_cost=2.6)
         assert point.efficiency == pytest.approx(1.0)
+
+    def test_efficiency_edge_cases_are_nan_not_errors(self):
+        nan = float("nan")
+        zero_cost = DesignPoint(TCAMode.L_T, speedup=2.0, hardware_cost=0.0)
+        assert math.isnan(zero_cost.efficiency)  # never ZeroDivisionError
+        nan_cost = DesignPoint(TCAMode.L_T, speedup=2.0, hardware_cost=nan)
+        assert math.isnan(nan_cost.efficiency)
+        nan_speedup = DesignPoint(TCAMode.L_T, speedup=nan, hardware_cost=1.0)
+        assert math.isnan(nan_speedup.efficiency)
+        negative = DesignPoint(TCAMode.L_T, speedup=2.0, hardware_cost=-1.0)
+        assert math.isnan(negative.efficiency)
+        infinite = DesignPoint(
+            TCAMode.L_T, speedup=float("inf"), hardware_cost=2.0
+        )
+        assert infinite.efficiency == float("inf")
 
 
 class TestParetoFrontier:
@@ -65,6 +84,40 @@ class TestParetoFrontier:
         )
         frontier = pareto_frontier(points)
         assert [p.mode for p in frontier] == [TCAMode.NL_NT]
+
+    def test_sorted_scan_matches_quadratic_oracle(self):
+        # Regression for the O(n log n) rewrite: dense duplicate/tied
+        # grids where group handling is easy to get wrong.
+        rng = random.Random(1234)
+        modes = list(TCAMode.all_modes())
+        for trial in range(50):
+            points = tuple(
+                DesignPoint(
+                    rng.choice(modes),
+                    speedup=rng.choice([0.5, 1.0, 1.5, 2.0, 2.0]),
+                    hardware_cost=rng.choice([1.0, 1.0, 1.6, 2.0, 2.6]),
+                )
+                for _ in range(rng.randrange(0, 30))
+            )
+            assert pareto_frontier(points) == pareto_frontier_quadratic(
+                points
+            ), f"trial {trial} diverged"
+
+    def test_nan_points_survive_both_implementations(self):
+        nan = float("nan")
+        points = (
+            DesignPoint(TCAMode.NL_NT, speedup=2.0, hardware_cost=1.0),
+            DesignPoint(TCAMode.L_NT, speedup=nan, hardware_cost=1.0),
+            DesignPoint(TCAMode.L_T, speedup=2.0, hardware_cost=nan),
+            DesignPoint(TCAMode.NL_T, speedup=1.0, hardware_cost=2.0),
+        )
+        fast = pareto_frontier(points)
+        assert fast == pareto_frontier_quadratic(points)
+        # NaN-coordinate points are incomparable: always kept.
+        assert points[1] in fast
+        assert points[2] in fast
+        # The dominated clean point is still removed.
+        assert points[3] not in fast
 
 
 class TestRecommendMode:

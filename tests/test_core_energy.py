@@ -1,8 +1,11 @@
 """Unit tests for the energy analysis (paper §VII)."""
 
+import math
+
+import numpy as np
 import pytest
 
-from repro.core.energy import EnergyModel, EnergyParameters
+from repro.core.energy import EnergyModel, EnergyParameters, energy_grid
 from repro.core.model import TCAModel
 from repro.core.modes import TCAMode
 from repro.core.parameters import (
@@ -101,3 +104,139 @@ class TestEnergyModel:
         ratios = energy.energy_ratios()
         times = {m: model.execution_time(m) for m in TCAMode.all_modes()}
         assert sorted(ratios, key=ratios.get) == sorted(times, key=times.get)
+
+    def test_zero_static_power_is_pure_dynamic(self, model):
+        params = EnergyParameters(
+            core_static_power=0.0, accelerator_static_power=0.0
+        )
+        energy = EnergyModel(model, params)
+        assert energy.baseline_energy().core_static == 0.0
+        for mode in TCAMode.all_modes():
+            breakdown = energy.mode_energy(mode)
+            assert breakdown.core_static == 0.0
+            # With no static terms, energy is time-independent.
+            assert breakdown.accelerator == pytest.approx(
+                params.accelerator_invocation_energy
+            )
+            assert energy.static_energy_penalty(mode) == 0.0
+
+    def test_power_gated_accelerator_pays_invocation_only(self, model):
+        params = EnergyParameters(
+            accelerator_invocation_energy=7.0, accelerator_static_power=0.0
+        )
+        energy = EnergyModel(model, params)
+        for mode in TCAMode.all_modes():
+            assert energy.mode_energy(mode).accelerator == pytest.approx(7.0)
+
+
+class TestEnergyGrid:
+    """The closed-form grid against the scalar §VII oracle."""
+
+    @pytest.fixture
+    def core(self, small_core):
+        return small_core
+
+    @pytest.fixture
+    def accel(self, simple_accelerator):
+        return simple_accelerator
+
+    @pytest.mark.parametrize("mode", TCAMode.all_modes())
+    def test_matches_scalar_oracle_exactly(self, core, accel, mode):
+        rng = np.random.default_rng(42)
+        v = rng.uniform(1e-4, 1.0, size=40)
+        a = np.minimum(v + rng.uniform(0.0, 1.0 - 1e-9, size=40), 1.0)
+        params = EnergyParameters(
+            core_static_power=0.7,
+            core_dynamic_energy=1.3,
+            accelerator_invocation_energy=12.0,
+            accelerator_static_power=0.05,
+        )
+        grid = energy_grid(core, accel, params, a, v, mode)
+        for i in range(len(a)):
+            scalar = EnergyModel(
+                TCAModel(
+                    core, accel, WorkloadParameters(float(a[i]), float(v[i]))
+                ),
+                params,
+            )
+            mode_e = scalar.mode_energy(mode)
+            base_e = scalar.baseline_energy()
+            assert grid.total[i] == pytest.approx(mode_e.total, abs=1e-9)
+            assert grid.core_static[i] == pytest.approx(
+                mode_e.core_static, abs=1e-9
+            )
+            assert grid.core_dynamic[i] == pytest.approx(
+                mode_e.core_dynamic, abs=1e-9
+            )
+            assert grid.accelerator[i] == pytest.approx(
+                mode_e.accelerator, abs=1e-9
+            )
+            assert grid.baseline_total[i] == pytest.approx(
+                base_e.total, abs=1e-9
+            )
+            assert grid.ratio[i] == pytest.approx(
+                scalar.energy_ratio(mode), abs=1e-9
+            )
+
+    def test_masking_semantics(self, core, accel):
+        a = np.array([-0.1, 1.5, 0.2, 0.0, 0.5, 0.5])
+        v = np.array([0.5, 0.5, 0.5, 0.5, 0.0, 0.1])
+        grid = energy_grid(
+            core, accel, EnergyParameters(), a, v, TCAMode.L_T
+        )
+        # Out-of-range and a < v cells are NaN everywhere.
+        for i in (0, 1, 2):
+            assert math.isnan(grid.ratio[i])
+            assert math.isnan(grid.total[i])
+        # No-invocation cells: ratio 1.0 (baseline IS the mode), absolute
+        # energies undefined.
+        for i in (3, 4):
+            assert grid.ratio[i] == 1.0
+            assert math.isnan(grid.total[i])
+            assert math.isnan(grid.baseline_total[i])
+        # The active cell is fully populated.
+        assert grid.total[5] > 0.0
+        assert grid.ratio[5] > 0.0
+
+    def test_all_zero_parameters_give_nan_ratio(self, core, accel):
+        params = EnergyParameters(
+            core_static_power=0.0,
+            core_dynamic_energy=0.0,
+            accelerator_invocation_energy=0.0,
+            accelerator_static_power=0.0,
+        )
+        grid = energy_grid(
+            core, accel, params, np.array([0.5]), np.array([0.1]), TCAMode.L_T
+        )
+        assert grid.total[0] == 0.0
+        assert math.isnan(grid.ratio[0])  # 0/0 baseline, never a ZeroDivision
+
+    def test_losing_mask_matches_scalar_losing_modes(self):
+        # The §VII configuration where slow modes burn more energy than
+        # the software baseline.
+        core = CoreParameters(
+            ipc=2.0, rob_size=256, issue_width=4, commit_stall=10
+        )
+        accel = AcceleratorParameters(acceleration=1.5)
+        workload = WorkloadParameters.from_granularity(30, 0.3, drain_time=45.0)
+        params = EnergyParameters(
+            core_static_power=3.0, accelerator_invocation_energy=30.0
+        )
+        scalar_losing = EnergyModel(
+            TCAModel(core, accel, workload), params
+        ).energy_losing_modes()
+        a = np.array([workload.acceleratable_fraction])
+        v = np.array([workload.invocation_frequency])
+        drain = np.array([workload.drain_time])
+        for mode in TCAMode.all_modes():
+            grid = energy_grid(
+                core, accel, params, a, v, mode, drain_time=drain
+            )
+            assert bool(grid.losing_mask()[0]) == (mode in scalar_losing)
+
+    def test_broadcasting_matches_speedup_grid_shape(self, core, accel):
+        a = np.linspace(0.0, 1.0, 5)[:, None]
+        v = np.geomspace(1e-3, 1.0, 4)[None, :]
+        grid = energy_grid(core, accel, EnergyParameters(), a, v, TCAMode.L_T)
+        assert grid.ratio.shape == (5, 4)
+        assert grid.losing_mask().shape == (5, 4)

@@ -56,6 +56,29 @@ class TestParallelMap:
     def test_empty_items(self):
         assert parallel_map(_square, [], jobs=4) == []
 
+    def test_callable_from_secondary_thread(self):
+        # Serving workers fan out from handler threads; forking a
+        # multi-threaded process can deadlock the child on an inherited
+        # lock, so parallel_map must switch to the spawn start method
+        # there.  This call hangs (flakily) without that switch.
+        import threading
+
+        result: list = []
+        errors: list = []
+
+        def run():
+            try:
+                result.extend(parallel_map(_square, list(range(8)), jobs=2))
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "parallel_map deadlocked in a thread"
+        assert not errors
+        assert result == [x * x for x in range(8)]
+
     def test_explicit_chunk_size(self):
         items = list(range(10))
         out = parallel_map(_square, items, jobs=2, chunk_size=3)

@@ -1,0 +1,303 @@
+"""Tests for the streaming Pareto engine (mask, accumulator, sweeps)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import TCAMode
+from repro.core.parameters import ARM_A72, HIGH_PERF, AcceleratorParameters
+from repro.core.pareto import (
+    PARETO_COLUMNS,
+    PARETO_MAXIMIZE,
+    ParetoAccumulator,
+    ParetoSweepSpec,
+    efficiency_values,
+    evaluate_pareto_chunk,
+    non_dominated_mask,
+    sweep_pareto,
+    sweep_pareto_scalar,
+)
+
+
+def _oracle_mask(values, maximize):
+    """Quadratic pairwise-dominance reference for non_dominated_mask."""
+    values = np.asarray(values, dtype=float)
+    n = len(values)
+    mask = np.zeros(n, dtype=bool)
+
+    def dominates(p, q):
+        if any(math.isnan(x) for x in p) or any(math.isnan(x) for x in q):
+            return False
+        at_least = all(
+            (pv >= qv if m else pv <= qv)
+            for pv, qv, m in zip(p, q, maximize)
+        )
+        strict = any(
+            (pv > qv if m else pv < qv)
+            for pv, qv, m in zip(p, q, maximize)
+        )
+        return at_least and strict
+
+    for i in range(n):
+        row = values[i]
+        if any(math.isnan(x) for x in row):
+            continue
+        mask[i] = not any(
+            dominates(values[j], row) for j in range(n) if j != i
+        )
+    return mask
+
+
+_objective = st.one_of(
+    st.integers(min_value=-3, max_value=3).map(float),  # forces ties
+    st.floats(
+        min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+    ),
+    st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+)
+
+
+class TestNonDominatedMask:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(_objective, _objective, _objective),
+            min_size=0,
+            max_size=25,
+        ),
+        st.tuples(st.booleans(), st.booleans(), st.booleans()),
+    )
+    def test_matches_quadratic_oracle(self, rows, maximize):
+        values = np.asarray(rows, dtype=float).reshape(len(rows), 3)
+        fast = non_dominated_mask(values, maximize)
+        assert np.array_equal(fast, _oracle_mask(values, maximize))
+
+    def test_exact_ties_all_kept(self):
+        values = np.array([[1.0, 2.0], [1.0, 2.0], [0.5, 3.0]])
+        mask = non_dominated_mask(values, (True, True))
+        assert mask.tolist() == [True, True, True]
+
+    def test_dominated_tie_group_removed_together(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        mask = non_dominated_mask(values, (True, True))
+        assert mask.tolist() == [False, False, True]
+
+    def test_nan_rows_never_on_frontier(self):
+        values = np.array([[np.nan, 9.0], [1.0, 1.0]])
+        mask = non_dominated_mask(values, (True, True))
+        assert mask.tolist() == [False, True]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            non_dominated_mask(np.zeros(3), (True,))
+        with pytest.raises(ValueError):
+            non_dominated_mask(np.zeros((3, 2)), (True,))
+
+
+class TestEfficiencyValues:
+    def test_edge_cases_are_nan_not_errors(self):
+        speedup = np.array([2.0, 2.0, np.nan, np.inf, 2.0])
+        cost = np.array([1.0, 0.0, 1.0, 2.0, np.nan])
+        out = efficiency_values(speedup, cost)
+        assert out[0] == pytest.approx(2.0)
+        assert math.isnan(out[1])  # zero cost
+        assert math.isnan(out[2])  # NaN speedup
+        assert out[3] == float("inf")  # infinite speedup stays infinite
+        assert math.isnan(out[4])  # NaN cost
+
+    def test_negative_cost_is_nan(self):
+        assert math.isnan(float(efficiency_values(2.0, -1.0)))
+
+
+def _random_points(rng, n):
+    values = np.column_stack(
+        [
+            rng.integers(0, 5, n).astype(float),  # ties likely
+            rng.random(n).round(1),
+            rng.random(n).round(1),
+        ]
+    )
+    columns = {
+        name: np.asarray([f"{name}{i % 3}" for i in range(n)], dtype=object)
+        for name in PARETO_COLUMNS
+    }
+    return values, columns
+
+
+def _filled(values, columns):
+    acc = ParetoAccumulator()
+    acc.add(values, columns)
+    return acc
+
+
+class TestParetoAccumulator:
+    def test_blocking_is_invariant(self):
+        rng = np.random.default_rng(7)
+        values, columns = _random_points(rng, 200)
+        whole = _filled(values, columns)
+        chunked = ParetoAccumulator()
+        for lo in range(0, 200, 17):
+            hi = min(lo + 17, 200)
+            chunked.add(
+                values[lo:hi],
+                {name: col[lo:hi] for name, col in columns.items()},
+            )
+        assert chunked.points_seen == whole.points_seen == 200
+        assert chunked.points() == whole.points()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(1, 7))
+    def test_merge_is_partition_invariant(self, seed, parts):
+        rng = np.random.default_rng(seed)
+        values, columns = _random_points(rng, 60)
+        whole = _filled(values, columns)
+        merged = ParetoAccumulator()
+        bounds = np.linspace(0, 60, parts + 1).astype(int)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            merged.merge(
+                _filled(
+                    values[lo:hi],
+                    {name: col[lo:hi] for name, col in columns.items()},
+                )
+            )
+        assert merged.points() == whole.points()
+        assert merged.points_seen == whole.points_seen
+
+    def test_state_round_trips_through_json(self):
+        rng = np.random.default_rng(3)
+        values, columns = _random_points(rng, 50)
+        acc = _filled(values, columns)
+        state = json.loads(json.dumps(acc.state(), allow_nan=True))
+        restored = ParetoAccumulator.from_state(state)
+        assert restored.points() == acc.points()
+        assert restored.points_seen == acc.points_seen
+        # JSON-round-tripped partial states merge like live accumulators
+        # (this is the multi-worker path: each worker ships a state dict).
+        halves = ParetoAccumulator()
+        for lo, hi in ((0, 25), (25, 50)):
+            part = _filled(
+                values[lo:hi],
+                {name: col[lo:hi] for name, col in columns.items()},
+            )
+            halves.merge(json.loads(json.dumps(part.state(), allow_nan=True)))
+        assert halves.points() == acc.points()
+        assert halves.points_seen == acc.points_seen
+
+    def test_memory_stays_bounded_by_block_plus_frontier(self):
+        acc = ParetoAccumulator(
+            objectives=("x", "y"), maximize=(True, True), columns=()
+        )
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            block = rng.random((1000, 2))
+            acc.add(block, {})
+        # Internal storage holds only the frontier, never the stream.
+        assert acc.points_seen == 20_000
+        assert acc.size < 1000
+        assert acc._values.shape[0] == acc.size
+
+    def test_schema_mismatch_rejected(self):
+        a = ParetoAccumulator(objectives=("x",), maximize=(True,), columns=())
+        b = ParetoAccumulator(objectives=("y",), maximize=(True,), columns=())
+        with pytest.raises(ValueError, match="schema"):
+            a.merge(b)
+
+    def test_add_validates_columns(self):
+        acc = ParetoAccumulator(
+            objectives=("x",), maximize=(True,), columns=("tag",)
+        )
+        with pytest.raises(ValueError, match="columns"):
+            acc.add(np.zeros((2, 1)), {})
+        with pytest.raises(ValueError, match="shape"):
+            acc.add(np.zeros((2, 1)), {"tag": np.zeros(3)})
+
+
+@pytest.fixture
+def small_spec():
+    return ParetoSweepSpec(
+        cores=(ARM_A72, HIGH_PERF),
+        accelerator=AcceleratorParameters(name="t", acceleration=8.0),
+        fractions=tuple(np.linspace(0.0, 1.0, 11)),
+        frequencies=tuple(np.geomspace(1e-4, 1.0, 7)),
+        tech=("cmos-hp-45", "finfet-hp-20"),
+        block_size=30,
+    )
+
+
+class TestParetoSweep:
+    def test_chunks_respect_block_size(self, small_spec):
+        chunks = list(small_spec.chunks())
+        assert all(c.lattice_points <= small_spec.block_size for c in chunks)
+        assert (
+            sum(c.lattice_points for c in chunks) == small_spec.total_points
+        )
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+    def test_matches_scalar_oracle_exactly(self, small_spec):
+        frontier = sweep_pareto(small_spec).points()
+        assert frontier == sweep_pareto_scalar(small_spec)
+
+    def test_jobs_and_block_size_invariant(self, small_spec):
+        import dataclasses
+
+        base = sweep_pareto(small_spec, jobs=1)
+        parallel = sweep_pareto(small_spec, jobs=2)
+        rechunked = sweep_pareto(
+            dataclasses.replace(small_spec, block_size=7)
+        )
+        assert parallel.points() == base.points()
+        assert rechunked.points() == base.points()
+        assert parallel.points_seen == base.points_seen
+
+    def test_frontier_points_carry_annotations(self, small_spec):
+        for point in sweep_pareto(small_spec).points():
+            assert point["mode"] in {m.value for m in TCAMode.all_modes()}
+            assert point["tech"] in small_spec.tech
+            assert point["core"] in {c.name for c in small_spec.cores}
+            assert point["acceleratable_fraction"] >= point[
+                "invocation_frequency"
+            ]
+            assert point["efficiency"] == pytest.approx(
+                point["speedup"] / point["area"]
+            )
+
+    def test_chunk_evaluation_counts_feasible_points_only(self, small_spec):
+        chunk = next(small_spec.chunks())
+        acc = evaluate_pareto_chunk(chunk)
+        a = np.asarray(chunk.fractions)[:, None]
+        v = np.asarray(chunk.frequencies)[None, :]
+        feasible = (a > 0) & (a <= 1) & (v > 0) & (v <= 1) & (a >= v)
+        assert acc.points_seen == int(feasible.sum())
+
+    def test_spec_validation(self):
+        accel = AcceleratorParameters(name="t", acceleration=2.0)
+        with pytest.raises(ValueError, match="fractions"):
+            ParetoSweepSpec(
+                cores=(ARM_A72,),
+                accelerator=accel,
+                fractions=(),
+                frequencies=(0.1,),
+            )
+        with pytest.raises(ValueError, match="block_size"):
+            ParetoSweepSpec(
+                cores=(ARM_A72,),
+                accelerator=accel,
+                fractions=(0.5,),
+                frequencies=(0.1,),
+                block_size=0,
+            )
+        with pytest.raises(ValueError, match="unknown tech node"):
+            ParetoSweepSpec(
+                cores=(ARM_A72,),
+                accelerator=accel,
+                fractions=(0.5,),
+                frequencies=(0.1,),
+                tech=("not-a-node",),
+            )
+
+    def test_objective_senses(self):
+        assert PARETO_MAXIMIZE == (True, False, False)

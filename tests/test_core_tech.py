@@ -1,0 +1,105 @@
+"""Unit tests for the technology-node scaling layer."""
+
+import json
+
+import pytest
+
+from repro.core.energy import EnergyParameters
+from repro.core.tech import (
+    DEFAULT_TECH,
+    TECH_DATA_FILE,
+    TechNode,
+    get_tech_node,
+    load_tech_nodes,
+    tech_node_names,
+)
+
+
+class TestLoading:
+    def test_bundled_table_loads(self):
+        nodes = load_tech_nodes()
+        assert DEFAULT_TECH in nodes
+        assert set(nodes) == set(tech_node_names())
+
+    def test_reference_node_is_identity(self):
+        node = get_tech_node(DEFAULT_TECH)
+        assert node.frequency_scale == 1.0
+        assert node.dynamic_energy_scale == 1.0
+        assert node.static_power_scale == 1.0
+        assert node.area_scale == 1.0
+
+    def test_unknown_node_lists_known_names(self):
+        with pytest.raises(ValueError, match=DEFAULT_TECH):
+            get_tech_node("vacuum-tube-9000")
+
+    def test_explicit_path_reread_not_cached(self, tmp_path):
+        payload = json.loads(TECH_DATA_FILE.read_text())
+        payload["nodes"] = payload["nodes"][:1]
+        path = tmp_path / "nodes.json"
+        path.write_text(json.dumps(payload))
+        assert len(load_tech_nodes(path)) == 1
+        # The bundled table is unaffected by loads of explicit paths.
+        assert len(load_tech_nodes()) > 1
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        payload = json.loads(TECH_DATA_FILE.read_text())
+        payload["nodes"].append(dict(payload["nodes"][0]))
+        path = tmp_path / "nodes.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="duplicate"):
+            load_tech_nodes(path)
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError, match="frequency_scale"):
+            TechNode(
+                name="bad",
+                family="cmos",
+                tech_nm=45,
+                frequency_scale=0.0,
+                dynamic_energy_scale=1.0,
+                static_power_scale=1.0,
+                area_scale=1.0,
+            )
+
+
+class TestScaling:
+    @pytest.fixture
+    def node(self):
+        return TechNode(
+            name="x",
+            family="cmos",
+            tech_nm=22,
+            frequency_scale=2.0,
+            dynamic_energy_scale=0.4,
+            static_power_scale=1.2,
+            area_scale=0.5,
+        )
+
+    def test_scale_energy_semantics(self, node):
+        params = EnergyParameters(
+            core_static_power=1.0,
+            core_dynamic_energy=1.0,
+            accelerator_invocation_energy=10.0,
+            accelerator_static_power=0.1,
+        )
+        scaled = node.scale_energy(params)
+        # Dynamic energies scale directly.
+        assert scaled.core_dynamic_energy == pytest.approx(0.4)
+        assert scaled.accelerator_invocation_energy == pytest.approx(4.0)
+        # Static powers are per-cycle: leakage scaling / frequency scaling.
+        assert scaled.core_static_power == pytest.approx(1.2 / 2.0)
+        assert scaled.accelerator_static_power == pytest.approx(0.1 * 1.2 / 2.0)
+
+    def test_scale_area_and_wall_time(self, node):
+        assert node.scale_area(2.0) == pytest.approx(1.0)
+        assert node.wall_time(1000.0) == pytest.approx(500.0)
+
+    def test_reference_scaling_is_identity(self):
+        node = get_tech_node(DEFAULT_TECH)
+        params = EnergyParameters()
+        assert node.scale_energy(params) == params
+        assert node.scale_area(2.6) == 2.6
+
+    def test_canonical_dict_is_json_safe(self, node):
+        payload = node.to_canonical_dict()
+        assert json.loads(json.dumps(payload)) == payload

@@ -183,6 +183,133 @@ class TestSweep:
         assert "granularity" in body["error"]
 
 
+def _pareto_payload(**overrides):
+    payload = {
+        "kind": "pareto",
+        "cores": ["a72", "hp"],
+        "accelerator": {"acceleration": 4.0},
+        "fractions": {"start": 0.0, "stop": 1.0, "num": 9},
+        "frequencies": {"start": 1e-3, "stop": 1.0, "num": 6, "space": "log"},
+        "tech": ["cmos-hp-45", "finfet-hp-20"],
+        "block_size": 40,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _ndjson_request(port, payload):
+    """(status, content-type, parsed NDJSON lines) for one /sweep POST."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/sweep",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        raw = resp.read()
+        lines = [
+            _strict_loads(line)
+            for line in raw.split(b"\n")
+            if line.strip()
+        ]
+        return resp.status, resp.headers.get("Content-Type"), lines
+
+
+class TestParetoSweepEndpoint:
+    def test_streaming_ndjson_chunks_and_summary(self, server_port):
+        status, content_type, lines = _ndjson_request(
+            server_port, _pareto_payload()
+        )
+        assert status == 200
+        assert content_type == "application/x-ndjson"
+        # Every line is strict JSON; all but the last are chunk records.
+        chunks, summary = lines[:-1], lines[-1]
+        assert len(chunks) >= 2
+        for index, record in enumerate(chunks):
+            assert record["chunk"] == index
+            assert record["mode"] in {"NL_NT", "L_NT", "NL_T", "L_T"}
+            assert record["tech"] in {"cmos-hp-45", "finfet-hp-20"}
+            assert record["lattice_points"] <= 40
+            assert record["frontier_size"] >= 0
+        assert summary["summary"]["frontier_size"] == len(
+            summary["summary"]["frontier"]
+        )
+        assert summary["summary"]["total_points"] == 2 * 4 * 2 * 9 * 6
+        assert "cache" in summary
+
+    def test_stream_false_matches_streamed_summary(self, server_port):
+        status, body = _request(
+            server_port, "/sweep", _pareto_payload(stream=False)
+        )
+        assert status == 200
+        _, _, lines = _ndjson_request(server_port, _pareto_payload())
+        assert body["result"] == lines[-1]["summary"]
+
+    def test_repeat_request_is_served_from_cache(self, server_port):
+        payload = _pareto_payload(
+            fractions=[0.25, 0.5, 0.75], frequencies=[0.1, 0.2]
+        )
+        _ndjson_request(server_port, payload)
+        _, _, lines = _ndjson_request(server_port, payload)
+        assert all(record["cached"] for record in lines[:-1])
+
+    def test_frontier_matches_api_facade(self, server_port):
+        from repro import api
+        from repro.core.parameters import ARM_A72, AcceleratorParameters
+
+        payload = _pareto_payload(
+            cores=["a72"], fractions=[0.2, 0.6, 1.0], frequencies=[0.05, 0.5]
+        )
+        status, body = _request(
+            server_port, "/sweep", dict(payload, stream=False)
+        )
+        assert status == 200
+        expected = api.pareto_sweep(
+            ARM_A72,
+            AcceleratorParameters(acceleration=4.0),
+            [0.2, 0.6, 1.0],
+            [0.05, 0.5],
+            tech=["cmos-hp-45", "finfet-hp-20"],
+        )
+        assert body["result"]["frontier"] == [
+            p.to_dict() for p in expected.frontier
+        ]
+
+    def test_bad_axis_is_400(self, server_port):
+        status, body = _request(
+            server_port,
+            "/sweep",
+            _pareto_payload(fractions={"start": 0, "stop": 1}),
+        )
+        assert status == 400
+        assert "fractions" in body["field"]
+        status, body = _request(
+            server_port,
+            "/sweep",
+            _pareto_payload(
+                frequencies={"start": 0, "stop": 1, "num": 4, "space": "log"}
+            ),
+        )
+        assert status == 400
+        assert "frequencies" in body["field"]
+        assert "positive" in body["error"]
+
+    def test_unknown_tech_is_400(self, server_port):
+        status, body = _request(
+            server_port, "/sweep", _pareto_payload(tech=["not-a-node"])
+        )
+        assert status == 400
+        assert "tech" in body["field"]
+
+    def test_unknown_energy_field_is_400(self, server_port):
+        status, body = _request(
+            server_port, "/sweep", _pareto_payload(energy={"warp_drive": 1})
+        )
+        assert status == 400
+        assert "energy" in body["field"]
+        assert "warp_drive" in body["error"]
+
+
 class TestSimulate:
     def test_simulation_and_cache_hit(self, server_port):
         payload = {"trace": _trace_text(), "config": "a72"}
